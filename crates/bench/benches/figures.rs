@@ -1,0 +1,261 @@
+//! One Criterion benchmark per table/figure of the paper's evaluation.
+//!
+//! Each bench runs a miniature instance of the corresponding experiment
+//! through the discrete-event driver; the measured quantity is the harness
+//! cost of regenerating that experiment (simulated results are printed by
+//! the `repro` binary, which runs the full-size versions). Keeping the
+//! per-figure configurations here means a `cargo bench` sweep exercises
+//! every code path the evaluation depends on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fluentps_baseline::pslite::PsLiteMode;
+use fluentps_bench::bench_inventory;
+use fluentps_core::condition::SyncModel;
+use fluentps_core::dpr::DprPolicy;
+use fluentps_experiments::driver::{run, DriverConfig, EngineKind, ModelKind, SlicerKind};
+use fluentps_experiments::figures::{fig10, fig9, table4, Scale};
+use fluentps_ml::data::SyntheticSpec;
+use fluentps_simnet::compute::StragglerSpec;
+use fluentps_simnet::net::LinkModel;
+
+const QUICK: Scale = Scale { full: false };
+
+fn timing_cfg(engine: EngineKind, slicer: SlicerKind, n: u32) -> DriverConfig {
+    DriverConfig {
+        engine,
+        num_workers: n,
+        num_servers: 4,
+        slicer,
+        max_iters: 10,
+        model: ModelKind::TimingOnly {
+            params: bench_inventory(),
+        },
+        dataset: None,
+        compute_base: 4.0,
+        compute_jitter: 0.2,
+        stragglers: StragglerSpec::random_slowdowns(),
+        link: LinkModel::gbe(),
+        eval_every: 0,
+        seed: 5,
+        ..DriverConfig::default()
+    }
+}
+
+fn tiny_training_cfg(engine: EngineKind, n: u32) -> DriverConfig {
+    DriverConfig {
+        engine,
+        num_workers: n,
+        num_servers: 2,
+        max_iters: 30,
+        model: ModelKind::Softmax,
+        dataset: Some(SyntheticSpec {
+            dim: 16,
+            classes: 4,
+            n_train: 400,
+            n_test: 100,
+            margin: 3.0,
+            modes: 1,
+            label_noise: 0.0,
+            seed: 2,
+        }),
+        batch_size: 8,
+        compute_base: 1.0,
+        eval_every: 0,
+        seed: 2,
+        ..DriverConfig::default()
+    }
+}
+
+/// Figure 1: SSPtable accuracy degradation sweep.
+fn fig1_ssptable_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_ssptable_scaling");
+    g.sample_size(10);
+    for n in [2u32, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| run(&tiny_training_cfg(EngineKind::SspTable { s: 3 }, n)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6: PS-Lite vs FluentPS vs FluentPS+EPS.
+fn fig6_overlap_sync(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_overlap_sync");
+    g.sample_size(10);
+    g.bench_function("ps-lite", |b| {
+        b.iter(|| {
+            run(&timing_cfg(
+                EngineKind::PsLite {
+                    mode: PsLiteMode::Bsp,
+                },
+                SlicerKind::Default,
+                8,
+            ))
+        })
+    });
+    g.bench_function("fluentps", |b| {
+        b.iter(|| {
+            run(&timing_cfg(
+                EngineKind::FluentPs {
+                    model: SyncModel::Bsp,
+                    policy: DprPolicy::LazyExecution,
+                },
+                SlicerKind::Default,
+                8,
+            ))
+        })
+    });
+    g.bench_function("fluentps+eps", |b| {
+        b.iter(|| {
+            run(&timing_cfg(
+                EngineKind::FluentPs {
+                    model: SyncModel::Bsp,
+                    policy: DprPolicy::LazyExecution,
+                },
+                SlicerKind::Eps { max_chunk: 8192 },
+                8,
+            ))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7: FluentPS vs SSPtable at two cluster sizes.
+fn fig7_scalability(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_scalability");
+    g.sample_size(10);
+    for n in [4u32, 16] {
+        g.bench_with_input(BenchmarkId::new("fluentps", n), &n, |b, &n| {
+            b.iter(|| {
+                run(&tiny_training_cfg(
+                    EngineKind::FluentPs {
+                        model: SyncModel::Ssp { s: 3 },
+                        policy: DprPolicy::LazyExecution,
+                    },
+                    n,
+                ))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("ssptable", n), &n, |b, &n| {
+            b.iter(|| run(&tiny_training_cfg(EngineKind::SspTable { s: 3 }, n)))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8: soft barrier vs lazy execution.
+fn fig8_lazy_vs_soft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_lazy_vs_soft");
+    g.sample_size(10);
+    for (name, policy) in [
+        ("soft", DprPolicy::SoftBarrier),
+        ("lazy", DprPolicy::LazyExecution),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut cfg = timing_cfg(
+                    EngineKind::FluentPs {
+                        model: SyncModel::Ssp { s: 2 },
+                        policy,
+                    },
+                    SlicerKind::Eps { max_chunk: 8192 },
+                    8,
+                );
+                cfg.stragglers = StragglerSpec {
+                    transient_prob: 0.05,
+                    transient_factor: 2.0,
+                    persistent_count: 1,
+                    persistent_factor: 1.6,
+                };
+                run(&cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 9: the regret-equivalent PSSP/SSP pairs (first group), miniature.
+fn fig9_dpr_counts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_dpr_counts");
+    g.sample_size(10);
+    for (label, model) in fig9::models().into_iter().take(2) {
+        let name = label.split(':').next().unwrap_or(label).to_string();
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                let mut cfg = timing_cfg(
+                    EngineKind::FluentPs {
+                        model,
+                        policy: DprPolicy::SoftBarrier,
+                    },
+                    SlicerKind::Eps { max_chunk: 8192 },
+                    8,
+                );
+                cfg.stragglers = StragglerSpec {
+                    transient_prob: 0.05,
+                    transient_factor: 2.0,
+                    persistent_count: 1,
+                    persistent_factor: 1.6,
+                };
+                run(&cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 10/11: the sync-model sweep at one worker count.
+fn fig10_sync_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_sync_models");
+    g.sample_size(10);
+    for (label, model) in fig10::models().into_iter().take(3) {
+        let name = label.replace([' ', '='], "_");
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                run(&tiny_training_cfg(
+                    EngineKind::FluentPs {
+                        model,
+                        policy: DprPolicy::LazyExecution,
+                    },
+                    8,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Table IV: one cell per policy on the first combo.
+fn table4_grand_comparison(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_grand_comparison");
+    g.sample_size(10);
+    let combos = table4::combos(QUICK);
+    let combo = &combos[0];
+    for (label, model) in table4::sync_models(combo.s).into_iter().take(2) {
+        let name = label.replace([' ', '=', '(', ')'], "_");
+        g.bench_function(&name, |b| {
+            b.iter(|| {
+                run(&tiny_training_cfg(
+                    EngineKind::FluentPs {
+                        model,
+                        policy: DprPolicy::LazyExecution,
+                    },
+                    8,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig1_ssptable_scaling,
+    fig6_overlap_sync,
+    fig7_scalability,
+    fig8_lazy_vs_soft,
+    fig9_dpr_counts,
+    fig10_sync_models,
+    table4_grand_comparison
+);
+criterion_main!(figures);

@@ -1,0 +1,217 @@
+//! Microbenchmarks of the substrate hot paths: wire codec, server state
+//! machine, EPS slicing, DPR buffer, GEMM and the event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use fluentps_core::condition::SyncModel;
+use fluentps_core::dpr::{DeferredPull, DprBuffer, DprPolicy};
+use fluentps_core::eps::{EpsSlicer, ParamSpec, Slicer};
+use fluentps_core::server::{GradScale, ServerShard, ShardConfig};
+use fluentps_ml::linalg::matmul;
+use fluentps_simnet::event::EventQueue;
+use fluentps_transport::codec::{decode, encode};
+use fluentps_transport::{KvPairs, Message};
+
+/// Codec encode/decode throughput on a gradient-sized push.
+fn codec_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    for vals in [256usize, 16_384] {
+        let msg = Message::SPush {
+            worker: 3,
+            progress: 42,
+            kv: KvPairs::single(7, vec![0.5; vals]),
+        };
+        g.throughput(Throughput::Bytes((vals * 4) as u64));
+        g.bench_with_input(BenchmarkId::new("encode", vals), &msg, |b, msg| {
+            b.iter(|| encode(msg))
+        });
+        let bytes = encode(&msg);
+        g.bench_with_input(BenchmarkId::new("decode", vals), &bytes, |b, bytes| {
+            b.iter(|| decode(bytes.clone()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Server state machine: push+pull cycle throughput.
+fn shard_push_pull(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shard");
+    for vals in [256usize, 4096] {
+        g.throughput(Throughput::Elements(1));
+        g.bench_with_input(
+            BenchmarkId::new("push_pull_cycle", vals),
+            &vals,
+            |b, &vals| {
+                let mut shard = ServerShard::new(ShardConfig {
+                    server_id: 0,
+                    num_workers: 1,
+                    model: SyncModel::Asp,
+                    policy: DprPolicy::LazyExecution,
+                    grad_scale: GradScale::DivideByN,
+                });
+                shard.init_param(0, vec![0.0; vals]);
+                let kv = KvPairs::single(0, vec![1e-4; vals]);
+                let mut i = 0u64;
+                b.iter(|| {
+                    shard.on_push(0, i, &kv);
+                    let out = shard.on_pull(0, i, &[0], 0.5, None);
+                    i += 1;
+                    out
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// EPS slicing cost on increasingly large models.
+fn eps_slicing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eps");
+    for layers in [64usize, 512] {
+        let params: Vec<ParamSpec> = (0..layers as u64)
+            .map(|k| ParamSpec {
+                key: k,
+                len: if k == 0 { 1_000_000 } else { 10_000 },
+            })
+            .collect();
+        g.bench_with_input(BenchmarkId::new("slice", layers), &params, |b, params| {
+            let slicer = EpsSlicer { max_chunk: 16_384 };
+            b.iter(|| slicer.slice(params, 8))
+        });
+    }
+    g.finish();
+}
+
+/// DPR buffer defer/release round.
+fn dpr_buffer(c: &mut Criterion) {
+    c.bench_function("dpr_defer_release_100", |b| {
+        let model = SyncModel::Ssp { s: 2 }.into_policy();
+        b.iter(|| {
+            let mut buf = DprBuffer::new();
+            for w in 0..100u32 {
+                buf.defer(
+                    DprPolicy::LazyExecution,
+                    DeferredPull {
+                        worker: w,
+                        progress: (w % 10) as u64,
+                        keys: vec![0],
+                        deferred_at: 0,
+                    },
+                );
+            }
+            let mut out = 0;
+            for v in 1..12u64 {
+                let st = fluentps_core::condition::SyncState {
+                    v_train: v,
+                    count_at_v_train: 0,
+                    num_workers: 100,
+                    fastest: v,
+                    slowest: v,
+                };
+                out += buf.release(DprPolicy::LazyExecution, &model, &st).len();
+            }
+            out
+        })
+    });
+}
+
+/// Blocked GEMM throughput (the training hot loop).
+fn gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gemm");
+    for n in [32usize, 128] {
+        let a = vec![0.5f32; n * n];
+        let bm = vec![0.25f32; n * n];
+        let mut out = vec![0.0f32; n * n];
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
+            bch.iter(|| matmul(&a, &bm, &mut out, n, n, n))
+        });
+    }
+    g.finish();
+}
+
+/// Event queue schedule/pop churn.
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_churn_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u32 {
+                q.schedule((i % 17) as f64, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum += v as u64;
+            }
+            sum
+        })
+    });
+}
+
+/// f16 quantization throughput.
+fn quantization(c: &mut Criterion) {
+    use fluentps_transport::quant::QuantizedKv;
+    let mut g = c.benchmark_group("quant");
+    let kv = KvPairs::single(0, (0..16_384).map(|i| (i as f32 * 0.01).sin()).collect());
+    g.throughput(Throughput::Bytes((16_384 * 4) as u64));
+    g.bench_function("compress_16k", |b| b.iter(|| QuantizedKv::compress(&kv)));
+    let q = QuantizedKv::compress(&kv);
+    g.bench_function("decompress_16k", |b| b.iter(|| q.decompress()));
+    g.finish();
+}
+
+/// Significance-filter offer throughput.
+fn significance_filter(c: &mut Criterion) {
+    use fluentps_core::filter::SignificanceFilter;
+    c.bench_function("filter_offer_1k_params", |b| {
+        let mut f = SignificanceFilter::new(0.01, 16);
+        let update = vec![1e-4f32; 1024];
+        let param = vec![1.0f32; 1024];
+        b.iter(|| f.offer(0, &update, &param))
+    });
+}
+
+/// Parallel vs serial gradient computation on one batch.
+fn parallel_gradients(c: &mut Criterion) {
+    use fluentps_ml::data::{synthetic, SyntheticSpec};
+    use fluentps_ml::models::{Mlp, Model};
+    use fluentps_ml::par::parallel_loss_and_grad;
+    let spec = SyntheticSpec {
+        dim: 64,
+        classes: 10,
+        n_train: 512,
+        n_test: 16,
+        margin: 2.0,
+        modes: 1,
+        label_noise: 0.0,
+        seed: 1,
+    };
+    let (train, _) = synthetic(spec);
+    let model = Mlp {
+        dims: vec![64, 128, 10],
+    };
+    let params = model.init_params(1);
+    let batch = train.batch(&(0..256).collect::<Vec<_>>());
+    let mut g = c.benchmark_group("gradients");
+    g.sample_size(20);
+    g.bench_function("serial_256x64", |b| {
+        b.iter(|| model.loss_and_grad(&params, &batch))
+    });
+    g.bench_function("parallel4_256x64", |b| {
+        b.iter(|| parallel_loss_and_grad(&model, &params, &batch, 4))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    micro,
+    codec_roundtrip,
+    shard_push_pull,
+    eps_slicing,
+    dpr_buffer,
+    gemm,
+    event_queue,
+    quantization,
+    significance_filter,
+    parallel_gradients
+);
+criterion_main!(micro);

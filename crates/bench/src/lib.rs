@@ -1,0 +1,21 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The benches regenerate every table and figure of the paper's evaluation
+//! at miniature scale (Criterion needs each measurement to run many times),
+//! plus microbenchmarks of the substrate hot paths. The full-size
+//! reproductions live in the `repro` binary (`cargo run --release -p
+//! fluentps-experiments --bin repro -- all`).
+
+use fluentps_core::eps::ParamSpec;
+
+/// A small skewed inventory for timing benches.
+pub fn bench_inventory() -> Vec<ParamSpec> {
+    let mut v = vec![ParamSpec {
+        key: 0,
+        len: 50_000,
+    }];
+    for k in 1..16 {
+        v.push(ParamSpec { key: k, len: 2_000 });
+    }
+    v
+}

@@ -1,0 +1,183 @@
+//! PS-Lite-style centralized scheduler with non-overlap synchronization.
+//!
+//! In PS-Lite's synchronized-SGD recipe, one scheduler records the progress
+//! of every worker and applies a single synchronization model to the whole
+//! task. The consequence the paper attacks (Section III-D, Figure 5a): the
+//! scheduler behaves like a global barrier across *all* parameter shards —
+//! pull requests are withheld until the slowest worker has pushed to every
+//! server, so the push of shard A never overlaps the pull of shard B.
+
+/// Synchronization models PS-Lite supports (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsLiteMode {
+    /// Full barrier per iteration.
+    Bsp,
+    /// No barrier.
+    Asp,
+    /// Bounded delay: a worker may run at most `delay` iterations past the
+    /// slowest one.
+    BoundedDelay(u64),
+}
+
+/// The centralized progress tracker.
+#[derive(Debug, Clone)]
+pub struct PsLiteScheduler {
+    mode: PsLiteMode,
+    /// Iterations each worker has *completed* (pushed to all servers),
+    /// encoded as "next iteration to run"; starts at 0.
+    completed: Vec<u64>,
+    /// Workers blocked at the barrier, by the iteration they wait to pull.
+    waiting: Vec<Option<u64>>,
+    barrier_count: u64,
+}
+
+impl PsLiteScheduler {
+    /// Scheduler for `num_workers` workers under `mode`.
+    pub fn new(num_workers: u32, mode: PsLiteMode) -> Self {
+        PsLiteScheduler {
+            mode,
+            completed: vec![0; num_workers as usize],
+            waiting: vec![None; num_workers as usize],
+            barrier_count: 0,
+        }
+    }
+
+    /// Record that `worker` has finished pushing iteration `iter` to every
+    /// server. Returns the workers whose barrier is now released (they may
+    /// send their pull requests).
+    pub fn report_push_complete(&mut self, worker: u32, iter: u64) -> Vec<u32> {
+        let slot = &mut self.completed[worker as usize];
+        debug_assert_eq!(*slot, iter, "workers report in order");
+        *slot = iter + 1;
+        // Re-examine every waiting worker against the new global state.
+        let mut released = Vec::new();
+        for w in 0..self.waiting.len() {
+            if let Some(want) = self.waiting[w] {
+                if self.pull_admitted(want) {
+                    self.waiting[w] = None;
+                    released.push(w as u32);
+                }
+            }
+        }
+        released
+    }
+
+    /// May a worker that just completed iteration `iter` send its pulls now?
+    /// If not, it is parked at the scheduler barrier until
+    /// [`PsLiteScheduler::report_push_complete`] releases it.
+    pub fn request_pull(&mut self, worker: u32, iter: u64) -> bool {
+        if self.pull_admitted(iter) {
+            true
+        } else {
+            self.waiting[worker as usize] = Some(iter);
+            self.barrier_count += 1;
+            false
+        }
+    }
+
+    fn pull_admitted(&self, iter: u64) -> bool {
+        let min = self.min_completed();
+        match self.mode {
+            // BSP: everyone must have completed this iteration.
+            PsLiteMode::Bsp => min > iter,
+            PsLiteMode::Asp => true,
+            // Bounded delay: the slowest worker is at most `d` behind.
+            PsLiteMode::BoundedDelay(d) => min + d > iter,
+        }
+    }
+
+    /// Iterations completed by the slowest worker.
+    pub fn min_completed(&self) -> u64 {
+        self.completed.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Iterations completed by the fastest worker.
+    pub fn max_completed(&self) -> u64 {
+        self.completed.iter().copied().max().unwrap_or(0)
+    }
+
+    /// How many times a worker hit the global barrier.
+    pub fn barrier_count(&self) -> u64 {
+        self.barrier_count
+    }
+
+    /// Workers currently parked at the barrier.
+    pub fn waiting_workers(&self) -> Vec<u32> {
+        self.waiting
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.is_some())
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bsp_barrier_holds_until_everyone_pushed() {
+        let mut s = PsLiteScheduler::new(3, PsLiteMode::Bsp);
+        assert!(s.report_push_complete(0, 0).is_empty());
+        // Worker 0 wants to pull for iteration 0; slowest hasn't finished.
+        assert!(!s.request_pull(0, 0));
+        assert!(s.report_push_complete(1, 0).is_empty());
+        // The last worker's push releases the parked worker.
+        let released = s.report_push_complete(2, 0);
+        assert_eq!(released, vec![0]);
+        // And a worker asking afterwards passes immediately.
+        assert!(s.request_pull(1, 0));
+        assert_eq!(s.barrier_count(), 1);
+    }
+
+    #[test]
+    fn asp_never_parks() {
+        let mut s = PsLiteScheduler::new(4, PsLiteMode::Asp);
+        s.report_push_complete(0, 0);
+        assert!(s.request_pull(0, 0));
+        // Even far ahead.
+        for i in 1..10 {
+            s.report_push_complete(0, i);
+            assert!(s.request_pull(0, i));
+        }
+        assert_eq!(s.barrier_count(), 0);
+    }
+
+    #[test]
+    fn bounded_delay_allows_gap_up_to_d() {
+        let mut s = PsLiteScheduler::new(2, PsLiteMode::BoundedDelay(2));
+        // Worker 0 races: completes 0, 1, 2 while worker 1 sits at 0.
+        s.report_push_complete(0, 0);
+        assert!(s.request_pull(0, 0)); // gap 1 ≤ 2? min=0, 0+2>0 ✓
+        s.report_push_complete(0, 1);
+        assert!(s.request_pull(0, 1)); // 0+2>1 ✓
+        s.report_push_complete(0, 2);
+        assert!(!s.request_pull(0, 2)); // 0+2>2 ✗ → parked
+        let released = s.report_push_complete(1, 0);
+        assert_eq!(released, vec![0]); // min=1, 1+2>2 ✓
+    }
+
+    #[test]
+    fn multiple_workers_released_together() {
+        let mut s = PsLiteScheduler::new(3, PsLiteMode::Bsp);
+        s.report_push_complete(0, 0);
+        s.report_push_complete(1, 0);
+        assert!(!s.request_pull(0, 0));
+        assert!(!s.request_pull(1, 0));
+        assert_eq!(s.waiting_workers(), vec![0, 1]);
+        let released = s.report_push_complete(2, 0);
+        assert_eq!(released, vec![0, 1]);
+        assert!(s.waiting_workers().is_empty());
+    }
+
+    #[test]
+    fn min_max_track_progress() {
+        let mut s = PsLiteScheduler::new(2, PsLiteMode::Asp);
+        s.report_push_complete(0, 0);
+        s.report_push_complete(0, 1);
+        s.report_push_complete(1, 0);
+        assert_eq!(s.min_completed(), 1);
+        assert_eq!(s.max_completed(), 2);
+    }
+}

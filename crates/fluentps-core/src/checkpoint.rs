@@ -1,0 +1,191 @@
+//! Shard checkpointing: serialize a shard's parameters and training
+//! progress so a replacement server can resume after a failure (the
+//! fault-tolerance half of elasticity — EPS moves the *placement*, the
+//! checkpoint moves the *state*).
+//!
+//! Format: a small header (version, v_train, entry count) followed by the
+//! parameters as one codec-encoded `KvPairs`. Synchronization state other
+//! than `V_train` (the DPR buffer, per-iteration counts) is deliberately
+//! not checkpointed: buffered pulls belong to connections that died with
+//! the old server; workers re-issue them on reconnect.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use fluentps_transport::codec;
+use fluentps_transport::error::DecodeError;
+use fluentps_transport::{KvPairs, Message};
+
+use crate::server::ServerShard;
+
+/// Version byte of the checkpoint format.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+/// A serializable snapshot of a shard's durable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Overall training progress at snapshot time.
+    pub v_train: u64,
+    /// All parameters of the shard.
+    pub params: KvPairs,
+}
+
+impl ShardCheckpoint {
+    /// Capture a shard's durable state.
+    pub fn capture(shard: &ServerShard, keys: &[u64]) -> Self {
+        let mut params = KvPairs::default();
+        for &key in keys {
+            if let Some(vals) = shard.read_param(key) {
+                params.keys.push(key);
+                params.lens.push(vals.len() as u32);
+                params.vals.extend_from_slice(vals);
+            }
+        }
+        ShardCheckpoint {
+            v_train: shard.v_train(),
+            params,
+        }
+    }
+
+    /// Serialize to bytes (reuses the wire codec for the payload).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.params.payload_bytes() + 32);
+        buf.put_u8(CHECKPOINT_VERSION);
+        buf.put_u64_le(self.v_train);
+        // Wrap the params in a PullResponse so the existing codec carries
+        // them; progress/server fields are unused here.
+        codec::encode_into(
+            &Message::PullResponse {
+                server: 0,
+                progress: 0,
+                version: self.v_train,
+                kv: self.params.clone(),
+            },
+            &mut buf,
+        );
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(mut bytes: Bytes) -> Result<Self, DecodeError> {
+        if bytes.remaining() < 9 {
+            return Err(DecodeError::Truncated {
+                needed: 9,
+                available: bytes.remaining(),
+            });
+        }
+        let version = bytes.get_u8();
+        if version != CHECKPOINT_VERSION {
+            return Err(DecodeError::VersionMismatch {
+                expected: CHECKPOINT_VERSION,
+                found: version,
+            });
+        }
+        let v_train = bytes.get_u64_le();
+        match codec::decode(bytes)? {
+            Message::PullResponse { kv, .. } => Ok(ShardCheckpoint {
+                v_train,
+                params: kv,
+            }),
+            _ => Err(DecodeError::UnknownTag(0xFF)),
+        }
+    }
+
+    /// Restore this snapshot into a fresh shard: installs every parameter
+    /// and fast-forwards `V_train` by replaying synthetic empty iterations.
+    pub fn restore_into(&self, shard: &mut ServerShard) {
+        for (key, vals) in self.params.iter() {
+            shard.init_param(key, vals.to_vec());
+        }
+        shard.fast_forward(self.v_train);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::SyncModel;
+    use crate::dpr::DprPolicy;
+    use crate::server::{GradScale, PullOutcome, ShardConfig};
+
+    fn trained_shard() -> (ServerShard, Vec<u64>) {
+        let mut shard = ServerShard::new(ShardConfig {
+            server_id: 0,
+            num_workers: 2,
+            model: SyncModel::Ssp { s: 1 },
+            policy: DprPolicy::LazyExecution,
+            grad_scale: GradScale::DivideByN,
+        });
+        shard.init_param(0, vec![0.0; 4]);
+        shard.init_param(1, vec![0.0; 2]);
+        for i in 0..3u64 {
+            for w in 0..2 {
+                shard.on_push(w, i, &KvPairs::single(0, vec![1.0; 4]));
+                shard.on_push(w, i, &KvPairs::single(1, vec![2.0; 2]));
+            }
+        }
+        (shard, vec![0, 1])
+    }
+
+    #[test]
+    fn capture_roundtrips_through_bytes() {
+        let (shard, keys) = trained_shard();
+        let cp = ShardCheckpoint::capture(&shard, &keys);
+        let bytes = cp.to_bytes();
+        let back = ShardCheckpoint::from_bytes(bytes).expect("decode");
+        assert_eq!(back, cp);
+        assert_eq!(back.v_train, 3);
+        assert!(back.params.is_consistent());
+    }
+
+    #[test]
+    fn restore_resumes_training_where_it_left_off() {
+        let (shard, keys) = trained_shard();
+        let cp = ShardCheckpoint::capture(&shard, &keys);
+
+        let mut fresh = ServerShard::new(ShardConfig {
+            server_id: 1,
+            num_workers: 2,
+            model: SyncModel::Ssp { s: 1 },
+            policy: DprPolicy::LazyExecution,
+            grad_scale: GradScale::DivideByN,
+        });
+        cp.restore_into(&mut fresh);
+        assert_eq!(fresh.v_train(), 3);
+        assert_eq!(fresh.read_param(0), shard.read_param(0));
+        assert_eq!(fresh.read_param(1), shard.read_param(1));
+
+        // Training continues: a pull within the bound answers with the
+        // restored parameters; the staleness bound is relative to the
+        // restored V_train.
+        match fresh.on_pull(0, 3, &[0], 0.5, None) {
+            PullOutcome::Respond { kv, version } => {
+                assert_eq!(version, 3);
+                assert_eq!(kv.vals, vec![3.0; 4]);
+            }
+            PullOutcome::Deferred => panic!("pull within bound after restore"),
+        }
+        // A pull far past the bound is still deferred (sync state intact).
+        assert_eq!(fresh.on_pull(0, 10, &[0], 0.5, None), PullOutcome::Deferred);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_rejected() {
+        let (shard, keys) = trained_shard();
+        let bytes = ShardCheckpoint::capture(&shard, &keys).to_bytes();
+        // Wrong version byte.
+        let mut v = bytes.to_vec();
+        v[0] = 9;
+        assert!(ShardCheckpoint::from_bytes(Bytes::from(v)).is_err());
+        // Truncated payload.
+        assert!(ShardCheckpoint::from_bytes(bytes.slice(0..bytes.len() - 3)).is_err());
+        // Empty.
+        assert!(ShardCheckpoint::from_bytes(Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn capture_skips_unknown_keys() {
+        let (shard, _) = trained_shard();
+        let cp = ShardCheckpoint::capture(&shard, &[0, 99]);
+        assert_eq!(cp.params.keys, vec![0]);
+    }
+}

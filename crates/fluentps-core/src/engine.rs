@@ -1,0 +1,346 @@
+//! Threaded in-process runtime: one thread per server shard, worker clients
+//! on the caller's threads.
+//!
+//! Overlap synchronization (Section III-D) is not a special code path — it
+//! *falls out* of this architecture: every server answers pulls for its own
+//! shard the moment its own push condition fires, so the push of one shard
+//! overlaps the pulls of another. The non-overlap behaviour of PS-Lite (a
+//! scheduler-level global barrier across all shards) is implemented in
+//! `fluentps-baseline` for comparison.
+
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fluentps_transport::inproc::{Endpoint, Fabric, InprocPostman};
+use fluentps_transport::{Mailbox, Message, NodeId, Postman};
+
+use crate::dpr::DprPolicy;
+use crate::eps::SliceMap;
+use crate::server::{GradScale, PullOutcome, ServerShard, ShardConfig};
+use crate::stats::ShardStats;
+use crate::worker::{Router, WorkerClient};
+use crate::SyncModel;
+
+/// Configuration of an in-process cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Number of workers (`N`).
+    pub num_workers: u32,
+    /// Number of servers (`M`).
+    pub num_servers: u32,
+    /// Synchronization model applied on every shard. (Per-shard models are
+    /// possible through [`Cluster::launch_heterogeneous`].)
+    pub model: SyncModel,
+    /// DPR execution policy.
+    pub policy: DprPolicy,
+    /// Gradient aggregation rule.
+    pub grad_scale: GradScale,
+    /// Seed for the servers' probability draws (PSSP); each server derives
+    /// its own stream.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            num_workers: 1,
+            num_servers: 1,
+            model: SyncModel::Bsp,
+            policy: DprPolicy::LazyExecution,
+            grad_scale: GradScale::DivideByN,
+            seed: 0,
+        }
+    }
+}
+
+/// Handle to a running in-process cluster.
+pub struct Cluster {
+    fabric: Fabric,
+    servers: Vec<JoinHandle<ShardStats>>,
+    num_servers: u32,
+}
+
+/// The worker client type served by the in-process engine.
+pub type InprocWorker = WorkerClient<InprocPostman, Endpoint>;
+
+impl Cluster {
+    /// Launch servers and build one [`WorkerClient`] per worker. `init` maps
+    /// original parameter keys to initial values (`w_0`); `map` decides the
+    /// placement.
+    pub fn launch(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+    ) -> (Cluster, Vec<InprocWorker>) {
+        let models = vec![cfg.model; cfg.num_servers as usize];
+        Self::launch_heterogeneous(cfg, models, map, init)
+    }
+
+    /// Like [`Cluster::launch`] but with a per-server synchronization model —
+    /// the paper's headline flexibility: "each parameter server can choose
+    /// the adaptive synchronization model to update its parameter shard".
+    pub fn launch_heterogeneous(
+        cfg: EngineConfig,
+        models: Vec<SyncModel>,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+    ) -> (Cluster, Vec<InprocWorker>) {
+        assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
+        assert_eq!(models.len(), cfg.num_servers as usize);
+        let fabric = Fabric::new();
+
+        // Register workers first so servers can respond from the start.
+        let mut worker_endpoints = Vec::with_capacity(cfg.num_workers as usize);
+        for n in 0..cfg.num_workers {
+            worker_endpoints.push(fabric.register(NodeId::Worker(n)));
+        }
+
+        let mut servers = Vec::with_capacity(cfg.num_servers as usize);
+        for m in 0..cfg.num_servers {
+            let endpoint = fabric.register(NodeId::Server(m));
+            let mut shard = ServerShard::new(ShardConfig {
+                server_id: m,
+                num_workers: cfg.num_workers,
+                model: models[m as usize],
+                policy: cfg.policy,
+                grad_scale: cfg.grad_scale,
+            });
+            for p in map.placements().iter().filter(|p| p.server == m) {
+                let vals = init
+                    .get(&p.orig_key)
+                    .map(|v| v[p.offset..p.offset + p.len].to_vec())
+                    .unwrap_or_else(|| vec![0.0; p.len]);
+                shard.init_param(p.new_key, vals);
+            }
+            let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
+            let handle = std::thread::Builder::new()
+                .name(format!("fluentps-server-{m}"))
+                .spawn(move || server_loop(shard, endpoint, rng))
+                .expect("spawn server thread");
+            servers.push(handle);
+        }
+
+        let router = Router::new(map);
+        let workers = worker_endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(n, ep)| {
+                let postman = ep.postman();
+                WorkerClient::new(n as u32, postman, ep, router.clone())
+            })
+            .collect();
+
+        (
+            Cluster {
+                fabric,
+                servers,
+                num_servers: cfg.num_servers,
+            },
+            workers,
+        )
+    }
+
+    /// Send shutdown to every server, join their threads and return their
+    /// per-shard statistics (index = server id).
+    pub fn shutdown(self) -> Vec<ShardStats> {
+        // A synthetic scheduler identity delivers the shutdown.
+        let ctl = self.fabric.register(NodeId::Scheduler);
+        for m in 0..self.num_servers {
+            // Ignore failures: the server may already be gone.
+            let _ = ctl.postman().send(NodeId::Server(m), Message::Shutdown);
+        }
+        self.servers
+            .into_iter()
+            .map(|h| h.join().expect("server thread panicked"))
+            .collect()
+    }
+}
+
+fn server_loop(mut shard: ServerShard, endpoint: Endpoint, mut rng: StdRng) -> ShardStats {
+    let postman = endpoint.postman();
+    let server_id = shard.config().server_id;
+    while let Ok((_, msg)) = endpoint.recv() {
+        match msg {
+            Message::SPush {
+                worker,
+                progress,
+                kv,
+            } => {
+                let released = shard.on_push(worker, progress, &kv);
+                let _ = postman.send(
+                    NodeId::Worker(worker),
+                    Message::PushAck {
+                        server: server_id,
+                        progress,
+                    },
+                );
+                for r in released {
+                    let _ = postman.send(
+                        NodeId::Worker(r.worker),
+                        Message::PullResponse {
+                            server: server_id,
+                            progress: r.progress,
+                            kv: r.kv,
+                            version: r.version,
+                        },
+                    );
+                }
+            }
+            Message::SPull {
+                worker,
+                progress,
+                keys,
+            } => {
+                let draw: f64 = rng.gen();
+                match shard.on_pull(worker, progress, &keys, draw, None) {
+                    PullOutcome::Respond { kv, version } => {
+                        let _ = postman.send(
+                            NodeId::Worker(worker),
+                            Message::PullResponse {
+                                server: server_id,
+                                progress,
+                                kv,
+                                version,
+                            },
+                        );
+                    }
+                    PullOutcome::Deferred => {}
+                }
+            }
+            Message::Shutdown => {
+                for r in shard.drain_shutdown() {
+                    let _ = postman.send(
+                        NodeId::Worker(r.worker),
+                        Message::PullResponse {
+                            server: server_id,
+                            progress: r.progress,
+                            kv: r.kv,
+                            version: r.version,
+                        },
+                    );
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    shard.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eps::{EpsSlicer, ParamSpec, Slicer};
+
+    fn model_params() -> (Vec<ParamSpec>, HashMap<u64, Vec<f32>>) {
+        let specs = vec![ParamSpec { key: 0, len: 8 }, ParamSpec { key: 1, len: 4 }];
+        let mut init = HashMap::new();
+        init.insert(0, vec![0.0; 8]);
+        init.insert(1, vec![0.0; 4]);
+        (specs, init)
+    }
+
+    #[test]
+    fn bsp_cluster_runs_lockstep_iterations() {
+        let (specs, init) = model_params();
+        let map = EpsSlicer { max_chunk: 4 }.slice(&specs, 2);
+        let cfg = EngineConfig {
+            num_workers: 2,
+            num_servers: 2,
+            model: SyncModel::Bsp,
+            ..EngineConfig::default()
+        };
+        let (cluster, mut workers) = Cluster::launch(cfg, map, &init);
+
+        let mut grads = HashMap::new();
+        grads.insert(0u64, vec![1.0f32; 8]);
+        grads.insert(1u64, vec![2.0f32; 4]);
+
+        // Run both workers in lockstep from two threads (BSP requires it).
+        let handles: Vec<_> = workers
+            .drain(..)
+            .map(|mut w| {
+                let grads = grads.clone();
+                std::thread::spawn(move || {
+                    let mut params = HashMap::new();
+                    for i in 0..3u64 {
+                        w.spush(i, &grads).unwrap();
+                        let report = w.spull_wait(i, &mut params).unwrap();
+                        assert_eq!(report.responses, 2);
+                        assert!(report.min_version > i);
+                    }
+                    params
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // After 3 iterations with 2 workers pushing 1.0 each: w = 3·(2·1/2) = 3.
+        for params in &results {
+            assert_eq!(params[&0], vec![3.0; 8]);
+            assert_eq!(params[&1], vec![6.0; 4]);
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.len(), 2);
+        let total_pushes: u64 = stats.iter().map(|s| s.pushes).sum();
+        assert_eq!(total_pushes, 2 * 3 * 2); // 2 workers × 3 iters × 2 servers
+    }
+
+    #[test]
+    fn heterogeneous_models_per_server() {
+        let (specs, init) = model_params();
+        let map = EpsSlicer { max_chunk: 4 }.slice(&specs, 2);
+        let cfg = EngineConfig {
+            num_workers: 1,
+            num_servers: 2,
+            ..EngineConfig::default()
+        };
+        let (cluster, mut workers) = Cluster::launch_heterogeneous(
+            cfg,
+            vec![SyncModel::Asp, SyncModel::Ssp { s: 5 }],
+            map,
+            &init,
+        );
+        let mut w = workers.pop().unwrap();
+        let grads: HashMap<u64, Vec<f32>> =
+            [(0u64, vec![0.5f32; 8]), (1u64, vec![0.5f32; 4])].into();
+        let mut params = HashMap::new();
+        for i in 0..4u64 {
+            w.spush(i, &grads).unwrap();
+            w.spull_wait(i, &mut params).unwrap();
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn shutdown_releases_blocked_workers() {
+        let (specs, init) = model_params();
+        let map = EpsSlicer { max_chunk: 4 }.slice(&specs, 1);
+        let cfg = EngineConfig {
+            num_workers: 2,
+            num_servers: 1,
+            model: SyncModel::Bsp,
+            ..EngineConfig::default()
+        };
+        let (cluster, mut workers) = Cluster::launch(cfg, map, &init);
+        let mut w0 = workers.remove(0);
+        // Worker 0 pushes and pulls; worker 1 never shows up → the pull is
+        // parked as a DPR. Shutdown must flush it so the thread unblocks.
+        let blocked = std::thread::spawn(move || {
+            let grads: HashMap<u64, Vec<f32>> =
+                [(0u64, vec![1.0f32; 8]), (1u64, vec![1.0f32; 4])].into();
+            w0.spush(0, &grads).unwrap();
+            let mut params = HashMap::new();
+            w0.spull_wait(0, &mut params).unwrap();
+        });
+        // Give the pull time to get parked, then shut down.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let stats = cluster.shutdown();
+        blocked.join().unwrap();
+        assert_eq!(stats[0].dprs, 1);
+        assert_eq!(stats[0].dprs_released, 1);
+    }
+}

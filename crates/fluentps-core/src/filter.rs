@@ -1,0 +1,219 @@
+//! Gaia-style significance filtering (Hsieh et al., NSDI'17), the mechanism
+//! the paper borrows for dynamic PSSP's `α = SF(g, w)` and discusses as the
+//! complementary communication reducer: "over 95% of updates produce
+//! insignificant gradients ... these gradients generated from several
+//! iterations can be aggregated" before being synchronized.
+//!
+//! [`SignificanceFilter`] lives on the worker: each iteration's update is
+//! folded into a local accumulator; only when the accumulated update's
+//! significance `‖acc‖/‖w‖` crosses the threshold (or a staleness cap
+//! forces it) is the accumulator flushed as one push. The ablation harness
+//! (`repro ablation-filter`) measures the bytes saved against the accuracy
+//! cost.
+
+use std::collections::HashMap;
+
+/// Per-key significance filter state.
+///
+/// ```
+/// use fluentps_core::filter::{FilterDecision, SignificanceFilter};
+/// let mut f = SignificanceFilter::new(0.5, 100);
+/// let param = vec![1.0f32; 4];
+/// // Tiny update: held locally.
+/// assert_eq!(f.offer(0, &[0.1, 0.0, 0.0, 0.0], &param), FilterDecision::Hold);
+/// // A big one flushes the accumulator in one push.
+/// match f.offer(0, &[1.0, 0.0, 0.0, 0.0], &param) {
+///     FilterDecision::Push(u) => assert!((u[0] - 1.1).abs() < 1e-6),
+///     FilterDecision::Hold => unreachable!(),
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SignificanceFilter {
+    /// Minimum `‖accumulated‖ / ‖param‖` to trigger a push.
+    threshold: f64,
+    /// Force a flush after this many suppressed iterations, bounding the
+    /// age of withheld gradients (Gaia's correctness condition).
+    max_hold: u32,
+    acc: HashMap<u64, Vec<f32>>,
+    held: HashMap<u64, u32>,
+    /// Pushes suppressed so far (for reporting).
+    pub suppressed: u64,
+    /// Pushes emitted so far.
+    pub emitted: u64,
+}
+
+/// What to do with this iteration's update for one key.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterDecision {
+    /// Push the returned (accumulated) update now and reset the accumulator.
+    Push(Vec<f32>),
+    /// Keep accumulating locally; nothing goes on the wire.
+    Hold,
+}
+
+impl SignificanceFilter {
+    /// Filter with a significance `threshold` and a `max_hold` staleness cap
+    /// (in iterations). `threshold = 0` pushes every iteration (filter off).
+    pub fn new(threshold: f64, max_hold: u32) -> Self {
+        assert!(threshold >= 0.0 && max_hold >= 1);
+        SignificanceFilter {
+            threshold,
+            max_hold,
+            acc: HashMap::new(),
+            held: HashMap::new(),
+            suppressed: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Offer one key's update for this iteration; `param` is the worker's
+    /// current view of the parameter (used for the significance test).
+    pub fn offer(&mut self, key: u64, update: &[f32], param: &[f32]) -> FilterDecision {
+        let acc = self
+            .acc
+            .entry(key)
+            .or_insert_with(|| vec![0.0; update.len()]);
+        if acc.is_empty() {
+            // A previous push or flush drained the accumulator.
+            acc.resize(update.len(), 0.0);
+        }
+        debug_assert_eq!(acc.len(), update.len(), "update shape changed");
+        for (a, u) in acc.iter_mut().zip(update) {
+            *a += u;
+        }
+        let held = self.held.entry(key).or_insert(0);
+        *held += 1;
+
+        let sig = crate::pssp::significance(acc, param);
+        if sig >= self.threshold || *held >= self.max_hold {
+            let out = std::mem::take(acc);
+            *held = 0;
+            self.emitted += 1;
+            FilterDecision::Push(out)
+        } else {
+            self.suppressed += 1;
+            FilterDecision::Hold
+        }
+    }
+
+    /// Flush every accumulator unconditionally (end of training, or before
+    /// an evaluation that must see all local updates).
+    pub fn flush_all(&mut self) -> Vec<(u64, Vec<f32>)> {
+        let mut out: Vec<(u64, Vec<f32>)> = self
+            .acc
+            .iter_mut()
+            .filter(|(_, v)| v.iter().any(|&x| x != 0.0))
+            .map(|(&k, v)| (k, std::mem::take(v)))
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        self.held.clear();
+        self.emitted += out.len() as u64;
+        out
+    }
+
+    /// Fraction of offers that were suppressed.
+    pub fn suppression_rate(&self) -> f64 {
+        let total = self.suppressed + self.emitted;
+        if total == 0 {
+            0.0
+        } else {
+            self.suppressed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn significant_updates_push_immediately() {
+        let mut f = SignificanceFilter::new(0.01, 100);
+        let param = vec![1.0f32; 4];
+        // ‖update‖/‖param‖ = 0.5 ≥ 0.01 → push.
+        match f.offer(0, &[1.0, 0.0, 0.0, 0.0], &param) {
+            FilterDecision::Push(u) => assert_eq!(u, vec![1.0, 0.0, 0.0, 0.0]),
+            FilterDecision::Hold => panic!("should push"),
+        }
+        assert_eq!(f.emitted, 1);
+        assert_eq!(f.suppressed, 0);
+    }
+
+    #[test]
+    fn insignificant_updates_accumulate_until_significant() {
+        let mut f = SignificanceFilter::new(0.01, 100);
+        let param = vec![100.0f32; 4]; // ‖w‖ = 200
+        let tiny = vec![0.5f32, 0.0, 0.0, 0.0]; // sig per offer = 0.0025
+        // Four tiny updates accumulate to sig 0.01 → fourth one pushes.
+        for i in 0..3 {
+            assert_eq!(f.offer(0, &tiny, &param), FilterDecision::Hold, "offer {i}");
+        }
+        match f.offer(0, &tiny, &param) {
+            FilterDecision::Push(u) => assert_eq!(u[0], 2.0), // 4 × 0.5 preserved
+            FilterDecision::Hold => panic!("accumulated enough"),
+        }
+        assert_eq!(f.suppressed, 3);
+    }
+
+    #[test]
+    fn max_hold_bounds_withheld_staleness() {
+        let mut f = SignificanceFilter::new(1e9, 3); // threshold unreachable
+        let param = vec![1.0f32];
+        assert_eq!(f.offer(0, &[1e-6], &param), FilterDecision::Hold);
+        assert_eq!(f.offer(0, &[1e-6], &param), FilterDecision::Hold);
+        // Third offer hits max_hold → forced flush with all three folded in.
+        match f.offer(0, &[1e-6], &param) {
+            FilterDecision::Push(u) => assert!((u[0] - 3e-6).abs() < 1e-12),
+            FilterDecision::Hold => panic!("max_hold must force a push"),
+        }
+    }
+
+    #[test]
+    fn nothing_is_lost_across_hold_and_flush() {
+        let mut f = SignificanceFilter::new(1e9, 1000);
+        let param = vec![1.0f32; 2];
+        let mut total = [0.0f32; 2];
+        for i in 0..10 {
+            let u = [0.1 * i as f32, 0.2];
+            total[0] += u[0];
+            total[1] += u[1];
+            assert_eq!(f.offer(7, &u, &param), FilterDecision::Hold);
+        }
+        let flushed = f.flush_all();
+        assert_eq!(flushed.len(), 1);
+        let (k, v) = &flushed[0];
+        assert_eq!(*k, 7);
+        assert!((v[0] - total[0]).abs() < 1e-5);
+        assert!((v[1] - total[1]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn zero_threshold_disables_filtering() {
+        let mut f = SignificanceFilter::new(0.0, 100);
+        let param = vec![1.0f32];
+        for _ in 0..5 {
+            assert!(matches!(f.offer(0, &[0.0], &param), FilterDecision::Push(_)));
+        }
+        assert_eq!(f.suppression_rate(), 0.0);
+    }
+
+    #[test]
+    fn suppression_rate_reflects_traffic_saved() {
+        let mut f = SignificanceFilter::new(0.5, 10);
+        let param = vec![10.0f32; 4];
+        for _ in 0..9 {
+            let _ = f.offer(0, &[0.1, 0.0, 0.0, 0.0], &param);
+        }
+        assert!(f.suppression_rate() > 0.8, "rate {}", f.suppression_rate());
+    }
+
+    #[test]
+    fn independent_keys_have_independent_accumulators() {
+        let mut f = SignificanceFilter::new(0.4, 100);
+        let param = vec![1.0f32];
+        assert_eq!(f.offer(0, &[0.1], &param), FilterDecision::Hold);
+        // Key 1 is significant on its own; key 0's accumulator is untouched.
+        assert!(matches!(f.offer(1, &[0.9], &param), FilterDecision::Push(_)));
+        assert_eq!(f.offer(0, &[0.1], &param), FilterDecision::Hold);
+    }
+}

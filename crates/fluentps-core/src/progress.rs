@@ -1,0 +1,151 @@
+//! Worker-progress bookkeeping on a server shard.
+//!
+//! FluentPS distributes progress tracking: each worker reports its iteration
+//! with every `sPush`/`sPull`, and each server maintains its own view for its
+//! shard — there is no centralized consistent staleness table (that is the
+//! SSPtable design whose scalability collapse motivates the paper, Fig. 1).
+
+use std::collections::HashMap;
+
+/// Per-shard view of worker progress plus the `Count[i]` push table of
+/// Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct ProgressTable {
+    /// Latest progress reported by each worker (push or pull). `None` until
+    /// the worker is first heard from.
+    progress: Vec<Option<u64>>,
+    /// `Count[i]`: number of workers that finished pushing gradients in
+    /// iteration `i`. Entries below `V_train` are pruned as `V_train`
+    /// advances, keeping the map O(staleness window).
+    count: HashMap<u64, u32>,
+}
+
+impl ProgressTable {
+    /// Table for `num_workers` workers, all unheard-from.
+    pub fn new(num_workers: u32) -> Self {
+        ProgressTable {
+            progress: vec![None; num_workers as usize],
+            count: HashMap::new(),
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn num_workers(&self) -> u32 {
+        self.progress.len() as u32
+    }
+
+    /// Record that `worker` reported `progress` (monotone per worker; stale
+    /// reports are ignored so message reordering cannot move progress back).
+    pub fn observe(&mut self, worker: u32, progress: u64) {
+        let slot = &mut self.progress[worker as usize];
+        match slot {
+            Some(p) if *p >= progress => {}
+            _ => *slot = Some(progress),
+        }
+    }
+
+    /// Record a completed push for iteration `i`, returning the new count.
+    pub fn record_push(&mut self, i: u64) -> u32 {
+        let c = self.count.entry(i).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// `Count[i]` — pushes seen for iteration `i`.
+    pub fn count_at(&self, i: u64) -> u32 {
+        self.count.get(&i).copied().unwrap_or(0)
+    }
+
+    /// Drop count entries for iterations strictly below `v_train`; they can
+    /// never satisfy a push condition again.
+    pub fn prune_below(&mut self, v_train: u64) {
+        self.count.retain(|&i, _| i >= v_train);
+    }
+
+    /// Progress of the slowest worker heard from so far (`None` when nobody
+    /// has reported yet).
+    pub fn slowest(&self) -> Option<u64> {
+        self.progress.iter().filter_map(|p| *p).min()
+    }
+
+    /// Progress of the fastest worker heard from so far.
+    pub fn fastest(&self) -> Option<u64> {
+        self.progress.iter().filter_map(|p| *p).max()
+    }
+
+    /// Progress of a specific worker.
+    pub fn of(&self, worker: u32) -> Option<u64> {
+        self.progress[worker as usize]
+    }
+
+    /// Slowest progress with never-heard-from workers counted at 0 — the
+    /// right notion for staleness decisions: a worker that has not reported
+    /// yet has completed nothing.
+    pub fn slowest_including_silent(&self) -> u64 {
+        if self.progress.iter().any(|p| p.is_none()) {
+            0
+        } else {
+            self.slowest().unwrap_or(0)
+        }
+    }
+
+    /// Spread between fastest and slowest reported progress, 0 when fewer
+    /// than two workers have reported.
+    pub fn spread(&self) -> u64 {
+        match (self.fastest(), self.slowest()) {
+            (Some(f), Some(s)) => f - s,
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_is_monotone_per_worker() {
+        let mut t = ProgressTable::new(2);
+        t.observe(0, 5);
+        t.observe(0, 3); // stale report ignored
+        assert_eq!(t.of(0), Some(5));
+        t.observe(0, 6);
+        assert_eq!(t.of(0), Some(6));
+    }
+
+    #[test]
+    fn slowest_fastest_spread() {
+        let mut t = ProgressTable::new(3);
+        assert_eq!(t.slowest(), None);
+        assert_eq!(t.spread(), 0);
+        t.observe(0, 10);
+        assert_eq!(t.spread(), 0);
+        t.observe(1, 4);
+        t.observe(2, 7);
+        assert_eq!(t.slowest(), Some(4));
+        assert_eq!(t.fastest(), Some(10));
+        assert_eq!(t.spread(), 6);
+    }
+
+    #[test]
+    fn slowest_including_silent_counts_unheard_workers_as_zero() {
+        let mut t = ProgressTable::new(2);
+        assert_eq!(t.slowest_including_silent(), 0);
+        t.observe(0, 9);
+        assert_eq!(t.slowest_including_silent(), 0, "worker 1 silent");
+        t.observe(1, 4);
+        assert_eq!(t.slowest_including_silent(), 4);
+    }
+
+    #[test]
+    fn count_tracks_pushes_and_prunes() {
+        let mut t = ProgressTable::new(4);
+        assert_eq!(t.record_push(0), 1);
+        assert_eq!(t.record_push(0), 2);
+        assert_eq!(t.record_push(1), 1);
+        assert_eq!(t.count_at(0), 2);
+        t.prune_below(1);
+        assert_eq!(t.count_at(0), 0);
+        assert_eq!(t.count_at(1), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Probabilistic Staleness Synchronous Parallel (PSSP), Section III-E.
+//!
+//! SSP pauses a fast worker *whenever* its progress gap reaches the staleness
+//! threshold `s`. PSSP relaxes this: past the threshold the worker is paused
+//! only with probability `P`. Two variants:
+//!
+//! * **Constant PSSP** — `P = c` for every gap `k ≥ s` (`P = 0` below the
+//!   threshold). `c = 1` recovers SSP, `c = 0` recovers ASP.
+//! * **Dynamic PSSP** — `P(s, k) = α / (1 + e^(s−k))`, monotonically rising
+//!   with the gap, so the very fast worker (reading very stale parameters) is
+//!   paused more aggressively than one just past the threshold. `α` is either
+//!   a constant or the gradient-significance function `SF(g, w) = |g| / |w|`
+//!   borrowed from Gaia.
+
+/// Blocking probability of **constant PSSP** for progress gap `k` under
+/// threshold `s` with constant `c ∈ [0, 1]`.
+#[inline]
+pub fn constant_probability(c: f64, s: u64, k: u64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&c), "c must be a probability");
+    if k < s {
+        0.0
+    } else {
+        c
+    }
+}
+
+/// Blocking probability of **dynamic PSSP**: `α / (1 + e^(s−k))` for `k ≥ s`,
+/// `0` below the threshold.
+///
+/// At `k = s` this is `α/2` (the minimum over the active region, used in
+/// Theorem 2's bound); as `k → ∞` it approaches `α`.
+#[inline]
+pub fn dynamic_probability(alpha: f64, s: u64, k: u64) -> f64 {
+    debug_assert!(alpha >= 0.0, "alpha must be non-negative");
+    if k < s {
+        0.0
+    } else {
+        let gap = s as f64 - k as f64; // ≤ 0 in the active region
+        (alpha / (1.0 + gap.exp())).min(1.0)
+    }
+}
+
+/// Gradient-significance function `SF(g, w) = |g| / |w|` (L2 norms), the
+/// Gaia-style measure the paper suggests for `α` in dynamic PSSP.
+///
+/// Returns 0 when the parameter norm is 0 (untrained parameters are treated
+/// as insignificant rather than infinitely significant, avoiding a divide by
+/// zero at initialization).
+#[inline]
+pub fn significance(grad: &[f32], param: &[f32]) -> f64 {
+    let g: f64 = grad.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let w: f64 = param
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
+    if w == 0.0 {
+        0.0
+    } else {
+        g / w
+    }
+}
+
+/// How `α` is determined for dynamic PSSP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Alpha {
+    /// A fixed initial threshold.
+    Constant(f64),
+    /// Use the pull-time gradient significance reported by the caller,
+    /// clamped to `[floor, cap]`. Before the cost function reaches a local
+    /// optimum the gradient norm is positive, so `α > 0` (Theorem 2's
+    /// function case relies on this lower bound).
+    Significance {
+        /// Lower bound ensuring a nonzero pause probability.
+        floor: f64,
+        /// Upper bound keeping `P ≤ 1` meaningful.
+        cap: f64,
+    },
+}
+
+impl Alpha {
+    /// Resolve `α` given the caller-supplied significance (if any).
+    pub fn resolve(&self, significance: Option<f64>) -> f64 {
+        match *self {
+            Alpha::Constant(a) => a,
+            Alpha::Significance { floor, cap } => {
+                significance.unwrap_or(floor).clamp(floor, cap)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_zero_below_threshold() {
+        assert_eq!(constant_probability(0.7, 3, 0), 0.0);
+        assert_eq!(constant_probability(0.7, 3, 2), 0.0);
+        assert_eq!(constant_probability(0.7, 3, 3), 0.7);
+        assert_eq!(constant_probability(0.7, 3, 100), 0.7);
+    }
+
+    #[test]
+    fn constant_extremes_recover_ssp_and_asp() {
+        // c = 1 → always block past the threshold (SSP).
+        assert_eq!(constant_probability(1.0, 2, 2), 1.0);
+        // c = 0 → never block (ASP).
+        assert_eq!(constant_probability(0.0, 2, 50), 0.0);
+    }
+
+    #[test]
+    fn dynamic_is_zero_below_threshold_and_half_alpha_at_it() {
+        let alpha = 0.8;
+        assert_eq!(dynamic_probability(alpha, 3, 2), 0.0);
+        let at = dynamic_probability(alpha, 3, 3);
+        assert!((at - alpha / 2.0).abs() < 1e-12, "P(s,s) = α/2, got {at}");
+    }
+
+    #[test]
+    fn dynamic_is_monotone_in_gap_and_approaches_alpha() {
+        let alpha = 0.9;
+        let mut prev = 0.0;
+        for k in 3..30 {
+            let p = dynamic_probability(alpha, 3, k);
+            assert!(p >= prev, "monotone failed at k={k}");
+            prev = p;
+        }
+        assert!((prev - alpha).abs() < 1e-9, "limit should be α, got {prev}");
+    }
+
+    #[test]
+    fn dynamic_probability_is_clamped_to_one() {
+        assert_eq!(dynamic_probability(5.0, 0, 100), 1.0);
+    }
+
+    #[test]
+    fn significance_matches_norm_ratio() {
+        let g = [3.0f32, 4.0]; // |g| = 5
+        let w = [0.0f32, 10.0]; // |w| = 10
+        assert!((significance(&g, &w) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn significance_of_zero_params_is_zero() {
+        assert_eq!(significance(&[1.0, 1.0], &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn alpha_resolution() {
+        assert_eq!(Alpha::Constant(0.4).resolve(Some(9.0)), 0.4);
+        let a = Alpha::Significance {
+            floor: 0.1,
+            cap: 1.0,
+        };
+        assert_eq!(a.resolve(None), 0.1);
+        assert_eq!(a.resolve(Some(0.5)), 0.5);
+        assert_eq!(a.resolve(Some(7.0)), 1.0);
+        assert_eq!(a.resolve(Some(0.001)), 0.1);
+    }
+}

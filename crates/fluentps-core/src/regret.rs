@@ -1,0 +1,129 @@
+//! Regret bounds for SSP-style SGD (Section III-E, Theorems 1 and 2).
+//!
+//! Under the SSPSGD assumptions (L-Lipschitz convex components, diameter
+//! bound F), the paper derives:
+//!
+//! * Proposition 1 (Ho et al.): `R[W](s, N) ≤ 4FL·sqrt(2(s+1)N/T)` for SSP.
+//! * Theorem 1: constant PSSP with `(s, c)` satisfies
+//!   `R[W](s, N, c) ≤ 4FL·sqrt(2(s + 1/c)N/T)` — the *same* bound as SSP with
+//!   threshold `s' = s + 1/c − 1`, while causing far fewer synchronizations.
+//!   Notably `s + 1/c − 1` ranges over the non-negative reals, so PSSP offers
+//!   *fine-tuned* staleness control where SSP only has integers.
+//! * Theorem 2: dynamic PSSP with constant `α` satisfies
+//!   `R[W] ≤ 4FL·sqrt(2(s + 2/α)N/T)` — the constant-PSSP bound at
+//!   `c = α/2 = min P(s, k)`.
+//!
+//! These functions back the experiment harness's construction of
+//! "regret-equivalent" model pairs (Figure 9's A/B, C/D, E/F, G/H groups).
+
+/// Problem constants shared by all the bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegretParams {
+    /// Diameter bound: `D(w1 ‖ w2) ≤ F²`.
+    pub f: f64,
+    /// Lipschitz constant of the component functions.
+    pub l: f64,
+    /// Number of workers `N`.
+    pub n: u32,
+    /// Total parameter-sequence length `T = Max_Iter · N`.
+    pub t: u64,
+}
+
+impl RegretParams {
+    fn scale(&self) -> f64 {
+        4.0 * self.f * self.l * (2.0 * self.n as f64 / self.t as f64).sqrt()
+    }
+}
+
+/// Proposition 1 (SSPSGD): `4FL·sqrt(2(s+1)N/T)`.
+pub fn ssp_bound(p: RegretParams, s: f64) -> f64 {
+    assert!(s >= 0.0, "staleness must be non-negative");
+    p.scale() * (s + 1.0).sqrt()
+}
+
+/// Theorem 1 (constant PSSP-SGD): `4FL·sqrt(2(s + 1/c)N/T)`.
+pub fn pssp_const_bound(p: RegretParams, s: f64, c: f64) -> f64 {
+    assert!(c > 0.0 && c <= 1.0, "c must be in (0, 1]");
+    p.scale() * (s + 1.0 / c).sqrt()
+}
+
+/// Theorem 2 (dynamic PSSP-SGD, constant α): `4FL·sqrt(2(s + 2/α)N/T)`.
+pub fn pssp_dynamic_bound(p: RegretParams, s: f64, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha <= 2.0, "alpha must be in (0, 2]");
+    p.scale() * (s + 2.0 / alpha).sqrt()
+}
+
+/// The SSP threshold with the same regret bound as constant PSSP `(s, c)`:
+/// `s' = s + 1/c − 1` (Section IV-B4 uses this to build the regret-equivalent
+/// experiment groups of Figure 9).
+pub fn equivalent_ssp_threshold(s: u64, c: f64) -> f64 {
+    assert!(c > 0.0 && c <= 1.0, "c must be in (0, 1]");
+    s as f64 + 1.0 / c - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: RegretParams = RegretParams {
+        f: 1.0,
+        l: 1.0,
+        n: 32,
+        t: 64_000,
+    };
+
+    #[test]
+    fn pssp_bound_equals_ssp_bound_at_equivalent_threshold() {
+        for &(s, c) in &[(3u64, 0.5f64), (3, 1.0 / 3.0), (3, 0.2), (3, 0.1), (1, 0.7)] {
+            let s_prime = equivalent_ssp_threshold(s, c);
+            let a = pssp_const_bound(P, s as f64, c);
+            let b = ssp_bound(P, s_prime);
+            assert!((a - b).abs() < 1e-12, "s={s} c={c}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn figure9_groups_are_regret_equivalent() {
+        // A&B, C&D, E&F, G&H from Section IV-B4: s=3 with c ∈ {1/2,1/3,1/5,1/10}
+        // pair with SSP s' ∈ {4, 5, 7, 12}.
+        let groups = [(0.5, 4.0), (1.0 / 3.0, 5.0), (0.2, 7.0), (0.1, 12.0)];
+        for (c, s_prime) in groups {
+            assert!((equivalent_ssp_threshold(3, c) - s_prime).abs() < 1e-12);
+            let a = pssp_const_bound(P, 3.0, c);
+            let b = ssp_bound(P, s_prime);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dynamic_bound_matches_const_bound_at_half_alpha() {
+        // Theorem 2: dynamic PSSP's bound equals constant PSSP's at c = α/2.
+        for alpha in [0.2, 0.5, 1.0, 2.0] {
+            let a = pssp_dynamic_bound(P, 2.0, alpha);
+            let b = pssp_const_bound(P, 2.0, alpha / 2.0);
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pssp_c_one_recovers_ssp() {
+        // c = 1 → PSSP bound = SSP bound with the same s.
+        let a = pssp_const_bound(P, 5.0, 1.0);
+        let b = ssp_bound(P, 5.0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_shrink_with_more_samples_and_grow_with_staleness() {
+        let tighter = RegretParams { t: 640_000, ..P };
+        assert!(ssp_bound(tighter, 3.0) < ssp_bound(P, 3.0));
+        assert!(ssp_bound(P, 4.0) > ssp_bound(P, 3.0));
+        assert!(pssp_const_bound(P, 3.0, 0.1) > pssp_const_bound(P, 3.0, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "c must be in (0, 1]")]
+    fn zero_c_rejected() {
+        let _ = pssp_const_bound(P, 3.0, 0.0);
+    }
+}

@@ -1,0 +1,224 @@
+//! The (deliberately minimal) scheduler, Section III-A.
+//!
+//! In FluentPS the scheduler does **not** mediate synchronization — that is
+//! the whole point of the design. It only (1) monitors node liveness via
+//! heartbeats and (2) owns the key-space division, delegating the actual
+//! placement to a [`Slicer`] and triggering an EPS rebalance when a server
+//! dies or joins.
+
+use std::collections::HashMap;
+
+use fluentps_transport::NodeId;
+
+use crate::eps::{EpsSlicer, ParamSpec, SliceMap};
+
+/// Heartbeat-based liveness tracking with a logical-time deadline (drivers
+/// feed whatever clock they have: wall millis or simulated ticks).
+#[derive(Debug, Clone)]
+pub struct LivenessMonitor {
+    last_seen: HashMap<NodeId, u64>,
+    timeout: u64,
+}
+
+impl LivenessMonitor {
+    /// Nodes not heard from for `timeout` time units are considered dead.
+    pub fn new(timeout: u64) -> Self {
+        assert!(timeout > 0, "timeout must be positive");
+        LivenessMonitor {
+            last_seen: HashMap::new(),
+            timeout,
+        }
+    }
+
+    /// Record a heartbeat (or any message) from `node` at time `now`.
+    pub fn observe(&mut self, node: NodeId, now: u64) {
+        let e = self.last_seen.entry(node).or_insert(now);
+        *e = (*e).max(now);
+    }
+
+    /// Nodes whose last heartbeat is older than the timeout at time `now`,
+    /// sorted for determinism.
+    pub fn dead_nodes(&self, now: u64) -> Vec<NodeId> {
+        let mut dead: Vec<NodeId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &t)| now.saturating_sub(t) > self.timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        dead.sort();
+        dead
+    }
+
+    /// Nodes currently believed alive at time `now`.
+    pub fn alive_nodes(&self, now: u64) -> Vec<NodeId> {
+        let mut alive: Vec<NodeId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &t)| now.saturating_sub(t) <= self.timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        alive.sort();
+        alive
+    }
+
+    /// Forget a node entirely (it was decommissioned on purpose).
+    pub fn remove(&mut self, node: NodeId) {
+        self.last_seen.remove(&node);
+    }
+}
+
+/// Scheduler state: liveness plus the authoritative placement.
+pub struct Scheduler {
+    liveness: LivenessMonitor,
+    slicer: EpsSlicer,
+    params: Vec<ParamSpec>,
+    placement: SliceMap,
+    num_servers: u32,
+}
+
+impl Scheduler {
+    /// Create a scheduler managing `num_servers` servers with the given
+    /// parameter inventory; computes the initial EPS placement.
+    pub fn new(
+        params: Vec<ParamSpec>,
+        num_servers: u32,
+        slicer: EpsSlicer,
+        liveness_timeout: u64,
+    ) -> Self {
+        use crate::eps::Slicer as _;
+        let placement = slicer.slice(&params, num_servers);
+        Scheduler {
+            liveness: LivenessMonitor::new(liveness_timeout),
+            slicer,
+            params,
+            placement,
+            num_servers,
+        }
+    }
+
+    /// Current placement.
+    pub fn placement(&self) -> &SliceMap {
+        &self.placement
+    }
+
+    /// The parameter inventory.
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    /// Record a heartbeat.
+    pub fn observe(&mut self, node: NodeId, now: u64) {
+        self.liveness.observe(node, now);
+    }
+
+    /// Check liveness at `now`; if any *server* died, shrink the server set
+    /// and rebalance with EPS. Returns the dead servers and the number of
+    /// values moved (0 when nothing changed).
+    pub fn check_and_rebalance(&mut self, now: u64) -> (Vec<NodeId>, usize) {
+        let dead = self.liveness.dead_nodes(now);
+        let dead_servers: Vec<NodeId> = dead.into_iter().filter(|n| n.is_server()).collect();
+        if dead_servers.is_empty() {
+            return (dead_servers, 0);
+        }
+        let survivors = self.num_servers - dead_servers.len() as u32;
+        assert!(survivors > 0, "all servers died");
+        let (new_placement, moved) = self.slicer.rebalance(&self.placement, survivors);
+        self.placement = new_placement;
+        self.num_servers = survivors;
+        for n in &dead_servers {
+            self.liveness.remove(*n);
+        }
+        (dead_servers, moved)
+    }
+
+    /// Grow the server set to `new_count` and rebalance (elastic scale-out).
+    pub fn scale_to(&mut self, new_count: u32) -> usize {
+        let (new_placement, moved) = self.slicer.rebalance(&self.placement, new_count);
+        self.placement = new_placement;
+        self.num_servers = new_count;
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liveness_tracks_heartbeats() {
+        let mut m = LivenessMonitor::new(10);
+        m.observe(NodeId::Server(0), 0);
+        m.observe(NodeId::Server(1), 0);
+        m.observe(NodeId::Server(0), 8);
+        assert!(m.dead_nodes(10).is_empty());
+        assert_eq!(m.dead_nodes(12), vec![NodeId::Server(1)]);
+        assert_eq!(m.alive_nodes(12), vec![NodeId::Server(0)]);
+    }
+
+    #[test]
+    fn stale_observation_does_not_rewind() {
+        let mut m = LivenessMonitor::new(5);
+        m.observe(NodeId::Worker(0), 100);
+        m.observe(NodeId::Worker(0), 50); // out-of-order heartbeat
+        assert!(m.dead_nodes(104).is_empty());
+    }
+
+    fn test_params() -> Vec<ParamSpec> {
+        (0..8)
+            .map(|k| ParamSpec {
+                key: k,
+                len: if k == 0 { 50_000 } else { 1_000 },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn scheduler_rebalances_on_server_death() {
+        let mut sched = Scheduler::new(test_params(), 4, EpsSlicer { max_chunk: 2048 }, 10);
+        for s in 0..4 {
+            sched.observe(NodeId::Server(s), 0);
+        }
+        // Server 3 stops heartbeating.
+        for s in 0..3 {
+            sched.observe(NodeId::Server(s), 20);
+        }
+        let (dead, moved) = sched.check_and_rebalance(20);
+        assert_eq!(dead, vec![NodeId::Server(3)]);
+        assert!(moved > 0);
+        assert_eq!(sched.placement().num_servers(), 3);
+        assert!(sched.placement().imbalance() < 1.35);
+    }
+
+    #[test]
+    fn no_rebalance_when_everyone_alive() {
+        let mut sched = Scheduler::new(test_params(), 4, EpsSlicer::default(), 10);
+        for s in 0..4 {
+            sched.observe(NodeId::Server(s), 0);
+        }
+        let (dead, moved) = sched.check_and_rebalance(5);
+        assert!(dead.is_empty());
+        assert_eq!(moved, 0);
+        assert_eq!(sched.placement().num_servers(), 4);
+    }
+
+    #[test]
+    fn scale_out_uses_new_servers() {
+        let mut sched = Scheduler::new(test_params(), 2, EpsSlicer { max_chunk: 2048 }, 10);
+        let moved = sched.scale_to(4);
+        assert!(moved > 0);
+        assert_eq!(sched.placement().num_servers(), 4);
+        let loads = sched.placement().server_loads();
+        assert!(loads.iter().all(|&l| l > 0), "{loads:?}");
+    }
+
+    #[test]
+    fn worker_death_does_not_trigger_rebalance() {
+        let mut sched = Scheduler::new(test_params(), 2, EpsSlicer::default(), 10);
+        sched.observe(NodeId::Worker(0), 0);
+        sched.observe(NodeId::Server(0), 100);
+        sched.observe(NodeId::Server(1), 100);
+        let (dead, moved) = sched.check_and_rebalance(100);
+        assert!(dead.is_empty());
+        assert_eq!(moved, 0);
+    }
+}

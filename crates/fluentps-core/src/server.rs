@@ -1,0 +1,552 @@
+//! The per-shard server state machine (Algorithm 1).
+//!
+//! `ServerShard` implements `PullHandler`/`PushHandler` exactly as the paper
+//! specifies, parameterized by a [`SyncPolicy`] (the pull/push conditions)
+//! and a [`DprPolicy`] (soft barrier vs. lazy execution). It is a pure state
+//! machine — no clocks, threads, sockets or RNGs — so the threaded engine,
+//! the TCP engine and the discrete-event simulator all drive identical
+//! synchronization logic, and properties like the staleness invariant can be
+//! tested exhaustively.
+
+use std::collections::HashMap;
+
+use fluentps_transport::KvPairs;
+
+use crate::condition::{SyncModel, SyncPolicy, SyncState};
+use crate::dpr::{DeferredPull, DprBuffer, DprPolicy};
+use crate::progress::ProgressTable;
+use crate::stats::ShardStats;
+
+/// How pushed gradients are folded into the parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GradScale {
+    /// `w += g / N` — Algorithm 1 line 15; workers send pre-scaled updates
+    /// (e.g. `−lr·∇`) and the server averages across workers.
+    DivideByN,
+    /// `w += g` — workers send already-averaged updates.
+    Raw,
+    /// `w += factor · g` — custom server-side scaling.
+    Fixed(f32),
+}
+
+/// Configuration of one server shard.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    /// Index of the owning server (`m`).
+    pub server_id: u32,
+    /// Total number of workers (`N`).
+    pub num_workers: u32,
+    /// Synchronization model (Table III row).
+    pub model: SyncModel,
+    /// DPR execution policy (Section III-C).
+    pub policy: DprPolicy,
+    /// Gradient aggregation rule.
+    pub grad_scale: GradScale,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            server_id: 0,
+            num_workers: 1,
+            model: SyncModel::Bsp,
+            policy: DprPolicy::LazyExecution,
+            grad_scale: GradScale::DivideByN,
+        }
+    }
+}
+
+/// Result of a pull request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PullOutcome {
+    /// The pull condition held; parameters are returned immediately.
+    Respond {
+        /// Requested parameters.
+        kv: KvPairs,
+        /// Shard version (`V_train`) at response time.
+        version: u64,
+    },
+    /// The pull condition failed; the request is now a DPR in the buffer and
+    /// will surface later as a [`ReleasedPull`] from some `on_push` call.
+    Deferred,
+}
+
+/// A previously deferred pull that the push condition has now released.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleasedPull {
+    /// Worker awaiting this response.
+    pub worker: u32,
+    /// The progress the worker reported with the original pull.
+    pub progress: u64,
+    /// Parameters to send.
+    pub kv: KvPairs,
+    /// Shard version at release time.
+    pub version: u64,
+    /// Iterations the DPR spent buffered.
+    pub waited_iterations: u64,
+}
+
+/// One parameter shard plus its synchronization state machine.
+pub struct ServerShard {
+    cfg: ShardConfig,
+    policy: Box<dyn SyncPolicy>,
+    store: HashMap<u64, Vec<f32>>,
+    v_train: u64,
+    progress: ProgressTable,
+    buffer: DprBuffer,
+    stats: ShardStats,
+    /// Gradient significance `SF(g, w) = |g|/|w|` of each worker's latest
+    /// push, consumed by dynamic PSSP when the pull carries no explicit hint.
+    last_significance: Vec<Option<f64>>,
+}
+
+impl ServerShard {
+    /// Shard with the built-in model named in `cfg`.
+    pub fn new(cfg: ShardConfig) -> Self {
+        let policy = Box::new(cfg.model.into_policy());
+        Self::with_policy(cfg, policy)
+    }
+
+    /// Shard with a custom [`SyncPolicy`] — the `SetcondPull`/`SetcondPush`
+    /// extension point (`cfg.model` is then only informational).
+    pub fn with_policy(cfg: ShardConfig, policy: Box<dyn SyncPolicy>) -> Self {
+        assert!(cfg.num_workers > 0, "need at least one worker");
+        ServerShard {
+            progress: ProgressTable::new(cfg.num_workers),
+            policy,
+            store: HashMap::new(),
+            v_train: 0,
+            buffer: DprBuffer::new(),
+            stats: ShardStats::default(),
+            last_significance: vec![None; cfg.num_workers as usize],
+            cfg,
+        }
+    }
+
+    /// Install the initial value of a parameter (`w_0`, Algorithm 1 line 1).
+    pub fn init_param(&mut self, key: u64, vals: Vec<f32>) {
+        self.store.insert(key, vals);
+    }
+
+    /// Jump `V_train` forward without gradient traffic — checkpoint restore
+    /// only. Panics if training already progressed past the target (a
+    /// restore must never rewind) or if DPRs are pending (they would index
+    /// a progress space that no longer exists).
+    pub fn fast_forward(&mut self, v_train: u64) {
+        assert!(
+            v_train >= self.v_train,
+            "fast_forward would rewind {} -> {v_train}",
+            self.v_train
+        );
+        assert!(self.buffer.is_empty(), "fast_forward with pending DPRs");
+        self.v_train = v_train;
+        self.progress.prune_below(v_train);
+    }
+
+    /// Current overall training progress of this shard.
+    pub fn v_train(&self) -> u64 {
+        self.v_train
+    }
+
+    /// Shard configuration.
+    pub fn config(&self) -> &ShardConfig {
+        &self.cfg
+    }
+
+    /// Synchronization statistics.
+    pub fn stats(&self) -> &ShardStats {
+        &self.stats
+    }
+
+    /// DPRs currently waiting in the buffer.
+    pub fn pending_dprs(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Read a parameter (test/diagnostic access).
+    pub fn read_param(&self, key: u64) -> Option<&[f32]> {
+        self.store.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Snapshot of the synchronization state exposed to conditions.
+    pub fn sync_state(&self) -> SyncState {
+        SyncState {
+            v_train: self.v_train,
+            count_at_v_train: self.progress.count_at(self.v_train),
+            num_workers: self.cfg.num_workers,
+            fastest: self.progress.fastest().unwrap_or(0),
+            slowest: self.progress.slowest_including_silent(),
+        }
+    }
+
+    /// `PullHandler` (Algorithm 1, server lines 2–13).
+    ///
+    /// `draw` is a uniform `[0,1)` sample consumed by probabilistic models;
+    /// `significance` optionally carries the worker's latest gradient
+    /// significance for dynamic PSSP.
+    pub fn on_pull(
+        &mut self,
+        worker: u32,
+        progress: u64,
+        keys: &[u64],
+        draw: f64,
+        significance: Option<f64>,
+    ) -> PullOutcome {
+        self.progress.observe(worker, progress);
+        self.stats.pulls_total += 1;
+        self.stats.bytes_in += 16 + keys.len() as u64 * 8;
+        let significance = significance.or(self.last_significance[worker as usize]);
+        let st = self.sync_state();
+        let deterministic_ok = self.policy.release_permitted(&st, progress);
+        if self.policy.pull_permitted(&st, progress, draw, significance) {
+            if !deterministic_ok {
+                // Past the bound but admitted by a probability draw.
+                self.stats.pssp_passes += 1;
+            }
+            self.stats.pulls_immediate += 1;
+            let kv = self.gather(keys);
+            self.stats.bytes_out += kv.payload_bytes() as u64;
+            PullOutcome::Respond {
+                kv,
+                version: self.v_train,
+            }
+        } else {
+            self.stats.dprs += 1;
+            self.buffer.defer(
+                self.cfg.policy,
+                DeferredPull {
+                    worker,
+                    progress,
+                    keys: keys.to_vec(),
+                    deferred_at: self.v_train,
+                },
+            );
+            PullOutcome::Deferred
+        }
+    }
+
+    /// `PushHandler` (Algorithm 1, server lines 14–25). Applies the
+    /// gradients, updates `Count`, and — whenever the push condition fires —
+    /// advances `V_train` and releases every DPR the [`DprPolicy`] admits.
+    pub fn on_push(&mut self, worker: u32, progress: u64, kv: &KvPairs) -> Vec<ReleasedPull> {
+        debug_assert!(kv.is_consistent(), "inconsistent KvPairs in push");
+        self.progress.observe(worker, progress);
+        self.stats.pushes += 1;
+        self.stats.bytes_in += kv.payload_bytes() as u64;
+
+        let late = progress < self.v_train;
+        if late && !self.policy.accept_late_push() {
+            self.stats.late_pushes_dropped += 1;
+        } else {
+            self.last_significance[worker as usize] = Some(self.push_significance(kv));
+            self.apply_gradients(kv);
+        }
+        self.progress.record_push(progress);
+        let st = self.sync_state();
+        self.policy.after_push(&st);
+
+        let mut released = Vec::new();
+        // The push condition may fire repeatedly: counts for later iterations
+        // can already be complete (workers running ahead under SSP/ASP).
+        loop {
+            let st = self.sync_state();
+            if !self.policy.push_fires(&st) {
+                break;
+            }
+            self.v_train += 1;
+            self.stats.v_train_advances += 1;
+            self.progress.prune_below(self.v_train);
+            let st = self.sync_state();
+            for dpr in self.buffer.release(self.cfg.policy, self.policy.as_ref(), &st) {
+                released.push(self.answer_dpr(dpr));
+            }
+        }
+        released
+    }
+
+    /// Flush every remaining DPR regardless of condition (engine shutdown so
+    /// no worker blocks forever; responses carry the latest parameters).
+    pub fn drain_shutdown(&mut self) -> Vec<ReleasedPull> {
+        let drained = self.buffer.drain_all();
+        drained.into_iter().map(|d| self.answer_dpr(d)).collect()
+    }
+
+    fn answer_dpr(&mut self, dpr: DeferredPull) -> ReleasedPull {
+        let kv = self.gather(&dpr.keys);
+        self.stats.bytes_out += kv.payload_bytes() as u64;
+        self.stats.dprs_released += 1;
+        let waited = self.v_train.saturating_sub(dpr.deferred_at);
+        self.stats.dpr_wait_iterations += waited;
+        self.stats.dpr_wait_hist.record(waited);
+        ReleasedPull {
+            worker: dpr.worker,
+            progress: dpr.progress,
+            kv,
+            version: self.v_train,
+            waited_iterations: waited,
+        }
+    }
+
+    /// Latest gradient significance observed for `worker`.
+    pub fn significance_of(&self, worker: u32) -> Option<f64> {
+        self.last_significance[worker as usize]
+    }
+
+    /// `SF(g, w) = |g|/|w|` across all keys of the push, measured against the
+    /// *current* parameters (before applying the push).
+    fn push_significance(&self, kv: &KvPairs) -> f64 {
+        let mut g2 = 0.0f64;
+        let mut w2 = 0.0f64;
+        for (key, grad) in kv.iter() {
+            g2 += grad.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+            if let Some(param) = self.store.get(&key) {
+                w2 += param.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+            }
+        }
+        if w2 == 0.0 {
+            0.0
+        } else {
+            (g2 / w2).sqrt()
+        }
+    }
+
+    fn apply_gradients(&mut self, kv: &KvPairs) {
+        let scale = match self.cfg.grad_scale {
+            GradScale::DivideByN => 1.0 / self.cfg.num_workers as f32,
+            GradScale::Raw => 1.0,
+            GradScale::Fixed(f) => f,
+        };
+        for (key, grad) in kv.iter() {
+            let Some(param) = self.store.get_mut(&key) else {
+                debug_assert!(false, "push for unknown key {key:#x}");
+                continue;
+            };
+            debug_assert_eq!(param.len(), grad.len(), "gradient shape mismatch");
+            for (w, g) in param.iter_mut().zip(grad) {
+                *w += g * scale;
+            }
+        }
+    }
+
+    fn gather(&self, keys: &[u64]) -> KvPairs {
+        let mut kv = KvPairs::default();
+        for &key in keys {
+            if let Some(vals) = self.store.get(&key) {
+                kv.keys.push(key);
+                kv.lens.push(vals.len() as u32);
+                kv.vals.extend_from_slice(vals);
+            } else {
+                debug_assert!(false, "pull for unknown key {key:#x}");
+            }
+        }
+        kv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shard(n: u32, model: SyncModel, policy: DprPolicy) -> ServerShard {
+        let mut s = ServerShard::new(ShardConfig {
+            server_id: 0,
+            num_workers: n,
+            model,
+            policy,
+            grad_scale: GradScale::DivideByN,
+        });
+        s.init_param(0, vec![0.0; 2]);
+        s
+    }
+
+    fn push1(vals: [f32; 2]) -> KvPairs {
+        KvPairs::single(0, vals.to_vec())
+    }
+
+    #[test]
+    fn bsp_lockstep_two_workers() {
+        let mut s = shard(2, SyncModel::Bsp, DprPolicy::LazyExecution);
+        // Worker 0 finishes iteration 0, pushes, pulls → deferred.
+        assert!(s.on_push(0, 0, &push1([2.0, 0.0])).is_empty());
+        assert_eq!(s.on_pull(0, 0, &[0], 0.5, None), PullOutcome::Deferred);
+        assert_eq!(s.v_train(), 0);
+        // Worker 1 completes the iteration: V_train advances and worker 0's
+        // DPR is released with fully aggregated parameters.
+        let released = s.on_push(1, 0, &push1([4.0, 0.0]));
+        assert_eq!(s.v_train(), 1);
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].worker, 0);
+        assert_eq!(released[0].kv.vals, vec![3.0, 0.0]); // (2+4)/2
+        assert_eq!(released[0].version, 1);
+    }
+
+    #[test]
+    fn asp_pull_always_immediate() {
+        let mut s = shard(4, SyncModel::Asp, DprPolicy::LazyExecution);
+        for i in 0..10u64 {
+            s.on_push(0, i, &push1([1.0, 1.0]));
+            match s.on_pull(0, i, &[0], 0.9, None) {
+                PullOutcome::Respond { version, .. } => assert_eq!(version, 0),
+                PullOutcome::Deferred => panic!("ASP must not defer"),
+            }
+        }
+        assert_eq!(s.stats().dprs, 0);
+        assert_eq!(s.stats().pulls_immediate, 10);
+    }
+
+    #[test]
+    fn ssp_staleness_invariant_holds_for_immediate_pulls() {
+        // No immediate pull response may ever be given to a worker whose
+        // progress exceeds V_train + s.
+        let s_threshold = 2u64;
+        let mut s = shard(2, SyncModel::Ssp { s: s_threshold }, DprPolicy::LazyExecution);
+        let mut deferred = 0;
+        // Worker 0 races ahead; worker 1 lags.
+        for i in 0..6u64 {
+            s.on_push(0, i, &push1([1.0, 0.0]));
+            match s.on_pull(0, i, &[0], 0.5, None) {
+                PullOutcome::Respond { .. } => {
+                    assert!(
+                        i < s.v_train() + s_threshold,
+                        "staleness violated at i={i}, v={}",
+                        s.v_train()
+                    );
+                }
+                PullOutcome::Deferred => deferred += 1,
+            }
+        }
+        assert!(deferred > 0, "racing worker must eventually defer");
+    }
+
+    #[test]
+    fn lazy_release_returns_fully_updated_params() {
+        // Figure 3(b): the fast worker's DPR is answered only after the slow
+        // worker has pushed ALL missing gradients.
+        let mut s = shard(2, SyncModel::Ssp { s: 1 }, DprPolicy::LazyExecution);
+        s.on_push(0, 0, &push1([2.0, 0.0]));
+        // Worker 0 at progress 0, v_train 0, gap 0 < 1 → immediate.
+        assert!(matches!(
+            s.on_pull(0, 0, &[0], 0.5, None),
+            PullOutcome::Respond { .. }
+        ));
+        s.on_push(0, 1, &push1([2.0, 0.0]));
+        // gap = 1 − 0 = 1 == s → deferred.
+        assert_eq!(s.on_pull(0, 1, &[0], 0.5, None), PullOutcome::Deferred);
+        // Slow worker pushes iteration 0: v_train → 1, but lazy needs v > 1.
+        assert!(s.on_push(1, 0, &push1([4.0, 0.0])).is_empty());
+        // Slow worker pushes iteration 1: v_train → 2, DPR released with all
+        // four gradients folded in: (2+2+4+4)/2 = 6.
+        let released = s.on_push(1, 1, &push1([4.0, 0.0]));
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].kv.vals, vec![6.0, 0.0]);
+        assert_eq!(released[0].waited_iterations, 2);
+    }
+
+    #[test]
+    fn soft_barrier_release_may_return_stale_params() {
+        // Figure 3(a): with the soft barrier the DPR is released as soon as
+        // the bound is re-satisfied, BEFORE the slow worker pushed everything.
+        let mut s = shard(2, SyncModel::Ssp { s: 1 }, DprPolicy::SoftBarrier);
+        s.on_push(0, 0, &push1([2.0, 0.0]));
+        s.on_push(0, 1, &push1([2.0, 0.0]));
+        assert_eq!(s.on_pull(0, 1, &[0], 0.5, None), PullOutcome::Deferred);
+        // Slow worker pushes iteration 0 only: v_train → 1, gap = 0 < s →
+        // released already, with worker 1's iteration-1 gradient still absent.
+        let released = s.on_push(1, 0, &push1([4.0, 0.0]));
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].kv.vals, vec![4.0, 0.0]); // (2+2+4)/2, missing 4
+        assert_eq!(released[0].waited_iterations, 1);
+    }
+
+    #[test]
+    fn drop_stragglers_advances_without_everyone_and_drops_late_gradients() {
+        let mut s = shard(3, SyncModel::DropStragglers { n_t: 2 }, DprPolicy::LazyExecution);
+        s.on_push(0, 0, &push1([3.0, 0.0]));
+        let rel = s.on_push(1, 0, &push1([3.0, 0.0]));
+        assert!(rel.is_empty());
+        assert_eq!(s.v_train(), 1, "advances after N_t = 2 pushes");
+        // The straggler's late push for iteration 0 is rejected.
+        s.on_push(2, 0, &push1([300.0, 0.0]));
+        assert_eq!(s.stats().late_pushes_dropped, 1);
+        assert_eq!(s.read_param(0).unwrap(), &[2.0, 0.0]); // (3+3)/3
+    }
+
+    #[test]
+    fn pssp_pass_counted_when_probability_admits_past_bound() {
+        let mut s = shard(2, SyncModel::PsspConst { s: 1, c: 0.3 }, DprPolicy::LazyExecution);
+        s.on_push(0, 2, &push1([0.0, 0.0]));
+        // gap 2 > s=1; draw 0.9 > c → admitted probabilistically.
+        match s.on_pull(0, 2, &[0], 0.9, None) {
+            PullOutcome::Respond { .. } => {}
+            PullOutcome::Deferred => panic!("draw above c must pass"),
+        }
+        assert_eq!(s.stats().pssp_passes, 1);
+        // draw 0.1 ≤ c → blocked.
+        assert_eq!(s.on_pull(0, 3, &[0], 0.1, None), PullOutcome::Deferred);
+    }
+
+    #[test]
+    fn push_condition_cascade_advances_multiple_iterations() {
+        // Under ASP both workers can be several iterations ahead; when the
+        // lagging counts complete, V_train must catch up in one push call.
+        let mut s = shard(2, SyncModel::Asp, DprPolicy::LazyExecution);
+        // Worker 0 pushes iterations 0..3; worker 1 silent → v_train stays 0.
+        for i in 0..4u64 {
+            s.on_push(0, i, &push1([1.0, 0.0]));
+        }
+        assert_eq!(s.v_train(), 0);
+        // Worker 1 pushes 0..3 — each push should advance v_train once; the
+        // final state has all counts complete.
+        for i in 0..4u64 {
+            s.on_push(1, i, &push1([1.0, 0.0]));
+        }
+        assert_eq!(s.v_train(), 4);
+    }
+
+    #[test]
+    fn gradients_average_across_workers() {
+        let mut s = shard(4, SyncModel::Asp, DprPolicy::LazyExecution);
+        for w in 0..4 {
+            s.on_push(w, 0, &push1([4.0, 8.0]));
+        }
+        assert_eq!(s.read_param(0).unwrap(), &[4.0, 8.0]); // 4·(x/4)
+    }
+
+    #[test]
+    fn raw_scale_applies_gradients_unscaled() {
+        let mut s = ServerShard::new(ShardConfig {
+            num_workers: 4,
+            model: SyncModel::Asp,
+            grad_scale: GradScale::Raw,
+            ..ShardConfig::default()
+        });
+        s.init_param(0, vec![0.0]);
+        s.on_push(0, 0, &KvPairs::single(0, vec![2.5]));
+        assert_eq!(s.read_param(0).unwrap(), &[2.5]);
+    }
+
+    #[test]
+    fn drain_shutdown_flushes_all_pending() {
+        let mut s = shard(2, SyncModel::Bsp, DprPolicy::LazyExecution);
+        assert_eq!(s.on_pull(0, 5, &[0], 0.5, None), PullOutcome::Deferred);
+        assert_eq!(s.on_pull(1, 9, &[0], 0.5, None), PullOutcome::Deferred);
+        let out = s.drain_shutdown();
+        assert_eq!(out.len(), 2);
+        assert_eq!(s.pending_dprs(), 0);
+    }
+
+    #[test]
+    fn stats_account_pulls_and_dprs() {
+        let mut s = shard(2, SyncModel::Bsp, DprPolicy::LazyExecution);
+        s.on_pull(0, 0, &[0], 0.5, None); // deferred
+        s.on_push(0, 0, &push1([1.0, 1.0]));
+        s.on_push(1, 0, &push1([1.0, 1.0])); // releases the DPR
+        let st = s.stats();
+        assert_eq!(st.pulls_total, 1);
+        assert_eq!(st.dprs, 1);
+        assert_eq!(st.dprs_released, 1);
+        assert_eq!(st.pushes, 2);
+        assert_eq!(st.v_train_advances, 1);
+        assert!(st.bytes_in > 0 && st.bytes_out > 0);
+    }
+}

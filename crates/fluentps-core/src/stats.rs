@@ -1,0 +1,121 @@
+//! Per-shard synchronization statistics.
+//!
+//! The evaluation section reports three recurring metrics: training time,
+//! final test accuracy, and the number of delayed pull requests (DPRs) per
+//! 100 iterations (Table IV, Figure 9). `ShardStats` counts the event-level
+//! quantities; timing lives in the drivers (wall clock for the engines,
+//! virtual clock for the simulator).
+
+use crate::hist::Histogram;
+
+/// Counters maintained by a [`crate::server::ServerShard`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Distribution of DPR wait times in iterations (p50/p95 for reports).
+    pub dpr_wait_hist: Histogram,
+    /// Total `sPull` requests seen.
+    pub pulls_total: u64,
+    /// Pulls answered immediately (pull condition held).
+    pub pulls_immediate: u64,
+    /// Pulls deferred into the DPR buffer.
+    pub dprs: u64,
+    /// Pulls past the deterministic staleness bound that a PSSP probability
+    /// draw let through anyway (the "unnecessary waits" PSSP removes).
+    pub pssp_passes: u64,
+    /// Sum over released DPRs of iterations spent waiting
+    /// (`release V_train − deferral V_train`).
+    pub dpr_wait_iterations: u64,
+    /// DPRs released so far.
+    pub dprs_released: u64,
+    /// Total `sPush` requests seen.
+    pub pushes: u64,
+    /// Pushes for an iteration older than `V_train` that the model rejected
+    /// (drop-stragglers).
+    pub late_pushes_dropped: u64,
+    /// Times `V_train` advanced.
+    pub v_train_advances: u64,
+    /// Request payload bytes received (gradients + pull requests).
+    pub bytes_in: u64,
+    /// Response payload bytes sent (parameters + acks).
+    pub bytes_out: u64,
+}
+
+impl ShardStats {
+    /// DPRs per 100 iterations of overall progress — the paper's
+    /// synchronization-frequency metric. Returns 0 before any progress.
+    pub fn dprs_per_100_iters(&self) -> f64 {
+        if self.v_train_advances == 0 {
+            0.0
+        } else {
+            self.dprs as f64 * 100.0 / self.v_train_advances as f64
+        }
+    }
+
+    /// Mean iterations a released DPR spent waiting.
+    pub fn mean_dpr_wait(&self) -> f64 {
+        if self.dprs_released == 0 {
+            0.0
+        } else {
+            self.dpr_wait_iterations as f64 / self.dprs_released as f64
+        }
+    }
+
+    /// Fold another shard's counters into this one (cluster-level totals).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.pulls_total += other.pulls_total;
+        self.pulls_immediate += other.pulls_immediate;
+        self.dprs += other.dprs;
+        self.pssp_passes += other.pssp_passes;
+        self.dpr_wait_iterations += other.dpr_wait_iterations;
+        self.dprs_released += other.dprs_released;
+        self.pushes += other.pushes;
+        self.late_pushes_dropped += other.late_pushes_dropped;
+        self.v_train_advances += other.v_train_advances;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.dpr_wait_hist.merge(&other.dpr_wait_hist);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_are_zero_without_progress() {
+        let s = ShardStats::default();
+        assert_eq!(s.dprs_per_100_iters(), 0.0);
+        assert_eq!(s.mean_dpr_wait(), 0.0);
+    }
+
+    #[test]
+    fn dpr_rate_scales_to_100_iterations() {
+        let s = ShardStats {
+            dprs: 30,
+            v_train_advances: 200,
+            ..Default::default()
+        };
+        assert_eq!(s.dprs_per_100_iters(), 15.0);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = ShardStats {
+            pulls_total: 3,
+            dprs: 1,
+            bytes_in: 100,
+            ..Default::default()
+        };
+        let b = ShardStats {
+            pulls_total: 7,
+            dprs: 2,
+            bytes_out: 50,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.pulls_total, 10);
+        assert_eq!(a.dprs, 3);
+        assert_eq!(a.bytes_in, 100);
+        assert_eq!(a.bytes_out, 50);
+    }
+}

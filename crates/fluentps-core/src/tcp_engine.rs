@@ -1,0 +1,284 @@
+//! TCP runtime: the same server loop as [`crate::engine`], but over real
+//! sockets — a FluentPS cluster as separate OS threads bound to separate
+//! ports, suitable for splitting across processes (each side only needs the
+//! address book).
+//!
+//! The server loop is shared with the in-process engine conceptually: both
+//! drive the identical [`ServerShard`] state machine; only the transport
+//! differs. Workers use the same [`WorkerClient`] with TCP halves.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
+use fluentps_transport::{Mailbox, Message, NodeId, Postman, TransportError};
+
+use crate::engine::EngineConfig;
+use crate::eps::SliceMap;
+use crate::server::{PullOutcome, ServerShard, ShardConfig};
+use crate::stats::ShardStats;
+use crate::worker::{Router, WorkerClient};
+
+/// The worker client type served by the TCP engine.
+pub type TcpWorker = WorkerClient<TcpPostman, TcpNode>;
+
+/// Handle to a running TCP cluster (all nodes on loopback unless configured
+/// otherwise).
+pub struct TcpCluster {
+    servers: Vec<JoinHandle<ShardStats>>,
+    control: TcpPostman,
+    // Keeps the control endpoint's connections alive; dropping the node
+    // would mark its postman disconnected.
+    _control_node: TcpNode,
+    num_servers: u32,
+    /// Where each node listens (exported so external processes could join).
+    pub addresses: AddressBook,
+}
+
+impl TcpCluster {
+    /// Launch servers on OS-chosen loopback ports and build TCP-backed
+    /// worker clients. Mirrors [`crate::engine::Cluster::launch`].
+    pub fn launch(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+    ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
+        assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
+        let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+
+        // Bind every node first so the final address book is complete, then
+        // hand each node the finished book (TcpNode snapshots it at bind, so
+        // bind receive-only nodes first and sender nodes after).
+        let mut book = AddressBook::new();
+        let mut server_rx = Vec::new();
+        for m in 0..cfg.num_servers {
+            let node = TcpNode::bind(NodeId::Server(m), loopback, AddressBook::new())?;
+            book.insert(NodeId::Server(m), node.local_addr());
+            server_rx.push(node);
+        }
+        let mut worker_nodes = Vec::new();
+        for n in 0..cfg.num_workers {
+            let node = TcpNode::bind(NodeId::Worker(n), loopback, book.clone())?;
+            book.insert(NodeId::Worker(n), node.local_addr());
+            worker_nodes.push(node);
+        }
+        // Each server gets a sender identity with the complete book. Sender
+        // ids live above the real server range so they never collide.
+        let mut servers = Vec::with_capacity(cfg.num_servers as usize);
+        for (m, rx) in server_rx.into_iter().enumerate() {
+            let m = m as u32;
+            let tx = TcpNode::bind(
+                NodeId::Server(cfg.num_servers + 1 + m),
+                loopback,
+                book.clone(),
+            )?;
+            let mut shard = ServerShard::new(ShardConfig {
+                server_id: m,
+                num_workers: cfg.num_workers,
+                model: cfg.model,
+                policy: cfg.policy,
+                grad_scale: cfg.grad_scale,
+            });
+            for p in map.placements().iter().filter(|p| p.server == m) {
+                let vals = init
+                    .get(&p.orig_key)
+                    .map(|v| v[p.offset..p.offset + p.len].to_vec())
+                    .unwrap_or_else(|| vec![0.0; p.len]);
+                shard.init_param(p.new_key, vals);
+            }
+            let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
+            let handle = std::thread::Builder::new()
+                .name(format!("fluentps-tcp-server-{m}"))
+                .spawn(move || tcp_server_loop(shard, rx, tx, rng))
+                .expect("spawn tcp server");
+            servers.push(handle);
+        }
+
+        let router = Router::new(map);
+        let control_node = TcpNode::bind(NodeId::Scheduler, loopback, book.clone())?;
+        let control = control_node.postman();
+
+        let workers = worker_nodes
+            .into_iter()
+            .enumerate()
+            .map(|(n, node)| {
+                let postman = node.postman();
+                WorkerClient::new(n as u32, postman, node, router.clone())
+            })
+            .collect();
+
+        Ok((
+            TcpCluster {
+                servers,
+                control,
+                _control_node: control_node,
+                num_servers: cfg.num_servers,
+                addresses: book,
+            },
+            workers,
+        ))
+    }
+
+    /// Send shutdown to every server and collect their statistics.
+    pub fn shutdown(self) -> Vec<ShardStats> {
+        for m in 0..self.num_servers {
+            let _ = self.control.send(NodeId::Server(m), Message::Shutdown);
+        }
+        self.servers
+            .into_iter()
+            .map(|h| h.join().expect("tcp server thread"))
+            .collect()
+    }
+}
+
+fn tcp_server_loop(
+    mut shard: ServerShard,
+    rx: TcpNode,
+    tx: TcpNode,
+    mut rng: StdRng,
+) -> ShardStats {
+    let postman = tx.postman();
+    let server_id = shard.config().server_id;
+    while let Ok((_, msg)) = rx.recv() {
+        match msg {
+            Message::SPush {
+                worker,
+                progress,
+                kv,
+            } => {
+                let released = shard.on_push(worker, progress, &kv);
+                let _ = postman.send(
+                    NodeId::Worker(worker),
+                    Message::PushAck {
+                        server: server_id,
+                        progress,
+                    },
+                );
+                for r in released {
+                    let _ = postman.send(
+                        NodeId::Worker(r.worker),
+                        Message::PullResponse {
+                            server: server_id,
+                            progress: r.progress,
+                            kv: r.kv,
+                            version: r.version,
+                        },
+                    );
+                }
+            }
+            Message::SPull {
+                worker,
+                progress,
+                keys,
+            } => {
+                let draw: f64 = rng.gen();
+                if let PullOutcome::Respond { kv, version } =
+                    shard.on_pull(worker, progress, &keys, draw, None)
+                {
+                    let _ = postman.send(
+                        NodeId::Worker(worker),
+                        Message::PullResponse {
+                            server: server_id,
+                            progress,
+                            kv,
+                            version,
+                        },
+                    );
+                }
+            }
+            Message::Shutdown => {
+                for r in shard.drain_shutdown() {
+                    let _ = postman.send(
+                        NodeId::Worker(r.worker),
+                        Message::PullResponse {
+                            server: server_id,
+                            progress: r.progress,
+                            kv: r.kv,
+                            version: r.version,
+                        },
+                    );
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    shard.stats().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::SyncModel;
+    use crate::eps::{EpsSlicer, ParamSpec, Slicer};
+
+    #[test]
+    fn tcp_cluster_runs_bsp_training_round_trips() {
+        let specs = vec![ParamSpec { key: 0, len: 6 }, ParamSpec { key: 1, len: 3 }];
+        let mut init = HashMap::new();
+        init.insert(0u64, vec![0.0; 6]);
+        init.insert(1u64, vec![0.0; 3]);
+        let map = EpsSlicer { max_chunk: 4 }.slice(&specs, 2);
+        let cfg = EngineConfig {
+            num_workers: 2,
+            num_servers: 2,
+            model: SyncModel::Bsp,
+            ..EngineConfig::default()
+        };
+        let (cluster, workers) = TcpCluster::launch(cfg, map, &init).expect("launch");
+
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|mut w| {
+                std::thread::spawn(move || {
+                    let grads: HashMap<u64, Vec<f32>> =
+                        [(0u64, vec![1.0f32; 6]), (1u64, vec![2.0f32; 3])].into();
+                    let mut params = HashMap::new();
+                    for i in 0..3u64 {
+                        w.spush(i, &grads).unwrap();
+                        let report = w.spull_wait(i, &mut params).unwrap();
+                        assert!(report.min_version > i);
+                    }
+                    params
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for params in &results {
+            assert_eq!(params[&0], vec![3.0; 6]);
+            assert_eq!(params[&1], vec![6.0; 3]);
+        }
+        let stats = cluster.shutdown();
+        assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn tcp_cluster_shutdown_unblocks_parked_worker() {
+        let specs = vec![ParamSpec { key: 0, len: 4 }];
+        let mut init = HashMap::new();
+        init.insert(0u64, vec![0.0; 4]);
+        let map = EpsSlicer { max_chunk: 8 }.slice(&specs, 1);
+        let cfg = EngineConfig {
+            num_workers: 2,
+            num_servers: 1,
+            model: SyncModel::Bsp,
+            ..EngineConfig::default()
+        };
+        let (cluster, mut workers) = TcpCluster::launch(cfg, map, &init).expect("launch");
+        let mut w0 = workers.remove(0);
+        let blocked = std::thread::spawn(move || {
+            let grads: HashMap<u64, Vec<f32>> = [(0u64, vec![1.0f32; 4])].into();
+            w0.spush(0, &grads).unwrap();
+            let mut params = HashMap::new();
+            w0.spull_wait(0, &mut params).unwrap();
+        });
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let stats = cluster.shutdown();
+        blocked.join().unwrap();
+        assert_eq!(stats[0].dprs_released, 1);
+    }
+}

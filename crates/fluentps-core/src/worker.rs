@@ -1,0 +1,319 @@
+//! Worker-side client: routing, `sPush`, `sPull` and `wait`.
+//!
+//! A worker holds the model as a map from original parameter key to a flat
+//! value vector. The [`Router`] (built from an EPS [`SliceMap`]) scatters a
+//! gradient across the per-server wire keys for `sPush`, and gathers the
+//! per-server `PullResponse`s back into whole parameters after `sPull`.
+
+use std::collections::HashMap;
+
+use fluentps_transport::{KvPairs, Mailbox, Message, NodeId, Postman, TransportError};
+
+use crate::eps::SliceMap;
+
+/// Key routing derived from a [`SliceMap`].
+#[derive(Debug, Clone)]
+pub struct Router {
+    map: SliceMap,
+    per_server: Vec<Vec<u64>>,
+}
+
+impl Router {
+    /// Build routing tables from a placement.
+    pub fn new(map: SliceMap) -> Self {
+        let mut per_server = vec![Vec::new(); map.num_servers() as usize];
+        for p in map.placements() {
+            per_server[p.server as usize].push(p.new_key);
+        }
+        for keys in &mut per_server {
+            keys.sort_unstable();
+        }
+        Router { map, per_server }
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> u32 {
+        self.map.num_servers()
+    }
+
+    /// Wire keys owned by server `m`.
+    pub fn keys_for_server(&self, m: u32) -> &[u64] {
+        &self.per_server[m as usize]
+    }
+
+    /// Servers that own at least one key (a pull expects one response from
+    /// each of these).
+    pub fn active_servers(&self) -> impl Iterator<Item = u32> + '_ {
+        self.per_server
+            .iter()
+            .enumerate()
+            .filter(|(_, keys)| !keys.is_empty())
+            .map(|(m, _)| m as u32)
+    }
+
+    /// The underlying placement.
+    pub fn slice_map(&self) -> &SliceMap {
+        &self.map
+    }
+
+    /// Scatter per-parameter values into one [`KvPairs`] per server. Entries
+    /// for servers owning nothing are empty.
+    pub fn scatter(&self, values: &HashMap<u64, Vec<f32>>) -> Vec<KvPairs> {
+        let mut out = vec![KvPairs::default(); self.map.num_servers() as usize];
+        // Walk placements in deterministic order so wire batches are stable.
+        for p in self.map.placements() {
+            let Some(vals) = values.get(&p.orig_key) else {
+                continue;
+            };
+            debug_assert!(
+                p.offset + p.len <= vals.len(),
+                "placement exceeds value length for key {}",
+                p.orig_key
+            );
+            let kv = &mut out[p.server as usize];
+            kv.keys.push(p.new_key);
+            kv.lens.push(p.len as u32);
+            kv.vals.extend_from_slice(&vals[p.offset..p.offset + p.len]);
+        }
+        out
+    }
+
+    /// Merge a server's pull response back into whole parameters. Unknown
+    /// keys are ignored (debug-asserted).
+    pub fn gather_into(&self, params: &mut HashMap<u64, Vec<f32>>, response: &KvPairs) {
+        for (new_key, slice) in response.iter() {
+            let Some(p) = self.map.placement_of(new_key) else {
+                debug_assert!(false, "response for unknown key {new_key:#x}");
+                continue;
+            };
+            let entry = params
+                .entry(p.orig_key)
+                .or_insert_with(|| vec![0.0; p.offset + p.len]);
+            if entry.len() < p.offset + p.len {
+                entry.resize(p.offset + p.len, 0.0);
+            }
+            entry[p.offset..p.offset + p.len].copy_from_slice(slice);
+        }
+    }
+}
+
+/// Outcome of a completed `sPull` + `wait`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PullReport {
+    /// Servers that answered.
+    pub responses: u32,
+    /// Highest shard version among the responses.
+    pub max_version: u64,
+    /// Lowest shard version among the responses.
+    pub min_version: u64,
+}
+
+/// The worker client of Algorithm 1: `sPush(key, g, i)` then
+/// `wait(sPull(key, &w, i))`.
+pub struct WorkerClient<P, M> {
+    worker_id: u32,
+    postman: P,
+    mailbox: M,
+    router: Router,
+}
+
+impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
+    /// Create a client for worker `worker_id`.
+    pub fn new(worker_id: u32, postman: P, mailbox: M, router: Router) -> Self {
+        WorkerClient {
+            worker_id,
+            postman,
+            mailbox,
+            router,
+        }
+    }
+
+    /// This worker's id (`n`).
+    pub fn worker_id(&self) -> u32 {
+        self.worker_id
+    }
+
+    /// The router in use.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// `sPush`: send this iteration's gradients to every owning server.
+    /// Returns the number of servers contacted.
+    pub fn spush(
+        &self,
+        progress: u64,
+        grads: &HashMap<u64, Vec<f32>>,
+    ) -> Result<u32, TransportError> {
+        let shards = self.router.scatter(grads);
+        let mut sent = 0;
+        for (m, kv) in shards.into_iter().enumerate() {
+            if kv.is_empty() {
+                continue;
+            }
+            self.postman.send(
+                NodeId::Server(m as u32),
+                Message::SPush {
+                    worker: self.worker_id,
+                    progress,
+                    kv,
+                },
+            )?;
+            sent += 1;
+        }
+        Ok(sent)
+    }
+
+    /// `sPull` + `wait`: request all parameters and block until every owning
+    /// server has responded (immediately or lazily). Fresh parameters are
+    /// merged into `params`. `PushAck`s arriving in between are absorbed.
+    pub fn spull_wait(
+        &mut self,
+        progress: u64,
+        params: &mut HashMap<u64, Vec<f32>>,
+    ) -> Result<PullReport, TransportError> {
+        let all: Vec<u64> = self
+            .router
+            .slice_map()
+            .placements()
+            .iter()
+            .map(|p| p.orig_key)
+            .collect();
+        self.spull_keys_wait(progress, &all, params)
+    }
+
+    /// `sPull` a *subset* of the original parameter keys (e.g. only the
+    /// layers the next computation touches) and wait for the owning
+    /// servers' responses. Keys whose slices live on several servers fan
+    /// out accordingly.
+    pub fn spull_keys_wait(
+        &mut self,
+        progress: u64,
+        orig_keys: &[u64],
+        params: &mut HashMap<u64, Vec<f32>>,
+    ) -> Result<PullReport, TransportError> {
+        // Group the requested slices by owning server.
+        let mut per_server: HashMap<u32, Vec<u64>> = HashMap::new();
+        for &orig in orig_keys {
+            for p in self.router.slice_map().slices_of(orig) {
+                per_server.entry(p.server).or_default().push(p.new_key);
+            }
+        }
+        let mut servers: Vec<u32> = per_server.keys().copied().collect();
+        servers.sort_unstable();
+        let mut expected = 0u32;
+        for m in servers {
+            let mut keys = per_server.remove(&m).expect("grouped");
+            keys.sort_unstable();
+            keys.dedup();
+            self.postman.send(
+                NodeId::Server(m),
+                Message::SPull {
+                    worker: self.worker_id,
+                    progress,
+                    keys,
+                },
+            )?;
+            expected += 1;
+        }
+        let mut report = PullReport {
+            responses: 0,
+            max_version: 0,
+            min_version: u64::MAX,
+        };
+        while report.responses < expected {
+            let (_, msg) = self.mailbox.recv()?;
+            match msg {
+                Message::PullResponse { kv, version, .. } => {
+                    self.router.gather_into(params, &kv);
+                    report.responses += 1;
+                    report.max_version = report.max_version.max(version);
+                    report.min_version = report.min_version.min(version);
+                }
+                Message::PushAck { .. } => {}
+                Message::Shutdown => return Err(TransportError::Disconnected),
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eps::{EpsSlicer, ParamSpec, Slicer};
+
+    fn router(max_chunk: usize, servers: u32) -> Router {
+        let params = vec![
+            ParamSpec { key: 0, len: 10 },
+            ParamSpec { key: 1, len: 3 },
+            ParamSpec { key: 2, len: 7 },
+        ];
+        Router::new(EpsSlicer { max_chunk }.slice(&params, servers))
+    }
+
+    fn values() -> HashMap<u64, Vec<f32>> {
+        let mut v = HashMap::new();
+        v.insert(0, (0..10).map(|x| x as f32).collect());
+        v.insert(1, vec![100.0, 101.0, 102.0]);
+        v.insert(2, (0..7).map(|x| 200.0 + x as f32).collect());
+        v
+    }
+
+    #[test]
+    fn scatter_then_gather_is_identity() {
+        let r = router(4, 3);
+        let vals = values();
+        let shards = r.scatter(&vals);
+        assert_eq!(shards.len(), 3);
+        let mut rebuilt = HashMap::new();
+        for kv in &shards {
+            assert!(kv.is_consistent());
+            r.gather_into(&mut rebuilt, kv);
+        }
+        assert_eq!(rebuilt, vals);
+    }
+
+    #[test]
+    fn scatter_covers_every_value_exactly_once() {
+        let r = router(3, 4);
+        let vals = values();
+        let shards = r.scatter(&vals);
+        let total: usize = shards.iter().map(|kv| kv.vals.len()).sum();
+        assert_eq!(total, 10 + 3 + 7);
+    }
+
+    #[test]
+    fn active_servers_matches_nonempty_key_lists() {
+        // Tiny model, many servers: some servers own nothing.
+        let params = vec![ParamSpec { key: 0, len: 2 }];
+        let r = Router::new(EpsSlicer { max_chunk: 16 }.slice(&params, 8));
+        let active: Vec<u32> = r.active_servers().collect();
+        assert_eq!(active.len(), 1);
+        assert!(!r.keys_for_server(active[0]).is_empty());
+    }
+
+    #[test]
+    fn gather_into_resizes_missing_params() {
+        let r = router(4, 2);
+        let vals = values();
+        let shards = r.scatter(&vals);
+        let mut fresh = HashMap::new();
+        for kv in &shards {
+            r.gather_into(&mut fresh, kv);
+        }
+        assert_eq!(fresh[&0].len(), 10);
+        assert_eq!(fresh[&2][6], 206.0);
+    }
+
+    #[test]
+    fn scatter_skips_absent_params() {
+        let r = router(4, 2);
+        let mut vals = values();
+        vals.remove(&1);
+        let shards = r.scatter(&vals);
+        let total: usize = shards.iter().map(|kv| kv.vals.len()).sum();
+        assert_eq!(total, 10 + 7);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests on the synchronization conditions themselves.
+
+use fluentps_core::condition::{SyncModel, SyncPolicy, SyncState};
+use fluentps_core::pssp::Alpha;
+use fluentps_core::regret::{equivalent_ssp_threshold, pssp_const_bound, ssp_bound, RegretParams};
+use proptest::prelude::*;
+
+fn arb_state() -> impl Strategy<Value = SyncState> {
+    (0u64..50, 0u32..8, 1u32..8).prop_map(|(v_train, count, n)| SyncState {
+        v_train,
+        count_at_v_train: count.min(n),
+        num_workers: n,
+        fastest: v_train + 5,
+        slowest: v_train,
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = SyncModel> {
+    prop_oneof![
+        Just(SyncModel::Bsp),
+        Just(SyncModel::Asp),
+        (0u64..6).prop_map(|s| SyncModel::Ssp { s }),
+        (0u64..6, 0.01f64..1.0).prop_map(|(s, c)| SyncModel::PsspConst { s, c }),
+        (0u64..6, 0.01f64..2.0).prop_map(|(s, alpha)| SyncModel::PsspDynamic {
+            s,
+            alpha: Alpha::Constant(alpha),
+        }),
+    ]
+}
+
+proptest! {
+    /// Monotonicity in the probability draw: if a pull is permitted at draw
+    /// d, it is permitted at every larger draw (blocking happens at draws
+    /// BELOW the probability, so increasing the draw can only help).
+    #[test]
+    fn pull_permission_monotone_in_draw(
+        model in arb_model(),
+        st in arb_state(),
+        progress in 0u64..60,
+        d1 in 0.0f64..1.0,
+        d2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let mut m = model.into_policy();
+        let at_lo = m.pull_permitted(&st, progress, lo, None);
+        let mut m = model.into_policy();
+        let at_hi = m.pull_permitted(&st, progress, hi, None);
+        prop_assert!(!at_lo || at_hi, "permitted at {lo} but not at {hi}");
+    }
+
+    /// Monotonicity in progress: a slower requester is never blocked when a
+    /// faster one is admitted (same state, same draw).
+    #[test]
+    fn pull_permission_antitone_in_progress(
+        model in arb_model(),
+        st in arb_state(),
+        p1 in 0u64..60,
+        p2 in 0u64..60,
+        draw in 0.0f64..1.0,
+    ) {
+        let (slow, fast) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        // Dynamic PSSP's probability grows with the gap, so a fixed draw
+        // admits the slow request whenever it admits the fast one.
+        let mut m = model.into_policy();
+        let fast_ok = m.pull_permitted(&st, fast, draw, None);
+        let mut m = model.into_policy();
+        let slow_ok = m.pull_permitted(&st, slow, draw, None);
+        prop_assert!(!fast_ok || slow_ok, "fast {fast} admitted but slow {slow} blocked");
+    }
+
+    /// The push condition depends only on the count reaching its target:
+    /// once it fires for a count, it fires for any larger count.
+    #[test]
+    fn push_condition_monotone_in_count(
+        model in arb_model(),
+        st in arb_state(),
+    ) {
+        let mut m = model.into_policy();
+        if m.push_fires(&st) {
+            let more = SyncState {
+                count_at_v_train: st.count_at_v_train + 1,
+                ..st
+            };
+            prop_assert!(m.push_fires(&more));
+        }
+    }
+
+    /// Theorem 1 equivalence holds for arbitrary parameters, not just the
+    /// paper's groups.
+    #[test]
+    fn regret_equivalence_universal(
+        s in 0u64..20,
+        c in 0.02f64..1.0,
+        n in 1u32..256,
+        t in 1_000u64..10_000_000,
+    ) {
+        let p = RegretParams { f: 2.0, l: 0.5, n, t };
+        let a = pssp_const_bound(p, s as f64, c);
+        let b = ssp_bound(p, equivalent_ssp_threshold(s, c));
+        prop_assert!((a - b).abs() < 1e-9 * a.max(1.0), "{a} vs {b}");
+    }
+
+    /// PSSP's bound interpolates between SSP (c→1) and looser-than-SSP as c
+    /// shrinks; it is monotone decreasing in c.
+    #[test]
+    fn pssp_bound_monotone_in_c(
+        s in 0u64..10,
+        c1 in 0.05f64..1.0,
+        c2 in 0.05f64..1.0,
+    ) {
+        let p = RegretParams { f: 1.0, l: 1.0, n: 16, t: 100_000 };
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(
+            pssp_const_bound(p, s as f64, lo) >= pssp_const_bound(p, s as f64, hi)
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!   repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|all> [--full] [--csv DIR]
+//!
+//! Quick mode (default) finishes each experiment in seconds-to-minutes;
+//! `--full` uses paper-like worker counts and iteration budgets.
+
+use std::io::Write as _;
+
+use fluentps_experiments::figures::{self, Scale};
+use fluentps_experiments::report::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which: Vec<String> = Vec::new();
+    let mut full = false;
+    let mut csv_dir: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => full = true,
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            name => which.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if which.is_empty() {
+        usage();
+    }
+    let scale = Scale { full };
+    let all = which.iter().any(|w| w == "all");
+    let wants = |name: &str| all || which.iter().any(|w| w == name);
+
+    let mut tables: Vec<Table> = Vec::new();
+    let mut run_one = |name: &str, f: &dyn Fn() -> Vec<Table>| {
+        if wants(name) {
+            eprintln!("[repro] running {name} ({} scale)...", if full { "full" } else { "quick" });
+            let start = std::time::Instant::now();
+            let out = f();
+            eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+            for t in &out {
+                println!("{}", t.render());
+            }
+            tables.extend(out);
+        }
+    };
+
+    run_one("fig1", &|| figures::fig1::run_figure(scale));
+    run_one("fig3", &|| figures::fig3::run_figure());
+    run_one("fig6", &|| figures::fig6::run_figure(scale));
+    run_one("fig7", &|| figures::fig7::run_figure(scale));
+    run_one("fig8", &|| figures::fig8::run_figure(scale));
+    run_one("fig9", &|| figures::fig9::run_figure(scale));
+    run_one("fig10", &|| figures::fig10::run_figure(scale, false));
+    run_one("fig11", &|| figures::fig10::run_figure(scale, true));
+    run_one("table4", &|| figures::table4::run_figure(scale));
+    run_one("ablation-eps", &|| figures::ablations::eps_chunk_sweep(scale));
+    run_one("ablation-sched", &|| {
+        figures::ablations::scheduler_cost_sweep(scale)
+    });
+    run_one("ablation-filter", &|| {
+        figures::ablations::significance_filter_sweep(scale)
+    });
+    run_one("ablation-stragglers", &|| {
+        figures::ablations::straggler_sweep(scale)
+    });
+
+    if tables.is_empty() {
+        usage();
+    }
+
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(&dir).expect("create csv dir");
+        for (i, t) in tables.iter().enumerate() {
+            let path = format!("{dir}/table_{i:02}.csv");
+            let mut f = std::fs::File::create(&path).expect("create csv file");
+            f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            eprintln!("[repro] wrote {path}");
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR]"
+    );
+    std::process::exit(2);
+}

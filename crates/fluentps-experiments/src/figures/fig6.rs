@@ -1,0 +1,115 @@
+//! Figure 6: computation/communication time of PS-Lite vs FluentPS vs
+//! FluentPS+EPS when training ResNet-56 (BSP, batch 4096) at 8/16/32
+//! workers on 8 servers.
+//!
+//! Expected shape: as N grows, per-worker computation shrinks but PS-Lite's
+//! non-overlap communication swells to dominate; FluentPS's overlap
+//! synchronization removes most of it (paper: up to 4.26× over PS-Lite,
+//! 86% less communication) and EPS removes the remaining slicing imbalance
+//! (a further 1.42×; up to 6× total, 93.7% communication reduction).
+
+use fluentps_baseline::pslite::PsLiteMode;
+use fluentps_core::condition::SyncModel;
+use fluentps_core::dpr::DprPolicy;
+use fluentps_simnet::compute::StragglerSpec;
+use fluentps_simnet::net::LinkModel;
+
+use crate::driver::{run, DriverConfig, EngineKind, ModelKind, RunResult, SlicerKind};
+use crate::figures::{resnet56_inventory, Scale};
+use crate::report::{secs, speedup, Table};
+
+fn base_cfg(scale: Scale, n: u32) -> DriverConfig {
+    DriverConfig {
+        num_workers: n,
+        num_servers: 8,
+        max_iters: scale.pick(40, 400),
+        model: ModelKind::TimingOnly {
+            params: resnet56_inventory(),
+        },
+        dataset: None,
+        // Batch-4096 ResNet-56 on a K80 is seconds per iteration at
+        // parallelism 1; the driver divides by N.
+        compute_base: 8.0,
+        compute_jitter: 0.15,
+        stragglers: StragglerSpec::random_slowdowns(),
+        // 25 Gbps *aggregate* across 32 instances ≈ 1 Gbps per node.
+        link: LinkModel::gbe(),
+        eval_every: 0,
+        seed: 6,
+        ..DriverConfig::default()
+    }
+}
+
+/// One (system, N) measurement.
+pub fn measure(scale: Scale, n: u32, system: &str) -> RunResult {
+    let mut cfg = base_cfg(scale, n);
+    match system {
+        "ps-lite" => {
+            cfg.engine = EngineKind::PsLite {
+                mode: PsLiteMode::Bsp,
+            };
+            cfg.slicer = SlicerKind::Default;
+        }
+        "fluentps" => {
+            cfg.engine = EngineKind::FluentPs {
+                model: SyncModel::Bsp,
+                policy: DprPolicy::LazyExecution,
+            };
+            cfg.slicer = SlicerKind::Default;
+        }
+        "fluentps+eps" => {
+            cfg.engine = EngineKind::FluentPs {
+                model: SyncModel::Bsp,
+                policy: DprPolicy::LazyExecution,
+            };
+            cfg.slicer = SlicerKind::Eps { max_chunk: 65_536 };
+        }
+        other => panic!("unknown system {other}"),
+    }
+    run(&cfg)
+}
+
+/// Regenerate Figure 6.
+pub fn run_figure(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 6: computation/communication split, ResNet-56-like, BSP, M=8",
+        &[
+            "workers",
+            "system",
+            "compute",
+            "comm",
+            "total",
+            "speedup-vs-pslite",
+            "comm-reduction",
+        ],
+    );
+    for n in [8u32, 16, 32] {
+        let pslite = measure(scale, n, "ps-lite");
+        let fluent = measure(scale, n, "fluentps");
+        let eps = measure(scale, n, "fluentps+eps");
+        for (name, r) in [
+            ("PS-Lite", &pslite),
+            ("FluentPS", &fluent),
+            ("FluentPS+EPS", &eps),
+        ] {
+            let comm_red = if pslite.comm_time_mean > 0.0 {
+                format!(
+                    "{:.1}%",
+                    (1.0 - r.comm_time_mean / pslite.comm_time_mean) * 100.0
+                )
+            } else {
+                "—".into()
+            };
+            t.row(vec![
+                n.to_string(),
+                name.to_string(),
+                secs(r.compute_time_mean),
+                secs(r.comm_time_mean),
+                secs(r.total_time),
+                speedup(pslite.total_time, r.total_time),
+                comm_red,
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -1,0 +1,90 @@
+//! Figure 9: synchronization frequency — DPRs per 100 iterations for the
+//! regret-equivalent model pairs, under soft barrier and lazy execution.
+//!
+//! Groups (Theorem 1: PSSP(s=3, c) ≡ SSP(s' = 3 + 1/c − 1)):
+//! A: PSSP c=1/2  vs B: SSP s'=4
+//! C: PSSP c=1/3  vs D: SSP s'=5
+//! E: PSSP c=1/5  vs F: SSP s'=7
+//! G: PSSP c=1/10 vs H: SSP s'=12
+//!
+//! Expected shape: within every pair the PSSP model produces far fewer DPRs
+//! (paper: up to 97.1% fewer, G vs H with the soft barrier) and lazy
+//! execution slashes DPRs further for both.
+
+use fluentps_core::condition::SyncModel;
+use fluentps_core::dpr::DprPolicy;
+use fluentps_simnet::compute::StragglerSpec;
+use fluentps_simnet::net::LinkModel;
+
+use crate::driver::{run, DriverConfig, EngineKind, ModelKind, RunResult};
+use crate::figures::{alexnet_inventory, Scale};
+use crate::report::{secs, Table};
+
+/// The labelled models of the figure.
+pub fn models() -> Vec<(&'static str, SyncModel)> {
+    vec![
+        ("A: PSSP s=3 c=1/2", SyncModel::PsspConst { s: 3, c: 0.5 }),
+        ("B: SSP s'=4", SyncModel::Ssp { s: 4 }),
+        ("C: PSSP s=3 c=1/3", SyncModel::PsspConst { s: 3, c: 1.0 / 3.0 }),
+        ("D: SSP s'=5", SyncModel::Ssp { s: 5 }),
+        ("E: PSSP s=3 c=1/5", SyncModel::PsspConst { s: 3, c: 0.2 }),
+        ("F: SSP s'=7", SyncModel::Ssp { s: 7 }),
+        ("G: PSSP s=3 c=1/10", SyncModel::PsspConst { s: 3, c: 0.1 }),
+        ("H: SSP s'=12", SyncModel::Ssp { s: 12 }),
+    ]
+}
+
+/// One timing-only measurement.
+pub fn measure(scale: Scale, model: SyncModel, policy: DprPolicy) -> RunResult {
+    let cfg = DriverConfig {
+        engine: EngineKind::FluentPs { model, policy },
+        num_workers: scale.pick(16, 64),
+        num_servers: 1,
+        max_iters: scale.pick(300, 4000),
+        model: ModelKind::TimingOnly {
+            params: alexnet_inventory(),
+        },
+        dataset: None,
+        compute_base: 4.0,
+        compute_jitter: 0.3,
+        // The SSP dynamics the paper describes need a chronically slow node:
+        // fast workers pile up at `V_train + s` and the soft barrier
+        // re-triggers every iteration.
+        stragglers: StragglerSpec {
+            transient_prob: 0.05,
+            transient_factor: 2.0,
+            persistent_count: 1,
+            persistent_factor: 1.6,
+        },
+        // Fast links: the straggler (not the NIC) must pace the cluster for
+        // the SSP gap dynamics to appear.
+        link: LinkModel::aws_25g(),
+        eval_every: 0,
+        seed: 9,
+        ..DriverConfig::default()
+    };
+    run(&cfg)
+}
+
+/// Regenerate Figure 9.
+pub fn run_figure(scale: Scale) -> Vec<Table> {
+    let mut t = Table::new(
+        "Figure 9: DPRs per 100 iterations, regret-equivalent PSSP/SSP pairs",
+        &["model", "policy", "DPRs/100it", "time"],
+    );
+    for (label, model) in models() {
+        for (pname, policy) in [
+            ("soft", DprPolicy::SoftBarrier),
+            ("lazy", DprPolicy::LazyExecution),
+        ] {
+            let r = measure(scale, model, policy);
+            t.row(vec![
+                label.to_string(),
+                pname.to_string(),
+                format!("{:.1}", r.dprs_per_100),
+                secs(r.total_time),
+            ]);
+        }
+    }
+    vec![t]
+}

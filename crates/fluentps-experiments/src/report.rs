@@ -1,0 +1,158 @@
+//! Plain-text table/CSV rendering for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table that renders to monospaced text (the
+/// `repro` binary prints these) and to CSV (for downstream plotting).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::new();
+            for (c, w) in cells.iter().zip(widths) {
+                let _ = write!(s, "{c:>w$}  ", w = w);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as CSV (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Format seconds with sensible precision.
+pub fn secs(t: f64) -> String {
+    if t >= 100.0 {
+        format!("{t:.0}s")
+    } else if t >= 1.0 {
+        format!("{t:.1}s")
+    } else {
+        format!("{:.0}ms", t * 1000.0)
+    }
+}
+
+/// Format a 0..1 accuracy as a percentage.
+pub fn pct(a: f32) -> String {
+    format!("{:.1}%", a * 100.0)
+}
+
+/// Format a speedup factor.
+pub fn speedup(baseline: f64, ours: f64) -> String {
+    if ours <= 0.0 {
+        "—".to_string()
+    } else {
+        format!("{:.2}x", baseline / ours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long-name"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("c", &["k"]);
+        t.row(vec!["a,b".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(0.5), "500ms");
+        assert_eq!(secs(12.34), "12.3s");
+        assert_eq!(secs(250.0), "250s");
+        assert_eq!(pct(0.765), "76.5%");
+        assert_eq!(speedup(6.0, 1.5), "4.00x");
+        assert_eq!(speedup(1.0, 0.0), "—");
+    }
+}

@@ -1,0 +1,47 @@
+//! From-scratch deep-learning substrate for the FluentPS reproduction.
+//!
+//! The paper trains AlexNet and ResNet-56 on CIFAR-10/100 through Caffe on
+//! GPU clusters. Neither the hardware nor the DL bindings exist in this
+//! environment, so this crate provides the closest synthetic equivalent that
+//! exercises the same code path: real models trained with real stochastic
+//! gradients, where the *parameter version each gradient is computed at* is
+//! decided by the synchronization model under test. Staleness then hurts
+//! convergence through exactly the mechanism the paper measures.
+//!
+//! Contents:
+//!
+//! * [`linalg`] — blocked matrix multiply and vector helpers.
+//! * [`init`] — seeded Xavier/He initialisation.
+//! * [`models`] — softmax regression, MLPs, a residual MLP standing in for
+//!   ResNet-56 (deep, skip connections, higher staleness sensitivity) and a
+//!   small convolutional network.
+//! * [`optim`] — SGD with momentum/weight decay and LARS (the paper uses
+//!   LARS for its large-batch training).
+//! * [`schedule`] — learning-rate schedules (constant, step decay, warmup).
+//! * [`data`] — seeded synthetic classification datasets standing in for
+//!   CIFAR-10 ("c10-like": 10 classes) and CIFAR-100 ("c100-like": 100
+//!   classes with lower attainable accuracy).
+//! * [`metrics`] — accuracy and loss tracking.
+//!
+//! Parameters and gradients travel as `HashMap<u64, Vec<f32>>` keyed by
+//! layer, matching the parameter-server worker API, so a model plugs into a
+//! `WorkerClient` without translation.
+
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod init;
+pub mod linalg;
+pub mod metrics;
+pub mod models;
+pub mod optim;
+pub mod par;
+pub mod schedule;
+pub mod tensor;
+
+/// Parameters / gradients keyed by parameter-server key.
+pub type ParamMap = std::collections::HashMap<u64, Vec<f32>>;
+
+pub use data::{Batch, Dataset};
+pub use models::{Model, Mlp, ResidualMlp, SoftmaxRegression};
+pub use optim::{Lars, Optimizer, Sgd};

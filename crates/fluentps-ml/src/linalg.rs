@@ -1,0 +1,236 @@
+//! Dense linear algebra on row-major `f32` slices.
+//!
+//! Everything the models need: three GEMM variants (plain, A-transposed,
+//! B-transposed) with loop ordering chosen for cache behaviour, plus small
+//! vector helpers. No unsafe, no SIMD intrinsics — the inner loops are
+//! written so LLVM auto-vectorizes them (iterator over slices, no bounds
+//! checks in the hot loop).
+
+/// `c[m×n] = a[m×k] · b[k×n]` (accumulates into zeroed `c`).
+///
+/// The i-k-j loop order streams both `b` and `c` rows sequentially, which
+/// auto-vectorizes and is cache-friendly for the row-major layout.
+pub fn matmul(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "a shape");
+    assert_eq!(b.len(), k * n, "b shape");
+    assert_eq!(c.len(), m * n, "c shape");
+    c.fill(0.0);
+    for i in 0..m {
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let a_ik = a[i * k + kk];
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// `c[k×n] = aᵀ[k×m] · b[m×n]` where `a` is stored as `m×k` — the weight-
+/// gradient product `Xᵀ·dY` in backprop.
+pub fn matmul_at_b(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "a shape");
+    assert_eq!(b.len(), m * n, "b shape");
+    assert_eq!(c.len(), k * n, "c shape");
+    c.fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let b_row = &b[i * n..(i + 1) * n];
+        for (kk, &a_ik) in a_row.iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[kk * n..(kk + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_ik * bv;
+            }
+        }
+    }
+}
+
+/// `c[m×k] = a[m×n] · bᵀ[n×k]` where `b` is stored as `k×n` — the input-
+/// gradient product `dY·Wᵀ` in backprop.
+pub fn matmul_a_bt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * n, "a shape");
+    assert_eq!(b.len(), k * n, "b shape");
+    assert_eq!(c.len(), m * k, "c shape");
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        for kk in 0..k {
+            let b_row = &b[kk * n..(kk + 1) * n];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * k + kk] = acc;
+        }
+    }
+}
+
+/// `y += alpha * x` (axpy).
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yv, xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f32]) -> f32 {
+    x.iter().map(|&v| v * v).sum::<f32>().sqrt()
+}
+
+/// In-place ReLU; returns nothing, mutates `x`.
+pub fn relu_inplace(x: &mut [f32]) {
+    for v in x {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Backprop through ReLU: `dx = dy ⊙ [pre > 0]`, written into `dy` in place
+/// given the pre-activation values.
+pub fn relu_backward_inplace(pre: &[f32], dy: &mut [f32]) {
+    debug_assert_eq!(pre.len(), dy.len());
+    for (d, &p) in dy.iter_mut().zip(pre) {
+        if p <= 0.0 {
+            *d = 0.0;
+        }
+    }
+}
+
+/// Row-wise softmax over an `m×n` matrix, in place, numerically stabilized.
+pub fn softmax_rows_inplace(x: &mut [f32], m: usize, n: usize) {
+    assert_eq!(x.len(), m * n);
+    for i in 0..m {
+        let row = &mut x[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for kk in 0..k {
+                    c[i * n + j] += a[i * k + kk] * b[kk * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn seq(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (i as f32 * 0.37).sin()).collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let (m, k, n) = (5, 7, 3);
+        let a = seq(m * k);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * n];
+        matmul(&a, &b, &mut c, m, k, n);
+        let expected = naive_matmul(&a, &b, m, k, n);
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let (m, k, n) = (6, 4, 5);
+        let a = seq(m * k);
+        let b = seq(m * n);
+        let mut c = vec![0.0; k * n];
+        matmul_at_b(&a, &b, &mut c, m, k, n);
+        // Explicit transpose of a, then plain matmul.
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for j in 0..k {
+                at[j * m + i] = a[i * k + j];
+            }
+        }
+        let expected = naive_matmul(&at, &b, k, m, n);
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let (m, n, k) = (4, 6, 3);
+        let a = seq(m * n);
+        let b = seq(k * n);
+        let mut c = vec![0.0; m * k];
+        matmul_a_bt(&a, &b, &mut c, m, n, k);
+        let mut bt = vec![0.0; n * k];
+        for i in 0..k {
+            for j in 0..n {
+                bt[j * k + i] = b[i * n + j];
+            }
+        }
+        let expected = naive_matmul(&a, &bt, m, n, k);
+        for (x, y) in c.iter().zip(&expected) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows_inplace(&mut x, 2, 3);
+        for i in 0..2 {
+            let row = &x[i * 3..(i + 1) * 3];
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_survives_large_logits() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_rows_inplace(&mut x, 1, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let pre = vec![-1.0, 0.0, 2.0];
+        let mut act = pre.clone();
+        relu_inplace(&mut act);
+        assert_eq!(act, vec![0.0, 0.0, 2.0]);
+        let mut dy = vec![5.0, 5.0, 5.0];
+        relu_backward_inplace(&pre, &mut dy);
+        assert_eq!(dy, vec![0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn axpy_and_norm() {
+        let x = vec![1.0, 2.0];
+        let mut y = vec![10.0, 20.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, vec![10.5, 21.0]);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+}

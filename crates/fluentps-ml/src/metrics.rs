@@ -1,0 +1,144 @@
+//! Training metrics: accuracy curves and loss tracking.
+
+/// A time-stamped accuracy/loss curve, the shape every "accuracy vs time"
+/// figure in the paper plots.
+#[derive(Debug, Clone, Default)]
+pub struct Curve {
+    points: Vec<CurvePoint>,
+}
+
+/// One evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Iteration at evaluation.
+    pub iter: u64,
+    /// Time at evaluation (seconds, wall or simulated).
+    pub time: f64,
+    /// Test accuracy in `[0, 1]`.
+    pub accuracy: f32,
+    /// Training loss at that point.
+    pub loss: f32,
+}
+
+impl Curve {
+    /// Empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an evaluation point (iterations must be non-decreasing).
+    pub fn push(&mut self, point: CurvePoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(point.iter >= last.iter, "curve must move forward");
+        }
+        self.points.push(point);
+    }
+
+    /// All points in order.
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Final accuracy (0 when empty).
+    pub fn final_accuracy(&self) -> f32 {
+        self.points.last().map(|p| p.accuracy).unwrap_or(0.0)
+    }
+
+    /// Best accuracy seen.
+    pub fn best_accuracy(&self) -> f32 {
+        self.points
+            .iter()
+            .map(|p| p.accuracy)
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Earliest time at which accuracy reached `target`, if ever — the
+    /// "time-to-accuracy" speedup metric.
+    pub fn time_to_accuracy(&self, target: f32) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.accuracy >= target)
+            .map(|p| p.time)
+    }
+
+    /// Total time span covered.
+    pub fn total_time(&self) -> f64 {
+        self.points.last().map(|p| p.time).unwrap_or(0.0)
+    }
+}
+
+/// Exponential moving average for smoothing noisy training loss.
+#[derive(Debug, Clone, Copy)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// EMA with smoothing factor `alpha` in `(0, 1]` (1 = no smoothing).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0);
+        Ema { alpha, value: None }
+    }
+
+    /// Fold in an observation and return the smoothed value.
+    pub fn update(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(iter: u64, time: f64, acc: f32) -> CurvePoint {
+        CurvePoint {
+            iter,
+            time,
+            accuracy: acc,
+            loss: 1.0,
+        }
+    }
+
+    #[test]
+    fn curve_summaries() {
+        let mut c = Curve::new();
+        c.push(pt(0, 0.0, 0.1));
+        c.push(pt(100, 5.0, 0.6));
+        c.push(pt(200, 10.0, 0.55));
+        assert_eq!(c.final_accuracy(), 0.55);
+        assert_eq!(c.best_accuracy(), 0.6);
+        assert_eq!(c.time_to_accuracy(0.5), Some(5.0));
+        assert_eq!(c.time_to_accuracy(0.9), None);
+        assert_eq!(c.total_time(), 10.0);
+        assert_eq!(c.points().len(), 3);
+    }
+
+    #[test]
+    fn empty_curve_defaults() {
+        let c = Curve::new();
+        assert_eq!(c.final_accuracy(), 0.0);
+        assert_eq!(c.total_time(), 0.0);
+        assert_eq!(c.time_to_accuracy(0.0), None);
+    }
+
+    #[test]
+    fn ema_converges_toward_constant_input() {
+        let mut e = Ema::new(0.5);
+        assert_eq!(e.update(10.0), 10.0);
+        for _ in 0..20 {
+            e.update(0.0);
+        }
+        assert!(e.value().unwrap() < 1e-4);
+    }
+}

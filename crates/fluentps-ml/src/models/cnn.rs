@@ -1,0 +1,320 @@
+//! A small convolutional network (single 3×3 conv + ReLU + 2×2 average pool
+//! + linear head) built on an im2col lowering.
+//!
+//! Included so the substrate covers the convolutional model family the paper
+//! trains; the experiment harness defaults to the MLP/residual models for
+//! speed.
+
+use crate::data::Batch;
+use crate::init::Initializer;
+use crate::linalg::{matmul, matmul_a_bt, matmul_at_b, relu_backward_inplace, relu_inplace};
+use crate::models::{softmax_xent_backward, Model, ParamShape};
+use crate::ParamMap;
+
+/// `TinyCnn` interprets each `in_ch · h · w`-length feature row as a CHW
+/// image. Keys: `0` conv weights (`out_ch × in_ch·3·3`), `1` conv bias,
+/// `2` head weights, `3` head bias.
+#[derive(Debug, Clone, Copy)]
+pub struct TinyCnn {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Image height.
+    pub h: usize,
+    /// Image width.
+    pub w: usize,
+    /// Conv output channels.
+    pub out_ch: usize,
+    /// Output classes.
+    pub classes: usize,
+}
+
+const K: usize = 3; // kernel size (fixed 3×3, stride 1, same padding)
+
+impl TinyCnn {
+    fn conv_cols(&self) -> usize {
+        self.in_ch * K * K
+    }
+
+    fn pooled_h(&self) -> usize {
+        self.h / 2
+    }
+
+    fn pooled_w(&self) -> usize {
+        self.w / 2
+    }
+
+    fn head_in(&self) -> usize {
+        self.out_ch * self.pooled_h() * self.pooled_w()
+    }
+
+    /// im2col for one image: output is `(h·w) × (in_ch·K·K)`, zero padding.
+    fn im2col(&self, img: &[f32], cols: &mut [f32]) {
+        let (h, w, c) = (self.h, self.w, self.in_ch);
+        debug_assert_eq!(img.len(), c * h * w);
+        debug_assert_eq!(cols.len(), h * w * self.conv_cols());
+        cols.fill(0.0);
+        for oy in 0..h {
+            for ox in 0..w {
+                let row = (oy * w + ox) * self.conv_cols();
+                for ch in 0..c {
+                    for ky in 0..K {
+                        let iy = oy as isize + ky as isize - 1;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..K {
+                            let ix = ox as isize + kx as isize - 1;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            cols[row + ch * K * K + ky * K + kx] =
+                                img[ch * h * w + iy as usize * w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward pass; returns `(cols, pre_act, pooled, logits)` per batch for
+    /// reuse in backward.
+    fn forward(
+        &self,
+        params: &ParamMap,
+        x: &[f32],
+        rows: usize,
+    ) -> (Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>) {
+        let hw = self.h * self.w;
+        let cc = self.conv_cols();
+        let img_len = self.in_ch * hw;
+        let conv_w = &params[&0];
+        let conv_b = &params[&1];
+
+        let mut cols = vec![0.0f32; rows * hw * cc];
+        let mut pre = vec![0.0f32; rows * self.out_ch * hw];
+        for r in 0..rows {
+            let img = &x[r * img_len..(r + 1) * img_len];
+            let col = &mut cols[r * hw * cc..(r + 1) * hw * cc];
+            self.im2col(img, col);
+            // conv as GEMM: (hw × cc) · (cc × out_ch) — conv_w stored as
+            // out_ch × cc, so use the Bᵀ variant, yielding hw × out_ch.
+            let mut out = vec![0.0f32; hw * self.out_ch];
+            matmul_a_bt(col, conv_w, &mut out, hw, cc, self.out_ch);
+            // Transpose to CHW layout with bias.
+            let dst = &mut pre[r * self.out_ch * hw..(r + 1) * self.out_ch * hw];
+            for p in 0..hw {
+                for oc in 0..self.out_ch {
+                    dst[oc * hw + p] = out[p * self.out_ch + oc] + conv_b[oc];
+                }
+            }
+        }
+        let mut act = pre.clone();
+        relu_inplace(&mut act);
+
+        // 2×2 average pool.
+        let (ph, pw) = (self.pooled_h(), self.pooled_w());
+        let mut pooled = vec![0.0f32; rows * self.head_in()];
+        for r in 0..rows {
+            for oc in 0..self.out_ch {
+                let src = &act[r * self.out_ch * hw + oc * hw..][..hw];
+                let dst_base = r * self.head_in() + oc * ph * pw;
+                for py in 0..ph {
+                    for px in 0..pw {
+                        let mut s = 0.0f32;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                s += src[(2 * py + dy) * self.w + 2 * px + dx];
+                            }
+                        }
+                        pooled[dst_base + py * pw + px] = s * 0.25;
+                    }
+                }
+            }
+        }
+
+        let head_w = &params[&2];
+        let head_b = &params[&3];
+        let mut logits = vec![0.0f32; rows * self.classes];
+        matmul(&pooled, head_w, &mut logits, rows, self.head_in(), self.classes);
+        for row in logits.chunks_mut(self.classes) {
+            for (v, b) in row.iter_mut().zip(head_b) {
+                *v += b;
+            }
+        }
+        (cols, pre, pooled, logits)
+    }
+}
+
+impl Model for TinyCnn {
+    fn name(&self) -> &'static str {
+        "tiny-cnn"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn param_shapes(&self) -> Vec<ParamShape> {
+        vec![
+            ParamShape {
+                key: 0,
+                len: self.out_ch * self.conv_cols(),
+            },
+            ParamShape {
+                key: 1,
+                len: self.out_ch,
+            },
+            ParamShape {
+                key: 2,
+                len: self.head_in() * self.classes,
+            },
+            ParamShape {
+                key: 3,
+                len: self.classes,
+            },
+        ]
+    }
+
+    fn init_params(&self, seed: u64) -> ParamMap {
+        let mut init = Initializer::new(seed);
+        let mut p = ParamMap::new();
+        p.insert(0, init.he(self.conv_cols(), self.out_ch));
+        p.insert(1, init.zeros(self.out_ch));
+        p.insert(2, init.xavier(self.head_in(), self.classes));
+        p.insert(3, init.zeros(self.classes));
+        p
+    }
+
+    fn logits(&self, params: &ParamMap, x: &[f32], rows: usize) -> Vec<f32> {
+        self.forward(params, x, rows).3
+    }
+
+    fn loss_and_grad(&self, params: &ParamMap, batch: &Batch) -> (f32, ParamMap) {
+        let rows = batch.len();
+        let hw = self.h * self.w;
+        let cc = self.conv_cols();
+        let (cols, pre, pooled, mut logits) = self.forward(params, &batch.x, rows);
+        let loss = softmax_xent_backward(&mut logits, &batch.y, self.classes);
+        let dlogits = logits;
+
+        // Head gradients.
+        let mut dw_head = vec![0.0f32; self.head_in() * self.classes];
+        matmul_at_b(&pooled, &dlogits, &mut dw_head, rows, self.head_in(), self.classes);
+        let mut db_head = vec![0.0f32; self.classes];
+        for row in dlogits.chunks(self.classes) {
+            for (d, v) in db_head.iter_mut().zip(row) {
+                *d += v;
+            }
+        }
+        let mut dpooled = vec![0.0f32; rows * self.head_in()];
+        matmul_a_bt(&dlogits, &params[&2], &mut dpooled, rows, self.classes, self.head_in());
+
+        // Un-pool (each input of a 2×2 window receives grad/4) + ReLU mask.
+        let (ph, pw) = (self.pooled_h(), self.pooled_w());
+        let mut dact = vec![0.0f32; rows * self.out_ch * hw];
+        for r in 0..rows {
+            for oc in 0..self.out_ch {
+                let src_base = r * self.head_in() + oc * ph * pw;
+                let dst = &mut dact[r * self.out_ch * hw + oc * hw..][..hw];
+                for py in 0..ph {
+                    for px in 0..pw {
+                        let g = dpooled[src_base + py * pw + px] * 0.25;
+                        for dy in 0..2 {
+                            for dx in 0..2 {
+                                dst[(2 * py + dy) * self.w + 2 * px + dx] += g;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        relu_backward_inplace(&pre, &mut dact);
+
+        // Conv gradients through im2col: dW[oc, cc] = Σ_batch colᵀ · dY.
+        let mut dw_conv = vec![0.0f32; self.out_ch * cc];
+        let mut db_conv = vec![0.0f32; self.out_ch];
+        for r in 0..rows {
+            let col = &cols[r * hw * cc..(r + 1) * hw * cc];
+            // dY in hw × out_ch layout (transpose back from CHW).
+            let d = &dact[r * self.out_ch * hw..(r + 1) * self.out_ch * hw];
+            let mut dy = vec![0.0f32; hw * self.out_ch];
+            for oc in 0..self.out_ch {
+                for p in 0..hw {
+                    dy[p * self.out_ch + oc] = d[oc * hw + p];
+                    db_conv[oc] += d[oc * hw + p];
+                }
+            }
+            // dW += dyᵀ · col → (out_ch × cc)
+            let mut dwr = vec![0.0f32; self.out_ch * cc];
+            matmul_at_b(&dy, col, &mut dwr, hw, self.out_ch, cc);
+            for (a, b) in dw_conv.iter_mut().zip(&dwr) {
+                *a += b;
+            }
+        }
+
+        let mut grads = ParamMap::new();
+        grads.insert(0, dw_conv);
+        grads.insert(1, db_conv);
+        grads.insert(2, dw_head);
+        grads.insert(3, db_head);
+        (loss, grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::check_gradients;
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let model = TinyCnn {
+            in_ch: 1,
+            h: 4,
+            w: 4,
+            out_ch: 3,
+            classes: 3,
+        };
+        // input dim = 1·4·4 = 16
+        check_gradients(&model, 16, 41, 5e-2);
+    }
+
+    #[test]
+    fn im2col_center_pixel_sees_full_neighbourhood() {
+        let m = TinyCnn {
+            in_ch: 1,
+            h: 3,
+            w: 3,
+            out_ch: 1,
+            classes: 2,
+        };
+        let img: Vec<f32> = (1..=9).map(|v| v as f32).collect();
+        let mut cols = vec![0.0f32; 9 * 9];
+        m.im2col(&img, &mut cols);
+        // Output position (1,1) = row 4 must contain the whole image.
+        assert_eq!(&cols[4 * 9..5 * 9], img.as_slice());
+        // Corner (0,0) = row 0: top-left pad zeros, then the 2×2 block.
+        let corner = &cols[0..9];
+        assert_eq!(corner[0], 0.0); // ky=0,kx=0 padded
+        assert_eq!(corner[4], 1.0); // centre tap = pixel (0,0)
+        assert_eq!(corner[8], 5.0); // bottom-right tap = pixel (1,1)
+    }
+
+    #[test]
+    fn shapes_consistent() {
+        let m = TinyCnn {
+            in_ch: 1,
+            h: 8,
+            w: 8,
+            out_ch: 4,
+            classes: 10,
+        };
+        let p = m.init_params(1);
+        for s in m.param_shapes() {
+            assert_eq!(p[&s.key].len(), s.len);
+        }
+        let logits = m.logits(&p, &vec![0.1; 64 * 2], 2);
+        assert_eq!(logits.len(), 20);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,154 @@
+//! Multinomial logistic (softmax) regression — the simplest real model, used
+//! by the quickstart example and as the fast default for huge sweeps.
+
+use crate::data::Batch;
+use crate::init::Initializer;
+use crate::linalg::{matmul, matmul_at_b};
+use crate::models::{softmax_xent_backward, Model, ParamShape};
+use crate::ParamMap;
+
+/// Keys: `0` → weights `dim × classes`, `1` → bias `classes`.
+#[derive(Debug, Clone, Copy)]
+pub struct SoftmaxRegression {
+    /// Input dimension.
+    pub dim: usize,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl SoftmaxRegression {
+    const KEY_W: u64 = 0;
+    const KEY_B: u64 = 1;
+}
+
+impl Model for SoftmaxRegression {
+    fn name(&self) -> &'static str {
+        "softmax-regression"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.classes
+    }
+
+    fn param_shapes(&self) -> Vec<ParamShape> {
+        vec![
+            ParamShape {
+                key: Self::KEY_W,
+                len: self.dim * self.classes,
+            },
+            ParamShape {
+                key: Self::KEY_B,
+                len: self.classes,
+            },
+        ]
+    }
+
+    fn init_params(&self, seed: u64) -> ParamMap {
+        let mut init = Initializer::new(seed);
+        let mut p = ParamMap::new();
+        p.insert(Self::KEY_W, init.xavier(self.dim, self.classes));
+        p.insert(Self::KEY_B, init.zeros(self.classes));
+        p
+    }
+
+    fn logits(&self, params: &ParamMap, x: &[f32], rows: usize) -> Vec<f32> {
+        let w = &params[&Self::KEY_W];
+        let b = &params[&Self::KEY_B];
+        let mut out = vec![0.0f32; rows * self.classes];
+        matmul(x, w, &mut out, rows, self.dim, self.classes);
+        for row in out.chunks_mut(self.classes) {
+            for (v, bias) in row.iter_mut().zip(b) {
+                *v += bias;
+            }
+        }
+        out
+    }
+
+    fn loss_and_grad(&self, params: &ParamMap, batch: &Batch) -> (f32, ParamMap) {
+        let rows = batch.len();
+        let mut logits = self.logits(params, &batch.x, rows);
+        let loss = softmax_xent_backward(&mut logits, &batch.y, self.classes);
+        // dW = Xᵀ · dLogits, db = column sums of dLogits.
+        let mut dw = vec![0.0f32; self.dim * self.classes];
+        matmul_at_b(&batch.x, &logits, &mut dw, rows, self.dim, self.classes);
+        let mut db = vec![0.0f32; self.classes];
+        for row in logits.chunks(self.classes) {
+            for (d, v) in db.iter_mut().zip(row) {
+                *d += v;
+            }
+        }
+        let mut grads = ParamMap::new();
+        grads.insert(Self::KEY_W, dw);
+        grads.insert(Self::KEY_B, db);
+        (loss, grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{synthetic, SyntheticSpec};
+    use crate::models::check_gradients;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let model = SoftmaxRegression { dim: 6, classes: 3 };
+        check_gradients(&model, 6, 11, 2e-2);
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let m = SoftmaxRegression {
+            dim: 64,
+            classes: 10,
+        };
+        assert_eq!(m.num_params(), 64 * 10 + 10);
+        let p = m.init_params(0);
+        assert_eq!(p[&0].len(), 640);
+        assert_eq!(p[&1], vec![0.0; 10]);
+    }
+
+    #[test]
+    fn trains_to_high_accuracy_on_easy_data() {
+        let spec = SyntheticSpec {
+            dim: 16,
+            classes: 4,
+            n_train: 800,
+            n_test: 200,
+            margin: 3.0,
+            modes: 1,
+            label_noise: 0.0,
+            seed: 5,
+        };
+        let (train, test) = synthetic(spec);
+        let model = SoftmaxRegression {
+            dim: 16,
+            classes: 4,
+        };
+        let mut params = model.init_params(5);
+        let mut opt = Sgd::new(0.5, 0.9, 0.0);
+        let mut sampler = crate::data::BatchSampler::new(0..train.len(), 32, 1);
+        let mut last_loss = f32::INFINITY;
+        for _ in 0..300 {
+            let batch = train.batch(&sampler.next_indices());
+            let (loss, grads) = model.loss_and_grad(&params, &batch);
+            opt.step(&mut params, &grads);
+            last_loss = loss;
+        }
+        assert!(last_loss < 0.5, "loss did not drop: {last_loss}");
+        let acc = model.accuracy(&params, &test);
+        assert!(acc > 0.85, "accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn accuracy_of_untrained_model_is_near_chance() {
+        let (_, test) = synthetic(SyntheticSpec::c10_like(3));
+        let m = SoftmaxRegression {
+            dim: 64,
+            classes: 10,
+        };
+        let acc = m.accuracy(&m.init_params(3), &test);
+        assert!(acc < 0.3, "untrained accuracy suspiciously high: {acc}");
+    }
+}

@@ -1,0 +1,162 @@
+//! Data-parallel gradient computation within one worker.
+//!
+//! A worker node with several cores can split its minibatch across scoped
+//! threads and average the partial gradients — exactly the intra-node data
+//! parallelism GPU workers get for free. Built on `crossbeam::scope` so the
+//! model and parameters are borrowed, not cloned.
+
+use crate::data::Batch;
+use crate::models::Model;
+use crate::ParamMap;
+
+/// Compute `loss_and_grad` with the batch split over `threads` threads.
+/// Results are averaged (weighted by rows per chunk) and match the serial
+/// computation up to floating-point reassociation.
+pub fn parallel_loss_and_grad<M: Model + ?Sized>(
+    model: &M,
+    params: &ParamMap,
+    batch: &Batch,
+    threads: usize,
+) -> (f32, ParamMap) {
+    assert!(threads >= 1, "need at least one thread");
+    let rows = batch.len();
+    if threads == 1 || rows < 2 * threads {
+        return model.loss_and_grad(params, batch);
+    }
+
+    // Split the batch into near-equal row chunks.
+    let chunk_rows = rows.div_ceil(threads);
+    let mut chunks: Vec<Batch> = Vec::new();
+    let mut start = 0;
+    while start < rows {
+        let end = (start + chunk_rows).min(rows);
+        chunks.push(Batch {
+            x: batch.x[start * batch.dim..end * batch.dim].to_vec(),
+            y: batch.y[start..end].to_vec(),
+            dim: batch.dim,
+        });
+        start = end;
+    }
+
+    let results: Vec<(f32, ParamMap, usize)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move |_| {
+                    let (loss, grads) = model.loss_and_grad(params, chunk);
+                    (loss, grads, chunk.len())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("gradient worker thread"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+
+    // Weighted average of losses and gradients.
+    let total = rows as f32;
+    let mut loss = 0.0f32;
+    let mut grads = ParamMap::new();
+    for (l, g, n) in results {
+        let w = n as f32 / total;
+        loss += l * w;
+        for (k, v) in g {
+            let acc = grads.entry(k).or_insert_with(|| vec![0.0; v.len()]);
+            for (a, b) in acc.iter_mut().zip(&v) {
+                *a += b * w;
+            }
+        }
+    }
+    (loss, grads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{synthetic, SyntheticSpec};
+    use crate::models::{Mlp, SoftmaxRegression};
+
+    fn setup() -> (SyntheticSpec, Batch) {
+        let spec = SyntheticSpec {
+            dim: 12,
+            classes: 3,
+            n_train: 64,
+            n_test: 8,
+            margin: 2.0,
+            modes: 1,
+            label_noise: 0.0,
+            seed: 5,
+        };
+        let (train, _) = synthetic(spec);
+        let batch = train.batch(&(0..48).collect::<Vec<_>>());
+        (spec, batch)
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_linear_model() {
+        let (spec, batch) = setup();
+        let model = SoftmaxRegression {
+            dim: spec.dim,
+            classes: spec.classes,
+        };
+        let params = model.init_params(1);
+        let (l1, g1) = model.loss_and_grad(&params, &batch);
+        for threads in [2usize, 3, 4] {
+            let (l2, g2) = parallel_loss_and_grad(&model, &params, &batch, threads);
+            assert!((l1 - l2).abs() < 1e-4, "{threads} threads: loss {l1} vs {l2}");
+            for (k, v) in &g1 {
+                for (a, b) in v.iter().zip(&g2[k]) {
+                    assert!((a - b).abs() < 1e-4, "key {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_for_mlp() {
+        let (spec, batch) = setup();
+        let model = Mlp {
+            dims: vec![spec.dim, 16, spec.classes],
+        };
+        let params = model.init_params(2);
+        let (l1, g1) = model.loss_and_grad(&params, &batch);
+        let (l2, g2) = parallel_loss_and_grad(&model, &params, &batch, 4);
+        assert!((l1 - l2).abs() < 1e-4);
+        for (k, v) in &g1 {
+            for (a, b) in v.iter().zip(&g2[k]) {
+                assert!((a - b).abs() < 2e-4, "key {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_takes_the_serial_path() {
+        let (spec, batch) = setup();
+        let model = SoftmaxRegression {
+            dim: spec.dim,
+            classes: spec.classes,
+        };
+        let params = model.init_params(3);
+        let (l1, _) = model.loss_and_grad(&params, &batch);
+        let (l2, _) = parallel_loss_and_grad(&model, &params, &batch, 1);
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn tiny_batches_do_not_over_split() {
+        let (spec, _) = setup();
+        let (train, _) = synthetic(spec);
+        let model = SoftmaxRegression {
+            dim: spec.dim,
+            classes: spec.classes,
+        };
+        let params = model.init_params(4);
+        let tiny = train.batch(&[0, 1, 2]);
+        // threads > rows: falls back to serial without panicking.
+        let (l, g) = parallel_loss_and_grad(&model, &params, &tiny, 8);
+        assert!(l.is_finite());
+        assert_eq!(g.len(), 2);
+    }
+}

@@ -1,0 +1,134 @@
+//! Learning-rate schedules (the paper's experiments use step decay and, for
+//! large batches, LARS with warmup).
+
+/// A learning-rate schedule: iteration → learning rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant(f32),
+    /// Multiply by `factor` every `every` iterations.
+    StepDecay {
+        /// Base learning rate.
+        base: f32,
+        /// Decay period in iterations.
+        every: u64,
+        /// Multiplicative factor per period (e.g. 0.1).
+        factor: f32,
+    },
+    /// Cosine annealing from `base` to `floor` over `total` iterations.
+    Cosine {
+        /// Initial learning rate.
+        base: f32,
+        /// Final learning rate.
+        floor: f32,
+        /// Annealing horizon; the rate stays at `floor` afterwards.
+        total: u64,
+    },
+    /// Linear warmup from `base/steps` to `base` over `steps` iterations,
+    /// then step decay — the standard large-batch recipe.
+    WarmupThenDecay {
+        /// Peak learning rate after warmup.
+        base: f32,
+        /// Warmup length.
+        warmup: u64,
+        /// Decay period after warmup.
+        every: u64,
+        /// Decay factor.
+        factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `iter` (0-based).
+    pub fn lr(&self, iter: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay {
+                base,
+                every,
+                factor,
+            } => base * factor.powi((iter / every) as i32),
+            LrSchedule::Cosine { base, floor, total } => {
+                if iter >= total {
+                    floor
+                } else {
+                    let progress = iter as f64 / total as f64;
+                    let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+                    floor + (base - floor) * cos as f32
+                }
+            }
+            LrSchedule::WarmupThenDecay {
+                base,
+                warmup,
+                every,
+                factor,
+            } => {
+                if iter < warmup {
+                    base * (iter + 1) as f32 / warmup as f32
+                } else {
+                    base * factor.powi(((iter - warmup) / every) as i32)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(10_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_steps_at_boundaries() {
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            every: 100,
+            factor: 0.1,
+        };
+        assert_eq!(s.lr(0), 1.0);
+        assert_eq!(s.lr(99), 1.0);
+        assert!((s.lr(100) - 0.1).abs() < 1e-7);
+        assert!((s.lr(250) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn cosine_anneals_monotonically_to_floor() {
+        let s = LrSchedule::Cosine {
+            base: 1.0,
+            floor: 0.01,
+            total: 100,
+        };
+        assert_eq!(s.lr(0), 1.0);
+        let mid = s.lr(50);
+        assert!((mid - 0.505).abs() < 1e-3, "midpoint {mid}");
+        for i in 1..100 {
+            assert!(s.lr(i) <= s.lr(i - 1) + 1e-7, "not monotone at {i}");
+        }
+        assert!((s.lr(100) - 0.01).abs() < 1e-6);
+        assert_eq!(s.lr(5000), 0.01);
+    }
+
+    #[test]
+    fn warmup_ramps_then_decays() {
+        let s = LrSchedule::WarmupThenDecay {
+            base: 1.0,
+            warmup: 10,
+            every: 100,
+            factor: 0.5,
+        };
+        assert!((s.lr(0) - 0.1).abs() < 1e-7);
+        assert!((s.lr(4) - 0.5).abs() < 1e-7);
+        assert_eq!(s.lr(10), 1.0);
+        assert!((s.lr(110) - 0.5).abs() < 1e-7);
+        // Monotone during warmup.
+        for i in 1..10 {
+            assert!(s.lr(i) > s.lr(i - 1));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-iteration compute-time models with straggler injection.
+//!
+//! The paper's motivation: "Even in a load-balanced cluster, some worker
+//! nodes are randomly slower than other nodes" (Project Adam's observation,
+//! quoted in the introduction). [`WorkerCompute`] models a cluster where
+//! every worker has the same nominal per-iteration time plus (1) multiplica-
+//! tive jitter, (2) random transient slowdowns, and (3) optional persistent
+//! slow nodes — the three straggler flavours the synchronization models are
+//! designed around.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of per-iteration compute durations.
+pub trait ComputeModel: Send {
+    /// Seconds worker `w` spends computing gradients in iteration `iter`.
+    fn sample(&mut self, worker: u32, iter: u64) -> f64;
+}
+
+/// Straggler configuration for [`WorkerCompute`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StragglerSpec {
+    /// Probability that a given (worker, iteration) suffers a transient
+    /// slowdown (GC pause, OS jitter, co-tenant burst).
+    pub transient_prob: f64,
+    /// Multiplier applied during a transient slowdown.
+    pub transient_factor: f64,
+    /// Number of *persistently* slow workers (always the highest-indexed
+    /// ones, so experiments can reason about identity).
+    pub persistent_count: u32,
+    /// Multiplier applied to persistently slow workers.
+    pub persistent_factor: f64,
+}
+
+impl StragglerSpec {
+    /// No stragglers at all (perfectly balanced cluster).
+    pub fn none() -> Self {
+        StragglerSpec {
+            transient_prob: 0.0,
+            transient_factor: 1.0,
+            persistent_count: 0,
+            persistent_factor: 1.0,
+        }
+    }
+
+    /// The paper's implicit default: occasional random slowdowns only.
+    pub fn random_slowdowns() -> Self {
+        StragglerSpec {
+            transient_prob: 0.08,
+            transient_factor: 3.0,
+            persistent_count: 0,
+            persistent_factor: 1.0,
+        }
+    }
+}
+
+/// Standard compute model: `base · jitter · straggler-multipliers`.
+#[derive(Debug, Clone)]
+pub struct WorkerCompute {
+    /// Nominal seconds per iteration (already divided by the data-parallel
+    /// degree by the caller: more workers → smaller per-worker batch).
+    pub base: f64,
+    /// Uniform multiplicative jitter: samples lie in `[1, 1 + jitter]`.
+    pub jitter: f64,
+    /// Straggler behaviour.
+    pub stragglers: StragglerSpec,
+    num_workers: u32,
+    rng: StdRng,
+}
+
+impl WorkerCompute {
+    /// Model for `num_workers` workers with a seed.
+    pub fn new(
+        base: f64,
+        jitter: f64,
+        stragglers: StragglerSpec,
+        num_workers: u32,
+        seed: u64,
+    ) -> Self {
+        assert!(base > 0.0 && jitter >= 0.0);
+        WorkerCompute {
+            base,
+            jitter,
+            stragglers,
+            num_workers,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn is_persistent_straggler(&self, worker: u32) -> bool {
+        worker >= self.num_workers.saturating_sub(self.stragglers.persistent_count)
+    }
+}
+
+impl ComputeModel for WorkerCompute {
+    fn sample(&mut self, worker: u32, _iter: u64) -> f64 {
+        let mut t = self.base * (1.0 + self.rng.gen::<f64>() * self.jitter);
+        if self.rng.gen::<f64>() < self.stragglers.transient_prob {
+            t *= self.stragglers.transient_factor;
+        }
+        if self.is_persistent_straggler(worker) {
+            t *= self.stragglers.persistent_factor;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stragglers_no_jitter_is_constant() {
+        let mut m = WorkerCompute::new(0.5, 0.0, StragglerSpec::none(), 4, 1);
+        for w in 0..4 {
+            for i in 0..10 {
+                assert_eq!(m.sample(w, i), 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_bounds_hold() {
+        let mut m = WorkerCompute::new(1.0, 0.3, StragglerSpec::none(), 2, 7);
+        for i in 0..1000 {
+            let t = m.sample(0, i);
+            assert!((1.0..=1.3).contains(&t), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn transient_slowdowns_hit_roughly_at_rate() {
+        let spec = StragglerSpec {
+            transient_prob: 0.2,
+            transient_factor: 10.0,
+            persistent_count: 0,
+            persistent_factor: 1.0,
+        };
+        let mut m = WorkerCompute::new(1.0, 0.0, spec, 1, 3);
+        let slow = (0..5000).filter(|&i| m.sample(0, i) > 5.0).count();
+        let rate = slow as f64 / 5000.0;
+        assert!((0.15..0.25).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn persistent_stragglers_are_the_top_indices() {
+        let spec = StragglerSpec {
+            transient_prob: 0.0,
+            transient_factor: 1.0,
+            persistent_count: 2,
+            persistent_factor: 4.0,
+        };
+        let mut m = WorkerCompute::new(1.0, 0.0, spec, 8, 5);
+        assert_eq!(m.sample(0, 0), 1.0);
+        assert_eq!(m.sample(5, 0), 1.0);
+        assert_eq!(m.sample(6, 0), 4.0);
+        assert_eq!(m.sample(7, 0), 4.0);
+    }
+
+    #[test]
+    fn same_seed_same_samples() {
+        let mk = || WorkerCompute::new(1.0, 0.5, StragglerSpec::random_slowdowns(), 4, 99);
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..100 {
+            assert_eq!(a.sample(i % 4, i as u64), b.sample(i % 4, i as u64));
+        }
+    }
+}

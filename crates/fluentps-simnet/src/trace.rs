@@ -1,0 +1,183 @@
+//! Event-trace recording for simulation runs.
+//!
+//! A [`TraceRecorder`] collects `(time, kind, node)` tuples during a run and
+//! summarizes them: per-kind counts, per-node activity, the busiest window.
+//! Used by the experiment drivers for debugging pathological schedules and
+//! by tests asserting structural properties of a run (e.g. "no pull response
+//! ever precedes its push under BSP").
+
+/// Categories of simulation events worth tracing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A worker finished computing an iteration.
+    ComputeDone,
+    /// A push arrived at a server.
+    PushArrive,
+    /// A pull request arrived at a server.
+    PullArrive,
+    /// A pull was deferred into the DPR buffer.
+    PullDeferred,
+    /// A (possibly lazy) pull response left a server.
+    ResponseSent,
+    /// `V_train` advanced on some shard.
+    VTrainAdvance,
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated time.
+    pub time: f64,
+    /// Event category.
+    pub kind: TraceKind,
+    /// Node index the event is attributed to (worker or server id).
+    pub node: u32,
+}
+
+/// A bounded in-memory event trace.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Recorder keeping at most `capacity` events (older events are kept;
+    /// overflow is counted, not silently lost).
+    pub fn new(capacity: usize) -> Self {
+        TraceRecorder {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, time: f64, kind: TraceKind, node: u32) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { time, kind, node });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All recorded events, in recording order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that did not fit the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Count of events of one kind.
+    pub fn count(&self, kind: TraceKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// The densest window of `width` seconds: `(start, events-in-window)`.
+    /// Useful for spotting synchronization storms (barrier bursts).
+    pub fn busiest_window(&self, width: f64) -> Option<(f64, usize)> {
+        if self.events.is_empty() {
+            return None;
+        }
+        let mut times: Vec<f64> = self.events.iter().map(|e| e.time).collect();
+        times.sort_by(f64::total_cmp);
+        let mut best = (times[0], 1usize);
+        let mut lo = 0usize;
+        for hi in 0..times.len() {
+            while times[hi] - times[lo] > width {
+                lo += 1;
+            }
+            let count = hi - lo + 1;
+            if count > best.1 {
+                best = (times[lo], count);
+            }
+        }
+        Some(best)
+    }
+
+    /// Per-kind histogram, sorted by kind for deterministic output.
+    pub fn histogram(&self) -> Vec<(TraceKind, usize)> {
+        use TraceKind::*;
+        [
+            ComputeDone,
+            PushArrive,
+            PullArrive,
+            PullDeferred,
+            ResponseSent,
+            VTrainAdvance,
+        ]
+        .iter()
+        .map(|&k| (k, self.count(k)))
+        .filter(|(_, c)| *c > 0)
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut t = TraceRecorder::new(16);
+        t.record(0.0, TraceKind::ComputeDone, 0);
+        t.record(0.5, TraceKind::PushArrive, 1);
+        t.record(0.6, TraceKind::PushArrive, 1);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.count(TraceKind::PushArrive), 2);
+        assert_eq!(t.count(TraceKind::PullArrive), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted() {
+        let mut t = TraceRecorder::new(2);
+        for i in 0..5 {
+            t.record(i as f64, TraceKind::ComputeDone, 0);
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn busiest_window_finds_the_burst() {
+        let mut t = TraceRecorder::new(64);
+        // Sparse events, then a burst at t≈10.
+        for i in 0..5 {
+            t.record(i as f64, TraceKind::ComputeDone, 0);
+        }
+        for i in 0..10 {
+            t.record(10.0 + i as f64 * 0.01, TraceKind::ResponseSent, 1);
+        }
+        let (start, count) = t.busiest_window(0.5).expect("non-empty");
+        assert!((start - 10.0).abs() < 0.01);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn empty_trace_has_no_window() {
+        let t = TraceRecorder::new(4);
+        assert!(t.busiest_window(1.0).is_none());
+        assert!(t.histogram().is_empty());
+    }
+
+    #[test]
+    fn histogram_is_deterministic_and_sparse() {
+        let mut t = TraceRecorder::new(8);
+        t.record(0.0, TraceKind::VTrainAdvance, 0);
+        t.record(0.0, TraceKind::ComputeDone, 0);
+        t.record(0.0, TraceKind::ComputeDone, 1);
+        let h = t.histogram();
+        assert_eq!(
+            h,
+            vec![
+                (TraceKind::ComputeDone, 2),
+                (TraceKind::VTrainAdvance, 1)
+            ]
+        );
+    }
+}

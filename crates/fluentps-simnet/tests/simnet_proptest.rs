@@ -1,0 +1,85 @@
+//! Property tests for the simulator primitives.
+
+use fluentps_simnet::event::EventQueue;
+use fluentps_simnet::net::{LinkModel, NicQueue};
+use fluentps_simnet::topology::{ClusterTopology, Duplex};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever the
+    /// insertion order, and ties pop in insertion order.
+    #[test]
+    fn queue_pops_sorted_and_stable(times in prop::collection::vec(0.0f64..100.0, 1..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last_time = f64::NEG_INFINITY;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut prev_t = f64::NAN;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last_time);
+            if t == prev_t {
+                // Stability: insertion ids at equal times are increasing.
+                prop_assert!(seen_at_time.last().is_none_or(|&p| p < id));
+                seen_at_time.push(id);
+            } else {
+                seen_at_time = vec![id];
+                prev_t = t;
+            }
+            last_time = t;
+        }
+        prop_assert_eq!(q.now(), last_time);
+    }
+
+    /// NIC conservation: completions never overlap (each transfer occupies
+    /// exclusive link time) and busy_time equals the sum of durations.
+    #[test]
+    fn nic_transfers_never_overlap(
+        jobs in prop::collection::vec((0.0f64..50.0, 0.01f64..2.0), 1..40)
+    ) {
+        let mut nic = NicQueue::new();
+        // Arrivals must be fed in non-decreasing time order (as the event
+        // loop does); sort to honour the contract.
+        let mut jobs = jobs;
+        jobs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev_end = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for &(arrive, dur) in &jobs {
+            let end = nic.enqueue(arrive, dur, 1);
+            // The transfer ends after it arrived and after the previous one.
+            prop_assert!(end >= arrive + dur - 1e-12);
+            prop_assert!(end >= prev_end + dur - 1e-12);
+            prev_end = end;
+            total += dur;
+        }
+        prop_assert!((nic.busy_time - total).abs() < 1e-9);
+        prop_assert_eq!(nic.bytes, jobs.len() as u64);
+    }
+
+    /// Half duplex is never faster than full duplex for the same traffic.
+    #[test]
+    fn half_duplex_dominates_full(
+        ops in prop::collection::vec((0.0f64..10.0, 1usize..10_000, any::<bool>()), 1..30)
+    ) {
+        let link = LinkModel { latency: 0.0, bandwidth: 1e6 };
+        let mut full = ClusterTopology::with_duplex(1, link, Duplex::Full);
+        let mut half = ClusterTopology::with_duplex(1, link, Duplex::Half);
+        let mut ops = ops;
+        ops.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(t, bytes, inbound) in &ops {
+            let (f, h) = if inbound {
+                (
+                    full.worker_to_server(t, 0, bytes),
+                    half.worker_to_server(t, 0, bytes),
+                )
+            } else {
+                (
+                    full.server_to_worker(t, 0, bytes),
+                    half.server_to_worker(t, 0, bytes),
+                )
+            };
+            prop_assert!(h >= f - 1e-12, "half {h} finished before full {f}");
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! Hand-rolled binary wire codec.
+//!
+//! Layout: one version byte, one tag byte, then little-endian fields. Vectors
+//! are a `u32` count followed by elements. `f32` travels as its IEEE-754 bit
+//! pattern. The codec is fully self-contained (no serde) because the offline
+//! dependency set has no serialization *format* crate; this also keeps frames
+//! compact and decode costs predictable, which matters because gradients for
+//! large layers dominate traffic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::DecodeError;
+use crate::msg::{KvPairs, Message, NodeId};
+
+/// Version byte prepended to every encoded message.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Sanity cap on any declared element count, to reject corrupt frames before
+/// attempting a huge allocation. 2^28 f32s is a 1 GiB tensor — far beyond any
+/// shard this system ships.
+const MAX_ELEMS: u64 = 1 << 28;
+
+mod tag {
+    pub const SPUSH: u8 = 1;
+    pub const SPULL: u8 = 2;
+    pub const PUSH_ACK: u8 = 3;
+    pub const PULL_RESPONSE: u8 = 4;
+    pub const REGISTER: u8 = 5;
+    pub const REGISTER_ACK: u8 = 6;
+    pub const HEARTBEAT: u8 = 7;
+    pub const BARRIER: u8 = 8;
+    pub const SHUTDOWN: u8 = 9;
+}
+
+mod node_tag {
+    pub const SCHEDULER: u8 = 0;
+    pub const SERVER: u8 = 1;
+    pub const WORKER: u8 = 2;
+}
+
+/// Encode a message into a fresh byte buffer.
+pub fn encode(msg: &Message) -> Bytes {
+    let mut buf = BytesMut::with_capacity(msg.payload_bytes() + 16);
+    encode_into(msg, &mut buf);
+    buf.freeze()
+}
+
+/// Encode a message, appending to `buf`.
+pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
+    buf.put_u8(WIRE_VERSION);
+    match msg {
+        Message::SPush {
+            worker,
+            progress,
+            kv,
+        } => {
+            buf.put_u8(tag::SPUSH);
+            buf.put_u32_le(*worker);
+            buf.put_u64_le(*progress);
+            put_kv(buf, kv);
+        }
+        Message::SPull {
+            worker,
+            progress,
+            keys,
+        } => {
+            buf.put_u8(tag::SPULL);
+            buf.put_u32_le(*worker);
+            buf.put_u64_le(*progress);
+            put_u64_vec(buf, keys);
+        }
+        Message::PushAck { server, progress } => {
+            buf.put_u8(tag::PUSH_ACK);
+            buf.put_u32_le(*server);
+            buf.put_u64_le(*progress);
+        }
+        Message::PullResponse {
+            server,
+            progress,
+            kv,
+            version,
+        } => {
+            buf.put_u8(tag::PULL_RESPONSE);
+            buf.put_u32_le(*server);
+            buf.put_u64_le(*progress);
+            buf.put_u64_le(*version);
+            put_kv(buf, kv);
+        }
+        Message::Register { node } => {
+            buf.put_u8(tag::REGISTER);
+            put_node(buf, *node);
+        }
+        Message::RegisterAck {
+            num_workers,
+            num_servers,
+        } => {
+            buf.put_u8(tag::REGISTER_ACK);
+            buf.put_u32_le(*num_workers);
+            buf.put_u32_le(*num_servers);
+        }
+        Message::Heartbeat { node, seq } => {
+            buf.put_u8(tag::HEARTBEAT);
+            put_node(buf, *node);
+            buf.put_u64_le(*seq);
+        }
+        Message::Barrier { group, seq } => {
+            buf.put_u8(tag::BARRIER);
+            buf.put_u32_le(*group);
+            buf.put_u64_le(*seq);
+        }
+        Message::Shutdown => {
+            buf.put_u8(tag::SHUTDOWN);
+        }
+    }
+}
+
+/// Decode one message from `bytes`; the buffer must contain exactly one
+/// encoded message (framing is the transport's job).
+pub fn decode(mut bytes: Bytes) -> Result<Message, DecodeError> {
+    let buf = &mut bytes;
+    let version = get_u8(buf)?;
+    if version != WIRE_VERSION {
+        return Err(DecodeError::VersionMismatch {
+            expected: WIRE_VERSION,
+            found: version,
+        });
+    }
+    let t = get_u8(buf)?;
+    let msg = match t {
+        tag::SPUSH => Message::SPush {
+            worker: get_u32(buf)?,
+            progress: get_u64(buf)?,
+            kv: get_kv(buf)?,
+        },
+        tag::SPULL => Message::SPull {
+            worker: get_u32(buf)?,
+            progress: get_u64(buf)?,
+            keys: get_u64_vec(buf)?,
+        },
+        tag::PUSH_ACK => Message::PushAck {
+            server: get_u32(buf)?,
+            progress: get_u64(buf)?,
+        },
+        tag::PULL_RESPONSE => Message::PullResponse {
+            server: get_u32(buf)?,
+            progress: get_u64(buf)?,
+            version: get_u64(buf)?,
+            kv: get_kv(buf)?,
+        },
+        tag::REGISTER => Message::Register {
+            node: get_node(buf)?,
+        },
+        tag::REGISTER_ACK => Message::RegisterAck {
+            num_workers: get_u32(buf)?,
+            num_servers: get_u32(buf)?,
+        },
+        tag::HEARTBEAT => Message::Heartbeat {
+            node: get_node(buf)?,
+            seq: get_u64(buf)?,
+        },
+        tag::BARRIER => Message::Barrier {
+            group: get_u32(buf)?,
+            seq: get_u64(buf)?,
+        },
+        tag::SHUTDOWN => Message::Shutdown,
+        other => return Err(DecodeError::UnknownTag(other)),
+    };
+    Ok(msg)
+}
+
+fn put_node(buf: &mut BytesMut, node: NodeId) {
+    match node {
+        NodeId::Scheduler => {
+            buf.put_u8(node_tag::SCHEDULER);
+            buf.put_u32_le(0);
+        }
+        NodeId::Server(m) => {
+            buf.put_u8(node_tag::SERVER);
+            buf.put_u32_le(m);
+        }
+        NodeId::Worker(n) => {
+            buf.put_u8(node_tag::WORKER);
+            buf.put_u32_le(n);
+        }
+    }
+}
+
+fn get_node(buf: &mut Bytes) -> Result<NodeId, DecodeError> {
+    let kind = get_u8(buf)?;
+    let idx = get_u32(buf)?;
+    match kind {
+        node_tag::SCHEDULER => Ok(NodeId::Scheduler),
+        node_tag::SERVER => Ok(NodeId::Server(idx)),
+        node_tag::WORKER => Ok(NodeId::Worker(idx)),
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+fn put_kv(buf: &mut BytesMut, kv: &KvPairs) {
+    put_u64_vec(buf, &kv.keys);
+    put_u32_vec(buf, &kv.lens);
+    put_f32_vec(buf, &kv.vals);
+}
+
+fn get_kv(buf: &mut Bytes) -> Result<KvPairs, DecodeError> {
+    let kv = KvPairs {
+        keys: get_u64_vec(buf)?,
+        lens: get_u32_vec(buf)?,
+        vals: get_f32_vec(buf)?,
+    };
+    if !kv.is_consistent() {
+        return Err(DecodeError::InconsistentKv);
+    }
+    Ok(kv)
+}
+
+fn put_u64_vec(buf: &mut BytesMut, v: &[u64]) {
+    buf.put_u32_le(v.len() as u32);
+    for x in v {
+        buf.put_u64_le(*x);
+    }
+}
+
+fn put_u32_vec(buf: &mut BytesMut, v: &[u32]) {
+    buf.put_u32_le(v.len() as u32);
+    for x in v {
+        buf.put_u32_le(*x);
+    }
+}
+
+fn put_f32_vec(buf: &mut BytesMut, v: &[f32]) {
+    buf.put_u32_le(v.len() as u32);
+    for x in v {
+        buf.put_u32_le(x.to_bits());
+    }
+}
+
+fn check_len(buf: &Bytes, count: u64, elem_size: usize) -> Result<usize, DecodeError> {
+    if count > MAX_ELEMS {
+        return Err(DecodeError::LengthOverflow(count));
+    }
+    let n = count as usize;
+    let needed = n * elem_size;
+    if buf.remaining() < needed {
+        return Err(DecodeError::Truncated {
+            needed,
+            available: buf.remaining(),
+        });
+    }
+    Ok(n)
+}
+
+fn get_u64_vec(buf: &mut Bytes) -> Result<Vec<u64>, DecodeError> {
+    let count = get_u32(buf)? as u64;
+    let n = check_len(buf, count, 8)?;
+    Ok((0..n).map(|_| buf.get_u64_le()).collect())
+}
+
+fn get_u32_vec(buf: &mut Bytes) -> Result<Vec<u32>, DecodeError> {
+    let count = get_u32(buf)? as u64;
+    let n = check_len(buf, count, 4)?;
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
+    let count = get_u32(buf)? as u64;
+    let n = check_len(buf, count, 4)?;
+    Ok((0..n).map(|_| f32::from_bits(buf.get_u32_le())).collect())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated {
+            needed: 1,
+            available: buf.remaining(),
+        });
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+    if buf.remaining() < 4 {
+        return Err(DecodeError::Truncated {
+            needed: 4,
+            available: buf.remaining(),
+        });
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    if buf.remaining() < 8 {
+        return Err(DecodeError::Truncated {
+            needed: 8,
+            available: buf.remaining(),
+        });
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let bytes = encode(&msg);
+        let back = decode(bytes).expect("decode");
+        assert_eq!(msg, back);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        roundtrip(Message::SPush {
+            worker: 3,
+            progress: 42,
+            kv: KvPairs::from_slices(&[(1, &[1.5, -2.5][..]), (9, &[0.0][..])]),
+        });
+        roundtrip(Message::SPull {
+            worker: 7,
+            progress: 11,
+            keys: vec![0, 5, u64::MAX],
+        });
+        roundtrip(Message::PushAck {
+            server: 2,
+            progress: 100,
+        });
+        roundtrip(Message::PullResponse {
+            server: 1,
+            progress: 9,
+            version: 13,
+            kv: KvPairs::single(4, vec![3.25; 7]),
+        });
+        roundtrip(Message::Register {
+            node: NodeId::Worker(12),
+        });
+        roundtrip(Message::Register {
+            node: NodeId::Scheduler,
+        });
+        roundtrip(Message::RegisterAck {
+            num_workers: 64,
+            num_servers: 8,
+        });
+        roundtrip(Message::Heartbeat {
+            node: NodeId::Server(5),
+            seq: 999,
+        });
+        roundtrip(Message::Barrier { group: 1, seq: 2 });
+        roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let mut bytes = encode(&Message::Shutdown).to_vec();
+        bytes[0] = 99;
+        let err = decode(Bytes::from(bytes)).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::VersionMismatch {
+                expected: WIRE_VERSION,
+                found: 99
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_tag() {
+        let bytes = Bytes::from(vec![WIRE_VERSION, 0xEE]);
+        assert_eq!(decode(bytes).unwrap_err(), DecodeError::UnknownTag(0xEE));
+    }
+
+    #[test]
+    fn rejects_truncated_frame() {
+        let full = encode(&Message::SPush {
+            worker: 0,
+            progress: 1,
+            kv: KvPairs::single(0, vec![1.0; 16]),
+        });
+        for cut in 1..full.len() {
+            let err = decode(full.slice(0..cut));
+            assert!(err.is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_length_overflow() {
+        // SPull with an absurd key count.
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(2); // SPULL
+        buf.put_u32_le(0); // worker
+        buf.put_u64_le(0); // progress
+        buf.put_u32_le(u32::MAX); // declared key count
+        let err = decode(buf.freeze()).unwrap_err();
+        assert!(matches!(
+            err,
+            DecodeError::LengthOverflow(_) | DecodeError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_inconsistent_kv() {
+        // Hand-encode a PushAck-like SPush whose lens disagree with vals.
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(1); // SPUSH
+        buf.put_u32_le(0);
+        buf.put_u64_le(0);
+        // keys: [1]
+        buf.put_u32_le(1);
+        buf.put_u64_le(1);
+        // lens: [3] (claims 3 values)
+        buf.put_u32_le(1);
+        buf.put_u32_le(3);
+        // vals: only 1 value
+        buf.put_u32_le(1);
+        buf.put_u32_le(1.0f32.to_bits());
+        let err = decode(buf.freeze()).unwrap_err();
+        assert_eq!(err, DecodeError::InconsistentKv);
+    }
+
+    #[test]
+    fn nan_and_special_floats_roundtrip_bitwise() {
+        let vals = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, f32::MIN_POSITIVE];
+        let msg = Message::SPush {
+            worker: 0,
+            progress: 0,
+            kv: KvPairs::single(0, vals.clone()),
+        };
+        let back = decode(encode(&msg)).unwrap();
+        if let Message::SPush { kv, .. } = back {
+            for (a, b) in vals.iter().zip(kv.vals.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        } else {
+            panic!("wrong variant");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Length-prefixed framing for stream transports.
+//!
+//! Each frame is `[u32 len LE][u8 from_kind][u32 from_idx][payload]` where
+//! `payload` is one codec-encoded message. `len` covers everything after the
+//! length word itself.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::codec;
+use crate::error::{DecodeError, TransportError};
+use crate::msg::{Message, NodeId};
+
+/// Upper bound on a single frame (256 MiB); larger declared lengths indicate
+/// stream corruption and abort the connection rather than allocating.
+pub const MAX_FRAME: u32 = 256 << 20;
+
+fn node_to_pair(node: NodeId) -> (u8, u32) {
+    match node {
+        NodeId::Scheduler => (0, 0),
+        NodeId::Server(m) => (1, m),
+        NodeId::Worker(n) => (2, n),
+    }
+}
+
+fn node_from_pair(kind: u8, idx: u32) -> Result<NodeId, DecodeError> {
+    match kind {
+        0 => Ok(NodeId::Scheduler),
+        1 => Ok(NodeId::Server(idx)),
+        2 => Ok(NodeId::Worker(idx)),
+        other => Err(DecodeError::UnknownTag(other)),
+    }
+}
+
+/// Serialize `(from, msg)` into one framed buffer ready to be written to a
+/// stream in a single `write_all`.
+pub fn encode_frame(from: NodeId, msg: &Message) -> Bytes {
+    let mut payload = BytesMut::with_capacity(msg.payload_bytes() + 24);
+    let (kind, idx) = node_to_pair(from);
+    payload.put_u8(kind);
+    payload.put_u32_le(idx);
+    codec::encode_into(msg, &mut payload);
+    let mut framed = BytesMut::with_capacity(payload.len() + 4);
+    framed.put_u32_le(payload.len() as u32);
+    framed.extend_from_slice(&payload);
+    framed.freeze()
+}
+
+/// Decode one frame body (everything after the length word).
+pub fn decode_frame_body(mut body: Bytes) -> Result<(NodeId, Message), TransportError> {
+    if body.remaining() < 5 {
+        return Err(DecodeError::Truncated {
+            needed: 5,
+            available: body.remaining(),
+        }
+        .into());
+    }
+    let kind = body.get_u8();
+    let idx = body.get_u32_le();
+    let from = node_from_pair(kind, idx)?;
+    let msg = codec::decode(body)?;
+    Ok((from, msg))
+}
+
+/// Write one framed message to a stream.
+pub fn write_frame<W: Write>(w: &mut W, from: NodeId, msg: &Message) -> Result<(), TransportError> {
+    let frame = encode_frame(from, msg);
+    w.write_all(&frame)?;
+    Ok(())
+}
+
+/// Read one framed message from a stream, blocking until complete.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(NodeId, Message), TransportError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(DecodeError::LengthOverflow(len as u64).into());
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode_frame_body(Bytes::from(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::KvPairs;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip_via_stream() {
+        let msgs = vec![
+            (
+                NodeId::Worker(4),
+                Message::SPush {
+                    worker: 4,
+                    progress: 17,
+                    kv: KvPairs::single(2, vec![1.0, 2.0, 3.0]),
+                },
+            ),
+            (NodeId::Scheduler, Message::Shutdown),
+            (
+                NodeId::Server(1),
+                Message::PullResponse {
+                    server: 1,
+                    progress: 3,
+                    version: 5,
+                    kv: KvPairs::default(),
+                },
+            ),
+        ];
+        let mut stream = Vec::new();
+        for (from, msg) in &msgs {
+            write_frame(&mut stream, *from, msg).unwrap();
+        }
+        let mut cursor = Cursor::new(stream);
+        for (from, msg) in &msgs {
+            let (f, m) = read_frame(&mut cursor).unwrap();
+            assert_eq!(f, *from);
+            assert_eq!(m, *msg);
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let err = read_frame(&mut Cursor::new(stream)).unwrap_err();
+        assert!(matches!(
+            err,
+            TransportError::Decode(DecodeError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn short_stream_is_io_error() {
+        let frame = encode_frame(NodeId::Worker(0), &Message::Shutdown);
+        let cut = &frame[..frame.len() - 1];
+        let err = read_frame(&mut Cursor::new(cut.to_vec())).unwrap_err();
+        assert!(matches!(err, TransportError::Io(_)));
+    }
+}

@@ -1,0 +1,261 @@
+//! In-process transport fabric over crossbeam channels.
+//!
+//! A [`Fabric`] owns one unbounded channel per registered node. Endpoints are
+//! cheap to clone for the sending side. This transport is the workhorse of
+//! unit/integration tests and of the threaded engine in `fluentps-core`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::RwLock;
+
+use crate::error::TransportError;
+use crate::msg::{Message, NodeId};
+use crate::{Mailbox, Postman};
+
+type Envelope = (NodeId, Message);
+
+#[derive(Default)]
+struct Registry {
+    inboxes: HashMap<NodeId, Sender<Envelope>>,
+}
+
+/// An in-process cluster fabric. Clone handles freely; all clones address the
+/// same registry.
+#[derive(Clone, Default)]
+pub struct Fabric {
+    registry: Arc<RwLock<Registry>>,
+}
+
+impl Fabric {
+    /// Create an empty fabric.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `node` and obtain its endpoint. Registering the same node
+    /// twice replaces the previous inbox (the old endpoint starts reporting
+    /// `Disconnected` once its sender side is dropped).
+    pub fn register(&self, node: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.registry.write().inboxes.insert(node, tx);
+        Endpoint {
+            node,
+            rx,
+            fabric: self.clone(),
+        }
+    }
+
+    /// Remove a node from the fabric; subsequent sends to it fail with
+    /// [`TransportError::UnknownNode`].
+    pub fn deregister(&self, node: NodeId) {
+        self.registry.write().inboxes.remove(&node);
+    }
+
+    /// Nodes currently registered.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<_> = self.registry.read().inboxes.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Send `msg` from `from` to `to`.
+    pub fn send(&self, from: NodeId, to: NodeId, msg: Message) -> Result<(), TransportError> {
+        let guard = self.registry.read();
+        let tx = guard
+            .inboxes
+            .get(&to)
+            .ok_or(TransportError::UnknownNode(to))?;
+        tx.send((from, msg)).map_err(|_| TransportError::Disconnected)
+    }
+
+    /// Broadcast a message from `from` to every registered node except the
+    /// sender itself. Useful for shutdown fan-out.
+    pub fn broadcast(&self, from: NodeId, msg: &Message) -> Result<(), TransportError> {
+        for node in self.nodes() {
+            if node != from {
+                self.send(from, node, msg.clone())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A node's endpoint on an in-process [`Fabric`]: a receiver plus a handle
+/// for sending.
+pub struct Endpoint {
+    node: NodeId,
+    rx: Receiver<Envelope>,
+    fabric: Fabric,
+}
+
+impl Endpoint {
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// A cloneable sending handle stamped with this endpoint's identity.
+    pub fn postman(&self) -> InprocPostman {
+        InprocPostman {
+            from: self.node,
+            fabric: self.fabric.clone(),
+        }
+    }
+}
+
+impl Mailbox for Endpoint {
+    fn recv(&self) -> Result<(NodeId, Message), TransportError> {
+        self.rx.recv().map_err(|_| TransportError::Disconnected)
+    }
+
+    fn try_recv(&self) -> Result<Option<(NodeId, Message)>, TransportError> {
+        match self.rx.try_recv() {
+            Ok(env) => Ok(Some(env)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+
+    fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(env) => Ok(Some(env)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Disconnected),
+        }
+    }
+}
+
+/// Sending handle for an in-process endpoint.
+#[derive(Clone)]
+pub struct InprocPostman {
+    from: NodeId,
+    fabric: Fabric,
+}
+
+impl Postman for InprocPostman {
+    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError> {
+        self.fabric.send(self.from, to, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let fabric = Fabric::new();
+        let a = fabric.register(NodeId::Worker(0));
+        let b = fabric.register(NodeId::Server(0));
+        a.postman().send(NodeId::Server(0), Message::Shutdown).unwrap();
+        let (from, msg) = b.recv().unwrap();
+        assert_eq!(from, NodeId::Worker(0));
+        assert_eq!(msg, Message::Shutdown);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let fabric = Fabric::new();
+        let a = fabric.register(NodeId::Worker(0));
+        let err = a.postman().send(NodeId::Server(9), Message::Shutdown);
+        assert!(matches!(err, Err(TransportError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn per_sender_fifo_order() {
+        let fabric = Fabric::new();
+        let tx = fabric.register(NodeId::Worker(0));
+        let rx = fabric.register(NodeId::Server(0));
+        for seq in 0..100 {
+            tx.postman()
+                .send(
+                    NodeId::Server(0),
+                    Message::Heartbeat {
+                        node: NodeId::Worker(0),
+                        seq,
+                    },
+                )
+                .unwrap();
+        }
+        for seq in 0..100 {
+            match rx.recv().unwrap().1 {
+                Message::Heartbeat { seq: s, .. } => assert_eq!(s, seq),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let fabric = Fabric::new();
+        let rx = fabric.register(NodeId::Server(0));
+        assert!(rx.try_recv().unwrap().is_none());
+        assert!(rx
+            .recv_timeout(Duration::from_millis(5))
+            .unwrap()
+            .is_none());
+        let tx = fabric.register(NodeId::Worker(0));
+        tx.postman().send(NodeId::Server(0), Message::Shutdown).unwrap();
+        assert!(rx.try_recv().unwrap().is_some());
+    }
+
+    #[test]
+    fn concurrent_senders_all_delivered() {
+        let fabric = Fabric::new();
+        let rx = fabric.register(NodeId::Server(0));
+        let mut handles = Vec::new();
+        for w in 0..8u32 {
+            let ep = fabric.register(NodeId::Worker(w));
+            handles.push(thread::spawn(move || {
+                let p = ep.postman();
+                for seq in 0..50 {
+                    p.send(
+                        NodeId::Server(0),
+                        Message::Heartbeat {
+                            node: NodeId::Worker(w),
+                            seq,
+                        },
+                    )
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut count = 0;
+        while rx.try_recv().unwrap().is_some() {
+            count += 1;
+        }
+        assert_eq!(count, 8 * 50);
+    }
+
+    #[test]
+    fn deregister_makes_node_unknown() {
+        let fabric = Fabric::new();
+        let _a = fabric.register(NodeId::Worker(0));
+        let _b = fabric.register(NodeId::Server(0));
+        fabric.deregister(NodeId::Server(0));
+        let err = fabric.send(NodeId::Worker(0), NodeId::Server(0), Message::Shutdown);
+        assert!(matches!(err, Err(TransportError::UnknownNode(_))));
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let fabric = Fabric::new();
+        let s = fabric.register(NodeId::Scheduler);
+        let a = fabric.register(NodeId::Worker(0));
+        let b = fabric.register(NodeId::Worker(1));
+        fabric.broadcast(NodeId::Scheduler, &Message::Shutdown).unwrap();
+        assert!(a.try_recv().unwrap().is_some());
+        assert!(b.try_recv().unwrap().is_some());
+        assert!(s.try_recv().unwrap().is_none());
+    }
+}

@@ -1,0 +1,55 @@
+//! Messaging substrate for FluentPS.
+//!
+//! The paper's implementation is derived from PS-Lite, whose transport is
+//! ZeroMQ. This crate provides the equivalent layer from scratch:
+//!
+//! * [`msg`] — the message vocabulary exchanged between workers, servers and
+//!   the scheduler (`sPush`/`sPull` requests carry the sender's *progress*,
+//!   which is the load-bearing difference from vanilla PS-Lite: progress is
+//!   reported to the servers, not to a centralized scheduler).
+//! * [`codec`] — a hand-rolled, versioned binary wire codec over [`bytes`].
+//! * [`frame`] — length-prefixed framing for stream transports.
+//! * [`inproc`] — an in-process fabric built on crossbeam channels, used by
+//!   tests, examples and the threaded engine.
+//! * [`tcp`] — a real TCP transport over `std::net` so a FluentPS cluster can
+//!   run as separate OS processes (see the `tcp_cluster` example).
+//!
+//! All transports expose the same [`Mailbox`]/[`Postman`] pair so the engine
+//! code in `fluentps-core` is transport-agnostic.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod frame;
+pub mod inproc;
+pub mod msg;
+pub mod quant;
+pub mod tcp;
+
+pub use error::TransportError;
+pub use inproc::{Endpoint, Fabric};
+pub use msg::{KvPairs, Message, NodeId};
+
+/// Receiving half of a transport endpoint.
+pub trait Mailbox: Send {
+    /// Block until a message arrives; returns the sender and the message.
+    fn recv(&self) -> Result<(NodeId, Message), TransportError>;
+
+    /// Non-blocking receive; `Ok(None)` when no message is queued.
+    fn try_recv(&self) -> Result<Option<(NodeId, Message)>, TransportError>;
+
+    /// Receive with a timeout; `Ok(None)` when it elapsed with no message.
+    fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<Option<(NodeId, Message)>, TransportError>;
+}
+
+/// Sending half of a transport endpoint. Cloneable so several threads of one
+/// node may send concurrently.
+pub trait Postman: Send {
+    /// Send `msg` to `to`. Delivery is reliable and per-sender FIFO on all
+    /// provided transports.
+    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError>;
+}

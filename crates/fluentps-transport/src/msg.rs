@@ -1,0 +1,277 @@
+//! Message vocabulary of the FluentPS protocol.
+//!
+//! The two application-level operations are the paper's `sPush` and `sPull`
+//! (Section III-B): they are ordinary push/pull of key-value pairs *extended
+//! with the sender's progress*, which is what lets each server run its own
+//! synchronization condition instead of deferring to a centralized scheduler.
+
+use std::fmt;
+
+/// Identifier of a node in a FluentPS cluster.
+///
+/// The scheduler only monitors liveness and assigns key ranges (Section
+/// III-A); servers own parameter shards; workers compute gradients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// The single scheduler node.
+    Scheduler,
+    /// The `m`-th parameter server, `m` in `0..M`.
+    Server(u32),
+    /// The `n`-th worker, `n` in `0..N`.
+    Worker(u32),
+}
+
+impl NodeId {
+    /// True if this node is a parameter server.
+    pub fn is_server(&self) -> bool {
+        matches!(self, NodeId::Server(_))
+    }
+
+    /// True if this node is a worker.
+    pub fn is_worker(&self) -> bool {
+        matches!(self, NodeId::Worker(_))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Scheduler => write!(f, "scheduler"),
+            NodeId::Server(m) => write!(f, "server{m}"),
+            NodeId::Worker(n) => write!(f, "worker{n}"),
+        }
+    }
+}
+
+/// A batch of key-value pairs, PS-Lite style: parallel arrays of keys, a
+/// flattened value buffer and a per-key length array.
+///
+/// Invariant: `lens.len() == keys.len()` and `lens.iter().sum() == vals.len()`.
+///
+/// ```
+/// use fluentps_transport::KvPairs;
+/// let kv = KvPairs::from_slices(&[(7, &[1.0, 2.0][..]), (9, &[3.0][..])]);
+/// assert!(kv.is_consistent());
+/// let items: Vec<_> = kv.iter().collect();
+/// assert_eq!(items[1], (9, &[3.0f32][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct KvPairs {
+    /// Parameter keys, strictly the application's (possibly EPS-remapped) keys.
+    pub keys: Vec<u64>,
+    /// All values, concatenated in `keys` order.
+    pub vals: Vec<f32>,
+    /// Length of each key's value slice.
+    pub lens: Vec<u32>,
+}
+
+impl KvPairs {
+    /// Build a `KvPairs` from per-key slices, computing `lens` automatically.
+    pub fn from_slices(entries: &[(u64, &[f32])]) -> Self {
+        let mut kv = KvPairs::default();
+        for (k, v) in entries {
+            kv.keys.push(*k);
+            kv.lens.push(v.len() as u32);
+            kv.vals.extend_from_slice(v);
+        }
+        kv
+    }
+
+    /// A single-key batch.
+    pub fn single(key: u64, vals: Vec<f32>) -> Self {
+        KvPairs {
+            keys: vec![key],
+            lens: vec![vals.len() as u32],
+            vals,
+        }
+    }
+
+    /// Check the structural invariant.
+    pub fn is_consistent(&self) -> bool {
+        self.keys.len() == self.lens.len()
+            && self.lens.iter().map(|&l| l as usize).sum::<usize>() == self.vals.len()
+    }
+
+    /// Number of keys in the batch.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when the batch carries no keys.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterate `(key, value-slice)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        let mut offset = 0usize;
+        self.keys.iter().zip(self.lens.iter()).map(move |(&k, &l)| {
+            let s = &self.vals[offset..offset + l as usize];
+            offset += l as usize;
+            (k, s)
+        })
+    }
+
+    /// Total wire size of the value payload in bytes (used by the simulator's
+    /// bandwidth model and by communication accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.lens.len() * 4 + self.vals.len() * 4
+    }
+}
+
+/// One message of the FluentPS protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// `sPush(keys, grads, progress)` — worker pushes the gradients of its
+    /// current iteration together with that iteration index (Algorithm 1,
+    /// worker line 4).
+    SPush {
+        /// Index of the pushing worker.
+        worker: u32,
+        /// The iteration these gradients were computed in.
+        progress: u64,
+        /// Gradient payload.
+        kv: KvPairs,
+    },
+    /// `sPull(keys, progress)` — worker asks for the parameters it needs for
+    /// iteration `progress + 1` (Algorithm 1, worker line 5).
+    SPull {
+        /// Index of the pulling worker.
+        worker: u32,
+        /// The worker's current progress; the server indexes its lazy pull
+        /// buffer by this value.
+        progress: u64,
+        /// Keys requested.
+        keys: Vec<u64>,
+    },
+    /// Server acknowledges a push (Algorithm 1, server line 24).
+    PushAck {
+        /// Responding server.
+        server: u32,
+        /// Echo of the pushed progress.
+        progress: u64,
+    },
+    /// Server answers a pull, either immediately or lazily after the push
+    /// condition fires.
+    PullResponse {
+        /// Responding server.
+        server: u32,
+        /// Echo of the pull's progress.
+        progress: u64,
+        /// Parameter payload.
+        kv: KvPairs,
+        /// Server-side shard version (`V_train`) at response time; workers may
+        /// use it for staleness diagnostics.
+        version: u64,
+    },
+    /// Node announces itself to the scheduler (or to a server in tests).
+    Register {
+        /// Who is registering.
+        node: NodeId,
+    },
+    /// Scheduler confirms a registration and communicates cluster geometry.
+    RegisterAck {
+        /// Total number of workers.
+        num_workers: u32,
+        /// Total number of servers.
+        num_servers: u32,
+    },
+    /// Liveness heartbeat (scheduler duty, Section III-A).
+    Heartbeat {
+        /// Sender.
+        node: NodeId,
+        /// Monotone sequence number.
+        seq: u64,
+    },
+    /// A control barrier used during startup/shutdown of engines.
+    Barrier {
+        /// Barrier group (e.g. all workers = 0, all servers = 1).
+        group: u32,
+        /// Sequence number of the barrier.
+        seq: u64,
+    },
+    /// Orderly shutdown request.
+    Shutdown,
+}
+
+impl Message {
+    /// Approximate wire payload size in bytes; used for communication-time
+    /// accounting in the simulator and statistics.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Message::SPush { kv, .. } => 16 + kv.payload_bytes(),
+            Message::SPull { keys, .. } => 16 + keys.len() * 8,
+            Message::PushAck { .. } => 12,
+            Message::PullResponse { kv, .. } => 24 + kv.payload_bytes(),
+            Message::Register { .. } => 8,
+            Message::RegisterAck { .. } => 8,
+            Message::Heartbeat { .. } => 16,
+            Message::Barrier { .. } => 12,
+            Message::Shutdown => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_from_slices_builds_consistent_batch() {
+        let kv = KvPairs::from_slices(&[(3, &[1.0, 2.0][..]), (9, &[4.0][..])]);
+        assert!(kv.is_consistent());
+        assert_eq!(kv.len(), 2);
+        let items: Vec<_> = kv.iter().collect();
+        assert_eq!(items[0], (3, &[1.0f32, 2.0][..]));
+        assert_eq!(items[1], (9, &[4.0f32][..]));
+    }
+
+    #[test]
+    fn kv_single_is_consistent() {
+        let kv = KvPairs::single(7, vec![0.5; 10]);
+        assert!(kv.is_consistent());
+        assert_eq!(kv.payload_bytes(), 8 + 4 + 40);
+    }
+
+    #[test]
+    fn kv_inconsistency_detected() {
+        let kv = KvPairs {
+            keys: vec![1, 2],
+            vals: vec![0.0; 3],
+            lens: vec![1, 1],
+        };
+        assert!(!kv.is_consistent());
+    }
+
+    #[test]
+    fn empty_kv_is_consistent_and_empty() {
+        let kv = KvPairs::default();
+        assert!(kv.is_consistent());
+        assert!(kv.is_empty());
+        assert_eq!(kv.iter().count(), 0);
+    }
+
+    #[test]
+    fn node_id_kind_predicates() {
+        assert!(NodeId::Server(0).is_server());
+        assert!(!NodeId::Server(0).is_worker());
+        assert!(NodeId::Worker(3).is_worker());
+        assert!(!NodeId::Scheduler.is_server());
+        assert_eq!(NodeId::Worker(2).to_string(), "worker2");
+    }
+
+    #[test]
+    fn message_payload_bytes_track_kv_size() {
+        let small = Message::SPush {
+            worker: 0,
+            progress: 0,
+            kv: KvPairs::single(0, vec![0.0; 4]),
+        };
+        let big = Message::SPush {
+            worker: 0,
+            progress: 0,
+            kv: KvPairs::single(0, vec![0.0; 400]),
+        };
+        assert!(big.payload_bytes() > small.payload_bytes());
+    }
+}

@@ -1,0 +1,208 @@
+//! Lossy gradient quantization for the wire.
+//!
+//! Parameter-server traffic is dominated by gradient values whose precision
+//! requirements are modest; halving their wire width halves the paper's
+//! bottleneck resource. This module provides two codecs:
+//!
+//! * [`f16`] — IEEE-754 binary16 conversion (software; no `half` crate in
+//!   the offline set). Relative error ≤ 2⁻¹¹ for normal values.
+//! * [`QuantizedKv`] — a `KvPairs` payload with f16-encoded values, plus
+//!   exact round-trip of non-finite values.
+//!
+//! Quantization is an *extension* over the paper (its Gaia discussion
+//! motivates reducing insignificant traffic); the ablation harness measures
+//! the bytes saved. The default transport remains full-precision.
+
+use crate::msg::KvPairs;
+
+/// Software IEEE-754 binary16 conversion.
+pub mod f16 {
+    /// Convert an `f32` to its nearest binary16 bit pattern (round to
+    /// nearest even; overflow saturates to ±∞; subnormals flush through).
+    pub fn from_f32(x: f32) -> u16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN: preserve NaN-ness with a quiet mantissa bit.
+            let m = if mant != 0 { 0x0200 } else { 0 };
+            return sign | 0x7C00 | m;
+        }
+        // Re-bias: f32 bias 127 → f16 bias 15.
+        let new_exp = exp - 127 + 15;
+        if new_exp >= 0x1F {
+            return sign | 0x7C00; // overflow → ±∞
+        }
+        if new_exp <= 0 {
+            // Subnormal (or underflow to zero).
+            if new_exp < -10 {
+                return sign;
+            }
+            let full_mant = mant | 0x0080_0000;
+            let shift = (14 - new_exp) as u32;
+            let half = 1u32 << (shift - 1);
+            let rounded = (full_mant + half) >> shift;
+            return sign | rounded as u16;
+        }
+        // Normal: round mantissa 23 → 10 bits, to nearest even.
+        let shift = 13u32;
+        let half = 1u32 << (shift - 1);
+        let lsb = 1u32 << shift;
+        let mut m = mant + (half - 1) + ((mant >> shift) & 1);
+        let mut e = new_exp as u32;
+        if m & 0x0080_0000 != 0 {
+            // Mantissa rounding carried into the exponent.
+            m = 0;
+            e += 1;
+            if e >= 0x1F {
+                return sign | 0x7C00;
+            }
+        } else {
+            m >>= shift;
+            m &= (lsb - 1) >> shift << shift | 0x3FF; // keep 10 bits
+            m &= 0x3FF;
+        }
+        sign | ((e as u16) << 10) | (m as u16)
+    }
+
+    /// Convert a binary16 bit pattern back to `f32` (exact).
+    pub fn to_f32(h: u16) -> f32 {
+        let sign = ((h & 0x8000) as u32) << 16;
+        let exp = ((h >> 10) & 0x1F) as u32;
+        let mant = (h & 0x3FF) as u32;
+        let bits = match (exp, mant) {
+            (0, 0) => sign, // ±0
+            (0, m) => {
+                // Subnormal: value = m · 2⁻²⁴ with m < 2¹⁰. Normalize:
+                // m = 1.xxx · 2^(L−1) where L is m's bit length, so the
+                // f32 exponent is (L − 25) + 127 = L + 102.
+                let l = 32 - m.leading_zeros(); // 1..=10
+                let e = l + 102;
+                let m32 = (m << (24 - l)) & 0x007F_FFFF;
+                sign | (e << 23) | m32
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,           // ±∞
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13), // NaN
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+}
+
+/// A `KvPairs` with f16-compressed values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedKv {
+    /// Keys, as in [`KvPairs`].
+    pub keys: Vec<u64>,
+    /// Per-key lengths.
+    pub lens: Vec<u32>,
+    /// f16 bit patterns, concatenated.
+    pub vals: Vec<u16>,
+}
+
+impl QuantizedKv {
+    /// Compress a full-precision payload.
+    pub fn compress(kv: &KvPairs) -> Self {
+        QuantizedKv {
+            keys: kv.keys.clone(),
+            lens: kv.lens.clone(),
+            vals: kv.vals.iter().map(|&v| f16::from_f32(v)).collect(),
+        }
+    }
+
+    /// Decompress back to `f32` values.
+    pub fn decompress(&self) -> KvPairs {
+        KvPairs {
+            keys: self.keys.clone(),
+            lens: self.lens.clone(),
+            vals: self.vals.iter().map(|&h| f16::to_f32(h)).collect(),
+        }
+    }
+
+    /// Wire payload bytes of the compressed form.
+    pub fn payload_bytes(&self) -> usize {
+        self.keys.len() * 8 + self.lens.len() * 4 + self.vals.len() * 2
+    }
+
+    /// Bytes saved relative to the full-precision payload.
+    pub fn savings(&self, original: &KvPairs) -> usize {
+        original.payload_bytes().saturating_sub(self.payload_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_for_representable_values() {
+        for x in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, 6.1035156e-5] {
+            let h = f16::from_f32(x);
+            assert_eq!(f16::to_f32(h), x, "value {x}");
+        }
+    }
+
+    #[test]
+    fn f16_relative_error_bounded_for_normals() {
+        let mut x = 1e-3f32;
+        while x < 1e4 {
+            for v in [x, -x] {
+                let back = f16::to_f32(f16::from_f32(v));
+                let rel = ((back - v) / v).abs();
+                assert!(rel <= 1.0 / 2048.0 + 1e-7, "value {v}: rel {rel}");
+            }
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn f16_specials() {
+        assert_eq!(f16::to_f32(f16::from_f32(f32::INFINITY)), f32::INFINITY);
+        assert_eq!(
+            f16::to_f32(f16::from_f32(f32::NEG_INFINITY)),
+            f32::NEG_INFINITY
+        );
+        assert!(f16::to_f32(f16::from_f32(f32::NAN)).is_nan());
+        // Overflow saturates.
+        assert_eq!(f16::to_f32(f16::from_f32(1e9)), f32::INFINITY);
+        // Deep underflow flushes to zero.
+        assert_eq!(f16::to_f32(f16::from_f32(1e-12)), 0.0);
+    }
+
+    #[test]
+    fn f16_subnormals_roundtrip_with_tolerance() {
+        // Smallest f16 subnormal is 2⁻²⁴ ≈ 5.96e-8.
+        for x in [6e-8f32, 1e-6, 3e-5] {
+            let back = f16::to_f32(f16::from_f32(x));
+            assert!(
+                (back - x).abs() <= 6e-8,
+                "subnormal {x} came back as {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_kv_halves_value_bytes() {
+        let kv = KvPairs::single(3, vec![0.125; 1000]);
+        let q = QuantizedKv::compress(&kv);
+        assert_eq!(q.payload_bytes(), 8 + 4 + 2000);
+        assert_eq!(q.savings(&kv), 2000);
+        // 0.125 is exactly representable → lossless here.
+        assert_eq!(q.decompress(), kv);
+    }
+
+    #[test]
+    fn quantized_kv_preserves_structure_for_lossy_values() {
+        let vals: Vec<f32> = (0..64).map(|i| (i as f32 * 0.31).sin() * 3.0).collect();
+        let kv = KvPairs::from_slices(&[(1, &vals[..40]), (2, &vals[40..])]);
+        let back = QuantizedKv::compress(&kv).decompress();
+        assert!(back.is_consistent());
+        assert_eq!(back.keys, kv.keys);
+        assert_eq!(back.lens, kv.lens);
+        for (a, b) in kv.vals.iter().zip(&back.vals) {
+            assert!((a - b).abs() <= a.abs() / 1000.0 + 1e-6);
+        }
+    }
+}

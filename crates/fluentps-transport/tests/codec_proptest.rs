@@ -1,0 +1,115 @@
+//! Property tests: the wire codec must roundtrip every well-formed message
+//! and must never panic on arbitrary byte soup.
+
+use bytes::Bytes;
+use fluentps_transport::codec::{decode, encode};
+use fluentps_transport::msg::{KvPairs, Message, NodeId};
+use proptest::prelude::*;
+
+fn arb_kv() -> impl Strategy<Value = KvPairs> {
+    prop::collection::vec((any::<u64>(), prop::collection::vec(any::<f32>(), 0..16)), 0..8)
+        .prop_map(|entries| {
+            let refs: Vec<(u64, &[f32])> =
+                entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+            KvPairs::from_slices(&refs)
+        })
+}
+
+fn arb_node() -> impl Strategy<Value = NodeId> {
+    prop_oneof![
+        Just(NodeId::Scheduler),
+        any::<u32>().prop_map(NodeId::Server),
+        any::<u32>().prop_map(NodeId::Worker),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u32>(), any::<u64>(), arb_kv()).prop_map(|(worker, progress, kv)| {
+            Message::SPush {
+                worker,
+                progress,
+                kv,
+            }
+        }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            prop::collection::vec(any::<u64>(), 0..32)
+        )
+            .prop_map(|(worker, progress, keys)| Message::SPull {
+                worker,
+                progress,
+                keys
+            }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(server, progress)| Message::PushAck { server, progress }),
+        (any::<u32>(), any::<u64>(), any::<u64>(), arb_kv()).prop_map(
+            |(server, progress, version, kv)| Message::PullResponse {
+                server,
+                progress,
+                version,
+                kv
+            }
+        ),
+        arb_node().prop_map(|node| Message::Register { node }),
+        (any::<u32>(), any::<u32>()).prop_map(|(num_workers, num_servers)| {
+            Message::RegisterAck {
+                num_workers,
+                num_servers,
+            }
+        }),
+        (arb_node(), any::<u64>()).prop_map(|(node, seq)| Message::Heartbeat { node, seq }),
+        (any::<u32>(), any::<u64>()).prop_map(|(group, seq)| Message::Barrier { group, seq }),
+        Just(Message::Shutdown),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let bytes = encode(&msg);
+        let back = decode(bytes).expect("well-formed message must decode");
+        // NaN != NaN under PartialEq for f32, so compare via bit patterns.
+        prop_assert_eq!(format!("{:?}", bitify(&msg)), format!("{:?}", bitify(&back)));
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(Bytes::from(bytes));
+    }
+
+    #[test]
+    fn truncation_always_errors(msg in arb_message(), frac in 0.0f64..1.0) {
+        let bytes = encode(&msg);
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            prop_assert!(decode(bytes.slice(0..cut)).is_err());
+        }
+    }
+}
+
+/// Replace every f32 with its bit pattern so NaN payloads compare equal.
+fn bitify(msg: &Message) -> Message {
+    let fix = |kv: &KvPairs| KvPairs {
+        keys: kv.keys.clone(),
+        lens: kv.lens.clone(),
+        vals: kv
+            .vals
+            .iter()
+            .map(|v| f32::from_bits(v.to_bits())) // identity, preserves bits
+            .collect(),
+    };
+    match msg {
+        Message::SPush {
+            worker,
+            progress,
+            kv,
+        } => Message::SPush {
+            worker: *worker,
+            progress: *progress,
+            kv: fix(kv),
+        },
+        other => other.clone(),
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests for the f16 quantizer: bounded relative error on normal
+//! values, sign preservation, and structure-preserving KvPairs round trips.
+
+use fluentps_transport::msg::KvPairs;
+use fluentps_transport::quant::{f16, QuantizedKv};
+use proptest::prelude::*;
+
+proptest! {
+    /// For f32 values inside f16's normal range, the round-trip relative
+    /// error is at most one half-ULP of the 11-bit significand.
+    #[test]
+    fn relative_error_bounded_in_normal_range(
+        mag in 6.2e-5f32..60000.0,
+        neg in any::<bool>(),
+    ) {
+        let x = if neg { -mag } else { mag };
+        let back = f16::to_f32(f16::from_f32(x));
+        let rel = ((back - x) / x).abs();
+        prop_assert!(rel <= 1.0 / 2048.0 + 1e-7, "x={x} back={back} rel={rel}");
+    }
+
+    /// Sign is always preserved (including through underflow to zero).
+    #[test]
+    fn sign_preserved(x in any::<f32>()) {
+        prop_assume!(!x.is_nan());
+        let back = f16::to_f32(f16::from_f32(x));
+        prop_assert_eq!(back.is_sign_negative(), x.is_sign_negative());
+    }
+
+    /// Quantization never panics and never produces NaN from non-NaN input.
+    #[test]
+    fn total_and_nan_free(x in any::<f32>()) {
+        let back = f16::to_f32(f16::from_f32(x));
+        if !x.is_nan() {
+            prop_assert!(!back.is_nan(), "x={x} became NaN");
+        }
+    }
+
+    /// Round-trip is idempotent: quantizing an already-quantized value is
+    /// exact.
+    #[test]
+    fn idempotent(x in -1e4f32..1e4) {
+        let once = f16::to_f32(f16::from_f32(x));
+        let twice = f16::to_f32(f16::from_f32(once));
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// KvPairs compression preserves keys/lens exactly and stays consistent.
+    #[test]
+    fn kv_structure_preserved(
+        entries in prop::collection::vec(
+            (any::<u64>(), prop::collection::vec(-100.0f32..100.0, 0..12)),
+            0..6,
+        )
+    ) {
+        let refs: Vec<(u64, &[f32])> =
+            entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        let kv = KvPairs::from_slices(&refs);
+        let q = QuantizedKv::compress(&kv);
+        let back = q.decompress();
+        prop_assert!(back.is_consistent());
+        prop_assert_eq!(&back.keys, &kv.keys);
+        prop_assert_eq!(&back.lens, &kv.lens);
+        prop_assert!(q.payload_bytes() <= kv.payload_bytes());
+    }
+}

@@ -1,0 +1,55 @@
+//! Elastic Parameter Slicing in action.
+//!
+//! Shows the byte imbalance of PS-Lite's default contiguous slicing on a
+//! skewed model, the balance EPS achieves, and an elastic rebalance after a
+//! server failure — including how little data moves.
+//!
+//! Run with: `cargo run --release --example elastic_slicing`
+
+use fluentps::core::eps::{DefaultSlicer, EpsSlicer, ParamSpec, Slicer};
+use fluentps::core::scheduler::Scheduler;
+use fluentps::transport::NodeId;
+
+fn main() {
+    // A ResNet-56-shaped inventory: one dominant tensor plus many small ones.
+    let mut params = vec![ParamSpec {
+        key: 0,
+        len: 300_000,
+    }];
+    for k in 1..56 {
+        params.push(ParamSpec { key: k, len: 10_000 });
+    }
+    let servers = 8;
+
+    let default_map = DefaultSlicer.slice(&params, servers);
+    let eps = EpsSlicer { max_chunk: 16_384 };
+    let eps_map = eps.slice(&params, servers);
+
+    println!("model: {} tensors, {} values total\n", params.len(), default_map.total_values());
+    println!("default slicing loads: {:?}", default_map.server_loads());
+    println!("default imbalance: {:.2} (max/mean)", default_map.imbalance());
+    println!("EPS loads:            {:?}", eps_map.server_loads());
+    println!("EPS imbalance:        {:.2}\n", eps_map.imbalance());
+
+    // Elastic rebalance through the scheduler: server 7 dies.
+    let mut sched = Scheduler::new(params, servers, eps, 10);
+    for s in 0..servers {
+        sched.observe(NodeId::Server(s), 0);
+    }
+    for s in 0..servers - 1 {
+        sched.observe(NodeId::Server(s), 100);
+    }
+    let (dead, moved) = sched.check_and_rebalance(100);
+    println!("server failure detected: {dead:?}");
+    println!(
+        "rebalanced onto {} servers, moved {moved} values ({:.1}% of the model)",
+        sched.placement().num_servers(),
+        100.0 * moved as f64 / sched.placement().total_values() as f64
+    );
+    println!("post-rebalance loads: {:?}", sched.placement().server_loads());
+    println!("post-rebalance imbalance: {:.2}", sched.placement().imbalance());
+
+    assert!(default_map.imbalance() > 3.0);
+    assert!(eps_map.imbalance() < 1.2);
+    assert!(sched.placement().imbalance() < 1.35);
+}

@@ -1,0 +1,7 @@
+//! FluentPS facade crate: re-exports the whole workspace.
+pub use fluentps_baseline as baseline;
+pub use fluentps_core as core;
+pub use fluentps_experiments as experiments;
+pub use fluentps_ml as ml;
+pub use fluentps_simnet as simnet;
+pub use fluentps_transport as transport;

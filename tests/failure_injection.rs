@@ -1,0 +1,115 @@
+//! Failure injection: what each synchronization model does when a worker
+//! fail-stops, and how EPS rebalances around a dead server.
+
+use fluentps::core::condition::SyncModel;
+use fluentps::core::dpr::DprPolicy;
+use fluentps::core::eps::{EpsSlicer, ParamSpec};
+use fluentps::core::scheduler::Scheduler;
+use fluentps::experiments::driver::{run, DriverConfig, EngineKind, ModelKind};
+use fluentps::simnet::compute::StragglerSpec;
+use fluentps::transport::NodeId;
+
+fn cfg(model: SyncModel, fail: Option<(u32, u64)>) -> DriverConfig {
+    DriverConfig {
+        engine: EngineKind::FluentPs {
+            model,
+            policy: DprPolicy::LazyExecution,
+        },
+        num_workers: 6,
+        num_servers: 2,
+        max_iters: 40,
+        model: ModelKind::TimingOnly {
+            params: vec![
+                ParamSpec { key: 0, len: 5_000 },
+                ParamSpec { key: 1, len: 5_000 },
+            ],
+        },
+        dataset: None,
+        compute_base: 2.0,
+        compute_jitter: 0.1,
+        stragglers: StragglerSpec::none(),
+        fail_worker: fail,
+        eval_every: 0,
+        seed: 91,
+        ..DriverConfig::default()
+    }
+}
+
+#[test]
+fn bsp_stalls_at_the_failed_iteration() {
+    // Worker 3 dies after computing iteration 10: under BSP, V_train can
+    // never pass 10 — every surviving worker blocks on the barrier forever.
+    let r = run(&cfg(SyncModel::Bsp, Some((3, 10))));
+    assert_eq!(
+        r.stats.v_train_advances, 10 * 2, // 10 iterations × 2 shards
+        "BSP must stall exactly at the failure point"
+    );
+}
+
+#[test]
+fn ssp_stalls_s_iterations_later() {
+    // SSP lets survivors run s iterations past the stall before blocking.
+    let s = 3u64;
+    let r = run(&cfg(SyncModel::Ssp { s }, Some((3, 10))));
+    assert_eq!(r.stats.v_train_advances, 10 * 2);
+    // Survivors pushed up to iteration 10 + s − 1 before their pulls parked.
+    assert!(r.stats.pushes >= 5 * (10 + s) * 2);
+}
+
+#[test]
+fn drop_stragglers_survives_the_failure() {
+    // With N_t = 5 of 6, the dead worker is simply dropped every iteration
+    // and training completes the full budget.
+    let r = run(&cfg(SyncModel::DropStragglers { n_t: 5 }, Some((3, 10))));
+    assert_eq!(
+        r.stats.v_train_advances, 40 * 2,
+        "drop-stragglers must complete all iterations"
+    );
+}
+
+#[test]
+fn healthy_run_completes_under_every_model() {
+    for model in [
+        SyncModel::Bsp,
+        SyncModel::Ssp { s: 2 },
+        SyncModel::DropStragglers { n_t: 5 },
+        SyncModel::Asp,
+    ] {
+        let r = run(&cfg(model, None));
+        assert_eq!(r.stats.v_train_advances, 40 * 2, "{model:?}");
+    }
+}
+
+#[test]
+fn eps_rebalances_around_cascading_server_failures() {
+    let params: Vec<ParamSpec> = (0..20)
+        .map(|k| ParamSpec {
+            key: k,
+            len: if k == 0 { 80_000 } else { 4_000 },
+        })
+        .collect();
+    let total: usize = params.iter().map(|p| p.len).sum();
+    let mut sched = Scheduler::new(params, 6, EpsSlicer { max_chunk: 8_192 }, 10);
+    for s in 0..6 {
+        sched.observe(NodeId::Server(s), 0);
+    }
+    // Two failures in sequence; after each, the placement must stay complete
+    // and balanced.
+    let mut now = 0;
+    for survivors in [5u32, 4] {
+        now += 20;
+        for s in 0..survivors {
+            sched.observe(NodeId::Server(s), now);
+        }
+        let (dead, moved) = sched.check_and_rebalance(now);
+        assert_eq!(dead.len(), 1, "one failure per round");
+        assert!(moved > 0);
+        assert_eq!(sched.placement().num_servers(), survivors);
+        assert_eq!(sched.placement().total_values(), total);
+        assert!(
+            sched.placement().imbalance() < 1.4,
+            "imbalance {} after shrinking to {survivors}",
+            sched.placement().imbalance()
+        );
+    }
+}
