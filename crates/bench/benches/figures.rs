@@ -1,4 +1,4 @@
-//! One Criterion benchmark per table/figure of the paper's evaluation.
+//! One benchmark per table/figure of the paper's evaluation.
 //!
 //! Each bench runs a miniature instance of the corresponding experiment
 //! through the discrete-event driver; the measured quantity is the harness
@@ -7,7 +7,8 @@
 //! per-figure configurations here means a `cargo bench` sweep exercises
 //! every code path the evaluation depends on.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fluentps_util::bench::{BenchmarkId, Criterion};
+use fluentps_util::{criterion_group, criterion_main};
 
 use fluentps_baseline::pslite::PsLiteMode;
 use fluentps_bench::bench_inventory;

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the substrate hot paths: wire codec, server state
 //! machine, EPS slicing, DPR buffer, GEMM and the event queue.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fluentps_util::bench::{BenchmarkId, Criterion, Throughput};
+use fluentps_util::{criterion_group, criterion_main};
 
 use fluentps_core::condition::SyncModel;
 use fluentps_core::dpr::{DeferredPull, DprBuffer, DprPolicy};

@@ -1,7 +1,7 @@
 //! Shared helpers for the benchmark harness.
 //!
 //! The benches regenerate every table and figure of the paper's evaluation
-//! at miniature scale (Criterion needs each measurement to run many times),
+//! at miniature scale (the timing harness runs each measurement many times),
 //! plus microbenchmarks of the substrate hot paths. The full-size
 //! reproductions live in the `repro` binary (`cargo run --release -p
 //! fluentps-experiments --bin repro -- all`).

@@ -9,7 +9,7 @@
 //! not checkpointed: buffered pulls belong to connections that died with
 //! the old server; workers re-issue them on reconnect.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use fluentps_transport::codec;
 use fluentps_transport::error::DecodeError;

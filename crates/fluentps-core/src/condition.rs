@@ -422,7 +422,7 @@ mod tests {
             m.after_push(&wide);
         }
         assert_eq!(m.live_s(), 10); // spread 9 tolerated needs s = 10
-        // A tight cluster narrows it again, bounded below by s_min.
+                                    // A tight cluster narrows it again, bounded below by s_min.
         let tight = SyncState {
             v_train: 9,
             count_at_v_train: 0,

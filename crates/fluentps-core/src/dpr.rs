@@ -109,11 +109,7 @@ impl DprBuffer {
         match policy {
             DprPolicy::LazyExecution => {
                 // BTreeMap range drain: all indices strictly below V_train.
-                let ready: Vec<u64> = self
-                    .entries
-                    .range(..st.v_train)
-                    .map(|(&k, _)| k)
-                    .collect();
+                let ready: Vec<u64> = self.entries.range(..st.v_train).map(|(&k, _)| k).collect();
                 for k in ready {
                     if let Some(mut v) = self.entries.remove(&k) {
                         self.len -= v.len();
@@ -220,12 +216,16 @@ mod tests {
         let mut lazy_release = None;
         for v in 0..=12u64 {
             if soft_release.is_none()
-                && !soft.release(DprPolicy::SoftBarrier, &model, &st(v)).is_empty()
+                && !soft
+                    .release(DprPolicy::SoftBarrier, &model, &st(v))
+                    .is_empty()
             {
                 soft_release = Some(v);
             }
             if lazy_release.is_none()
-                && !lazy.release(DprPolicy::LazyExecution, &model, &st(v)).is_empty()
+                && !lazy
+                    .release(DprPolicy::LazyExecution, &model, &st(v))
+                    .is_empty()
             {
                 lazy_release = Some(v);
             }
@@ -257,9 +257,7 @@ mod tests {
         }
         let mut seen = 0;
         for v in 0..10u64 {
-            seen += buf
-                .release(DprPolicy::LazyExecution, &model, &st(v))
-                .len();
+            seen += buf.release(DprPolicy::LazyExecution, &model, &st(v)).len();
         }
         assert_eq!(seen, 5);
         assert!(buf.is_empty());

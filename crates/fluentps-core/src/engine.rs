@@ -11,8 +11,7 @@
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluentps_util::rng::StdRng;
 
 use fluentps_transport::inproc::{Endpoint, Fabric, InprocPostman};
 use fluentps_transport::{Mailbox, Message, NodeId, Postman};

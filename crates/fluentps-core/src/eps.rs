@@ -86,7 +86,9 @@ impl SliceMap {
 
     /// Owning server of a wire key.
     pub fn server_of(&self, new_key: Key) -> Option<u32> {
-        self.by_new.get(&new_key).map(|&i| self.placements[i].server)
+        self.by_new
+            .get(&new_key)
+            .map(|&i| self.placements[i].server)
     }
 
     /// Placement of a wire key.
@@ -245,7 +247,10 @@ impl EpsSlicer {
             placements[i].server = server as u32;
             loads[server] += placements[i].len;
         }
-        (SliceMap::from_placements(placements, new_num_servers), moved)
+        (
+            SliceMap::from_placements(placements, new_num_servers),
+            moved,
+        )
     }
 }
 

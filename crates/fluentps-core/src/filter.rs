@@ -144,7 +144,7 @@ mod tests {
         let mut f = SignificanceFilter::new(0.01, 100);
         let param = vec![100.0f32; 4]; // ‖w‖ = 200
         let tiny = vec![0.5f32, 0.0, 0.0, 0.0]; // sig per offer = 0.0025
-        // Four tiny updates accumulate to sig 0.01 → fourth one pushes.
+                                                // Four tiny updates accumulate to sig 0.01 → fourth one pushes.
         for i in 0..3 {
             assert_eq!(f.offer(0, &tiny, &param), FilterDecision::Hold, "offer {i}");
         }
@@ -192,7 +192,10 @@ mod tests {
         let mut f = SignificanceFilter::new(0.0, 100);
         let param = vec![1.0f32];
         for _ in 0..5 {
-            assert!(matches!(f.offer(0, &[0.0], &param), FilterDecision::Push(_)));
+            assert!(matches!(
+                f.offer(0, &[0.0], &param),
+                FilterDecision::Push(_)
+            ));
         }
         assert_eq!(f.suppression_rate(), 0.0);
     }
@@ -213,7 +216,10 @@ mod tests {
         let param = vec![1.0f32];
         assert_eq!(f.offer(0, &[0.1], &param), FilterDecision::Hold);
         // Key 1 is significant on its own; key 0's accumulator is untouched.
-        assert!(matches!(f.offer(1, &[0.9], &param), FilterDecision::Push(_)));
+        assert!(matches!(
+            f.offer(1, &[0.9], &param),
+            FilterDecision::Push(_)
+        ));
         assert_eq!(f.offer(0, &[0.1], &param), FilterDecision::Hold);
     }
 }

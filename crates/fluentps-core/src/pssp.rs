@@ -48,7 +48,11 @@ pub fn dynamic_probability(alpha: f64, s: u64, k: u64) -> f64 {
 /// zero at initialization).
 #[inline]
 pub fn significance(grad: &[f32], param: &[f32]) -> f64 {
-    let g: f64 = grad.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt();
+    let g: f64 = grad
+        .iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt();
     let w: f64 = param
         .iter()
         .map(|&x| (x as f64) * (x as f64))
@@ -83,9 +87,7 @@ impl Alpha {
     pub fn resolve(&self, significance: Option<f64>) -> f64 {
         match *self {
             Alpha::Constant(a) => a,
-            Alpha::Significance { floor, cap } => {
-                significance.unwrap_or(floor).clamp(floor, cap)
-            }
+            Alpha::Significance { floor, cap } => significance.unwrap_or(floor).clamp(floor, cap),
         }
     }
 }

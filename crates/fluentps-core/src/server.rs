@@ -198,7 +198,10 @@ impl ServerShard {
         let significance = significance.or(self.last_significance[worker as usize]);
         let st = self.sync_state();
         let deterministic_ok = self.policy.release_permitted(&st, progress);
-        if self.policy.pull_permitted(&st, progress, draw, significance) {
+        if self
+            .policy
+            .pull_permitted(&st, progress, draw, significance)
+        {
             if !deterministic_ok {
                 // Past the bound but admitted by a probability draw.
                 self.stats.pssp_passes += 1;
@@ -257,7 +260,10 @@ impl ServerShard {
             self.stats.v_train_advances += 1;
             self.progress.prune_below(self.v_train);
             let st = self.sync_state();
-            for dpr in self.buffer.release(self.cfg.policy, self.policy.as_ref(), &st) {
+            for dpr in self
+                .buffer
+                .release(self.cfg.policy, self.policy.as_ref(), &st)
+            {
                 released.push(self.answer_dpr(dpr));
             }
         }
@@ -399,7 +405,11 @@ mod tests {
         // No immediate pull response may ever be given to a worker whose
         // progress exceeds V_train + s.
         let s_threshold = 2u64;
-        let mut s = shard(2, SyncModel::Ssp { s: s_threshold }, DprPolicy::LazyExecution);
+        let mut s = shard(
+            2,
+            SyncModel::Ssp { s: s_threshold },
+            DprPolicy::LazyExecution,
+        );
         let mut deferred = 0;
         // Worker 0 races ahead; worker 1 lags.
         for i in 0..6u64 {
@@ -460,7 +470,11 @@ mod tests {
 
     #[test]
     fn drop_stragglers_advances_without_everyone_and_drops_late_gradients() {
-        let mut s = shard(3, SyncModel::DropStragglers { n_t: 2 }, DprPolicy::LazyExecution);
+        let mut s = shard(
+            3,
+            SyncModel::DropStragglers { n_t: 2 },
+            DprPolicy::LazyExecution,
+        );
         s.on_push(0, 0, &push1([3.0, 0.0]));
         let rel = s.on_push(1, 0, &push1([3.0, 0.0]));
         assert!(rel.is_empty());
@@ -473,7 +487,11 @@ mod tests {
 
     #[test]
     fn pssp_pass_counted_when_probability_admits_past_bound() {
-        let mut s = shard(2, SyncModel::PsspConst { s: 1, c: 0.3 }, DprPolicy::LazyExecution);
+        let mut s = shard(
+            2,
+            SyncModel::PsspConst { s: 1, c: 0.3 },
+            DprPolicy::LazyExecution,
+        );
         s.on_push(0, 2, &push1([0.0, 0.0]));
         // gap 2 > s=1; draw 0.9 > c → admitted probabilistically.
         match s.on_pull(0, 2, &[0], 0.9, None) {

@@ -11,8 +11,7 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluentps_util::rng::StdRng;
 
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
 use fluentps_transport::{Mailbox, Message, NodeId, Postman, TransportError};

@@ -3,7 +3,7 @@
 use fluentps_core::condition::{SyncModel, SyncPolicy, SyncState};
 use fluentps_core::pssp::Alpha;
 use fluentps_core::regret::{equivalent_ssp_threshold, pssp_const_bound, ssp_bound, RegretParams};
-use proptest::prelude::*;
+use fluentps_util::proptest::prelude::*;
 
 fn arb_state() -> impl Strategy<Value = SyncState> {
     (0u64..50, 0u32..8, 1u32..8).prop_map(|(v_train, count, n)| SyncState {

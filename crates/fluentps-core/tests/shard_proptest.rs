@@ -13,7 +13,7 @@ use fluentps_core::dpr::DprPolicy;
 use fluentps_core::eps::{EpsSlicer, ParamSpec, Slicer};
 use fluentps_core::server::{GradScale, PullOutcome, ServerShard, ShardConfig};
 use fluentps_transport::KvPairs;
-use proptest::prelude::*;
+use fluentps_util::proptest::prelude::*;
 
 /// One step of a schedule: worker `w` either pushes iteration `i` or pulls
 /// with progress `i`.
@@ -28,10 +28,8 @@ enum Op {
 /// with pulls sprinkled at its current progress, and the streams of distinct
 /// workers shuffled together arbitrarily.
 fn arb_schedule(num_workers: u32, max_iters: u64) -> impl Strategy<Value = Vec<Op>> {
-    let per_worker = prop::collection::vec(
-        (0..num_workers, 1..=max_iters, any::<bool>()),
-        1..200usize,
-    );
+    let per_worker =
+        prop::collection::vec((0..num_workers, 1..=max_iters, any::<bool>()), 1..200usize);
     per_worker.prop_map(move |seeds| {
         let mut next_iter = vec![0u64; num_workers as usize];
         let mut ops = Vec::new();
@@ -72,8 +70,7 @@ fn run_schedule(
                 }
             }
             Op::Pull(w, i) => {
-                if let PullOutcome::Respond { kv, version } = shard.on_pull(w, i, &[0], 0.5, None)
-                {
+                if let PullOutcome::Respond { kv, version } = shard.on_pull(w, i, &[0], 0.5, None) {
                     responses.push((version, kv.vals[0]));
                 }
             }

@@ -38,10 +38,16 @@ fn main() {
     let mut tables: Vec<Table> = Vec::new();
     let mut run_one = |name: &str, f: &dyn Fn() -> Vec<Table>| {
         if wants(name) {
-            eprintln!("[repro] running {name} ({} scale)...", if full { "full" } else { "quick" });
+            eprintln!(
+                "[repro] running {name} ({} scale)...",
+                if full { "full" } else { "quick" }
+            );
             let start = std::time::Instant::now();
             let out = f();
-            eprintln!("[repro] {name} done in {:.1}s", start.elapsed().as_secs_f64());
+            eprintln!(
+                "[repro] {name} done in {:.1}s",
+                start.elapsed().as_secs_f64()
+            );
             for t in &out {
                 println!("{}", t.render());
             }
@@ -58,7 +64,9 @@ fn main() {
     run_one("fig10", &|| figures::fig10::run_figure(scale, false));
     run_one("fig11", &|| figures::fig10::run_figure(scale, true));
     run_one("table4", &|| figures::table4::run_figure(scale));
-    run_one("ablation-eps", &|| figures::ablations::eps_chunk_sweep(scale));
+    run_one("ablation-eps", &|| {
+        figures::ablations::eps_chunk_sweep(scale)
+    });
     run_one("ablation-sched", &|| {
         figures::ablations::scheduler_cost_sweep(scale)
     });

@@ -10,8 +10,7 @@
 //! compute/network models, so "who waits on whom" matches the architecture
 //! under test.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluentps_util::rng::StdRng;
 
 use fluentps_baseline::pslite::{PsLiteMode, PsLiteScheduler};
 use fluentps_baseline::ssptable::SspTableModel;
@@ -302,7 +301,9 @@ fn wire_sizes(map: &SliceMap, scale: f64) -> WireSizes {
     }
     let sc = |b: usize| ((b as f64) * scale) as usize;
     WireSizes {
-        push: (0..m).map(|i| sc(16 + keys[i] * 12 + vals[i] * 4)).collect(),
+        push: (0..m)
+            .map(|i| sc(16 + keys[i] * 12 + vals[i] * 4))
+            .collect(),
         pull_req: (0..m).map(|i| 16 + keys[i] * 8).collect(),
         response: (0..m)
             .map(|i| sc(24 + keys[i] * 12 + vals[i] * 4))
@@ -388,9 +389,7 @@ impl<'a> Simulation<'a> {
         };
         let map = match cfg.slicer {
             SlicerKind::Default => DefaultSlicer.slice(&specs, cfg.num_servers),
-            SlicerKind::Eps { max_chunk } => {
-                EpsSlicer { max_chunk }.slice(&specs, cfg.num_servers)
-            }
+            SlicerKind::Eps { max_chunk } => EpsSlicer { max_chunk }.slice(&specs, cfg.num_servers),
         };
         let wires = wire_sizes(&map, cfg.wire_bytes_scale);
 
@@ -581,13 +580,9 @@ impl<'a> Simulation<'a> {
                     iter,
                     server,
                 } => self.on_pull_arrive(now, worker, iter, server),
-                Ev::ResponseArrive { worker, iter, kv } => {
-                    self.on_response(now, worker, iter, kv)
-                }
+                Ev::ResponseArrive { worker, iter, kv } => self.on_response(now, worker, iter, kv),
                 Ev::AckArrive { worker, iter } => self.on_ack(now, worker, iter),
-                Ev::SchedulerReport { worker, iter } => {
-                    self.on_scheduler_report(now, worker, iter)
-                }
+                Ev::SchedulerReport { worker, iter } => self.on_scheduler_report(now, worker, iter),
                 Ev::PullSend { worker, iter } => self.send_pulls(now, worker, iter),
             }
         }
@@ -761,10 +756,8 @@ impl<'a> Simulation<'a> {
         }
         if matches!(self.cfg.engine, EngineKind::PsLite { .. }) {
             // Tiny ack straight back to the worker.
-            self.queue.schedule(
-                now + self.cfg.link.latency,
-                Ev::AckArrive { worker, iter },
-            );
+            self.queue
+                .schedule(now + self.cfg.link.latency, Ev::AckArrive { worker, iter });
         }
     }
 
@@ -773,16 +766,17 @@ impl<'a> Simulation<'a> {
         let draw: f64 = self.rng.gen();
         match self.shards[server as usize].on_pull(worker, iter, &keys, draw, None) {
             PullOutcome::Respond { kv, .. } => {
-                let delivery = self
-                    .topo
-                    .server_to_worker(now, server, self.wires.response[server as usize]);
+                let delivery =
+                    self.topo
+                        .server_to_worker(now, server, self.wires.response[server as usize]);
                 self.queue
                     .schedule(delivery, Ev::ResponseArrive { worker, iter, kv });
             }
             PullOutcome::Deferred => {
                 // The deferral occupies the server's processing queue,
                 // delaying every later request at this server.
-                self.topo.charge_server(now, server, self.cfg.server_dpr_cost);
+                self.topo
+                    .charge_server(now, server, self.cfg.server_dpr_cost);
             }
         }
     }
@@ -807,9 +801,9 @@ impl<'a> Simulation<'a> {
         if w.pending_acks == 0 {
             // The report lands in the scheduler's single-threaded queue and
             // is *processed* only after every earlier message drained.
-            let processed = self
-                .sched_queue
-                .enqueue(now + self.cfg.link.latency, self.sched_msg_cost, 64);
+            let processed =
+                self.sched_queue
+                    .enqueue(now + self.cfg.link.latency, self.sched_msg_cost, 64);
             self.queue
                 .schedule(processed, Ev::SchedulerReport { worker, iter });
         }
@@ -834,10 +828,8 @@ impl<'a> Simulation<'a> {
         let sched = self.scheduler.as_mut().expect("PS-Lite scheduler");
         if sched.request_pull(worker, iter) {
             let sent = self.sched_queue.enqueue(now, self.sched_msg_cost, 64);
-            self.queue.schedule(
-                sent + self.cfg.link.latency,
-                Ev::PullSend { worker, iter },
-            );
+            self.queue
+                .schedule(sent + self.cfg.link.latency, Ev::PullSend { worker, iter });
         }
     }
 
@@ -911,8 +903,7 @@ impl<'a> Simulation<'a> {
         } else {
             // DPRs per 100 iterations of training progress, normalized per
             // shard (each global iteration touches every shard).
-            stats.dprs as f64 * 100.0
-                / (self.cfg.max_iters as f64 * self.shards.len() as f64)
+            stats.dprs as f64 * 100.0 / (self.cfg.max_iters as f64 * self.shards.len() as f64)
         };
         let final_params = if self.is_training() {
             Some(self.server_params())

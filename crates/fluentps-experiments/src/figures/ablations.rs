@@ -67,7 +67,12 @@ pub fn eps_chunk_sweep(scale: Scale) -> Vec<Table> {
 pub fn scheduler_cost_sweep(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "Ablation: PS-Lite scheduler cost coefficient (32 workers, BSP, M=8)",
-        &["per-worker-cost", "pslite-total", "fluentps-total", "speedup"],
+        &[
+            "per-worker-cost",
+            "pslite-total",
+            "fluentps-total",
+            "speedup",
+        ],
     );
     for c in [0.0f64, 0.5e-3, 1.5e-3, 2.5e-3, 5e-3] {
         let mk = |engine, slicer| {
@@ -151,8 +156,7 @@ pub fn significance_filter_sweep(scale: Scale) -> Vec<Table> {
     ]);
     for threshold in [0.001f64, 0.01, 0.05] {
         let r = mk(Some((threshold, 8)));
-        let saved = 100.0
-            * (1.0 - r.stats.bytes_in as f64 / baseline.stats.bytes_in as f64);
+        let saved = 100.0 * (1.0 - r.stats.bytes_in as f64 / baseline.stats.bytes_in as f64);
         t.row(vec![
             format!("{threshold}"),
             pct(r.final_accuracy),

@@ -17,9 +17,7 @@ fn cfg(scale: Scale, n: u32) -> DriverConfig {
         num_workers: n,
         num_servers: 1,
         max_iters: scale.pick(300, 4000),
-        model: ModelKind::Mlp {
-            hidden: vec![64],
-        },
+        model: ModelKind::Mlp { hidden: vec![64] },
         dataset: Some(c10(11)),
         batch_size: 16,
         lr: LrSchedule::Constant(0.15),

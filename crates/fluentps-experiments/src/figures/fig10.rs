@@ -39,9 +39,7 @@ pub fn measure(scale: Scale, n: u32, model: SyncModel) -> RunResult {
         num_workers: n,
         num_servers: scale.pick(2, 8),
         max_iters: scale.pick(250, 4000),
-        model: ModelKind::Mlp {
-            hidden: vec![64],
-        },
+        model: ModelKind::Mlp { hidden: vec![64] },
         dataset: Some(c10(19)),
         batch_size: 16,
         lr: LrSchedule::Constant(0.25),

@@ -19,9 +19,7 @@ fn cfg(scale: Scale, n: u32, engine: EngineKind) -> DriverConfig {
         num_workers: n,
         num_servers: 1,
         max_iters: scale.pick(300, 4000),
-        model: ModelKind::Mlp {
-            hidden: vec![64],
-        },
+        model: ModelKind::Mlp { hidden: vec![64] },
         dataset: Some(c10(13)),
         batch_size: 16,
         lr: LrSchedule::Constant(0.15),

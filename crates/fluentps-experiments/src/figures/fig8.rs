@@ -66,7 +66,14 @@ pub fn run_figure(scale: Scale) -> Vec<Table> {
     let (soft, lazy) = measure(scale);
     let mut summary = Table::new(
         "Figure 8: soft barrier vs lazy execution (ResNet-56-like, SSP s=2)",
-        &["policy", "total-time", "final-acc", "best-acc", "DPRs/100it", "speedup"],
+        &[
+            "policy",
+            "total-time",
+            "final-acc",
+            "best-acc",
+            "DPRs/100it",
+            "speedup",
+        ],
     );
     for (name, r) in [("soft-barrier", &soft), ("lazy-execution", &lazy)] {
         summary.row(vec![

@@ -25,7 +25,10 @@ pub fn models() -> Vec<(&'static str, SyncModel)> {
     vec![
         ("A: PSSP s=3 c=1/2", SyncModel::PsspConst { s: 3, c: 0.5 }),
         ("B: SSP s'=4", SyncModel::Ssp { s: 4 }),
-        ("C: PSSP s=3 c=1/3", SyncModel::PsspConst { s: 3, c: 1.0 / 3.0 }),
+        (
+            "C: PSSP s=3 c=1/3",
+            SyncModel::PsspConst { s: 3, c: 1.0 / 3.0 },
+        ),
         ("D: SSP s'=5", SyncModel::Ssp { s: 5 }),
         ("E: PSSP s=3 c=1/5", SyncModel::PsspConst { s: 3, c: 0.2 }),
         ("F: SSP s'=7", SyncModel::Ssp { s: 7 }),

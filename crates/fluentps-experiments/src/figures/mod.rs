@@ -4,12 +4,12 @@
 
 pub mod ablations;
 pub mod fig1;
+pub mod fig10;
 pub mod fig3;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
 pub mod table4;
 
 use fluentps_core::eps::ParamSpec;
@@ -57,14 +57,38 @@ pub fn resnet56_inventory() -> Vec<ParamSpec> {
 /// accounting in a regime the simulated 1 Gbps links can move).
 pub fn alexnet_inventory() -> Vec<ParamSpec> {
     vec![
-        ParamSpec { key: 0, len: 35_000 },   // conv1
-        ParamSpec { key: 1, len: 300_000 },  // conv2
-        ParamSpec { key: 2, len: 880_000 },  // conv3
-        ParamSpec { key: 3, len: 660_000 },  // conv4
-        ParamSpec { key: 4, len: 440_000 },  // conv5
-        ParamSpec { key: 5, len: 2_500_000 }, // fc6 (scaled)
-        ParamSpec { key: 6, len: 1_100_000 }, // fc7 (scaled)
-        ParamSpec { key: 7, len: 270_000 },  // fc8
+        ParamSpec {
+            key: 0,
+            len: 35_000,
+        }, // conv1
+        ParamSpec {
+            key: 1,
+            len: 300_000,
+        }, // conv2
+        ParamSpec {
+            key: 2,
+            len: 880_000,
+        }, // conv3
+        ParamSpec {
+            key: 3,
+            len: 660_000,
+        }, // conv4
+        ParamSpec {
+            key: 4,
+            len: 440_000,
+        }, // conv5
+        ParamSpec {
+            key: 5,
+            len: 2_500_000,
+        }, // fc6 (scaled)
+        ParamSpec {
+            key: 6,
+            len: 1_100_000,
+        }, // fc7 (scaled)
+        ParamSpec {
+            key: 7,
+            len: 270_000,
+        }, // fc8
     ]
 }
 

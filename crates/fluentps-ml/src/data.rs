@@ -10,8 +10,7 @@
 //! `tanh` nonlinearity (so the problem is not linearly separable in the raw
 //! features), and a fraction of labels is flipped (irreducible error).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluentps_util::rng::StdRng;
 
 /// A dense classification dataset; `x` is row-major `n × dim`.
 #[derive(Debug, Clone)]
@@ -172,7 +171,7 @@ pub fn synthetic(spec: SyntheticSpec) -> (Dataset, Dataset) {
     // A fixed random mixing matrix applied after noise, followed by tanh, so
     // raw features are a nonlinear function of the latent cluster geometry.
     let mix: Vec<f32> = (0..spec.dim * spec.dim)
-        .map(|_| rng.gen_range(-1.0..1.0) / (spec.dim as f32).sqrt())
+        .map(|_| rng.gen_range(-1.0f32..1.0) / (spec.dim as f32).sqrt())
         .collect();
 
     let make = |n: usize, rng: &mut StdRng| -> Dataset {
@@ -186,8 +185,8 @@ pub fn synthetic(spec: SyntheticSpec) -> (Dataset, Dataset) {
             let anchor = &anchors[a0..a0 + spec.dim];
             for (l, &a) in latent.iter_mut().zip(anchor) {
                 // Approximate standard normal via sum of uniforms (Irwin-Hall).
-                let noise: f32 =
-                    (0..4).map(|_| rng.gen_range(-0.5..0.5)).sum::<f32>() * (12.0f32 / 4.0).sqrt();
+                let noise: f32 = (0..4).map(|_| rng.gen_range(-0.5f32..0.5)).sum::<f32>()
+                    * (12.0f32 / 4.0).sqrt();
                 *l = a + noise;
             }
             let row = &mut x[i * spec.dim..(i + 1) * spec.dim];

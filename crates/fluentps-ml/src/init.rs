@@ -1,7 +1,6 @@
 //! Seeded weight initialisation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluentps_util::rng::StdRng;
 
 /// Deterministic weight initialiser; every model in an experiment uses the
 /// same seed so runs differ only in synchronization behaviour.

@@ -43,5 +43,5 @@ pub mod tensor;
 pub type ParamMap = std::collections::HashMap<u64, Vec<f32>>;
 
 pub use data::{Batch, Dataset};
-pub use models::{Model, Mlp, ResidualMlp, SoftmaxRegression};
+pub use models::{Mlp, Model, ResidualMlp, SoftmaxRegression};
 pub use optim::{Lars, Optimizer, Sgd};

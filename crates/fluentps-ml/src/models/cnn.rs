@@ -135,7 +135,14 @@ impl TinyCnn {
         let head_w = &params[&2];
         let head_b = &params[&3];
         let mut logits = vec![0.0f32; rows * self.classes];
-        matmul(&pooled, head_w, &mut logits, rows, self.head_in(), self.classes);
+        matmul(
+            &pooled,
+            head_w,
+            &mut logits,
+            rows,
+            self.head_in(),
+            self.classes,
+        );
         for row in logits.chunks_mut(self.classes) {
             for (v, b) in row.iter_mut().zip(head_b) {
                 *v += b;
@@ -199,7 +206,14 @@ impl Model for TinyCnn {
 
         // Head gradients.
         let mut dw_head = vec![0.0f32; self.head_in() * self.classes];
-        matmul_at_b(&pooled, &dlogits, &mut dw_head, rows, self.head_in(), self.classes);
+        matmul_at_b(
+            &pooled,
+            &dlogits,
+            &mut dw_head,
+            rows,
+            self.head_in(),
+            self.classes,
+        );
         let mut db_head = vec![0.0f32; self.classes];
         for row in dlogits.chunks(self.classes) {
             for (d, v) in db_head.iter_mut().zip(row) {
@@ -207,7 +221,14 @@ impl Model for TinyCnn {
             }
         }
         let mut dpooled = vec![0.0f32; rows * self.head_in()];
-        matmul_a_bt(&dlogits, &params[&2], &mut dpooled, rows, self.classes, self.head_in());
+        matmul_a_bt(
+            &dlogits,
+            &params[&2],
+            &mut dpooled,
+            rows,
+            self.classes,
+            self.head_in(),
+        );
 
         // Un-pool (each input of a 2×2 window receives grad/4) + ReLU mask.
         let (ph, pw) = (self.pooled_h(), self.pooled_w());

@@ -232,7 +232,7 @@ impl Model for ResidualMlp {
             // Through the post-sum ReLU.
             relu_backward_inplace(&s.pre_sum, &mut dh);
             let d_sum = dh; // gradient at (h_in + r)
-            // Branch: dr = d_sum.
+                            // Branch: dr = d_sum.
             let mut dw2 = vec![0.0f32; w * w];
             matmul_at_b(&s.t, &d_sum, &mut dw2, rows, w, w);
             grads.insert(4 + 4 * b, dw2);

@@ -59,10 +59,7 @@ impl Optimizer for Sgd {
         let mut out = ParamMap::new();
         for (&k, g) in grads {
             let w = &params[&k];
-            let v = self
-                .velocity
-                .entry(k)
-                .or_insert_with(|| vec![0.0; g.len()]);
+            let v = self.velocity.entry(k).or_insert_with(|| vec![0.0; g.len()]);
             let mut delta = vec![0.0f32; g.len()];
             for i in 0..g.len() {
                 let grad = g[i] + self.weight_decay * w[i];
@@ -125,10 +122,7 @@ impl Optimizer for Lars {
         for (&k, g) in grads {
             let w = &params[&k];
             let local = self.local_lr(w, g);
-            let v = self
-                .velocity
-                .entry(k)
-                .or_insert_with(|| vec![0.0; g.len()]);
+            let v = self.velocity.entry(k).or_insert_with(|| vec![0.0; g.len()]);
             let mut delta = vec![0.0f32; g.len()];
             for i in 0..g.len() {
                 let grad = local * (g[i] + self.weight_decay * w[i]);

@@ -2,8 +2,9 @@
 //!
 //! A worker node with several cores can split its minibatch across scoped
 //! threads and average the partial gradients — exactly the intra-node data
-//! parallelism GPU workers get for free. Built on `crossbeam::scope` so the
-//! model and parameters are borrowed, not cloned.
+//! parallelism GPU workers get for free. Built on scoped threads
+//! (`fluentps_util::sync::scope`) so the model and parameters are borrowed,
+//! not cloned.
 
 use crate::data::Batch;
 use crate::models::Model;
@@ -38,11 +39,11 @@ pub fn parallel_loss_and_grad<M: Model + ?Sized>(
         start = end;
     }
 
-    let results: Vec<(f32, ParamMap, usize)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(f32, ParamMap, usize)> = fluentps_util::sync::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let (loss, grads) = model.loss_and_grad(params, chunk);
                     (loss, grads, chunk.len())
                 })
@@ -52,8 +53,7 @@ pub fn parallel_loss_and_grad<M: Model + ?Sized>(
             .into_iter()
             .map(|h| h.join().expect("gradient worker thread"))
             .collect()
-    })
-    .expect("crossbeam scope");
+    });
 
     // Weighted average of losses and gradients.
     let total = rows as f32;
@@ -105,7 +105,10 @@ mod tests {
         let (l1, g1) = model.loss_and_grad(&params, &batch);
         for threads in [2usize, 3, 4] {
             let (l2, g2) = parallel_loss_and_grad(&model, &params, &batch, threads);
-            assert!((l1 - l2).abs() < 1e-4, "{threads} threads: loss {l1} vs {l2}");
+            assert!(
+                (l1 - l2).abs() < 1e-4,
+                "{threads} threads: loss {l1} vs {l2}"
+            );
             for (k, v) in &g1 {
                 for (a, b) in v.iter().zip(&g2[k]) {
                     assert!((a - b).abs() < 1e-4, "key {k}");

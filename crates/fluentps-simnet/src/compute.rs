@@ -8,8 +8,7 @@
 //! slow nodes — the three straggler flavours the synchronization models are
 //! designed around.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use fluentps_util::rng::StdRng;
 
 /// A source of per-iteration compute durations.
 pub trait ComputeModel: Send {
@@ -88,7 +87,10 @@ impl WorkerCompute {
     }
 
     fn is_persistent_straggler(&self, worker: u32) -> bool {
-        worker >= self.num_workers.saturating_sub(self.stragglers.persistent_count)
+        worker
+            >= self
+                .num_workers
+                .saturating_sub(self.stragglers.persistent_count)
     }
 }
 

@@ -174,10 +174,7 @@ mod tests {
         let h = t.histogram();
         assert_eq!(
             h,
-            vec![
-                (TraceKind::ComputeDone, 2),
-                (TraceKind::VTrainAdvance, 1)
-            ]
+            vec![(TraceKind::ComputeDone, 2), (TraceKind::VTrainAdvance, 1)]
         );
     }
 }

@@ -3,7 +3,7 @@
 use fluentps_simnet::event::EventQueue;
 use fluentps_simnet::net::{LinkModel, NicQueue};
 use fluentps_simnet::topology::{ClusterTopology, Duplex};
-use proptest::prelude::*;
+use fluentps_util::proptest::prelude::*;
 
 proptest! {
     /// Events always pop in non-decreasing time order, whatever the

@@ -7,7 +7,7 @@
 //! compact and decode costs predictable, which matters because gradients for
 //! large layers dominate traffic.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::DecodeError;
 use crate::msg::{KvPairs, Message, NodeId};
@@ -420,7 +420,13 @@ mod tests {
 
     #[test]
     fn nan_and_special_floats_roundtrip_bitwise() {
-        let vals = vec![f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, f32::MIN_POSITIVE];
+        let vals = vec![
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            f32::MIN_POSITIVE,
+        ];
         let msg = Message::SPush {
             worker: 0,
             progress: 0,

@@ -62,7 +62,10 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::UnknownTag(t) => write!(f, "unknown message tag {t:#x}"),
             DecodeError::VersionMismatch { expected, found } => {
-                write!(f, "wire version mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "wire version mismatch: expected {expected}, found {found}"
+                )
             }
             DecodeError::InconsistentKv => write!(f, "inconsistent KvPairs lengths"),
             DecodeError::LengthOverflow(n) => write!(f, "declared length {n} exceeds cap"),

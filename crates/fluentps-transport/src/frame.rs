@@ -6,7 +6,7 @@
 
 use std::io::{Read, Write};
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::codec;
 use crate::error::{DecodeError, TransportError};

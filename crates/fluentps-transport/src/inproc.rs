@@ -1,4 +1,4 @@
-//! In-process transport fabric over crossbeam channels.
+//! In-process transport fabric over `fluentps_util::sync` channels.
 //!
 //! A [`Fabric`] owns one unbounded channel per registered node. Endpoints are
 //! cheap to clone for the sending side. This transport is the workhorse of
@@ -8,8 +8,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::RwLock;
+use fluentps_util::sync::RwLock;
+use fluentps_util::sync::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::TransportError;
 use crate::msg::{Message, NodeId};
@@ -68,7 +68,8 @@ impl Fabric {
             .inboxes
             .get(&to)
             .ok_or(TransportError::UnknownNode(to))?;
-        tx.send((from, msg)).map_err(|_| TransportError::Disconnected)
+        tx.send((from, msg))
+            .map_err(|_| TransportError::Disconnected)
     }
 
     /// Broadcast a message from `from` to every registered node except the
@@ -119,10 +120,7 @@ impl Mailbox for Endpoint {
         }
     }
 
-    fn recv_timeout(
-        &self,
-        timeout: Duration,
-    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
         match self.rx.recv_timeout(timeout) {
             Ok(env) => Ok(Some(env)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -154,7 +152,9 @@ mod tests {
         let fabric = Fabric::new();
         let a = fabric.register(NodeId::Worker(0));
         let b = fabric.register(NodeId::Server(0));
-        a.postman().send(NodeId::Server(0), Message::Shutdown).unwrap();
+        a.postman()
+            .send(NodeId::Server(0), Message::Shutdown)
+            .unwrap();
         let (from, msg) = b.recv().unwrap();
         assert_eq!(from, NodeId::Worker(0));
         assert_eq!(msg, Message::Shutdown);
@@ -197,12 +197,11 @@ mod tests {
         let fabric = Fabric::new();
         let rx = fabric.register(NodeId::Server(0));
         assert!(rx.try_recv().unwrap().is_none());
-        assert!(rx
-            .recv_timeout(Duration::from_millis(5))
-            .unwrap()
-            .is_none());
+        assert!(rx.recv_timeout(Duration::from_millis(5)).unwrap().is_none());
         let tx = fabric.register(NodeId::Worker(0));
-        tx.postman().send(NodeId::Server(0), Message::Shutdown).unwrap();
+        tx.postman()
+            .send(NodeId::Server(0), Message::Shutdown)
+            .unwrap();
         assert!(rx.try_recv().unwrap().is_some());
     }
 
@@ -253,7 +252,9 @@ mod tests {
         let s = fabric.register(NodeId::Scheduler);
         let a = fabric.register(NodeId::Worker(0));
         let b = fabric.register(NodeId::Worker(1));
-        fabric.broadcast(NodeId::Scheduler, &Message::Shutdown).unwrap();
+        fabric
+            .broadcast(NodeId::Scheduler, &Message::Shutdown)
+            .unwrap();
         assert!(a.try_recv().unwrap().is_some());
         assert!(b.try_recv().unwrap().is_some());
         assert!(s.try_recv().unwrap().is_none());

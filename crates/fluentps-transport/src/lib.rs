@@ -9,7 +9,7 @@
 //!   reported to the servers, not to a centralized scheduler).
 //! * [`codec`] — a hand-rolled, versioned binary wire codec over [`bytes`].
 //! * [`frame`] — length-prefixed framing for stream transports.
-//! * [`inproc`] — an in-process fabric built on crossbeam channels, used by
+//! * [`inproc`] — an in-process fabric built on `fluentps_util::sync` channels, used by
 //!   tests, examples and the threaded engine.
 //! * [`tcp`] — a real TCP transport over `std::net` so a FluentPS cluster can
 //!   run as separate OS processes (see the `tcp_cluster` example).

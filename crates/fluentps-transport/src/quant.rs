@@ -83,7 +83,7 @@ pub mod f16 {
                 let m32 = (m << (24 - l)) & 0x007F_FFFF;
                 sign | (e << 23) | m32
             }
-            (0x1F, 0) => sign | 0x7F80_0000,           // ±∞
+            (0x1F, 0) => sign | 0x7F80_0000,             // ±∞
             (0x1F, m) => sign | 0x7F80_0000 | (m << 13), // NaN
             (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
         };
@@ -128,7 +128,9 @@ impl QuantizedKv {
 
     /// Bytes saved relative to the full-precision payload.
     pub fn savings(&self, original: &KvPairs) -> usize {
-        original.payload_bytes().saturating_sub(self.payload_bytes())
+        original
+            .payload_bytes()
+            .saturating_sub(self.payload_bytes())
     }
 }
 

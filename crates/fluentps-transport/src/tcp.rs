@@ -15,8 +15,8 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::Mutex;
+use fluentps_util::sync::Mutex;
+use fluentps_util::sync::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::TransportError;
 use crate::frame::{read_frame, write_frame};
@@ -159,7 +159,9 @@ fn spawn_reader(stream: TcpStream, shared: Arc<Shared>) {
 
 impl Mailbox for TcpNode {
     fn recv(&self) -> Result<(NodeId, Message), TransportError> {
-        self.inbox_rx.recv().map_err(|_| TransportError::Disconnected)
+        self.inbox_rx
+            .recv()
+            .map_err(|_| TransportError::Disconnected)
     }
 
     fn try_recv(&self) -> Result<Option<(NodeId, Message)>, TransportError> {
@@ -170,10 +172,7 @@ impl Mailbox for TcpNode {
         }
     }
 
-    fn recv_timeout(
-        &self,
-        timeout: Duration,
-    ) -> Result<Option<(NodeId, Message)>, TransportError> {
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<(NodeId, Message)>, TransportError> {
         match self.inbox_rx.recv_timeout(timeout) {
             Ok(env) => Ok(Some(env)),
             Err(RecvTimeoutError::Timeout) => Ok(None),
@@ -236,7 +235,10 @@ mod tests {
             progress: 5,
             kv: KvPairs::single(1, vec![1.0, 2.0]),
         };
-        worker.postman().send(NodeId::Server(0), msg.clone()).unwrap();
+        worker
+            .postman()
+            .send(NodeId::Server(0), msg.clone())
+            .unwrap();
         let (from, got) = server
             .recv_timeout(Duration::from_secs(5))
             .unwrap()
@@ -262,7 +264,10 @@ mod tests {
             .postman()
             .send(NodeId::Server(0), Message::Shutdown)
             .unwrap();
-        assert!(server.recv_timeout(Duration::from_secs(5)).unwrap().is_some());
+        assert!(server
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .is_some());
 
         full_server
             .postman()

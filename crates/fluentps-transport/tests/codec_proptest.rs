@@ -1,18 +1,20 @@
 //! Property tests: the wire codec must roundtrip every well-formed message
 //! and must never panic on arbitrary byte soup.
 
-use bytes::Bytes;
 use fluentps_transport::codec::{decode, encode};
 use fluentps_transport::msg::{KvPairs, Message, NodeId};
-use proptest::prelude::*;
+use fluentps_util::buf::Bytes;
+use fluentps_util::proptest::prelude::*;
 
 fn arb_kv() -> impl Strategy<Value = KvPairs> {
-    prop::collection::vec((any::<u64>(), prop::collection::vec(any::<f32>(), 0..16)), 0..8)
-        .prop_map(|entries| {
-            let refs: Vec<(u64, &[f32])> =
-                entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
-            KvPairs::from_slices(&refs)
-        })
+    prop::collection::vec(
+        (any::<u64>(), prop::collection::vec(any::<f32>(), 0..16)),
+        0..8,
+    )
+    .prop_map(|entries| {
+        let refs: Vec<(u64, &[f32])> = entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        KvPairs::from_slices(&refs)
+    })
 }
 
 fn arb_node() -> impl Strategy<Value = NodeId> {

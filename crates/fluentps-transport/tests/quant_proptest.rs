@@ -3,7 +3,7 @@
 
 use fluentps_transport::msg::KvPairs;
 use fluentps_transport::quant::{f16, QuantizedKv};
-use proptest::prelude::*;
+use fluentps_util::proptest::prelude::*;
 
 proptest! {
     /// For f32 values inside f16's normal range, the round-trip relative

@@ -1,0 +1,316 @@
+//! Seedable pseudo-random number generation.
+//!
+//! [`StdRng`] is a PCG32 generator (64-bit state, XSH-RR output) whose state
+//! and stream constants are derived from a `u64` seed via SplitMix64, so any
+//! seed — including 0 — yields a well-mixed stream. The API mirrors the
+//! subset of `rand` the workspace uses (`seed_from_u64`, `gen`, `gen_range`,
+//! `gen_bool`, `shuffle`) plus the distribution samplers the simulators need
+//! (Box–Muller normal, inverse-CDF exponential).
+//!
+//! Determinism contract: the sequence produced by a given seed is part of
+//! the repo's reproducibility guarantee. Changing the generator or the
+//! derivation below changes every simulated experiment's coin flips.
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+/// Advance a SplitMix64 state and return the next output.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// The workspace's standard PRNG: PCG32 seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+    inc: u64,
+}
+
+impl StdRng {
+    /// Deterministic generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let init_state = splitmix64(&mut sm);
+        let init_inc = splitmix64(&mut sm) | 1; // stream constant must be odd
+        let mut rng = StdRng {
+            state: 0,
+            inc: init_inc,
+        };
+        // Standard PCG initialisation: absorb the seed into the state.
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(init_state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniformly distributed bits (PCG-XSH-RR).
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// A value of type `T` from its natural "whole domain" distribution:
+    /// `f32`/`f64` uniform in `[0, 1)`, integers uniform over all bits,
+    /// `bool` a fair coin.
+    pub fn gen<T: Random>(&mut self) -> T {
+        T::random(self)
+    }
+
+    /// Uniform draw from a range (half-open or inclusive). Panics on an
+    /// empty range, like `rand`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Standard-normal sample via Box–Muller.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        // u1 in (0, 1]: avoids ln(0).
+        let u1 = 1.0 - self.gen::<f64>();
+        let u2 = self.gen::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        mean + std_dev * z
+    }
+
+    /// Exponential sample with rate `lambda` via inverse CDF. Panics if
+    /// `lambda <= 0`.
+    pub fn exponential(&mut self, lambda: f64) -> f64 {
+        assert!(lambda > 0.0, "exponential rate must be positive");
+        let u = 1.0 - self.gen::<f64>(); // (0, 1]
+        -u.ln() / lambda
+    }
+
+    /// Uniform in `[0, n)` without modulo bias (rejection sampling).
+    fn uniform_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        if n == 1 {
+            return 0;
+        }
+        // Largest value below which x % n is unbiased.
+        let zone = u64::MAX - (u64::MAX % n + 1) % n;
+        loop {
+            let x = self.next_u64();
+            if x <= zone {
+                return x % n;
+            }
+        }
+    }
+}
+
+/// Types [`StdRng::gen`] can produce.
+pub trait Random {
+    fn random(rng: &mut StdRng) -> Self;
+}
+
+impl Random for f64 {
+    fn random(rng: &mut StdRng) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    fn random(rng: &mut StdRng) -> f32 {
+        // 24 mantissa bits → uniform in [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut StdRng) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty => $via:ident),*) => {$(
+        impl Random for $t {
+            fn random(rng: &mut StdRng) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                 u64 => next_u64, usize => next_u64,
+                 i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                 i64 => next_u64, isize => next_u64);
+
+/// Ranges [`StdRng::gen_range`] can sample from. The output type is a
+/// trait parameter (mirroring `rand`) so an unannotated literal range like
+/// `-1.0..1.0` unifies with the surrounding `f32`/`f64` context.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let width = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.uniform_u64(width) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range");
+                let width = (end as i128 - start as i128) as u128 + 1;
+                if width > u64::MAX as u128 {
+                    return rng.next_u64() as $t; // full-domain u64/i64 range
+                }
+                start.wrapping_add(rng.uniform_u64(width as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let unit: $t = rng.gen();
+                let v = self.start + (self.end - self.start) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "streams nearly identical: {same}/64 collisions");
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mean = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&a));
+            let b = rng.gen_range(-2.5f32..2.5);
+            assert!((-2.5..2.5).contains(&b));
+            let c = rng.gen_range(0usize..3);
+            assert!(c < 3);
+            let d = rng.gen_range(10u64..=12);
+            assert!((10..=12).contains(&d));
+            let e = rng.gen_range(-8i64..-3);
+            assert!((-8..-3).contains(&e));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "hits {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice sorted");
+    }
+
+    #[test]
+    fn normal_has_right_moments() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_has_right_mean() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let n = 50_000;
+        let mean = (0..n).map(|_| rng.exponential(2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+        let all_positive = (0..1000).all(|_| rng.exponential(0.1) >= 0.0);
+        assert!(all_positive);
+    }
+}

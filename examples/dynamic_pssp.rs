@@ -93,7 +93,13 @@ fn main() {
 
     let mut table = Table::new(
         "Static vs dynamic PSSP vs significance filter (12 workers, 1 straggler)",
-        &["configuration", "time", "accuracy", "DPRs/100it", "bytes-in"],
+        &[
+            "configuration",
+            "time",
+            "accuracy",
+            "DPRs/100it",
+            "bytes-in",
+        ],
     );
     type Config = (&'static str, EngineKind, Option<(f64, u32)>);
     let configs: Vec<Config> = vec![

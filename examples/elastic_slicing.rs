@@ -17,7 +17,10 @@ fn main() {
         len: 300_000,
     }];
     for k in 1..56 {
-        params.push(ParamSpec { key: k, len: 10_000 });
+        params.push(ParamSpec {
+            key: k,
+            len: 10_000,
+        });
     }
     let servers = 8;
 
@@ -25,9 +28,16 @@ fn main() {
     let eps = EpsSlicer { max_chunk: 16_384 };
     let eps_map = eps.slice(&params, servers);
 
-    println!("model: {} tensors, {} values total\n", params.len(), default_map.total_values());
+    println!(
+        "model: {} tensors, {} values total\n",
+        params.len(),
+        default_map.total_values()
+    );
     println!("default slicing loads: {:?}", default_map.server_loads());
-    println!("default imbalance: {:.2} (max/mean)", default_map.imbalance());
+    println!(
+        "default imbalance: {:.2} (max/mean)",
+        default_map.imbalance()
+    );
     println!("EPS loads:            {:?}", eps_map.server_loads());
     println!("EPS imbalance:        {:.2}\n", eps_map.imbalance());
 
@@ -46,8 +56,14 @@ fn main() {
         sched.placement().num_servers(),
         100.0 * moved as f64 / sched.placement().total_values() as f64
     );
-    println!("post-rebalance loads: {:?}", sched.placement().server_loads());
-    println!("post-rebalance imbalance: {:.2}", sched.placement().imbalance());
+    println!(
+        "post-rebalance loads: {:?}",
+        sched.placement().server_loads()
+    );
+    println!(
+        "post-rebalance imbalance: {:.2}",
+        sched.placement().imbalance()
+    );
 
     assert!(default_map.imbalance() > 3.0);
     assert!(eps_map.imbalance() < 1.2);

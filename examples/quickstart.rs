@@ -76,11 +76,8 @@ fn main() {
                 let n = client.worker_id();
                 let mut params = init;
                 let mut opt = Sgd::new(0.3, 0.9, 0.0);
-                let mut sampler = BatchSampler::new(
-                    train.partition(n, NUM_WORKERS),
-                    32,
-                    1000 + n as u64,
-                );
+                let mut sampler =
+                    BatchSampler::new(train.partition(n, NUM_WORKERS), 32, 1000 + n as u64);
                 for i in 0..ITERATIONS {
                     let batch = train.batch(&sampler.next_indices());
                     let (_, grads) = model.loss_and_grad(&params, &batch);
@@ -101,8 +98,10 @@ fn main() {
 
     let stats = cluster.shutdown();
     let accuracy = model.accuracy(&final_params, &test);
-    println!("test accuracy after {ITERATIONS} iterations x {NUM_WORKERS} workers: {:.1}%",
-        accuracy * 100.0);
+    println!(
+        "test accuracy after {ITERATIONS} iterations x {NUM_WORKERS} workers: {:.1}%",
+        accuracy * 100.0
+    );
     for (m, s) in stats.iter().enumerate() {
         println!(
             "server {m}: {} pushes, {} pulls ({} deferred, {} released lazily)",

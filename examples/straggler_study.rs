@@ -18,13 +18,22 @@ use fluentps::simnet::compute::StragglerSpec;
 fn main() {
     let mut table = Table::new(
         "Straggler study: 8 workers, 1 persistent straggler of varying slowness",
-        &["straggler-factor", "model", "time", "accuracy", "dropped-pushes"],
+        &[
+            "straggler-factor",
+            "model",
+            "time",
+            "accuracy",
+            "dropped-pushes",
+        ],
     );
     for factor in [1.0f64, 2.0, 4.0] {
         for (name, model) in [
             ("BSP", SyncModel::Bsp),
             ("SSP s=3", SyncModel::Ssp { s: 3 }),
-            ("Drop stragglers (Nt=7)", SyncModel::DropStragglers { n_t: 7 }),
+            (
+                "Drop stragglers (Nt=7)",
+                SyncModel::DropStragglers { n_t: 7 },
+            ),
             ("PSSP c=0.3", SyncModel::PsspConst { s: 3, c: 0.3 }),
         ] {
             let cfg = DriverConfig {

@@ -21,7 +21,10 @@ fn main() {
         ("ASP", SyncModel::Asp),
         ("SSP s=3", SyncModel::Ssp { s: 3 }),
         ("DSPS", SyncModel::Dsps(DspsConfig::default())),
-        ("Drop stragglers (Nt=6)", SyncModel::DropStragglers { n_t: 6 }),
+        (
+            "Drop stragglers (Nt=6)",
+            SyncModel::DropStragglers { n_t: 6 },
+        ),
         ("PSSP const c=0.3", SyncModel::PsspConst { s: 3, c: 0.3 }),
         (
             "PSSP dynamic",

@@ -166,7 +166,10 @@ fn main() {
 
     // Expected value: 20 iterations of mean(1, 2, 3) = 2 per element.
     let expected = ITERATIONS as f32 * (1.0 + 2.0 + 3.0) / NUM_WORKERS as f32;
-    println!("final parameter value: {:?} (expected {expected})", &final_params[..2]);
+    println!(
+        "final parameter value: {:?} (expected {expected})",
+        &final_params[..2]
+    );
     assert!((final_params[0] - expected).abs() < 1e-3);
     println!("tcp_cluster: OK");
 }

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 gate (see ROADMAP.md). Must pass from a clean checkout with an
+# empty cargo registry: the workspace is hermetic (path-only dependencies,
+# see DESIGN.md §7), so --offline is load-bearing, not an optimization.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo build --release --offline --workspace --all-targets
+cargo test -q --offline --workspace

@@ -138,8 +138,7 @@ fn bsp_final_parameters_identical_across_workers() {
                 let n = client.worker_id();
                 let mut params = init;
                 let mut opt = Sgd::new(0.2, 0.0, 0.0);
-                let mut sampler =
-                    BatchSampler::new(train.partition(n, 4), 8, 7 + n as u64);
+                let mut sampler = BatchSampler::new(train.partition(n, 4), 8, 7 + n as u64);
                 for i in 0..40 {
                     let batch = train.batch(&sampler.next_indices());
                     let (_, grads) = ml_model.loss_and_grad(&params, &batch);
@@ -190,7 +189,9 @@ fn tcp_transport_carries_a_full_training_exchange() {
             let (_, msg) = server_rx.recv().unwrap();
             match msg {
                 Message::SPush {
-                    worker, progress, kv,
+                    worker,
+                    progress,
+                    kv,
                 } => {
                     for r in shard.on_push(worker, progress, &kv) {
                         postman
@@ -207,7 +208,9 @@ fn tcp_transport_carries_a_full_training_exchange() {
                     }
                 }
                 Message::SPull {
-                    worker, progress, keys,
+                    worker,
+                    progress,
+                    keys,
                 } => {
                     if let PullOutcome::Respond { kv, version } =
                         shard.on_pull(worker, progress, &keys, 0.0, None)

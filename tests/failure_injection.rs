@@ -41,7 +41,8 @@ fn bsp_stalls_at_the_failed_iteration() {
     // never pass 10 — every surviving worker blocks on the barrier forever.
     let r = run(&cfg(SyncModel::Bsp, Some((3, 10))));
     assert_eq!(
-        r.stats.v_train_advances, 10 * 2, // 10 iterations × 2 shards
+        r.stats.v_train_advances,
+        10 * 2, // 10 iterations × 2 shards
         "BSP must stall exactly at the failure point"
     );
 }
@@ -62,7 +63,8 @@ fn drop_stragglers_survives_the_failure() {
     // and training completes the full budget.
     let r = run(&cfg(SyncModel::DropStragglers { n_t: 5 }, Some((3, 10))));
     assert_eq!(
-        r.stats.v_train_advances, 40 * 2,
+        r.stats.v_train_advances,
+        40 * 2,
         "drop-stragglers must complete all iterations"
     );
 }

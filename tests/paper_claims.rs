@@ -121,8 +121,14 @@ fn figure6_ordering_fluentps_beats_pslite_and_eps_beats_default() {
 /// barrier and is not slower.
 #[test]
 fn lazy_execution_slashes_dprs_vs_soft_barrier() {
-    let soft = run(&straggler_cfg(SyncModel::Ssp { s: 2 }, DprPolicy::SoftBarrier));
-    let lazy = run(&straggler_cfg(SyncModel::Ssp { s: 2 }, DprPolicy::LazyExecution));
+    let soft = run(&straggler_cfg(
+        SyncModel::Ssp { s: 2 },
+        DprPolicy::SoftBarrier,
+    ));
+    let lazy = run(&straggler_cfg(
+        SyncModel::Ssp { s: 2 },
+        DprPolicy::LazyExecution,
+    ));
     assert!(
         (lazy.stats.dprs as f64) < soft.stats.dprs as f64 * 0.5,
         "lazy {} DPRs !< half of soft {}",
@@ -346,5 +352,8 @@ fn pslite_bounded_delay_parks_between_bsp_and_asp() {
         bounded.barrier_count,
         bsp.barrier_count
     );
-    assert!(bounded.barrier_count > 0, "bounded delay still parks racers");
+    assert!(
+        bounded.barrier_count > 0,
+        "bounded delay still parks racers"
+    );
 }
