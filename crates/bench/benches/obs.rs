@@ -1,0 +1,155 @@
+//! Observability overhead benchmarks.
+//!
+//! The contract from DESIGN.md is that tracing is *free when disabled*: the
+//! disabled-record benchmarks measure exactly that hot path, next to the
+//! enabled-path cost and the end-to-end threaded-engine overhead of running
+//! a cluster with a collector attached vs without one (`scripts/bench.sh`
+//! collects both into `BENCH_obs.json`).
+
+use std::collections::HashMap;
+
+use fluentps_util::bench::{Criterion, Throughput};
+use fluentps_util::{criterion_group, criterion_main};
+
+use fluentps_core::condition::SyncModel;
+use fluentps_core::engine::{Cluster, EngineConfig};
+use fluentps_core::eps::{EpsSlicer, ParamSpec, Slicer};
+use fluentps_obs::{export, EventKind, MetricsRegistry, TraceCollector, Tracer, NO_ID};
+
+/// Disabled tracer: one branch, no clock read, no allocation.
+fn tracer_disabled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracer");
+    g.throughput(Throughput::Elements(1));
+    let tracer = Tracer::disabled();
+    g.bench_function("disabled_record", |b| {
+        b.iter(|| tracer.record(EventKind::PushApplied, 0, 1, 2, 3, 4))
+    });
+    g.finish();
+}
+
+/// Enabled tracer: clock read + ring-buffer push under a (thread-local,
+/// uncontended) mutex.
+fn tracer_enabled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracer");
+    g.throughput(Throughput::Elements(1));
+    let collector = TraceCollector::wall(4096);
+    let tracer = collector.tracer();
+    g.bench_function("enabled_record", |b| {
+        b.iter(|| tracer.record(EventKind::PushApplied, 0, 1, 2, 3, 4))
+    });
+    g.bench_function("enabled_record_span", |b| {
+        b.iter(|| {
+            let start = tracer.now();
+            tracer.record_span(EventKind::BarrierWait, start, 0, NO_ID, 2, 3, 0)
+        })
+    });
+    g.finish();
+}
+
+/// Metrics registry: labeled counter increment and histogram observation.
+fn metrics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metrics");
+    g.throughput(Throughput::Elements(1));
+    let registry = MetricsRegistry::new();
+    let scope = registry.scope().with("shard", "3");
+    g.bench_function("counter_inc", |b| b.iter(|| scope.inc("pulls", 1)));
+    g.bench_function("histogram_observe", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(7) % 1000;
+            scope.observe("dpr_wait", v)
+        })
+    });
+    g.finish();
+}
+
+/// Chrome-trace export of a populated collector.
+fn export_chrome(c: &mut Criterion) {
+    let collector = TraceCollector::wall(8192);
+    let tracer = collector.tracer();
+    for i in 0..4096u64 {
+        tracer.record(
+            EventKind::PushApplied,
+            (i % 4) as u32,
+            (i % 8) as u32,
+            i,
+            i,
+            64,
+        );
+    }
+    c.bench_function("export/chrome_4k_events", |b| {
+        b.iter(|| export::chrome_trace(&collector.snapshot()))
+    });
+}
+
+/// One complete threaded-engine run: 2 servers, 2 workers, 5 iterations.
+fn run_threaded_cluster(collector: Option<&TraceCollector>) -> u64 {
+    let specs = vec![
+        ParamSpec { key: 0, len: 256 },
+        ParamSpec { key: 1, len: 128 },
+    ];
+    let mut init = HashMap::new();
+    init.insert(0u64, vec![0.0f32; 256]);
+    init.insert(1u64, vec![0.0f32; 128]);
+    let map = EpsSlicer { max_chunk: 64 }.slice(&specs, 2);
+    let cfg = EngineConfig {
+        num_workers: 2,
+        num_servers: 2,
+        model: SyncModel::Ssp { s: 1 },
+        ..EngineConfig::default()
+    };
+    let (cluster, mut workers) = match collector {
+        Some(col) => Cluster::launch_with_collector(cfg, map, &init, col),
+        None => Cluster::launch(cfg, map, &init),
+    };
+    let mut grads = HashMap::new();
+    grads.insert(0u64, vec![1e-3f32; 256]);
+    grads.insert(1u64, vec![1e-3f32; 128]);
+    let handles: Vec<_> = workers
+        .drain(..)
+        .map(|mut w| {
+            let grads = grads.clone();
+            std::thread::spawn(move || {
+                let mut params = HashMap::new();
+                for i in 0..5u64 {
+                    w.spush(i, &grads).unwrap();
+                    w.spull_wait(i, &mut params).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = cluster.shutdown();
+    stats.iter().map(|s| s.pulls_total).sum()
+}
+
+/// The headline comparison: the same threaded-engine workload with tracing
+/// off vs on. The delta between these two entries in `BENCH_obs.json` is the
+/// end-to-end tracing overhead.
+fn engine_tracing_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("threaded_tracing_off", |b| {
+        b.iter(|| run_threaded_cluster(None))
+    });
+    g.bench_function("threaded_tracing_on", |b| {
+        b.iter(|| {
+            let collector = TraceCollector::wall(65536);
+            let pulls = run_threaded_cluster(Some(&collector));
+            (pulls, collector.snapshot().total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    obs,
+    tracer_disabled,
+    tracer_enabled,
+    metrics,
+    export_chrome,
+    engine_tracing_overhead
+);
+criterion_main!(obs);

@@ -53,6 +53,7 @@ pub struct DprBuffer {
     entries: BTreeMap<u64, Vec<DeferredPull>>,
     len: usize,
     total_deferred: u64,
+    peak_pending: usize,
 }
 
 impl DprBuffer {
@@ -72,6 +73,7 @@ impl DprBuffer {
         self.entries.entry(pull.progress).or_default().push(pull);
         self.len += 1;
         self.total_deferred += 1;
+        self.peak_pending = self.peak_pending.max(self.len);
     }
 
     /// Number of DPRs currently waiting.
@@ -88,6 +90,13 @@ impl DprBuffer {
     /// frequency metric, reported per 100 iterations).
     pub fn total_deferred(&self) -> u64 {
         self.total_deferred
+    }
+
+    /// High-water mark of simultaneously buffered DPRs — how many workers
+    /// were parked at once at the worst moment (observability: bounds the
+    /// blast radius a slow shard inflicts on the cluster).
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
     }
 
     /// Release every DPR that `policy` allows to run now. Called after each
@@ -271,5 +280,20 @@ mod tests {
         assert_eq!(buf.drain_all().len(), 2);
         assert!(buf.is_empty());
         assert_eq!(buf.total_deferred(), 2);
+    }
+
+    #[test]
+    fn peak_pending_is_a_high_water_mark() {
+        let model = SyncModel::Bsp.into_policy();
+        let mut buf = DprBuffer::new();
+        for w in 0..3 {
+            buf.defer(DprPolicy::LazyExecution, pull(w, 2));
+        }
+        assert_eq!(buf.peak_pending(), 3);
+        buf.release(DprPolicy::LazyExecution, &model, &st(3));
+        assert!(buf.is_empty());
+        // Draining does not lower the peak; a later smaller wave keeps it.
+        buf.defer(DprPolicy::LazyExecution, pull(0, 5));
+        assert_eq!(buf.peak_pending(), 3);
     }
 }

@@ -11,10 +11,11 @@
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 
+use fluentps_obs::{EventKind, TraceCollector, Tracer, NO_ID};
 use fluentps_util::rng::StdRng;
 
 use fluentps_transport::inproc::{Endpoint, Fabric, InprocPostman};
-use fluentps_transport::{Mailbox, Message, NodeId, Postman};
+use fluentps_transport::{frame, Mailbox, Message, NodeId, Postman};
 
 use crate::dpr::DprPolicy;
 use crate::eps::SliceMap;
@@ -78,6 +79,18 @@ impl Cluster {
         Self::launch_heterogeneous(cfg, models, map, init)
     }
 
+    /// [`Cluster::launch`] with a [`TraceCollector`]: every server shard and
+    /// worker client records trace events (wall clock) into `collector`.
+    pub fn launch_with_collector(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: &TraceCollector,
+    ) -> (Cluster, Vec<InprocWorker>) {
+        let models = vec![cfg.model; cfg.num_servers as usize];
+        Self::launch_inner(cfg, models, map, init, Some(collector))
+    }
+
     /// Like [`Cluster::launch`] but with a per-server synchronization model —
     /// the paper's headline flexibility: "each parameter server can choose
     /// the adaptive synchronization model to update its parameter shard".
@@ -86,6 +99,16 @@ impl Cluster {
         models: Vec<SyncModel>,
         map: SliceMap,
         init: &HashMap<u64, Vec<f32>>,
+    ) -> (Cluster, Vec<InprocWorker>) {
+        Self::launch_inner(cfg, models, map, init, None)
+    }
+
+    fn launch_inner(
+        cfg: EngineConfig,
+        models: Vec<SyncModel>,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: Option<&TraceCollector>,
     ) -> (Cluster, Vec<InprocWorker>) {
         assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
         assert_eq!(models.len(), cfg.num_servers as usize);
@@ -114,10 +137,14 @@ impl Cluster {
                     .unwrap_or_else(|| vec![0.0; p.len]);
                 shard.init_param(p.new_key, vals);
             }
+            let tracer = collector.map(|c| c.tracer()).unwrap_or_default();
+            // The shard and its server loop run on one thread; a clone
+            // shares the same ring.
+            shard.set_tracer(tracer.clone());
             let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
             let handle = std::thread::Builder::new()
                 .name(format!("fluentps-server-{m}"))
-                .spawn(move || server_loop(shard, endpoint, rng))
+                .spawn(move || server_loop(shard, endpoint, rng, tracer))
                 .expect("spawn server thread");
             servers.push(handle);
         }
@@ -128,7 +155,11 @@ impl Cluster {
             .enumerate()
             .map(|(n, ep)| {
                 let postman = ep.postman();
-                WorkerClient::new(n as u32, postman, ep, router.clone())
+                let mut w = WorkerClient::new(n as u32, postman, ep, router.clone());
+                if let Some(c) = collector {
+                    w.set_tracer(c.tracer());
+                }
+                w
             })
             .collect();
 
@@ -158,10 +189,42 @@ impl Cluster {
     }
 }
 
-fn server_loop(mut shard: ServerShard, endpoint: Endpoint, mut rng: StdRng) -> ShardStats {
+fn server_loop(
+    mut shard: ServerShard,
+    endpoint: Endpoint,
+    mut rng: StdRng,
+    tracer: Tracer,
+) -> ShardStats {
     let postman = endpoint.postman();
     let server_id = shard.config().server_id;
+    // All outgoing messages funnel through here so WireSend events carry the
+    // exact framed size the TCP transport would put on the wire.
+    let send = |worker: u32, msg: Message| {
+        tracer.record(
+            EventKind::WireSend,
+            server_id,
+            worker,
+            0,
+            0,
+            frame::wire_len(&msg) as u64,
+        );
+        let _ = postman.send(NodeId::Worker(worker), msg);
+    };
     while let Ok((_, msg)) = endpoint.recv() {
+        if tracer.is_enabled() {
+            let worker = match &msg {
+                Message::SPush { worker, .. } | Message::SPull { worker, .. } => *worker,
+                _ => NO_ID,
+            };
+            tracer.record(
+                EventKind::WireRecv,
+                server_id,
+                worker,
+                0,
+                0,
+                frame::wire_len(&msg) as u64,
+            );
+        }
         match msg {
             Message::SPush {
                 worker,
@@ -169,16 +232,16 @@ fn server_loop(mut shard: ServerShard, endpoint: Endpoint, mut rng: StdRng) -> S
                 kv,
             } => {
                 let released = shard.on_push(worker, progress, &kv);
-                let _ = postman.send(
-                    NodeId::Worker(worker),
+                send(
+                    worker,
                     Message::PushAck {
                         server: server_id,
                         progress,
                     },
                 );
                 for r in released {
-                    let _ = postman.send(
-                        NodeId::Worker(r.worker),
+                    send(
+                        r.worker,
                         Message::PullResponse {
                             server: server_id,
                             progress: r.progress,
@@ -196,8 +259,8 @@ fn server_loop(mut shard: ServerShard, endpoint: Endpoint, mut rng: StdRng) -> S
                 let draw: f64 = rng.gen();
                 match shard.on_pull(worker, progress, &keys, draw, None) {
                     PullOutcome::Respond { kv, version } => {
-                        let _ = postman.send(
-                            NodeId::Worker(worker),
+                        send(
+                            worker,
                             Message::PullResponse {
                                 server: server_id,
                                 progress,
@@ -211,8 +274,8 @@ fn server_loop(mut shard: ServerShard, endpoint: Endpoint, mut rng: StdRng) -> S
             }
             Message::Shutdown => {
                 for r in shard.drain_shutdown() {
-                    let _ = postman.send(
-                        NodeId::Worker(r.worker),
+                    send(
+                        r.worker,
                         Message::PullResponse {
                             server: server_id,
                             progress: r.progress,
@@ -312,6 +375,62 @@ mod tests {
         }
         let stats = cluster.shutdown();
         assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn traced_cluster_counts_reconcile_with_stats() {
+        let (specs, init) = model_params();
+        let map = EpsSlicer { max_chunk: 4 }.slice(&specs, 2);
+        let cfg = EngineConfig {
+            num_workers: 2,
+            num_servers: 2,
+            model: SyncModel::Bsp,
+            ..EngineConfig::default()
+        };
+        let collector = TraceCollector::wall(4096);
+        let (cluster, mut workers) = Cluster::launch_with_collector(cfg, map, &init, &collector);
+
+        let mut grads = HashMap::new();
+        grads.insert(0u64, vec![1.0f32; 8]);
+        grads.insert(1u64, vec![2.0f32; 4]);
+        let handles: Vec<_> = workers
+            .drain(..)
+            .map(|mut w| {
+                let grads = grads.clone();
+                std::thread::spawn(move || {
+                    let mut params = HashMap::new();
+                    for i in 0..3u64 {
+                        w.spush(i, &grads).unwrap();
+                        w.spull_wait(i, &mut params).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cluster.shutdown();
+        let trace = collector.snapshot();
+
+        let pulls: u64 = stats.iter().map(|s| s.pulls_total).sum();
+        let dprs: u64 = stats.iter().map(|s| s.dprs).sum();
+        let released: u64 = stats.iter().map(|s| s.dprs_released).sum();
+        let pushes: u64 = stats.iter().map(|s| s.pushes).sum();
+        let dropped: u64 = stats.iter().map(|s| s.late_pushes_dropped).sum();
+        let advances: u64 = stats.iter().map(|s| s.v_train_advances).sum();
+
+        assert_eq!(trace.count(EventKind::PullRequested), pulls);
+        assert_eq!(trace.count(EventKind::PullDeferred), dprs);
+        assert_eq!(trace.count(EventKind::DprReleased), released);
+        assert_eq!(
+            trace.count(EventKind::PushApplied) + trace.count(EventKind::LatePushDropped),
+            pushes
+        );
+        assert_eq!(trace.count(EventKind::LatePushDropped), dropped);
+        assert_eq!(trace.count(EventKind::VTrainAdvanced), advances);
+        assert!(trace.count(EventKind::WireSend) > 0);
+        assert!(trace.count(EventKind::WireRecv) > 0);
+        assert!(trace.count(EventKind::BarrierWait) > 0);
     }
 
     #[test]

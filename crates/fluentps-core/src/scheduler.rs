@@ -8,6 +8,7 @@
 
 use std::collections::HashMap;
 
+use fluentps_obs::MetricsRegistry;
 use fluentps_transport::NodeId;
 
 use crate::eps::{EpsSlicer, ParamSpec, SliceMap};
@@ -74,6 +75,7 @@ pub struct Scheduler {
     params: Vec<ParamSpec>,
     placement: SliceMap,
     num_servers: u32,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl Scheduler {
@@ -93,6 +95,25 @@ impl Scheduler {
             params,
             placement,
             num_servers,
+            metrics: None,
+        }
+    }
+
+    /// Publish scheduler activity into `registry`: `scheduler_rebalances` /
+    /// `scheduler_values_moved` counters, `scheduler_heartbeats`, and the
+    /// `live_servers` / `placement_imbalance` gauges.
+    pub fn set_metrics(&mut self, registry: MetricsRegistry) {
+        registry.set_gauge("live_servers", self.num_servers as f64);
+        registry.set_gauge("placement_imbalance", self.placement.imbalance());
+        self.metrics = Some(registry);
+    }
+
+    fn publish_placement(&self, moved: usize) {
+        if let Some(m) = &self.metrics {
+            m.inc("scheduler_rebalances", 1);
+            m.inc("scheduler_values_moved", moved as u64);
+            m.set_gauge("live_servers", self.num_servers as f64);
+            m.set_gauge("placement_imbalance", self.placement.imbalance());
         }
     }
 
@@ -108,6 +129,9 @@ impl Scheduler {
 
     /// Record a heartbeat.
     pub fn observe(&mut self, node: NodeId, now: u64) {
+        if let Some(m) = &self.metrics {
+            m.inc("scheduler_heartbeats", 1);
+        }
         self.liveness.observe(node, now);
     }
 
@@ -128,6 +152,7 @@ impl Scheduler {
         for n in &dead_servers {
             self.liveness.remove(*n);
         }
+        self.publish_placement(moved);
         (dead_servers, moved)
     }
 
@@ -136,6 +161,7 @@ impl Scheduler {
         let (new_placement, moved) = self.slicer.rebalance(&self.placement, new_count);
         self.placement = new_placement;
         self.num_servers = new_count;
+        self.publish_placement(moved);
         moved
     }
 }
@@ -209,6 +235,28 @@ mod tests {
         assert_eq!(sched.placement().num_servers(), 4);
         let loads = sched.placement().server_loads();
         assert!(loads.iter().all(|&l| l > 0), "{loads:?}");
+    }
+
+    #[test]
+    fn metrics_follow_rebalance_and_scale() {
+        let mut sched = Scheduler::new(test_params(), 4, EpsSlicer { max_chunk: 2048 }, 10);
+        let registry = MetricsRegistry::new();
+        sched.set_metrics(registry.clone());
+        assert_eq!(registry.gauge_value("live_servers"), Some(4.0));
+        for s in 0..4 {
+            sched.observe(NodeId::Server(s), 0);
+        }
+        assert_eq!(registry.counter_value("scheduler_heartbeats"), 4);
+        for s in 0..3 {
+            sched.observe(NodeId::Server(s), 20);
+        }
+        sched.check_and_rebalance(20);
+        assert_eq!(registry.counter_value("scheduler_rebalances"), 1);
+        assert!(registry.counter_value("scheduler_values_moved") > 0);
+        assert_eq!(registry.gauge_value("live_servers"), Some(3.0));
+        sched.scale_to(5);
+        assert_eq!(registry.counter_value("scheduler_rebalances"), 2);
+        assert_eq!(registry.gauge_value("live_servers"), Some(5.0));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use std::collections::HashMap;
 
-use fluentps_transport::KvPairs;
+use fluentps_obs::{EventKind, Tracer, NO_ID};
+use fluentps_transport::{codec, KvPairs};
 
 use crate::condition::{SyncModel, SyncPolicy, SyncState};
 use crate::dpr::{DeferredPull, DprBuffer, DprPolicy};
@@ -98,6 +99,9 @@ pub struct ServerShard {
     /// Gradient significance `SF(g, w) = |g|/|w|` of each worker's latest
     /// push, consumed by dynamic PSSP when the pull carries no explicit hint.
     last_significance: Vec<Option<f64>>,
+    /// Trace event sink; `Tracer::disabled()` (the default) costs one branch
+    /// per would-be event, keeping the state machine free of clocks.
+    tracer: Tracer,
 }
 
 impl ServerShard {
@@ -119,8 +123,14 @@ impl ServerShard {
             buffer: DprBuffer::new(),
             stats: ShardStats::default(),
             last_significance: vec![None; cfg.num_workers as usize],
+            tracer: Tracer::disabled(),
             cfg,
         }
+    }
+
+    /// Attach a tracer; events record against this shard's `server_id`.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Install the initial value of a parameter (`w_0`, Algorithm 1 line 1).
@@ -194,7 +204,17 @@ impl ServerShard {
     ) -> PullOutcome {
         self.progress.observe(worker, progress);
         self.stats.pulls_total += 1;
-        self.stats.bytes_in += 16 + keys.len() as u64 * 8;
+        // Codec-measured request size: exactly what encode(SPull) produces.
+        let req_bytes = codec::spull_wire_len(keys.len()) as u64;
+        self.stats.bytes_in += req_bytes;
+        self.tracer.record(
+            EventKind::PullRequested,
+            self.cfg.server_id,
+            worker,
+            progress,
+            self.v_train,
+            req_bytes,
+        );
         let significance = significance.or(self.last_significance[worker as usize]);
         let st = self.sync_state();
         let deterministic_ok = self.policy.release_permitted(&st, progress);
@@ -208,13 +228,21 @@ impl ServerShard {
             }
             self.stats.pulls_immediate += 1;
             let kv = self.gather(keys);
-            self.stats.bytes_out += kv.payload_bytes() as u64;
+            self.stats.bytes_out += codec::pull_response_wire_len(&kv) as u64;
             PullOutcome::Respond {
                 kv,
                 version: self.v_train,
             }
         } else {
             self.stats.dprs += 1;
+            self.tracer.record(
+                EventKind::PullDeferred,
+                self.cfg.server_id,
+                worker,
+                progress,
+                self.v_train,
+                0,
+            );
             self.buffer.defer(
                 self.cfg.policy,
                 DeferredPull {
@@ -224,6 +252,7 @@ impl ServerShard {
                     deferred_at: self.v_train,
                 },
             );
+            self.stats.dpr_buffer_peak = self.buffer.peak_pending() as u64;
             PullOutcome::Deferred
         }
     }
@@ -235,14 +264,31 @@ impl ServerShard {
         debug_assert!(kv.is_consistent(), "inconsistent KvPairs in push");
         self.progress.observe(worker, progress);
         self.stats.pushes += 1;
-        self.stats.bytes_in += kv.payload_bytes() as u64;
+        let push_bytes = codec::spush_wire_len(kv) as u64;
+        self.stats.bytes_in += push_bytes;
 
         let late = progress < self.v_train;
         if late && !self.policy.accept_late_push() {
             self.stats.late_pushes_dropped += 1;
+            self.tracer.record(
+                EventKind::LatePushDropped,
+                self.cfg.server_id,
+                worker,
+                progress,
+                self.v_train,
+                push_bytes,
+            );
         } else {
             self.last_significance[worker as usize] = Some(self.push_significance(kv));
             self.apply_gradients(kv);
+            self.tracer.record(
+                EventKind::PushApplied,
+                self.cfg.server_id,
+                worker,
+                progress,
+                self.v_train,
+                push_bytes,
+            );
         }
         self.progress.record_push(progress);
         let st = self.sync_state();
@@ -258,6 +304,14 @@ impl ServerShard {
             }
             self.v_train += 1;
             self.stats.v_train_advances += 1;
+            self.tracer.record(
+                EventKind::VTrainAdvanced,
+                self.cfg.server_id,
+                NO_ID,
+                0,
+                self.v_train,
+                0,
+            );
             self.progress.prune_below(self.v_train);
             let st = self.sync_state();
             for dpr in self
@@ -279,11 +333,20 @@ impl ServerShard {
 
     fn answer_dpr(&mut self, dpr: DeferredPull) -> ReleasedPull {
         let kv = self.gather(&dpr.keys);
-        self.stats.bytes_out += kv.payload_bytes() as u64;
+        let resp_bytes = codec::pull_response_wire_len(&kv) as u64;
+        self.stats.bytes_out += resp_bytes;
         self.stats.dprs_released += 1;
         let waited = self.v_train.saturating_sub(dpr.deferred_at);
         self.stats.dpr_wait_iterations += waited;
         self.stats.dpr_wait_hist.record(waited);
+        self.tracer.record(
+            EventKind::DprReleased,
+            self.cfg.server_id,
+            dpr.worker,
+            dpr.progress,
+            self.v_train,
+            resp_bytes,
+        );
         ReleasedPull {
             worker: dpr.worker,
             progress: dpr.progress,

@@ -34,6 +34,8 @@ pub struct ShardStats {
     pub late_pushes_dropped: u64,
     /// Times `V_train` advanced.
     pub v_train_advances: u64,
+    /// High-water mark of simultaneously buffered DPRs.
+    pub dpr_buffer_peak: u64,
     /// Request payload bytes received (gradients + pull requests).
     pub bytes_in: u64,
     /// Response payload bytes sent (parameters + acks).
@@ -71,6 +73,9 @@ impl ShardStats {
         self.pushes += other.pushes;
         self.late_pushes_dropped += other.late_pushes_dropped;
         self.v_train_advances += other.v_train_advances;
+        // A peak is a maximum, not a sum: cluster-level "worst moment" is
+        // the worst single shard's moment.
+        self.dpr_buffer_peak = self.dpr_buffer_peak.max(other.dpr_buffer_peak);
         self.bytes_in += other.bytes_in;
         self.bytes_out += other.bytes_out;
         self.dpr_wait_hist.merge(&other.dpr_wait_hist);
@@ -117,5 +122,64 @@ mod tests {
         assert_eq!(a.dprs, 3);
         assert_eq!(a.bytes_in, 100);
         assert_eq!(a.bytes_out, 50);
+    }
+
+    #[test]
+    fn merge_takes_max_of_buffer_peaks() {
+        let mut a = ShardStats {
+            dpr_buffer_peak: 2,
+            ..Default::default()
+        };
+        let b = ShardStats {
+            dpr_buffer_peak: 7,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dpr_buffer_peak, 7);
+    }
+
+    #[test]
+    fn merge_combines_dpr_wait_histograms_with_quantiles() {
+        // The dpr_wait_hist path through merge: two shards' wait
+        // distributions fold into one, and the quantiles reflect the union.
+        let mut a = ShardStats::default();
+        for v in [1u64, 2, 3, 4] {
+            a.dpr_wait_hist.record(v);
+        }
+        let mut b = ShardStats::default();
+        for v in [100u64, 200] {
+            b.dpr_wait_hist.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.dpr_wait_hist.count(), 6);
+        assert_eq!(a.dpr_wait_hist.max(), 200);
+        assert_eq!(a.dpr_wait_hist.mean(), 310.0 / 6.0);
+        // Sorted union {1,2,3,4,100,200}: the p50 bucket upper bound is 4
+        // (bucket [2,4) holds the 3rd value), the p99 caps at the max.
+        assert_eq!(a.dpr_wait_hist.quantile_upper(0.5), 4);
+        assert_eq!(a.dpr_wait_hist.quantile_upper(0.99), 200);
+    }
+
+    #[test]
+    fn merging_shards_equals_recording_into_one_histogram() {
+        use crate::hist::Histogram;
+        let values: Vec<u64> = (0..50u64).map(|i| i * i % 37).collect();
+        let mut combined = Histogram::new();
+        let mut total = ShardStats::default();
+        for chunk in values.chunks(10) {
+            let mut shard = ShardStats::default();
+            for &v in chunk {
+                shard.dpr_wait_hist.record(v);
+                combined.record(v);
+            }
+            total.merge(&shard);
+        }
+        assert_eq!(total.dpr_wait_hist, combined);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                total.dpr_wait_hist.quantile_upper(q),
+                combined.quantile_upper(q)
+            );
+        }
     }
 }

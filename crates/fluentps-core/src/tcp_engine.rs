@@ -11,10 +11,11 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
+use fluentps_obs::{EventKind, TraceCollector, Tracer, NO_ID};
 use fluentps_util::rng::StdRng;
 
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
-use fluentps_transport::{Mailbox, Message, NodeId, Postman, TransportError};
+use fluentps_transport::{frame, Mailbox, Message, NodeId, Postman, TransportError};
 
 use crate::engine::EngineConfig;
 use crate::eps::SliceMap;
@@ -45,6 +46,26 @@ impl TcpCluster {
         cfg: EngineConfig,
         map: SliceMap,
         init: &HashMap<u64, Vec<f32>>,
+    ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
+        Self::launch_inner(cfg, map, init, None)
+    }
+
+    /// [`TcpCluster::launch`] with a [`TraceCollector`]: shards, server
+    /// loops and worker clients record trace events (wall clock).
+    pub fn launch_with_collector(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: &TraceCollector,
+    ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
+        Self::launch_inner(cfg, map, init, Some(collector))
+    }
+
+    fn launch_inner(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: Option<&TraceCollector>,
     ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
         assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
         let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
@@ -89,10 +110,12 @@ impl TcpCluster {
                     .unwrap_or_else(|| vec![0.0; p.len]);
                 shard.init_param(p.new_key, vals);
             }
+            let tracer = collector.map(|c| c.tracer()).unwrap_or_default();
+            shard.set_tracer(tracer.clone());
             let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
             let handle = std::thread::Builder::new()
                 .name(format!("fluentps-tcp-server-{m}"))
-                .spawn(move || tcp_server_loop(shard, rx, tx, rng))
+                .spawn(move || tcp_server_loop(shard, rx, tx, rng, tracer))
                 .expect("spawn tcp server");
             servers.push(handle);
         }
@@ -106,7 +129,11 @@ impl TcpCluster {
             .enumerate()
             .map(|(n, node)| {
                 let postman = node.postman();
-                WorkerClient::new(n as u32, postman, node, router.clone())
+                let mut w = WorkerClient::new(n as u32, postman, node, router.clone());
+                if let Some(c) = collector {
+                    w.set_tracer(c.tracer());
+                }
+                w
             })
             .collect();
 
@@ -139,10 +166,36 @@ fn tcp_server_loop(
     rx: TcpNode,
     tx: TcpNode,
     mut rng: StdRng,
+    tracer: Tracer,
 ) -> ShardStats {
     let postman = tx.postman();
     let server_id = shard.config().server_id;
+    let send = |worker: u32, msg: Message| {
+        tracer.record(
+            EventKind::WireSend,
+            server_id,
+            worker,
+            0,
+            0,
+            frame::wire_len(&msg) as u64,
+        );
+        let _ = postman.send(NodeId::Worker(worker), msg);
+    };
     while let Ok((_, msg)) = rx.recv() {
+        if tracer.is_enabled() {
+            let worker = match &msg {
+                Message::SPush { worker, .. } | Message::SPull { worker, .. } => *worker,
+                _ => NO_ID,
+            };
+            tracer.record(
+                EventKind::WireRecv,
+                server_id,
+                worker,
+                0,
+                0,
+                frame::wire_len(&msg) as u64,
+            );
+        }
         match msg {
             Message::SPush {
                 worker,
@@ -150,16 +203,16 @@ fn tcp_server_loop(
                 kv,
             } => {
                 let released = shard.on_push(worker, progress, &kv);
-                let _ = postman.send(
-                    NodeId::Worker(worker),
+                send(
+                    worker,
                     Message::PushAck {
                         server: server_id,
                         progress,
                     },
                 );
                 for r in released {
-                    let _ = postman.send(
-                        NodeId::Worker(r.worker),
+                    send(
+                        r.worker,
                         Message::PullResponse {
                             server: server_id,
                             progress: r.progress,
@@ -178,8 +231,8 @@ fn tcp_server_loop(
                 if let PullOutcome::Respond { kv, version } =
                     shard.on_pull(worker, progress, &keys, draw, None)
                 {
-                    let _ = postman.send(
-                        NodeId::Worker(worker),
+                    send(
+                        worker,
                         Message::PullResponse {
                             server: server_id,
                             progress,
@@ -191,8 +244,8 @@ fn tcp_server_loop(
             }
             Message::Shutdown => {
                 for r in shard.drain_shutdown() {
-                    let _ = postman.send(
-                        NodeId::Worker(r.worker),
+                    send(
+                        r.worker,
                         Message::PullResponse {
                             server: server_id,
                             progress: r.progress,
@@ -253,6 +306,42 @@ mod tests {
         }
         let stats = cluster.shutdown();
         assert_eq!(stats.iter().map(|s| s.pushes).sum::<u64>(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn tcp_cluster_with_collector_records_wire_events() {
+        let specs = vec![ParamSpec { key: 0, len: 4 }];
+        let mut init = HashMap::new();
+        init.insert(0u64, vec![0.0; 4]);
+        let map = EpsSlicer { max_chunk: 8 }.slice(&specs, 1);
+        let cfg = EngineConfig {
+            num_workers: 1,
+            num_servers: 1,
+            model: SyncModel::Asp,
+            ..EngineConfig::default()
+        };
+        let collector = TraceCollector::wall(1024);
+        let (cluster, mut workers) =
+            TcpCluster::launch_with_collector(cfg, map, &init, &collector).expect("launch");
+        let mut w = workers.remove(0);
+        let grads: HashMap<u64, Vec<f32>> = [(0u64, vec![1.0f32; 4])].into();
+        let mut params = HashMap::new();
+        for i in 0..3u64 {
+            w.spush(i, &grads).unwrap();
+            w.spull_wait(i, &mut params).unwrap();
+        }
+        let stats = cluster.shutdown();
+        let trace = collector.snapshot();
+        assert_eq!(trace.count(EventKind::PullRequested), stats[0].pulls_total);
+        assert_eq!(
+            trace.count(EventKind::PushApplied) + trace.count(EventKind::LatePushDropped),
+            stats[0].pushes
+        );
+        // Worker sends 3 pushes + 3 pulls; server receives them and sends
+        // acks + responses.
+        assert!(trace.count(EventKind::WireSend) >= 6);
+        assert!(trace.count(EventKind::WireRecv) >= 6);
+        assert_eq!(trace.count(EventKind::BarrierWait), 3);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 
 use std::collections::HashMap;
 
-use fluentps_transport::{KvPairs, Mailbox, Message, NodeId, Postman, TransportError};
+use fluentps_obs::{EventKind, Tracer, NO_ID};
+use fluentps_transport::{frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError};
 
 use crate::eps::SliceMap;
 
@@ -115,6 +116,7 @@ pub struct WorkerClient<P, M> {
     postman: P,
     mailbox: M,
     router: Router,
+    tracer: Tracer,
 }
 
 impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
@@ -125,7 +127,14 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             postman,
             mailbox,
             router,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a tracer: `WireSend` per outgoing message and a `BarrierWait`
+    /// span covering each blocking wait for pull responses.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// This worker's id (`n`).
@@ -151,14 +160,20 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             if kv.is_empty() {
                 continue;
             }
-            self.postman.send(
-                NodeId::Server(m as u32),
-                Message::SPush {
-                    worker: self.worker_id,
-                    progress,
-                    kv,
-                },
-            )?;
+            let msg = Message::SPush {
+                worker: self.worker_id,
+                progress,
+                kv,
+            };
+            self.tracer.record(
+                EventKind::WireSend,
+                m as u32,
+                self.worker_id,
+                progress,
+                0,
+                frame::wire_len(&msg) as u64,
+            );
+            self.postman.send(NodeId::Server(m as u32), msg)?;
             sent += 1;
         }
         Ok(sent)
@@ -206,14 +221,20 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             let mut keys = per_server.remove(&m).expect("grouped");
             keys.sort_unstable();
             keys.dedup();
-            self.postman.send(
-                NodeId::Server(m),
-                Message::SPull {
-                    worker: self.worker_id,
-                    progress,
-                    keys,
-                },
-            )?;
+            let msg = Message::SPull {
+                worker: self.worker_id,
+                progress,
+                keys,
+            };
+            self.tracer.record(
+                EventKind::WireSend,
+                m,
+                self.worker_id,
+                progress,
+                0,
+                frame::wire_len(&msg) as u64,
+            );
+            self.postman.send(NodeId::Server(m), msg)?;
             expected += 1;
         }
         let mut report = PullReport {
@@ -221,6 +242,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             max_version: 0,
             min_version: u64::MAX,
         };
+        let wait_start = self.tracer.now();
         while report.responses < expected {
             let (_, msg) = self.mailbox.recv()?;
             match msg {
@@ -234,6 +256,17 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                 Message::Shutdown => return Err(TransportError::Disconnected),
                 _ => {}
             }
+        }
+        if expected > 0 {
+            self.tracer.record_span(
+                EventKind::BarrierWait,
+                wait_start,
+                NO_ID,
+                self.worker_id,
+                progress,
+                report.max_version,
+                0,
+            );
         }
         Ok(report)
     }

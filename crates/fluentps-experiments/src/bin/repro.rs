@@ -2,20 +2,26 @@
 //!
 //! Usage:
 //!   repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|all> [--full] [--csv DIR]
+//!   repro --trace FILE [--full]
 //!
 //! Quick mode (default) finishes each experiment in seconds-to-minutes;
 //! `--full` uses paper-like worker counts and iteration budgets.
+//! `--trace FILE` runs a traced FluentPS demo and writes the event trace to
+//! FILE — Chrome trace-event JSON (open in Perfetto or `chrome://tracing`),
+//! or JSONL when FILE ends in `.jsonl`.
 
 use std::io::Write as _;
 
 use fluentps_experiments::figures::{self, Scale};
-use fluentps_experiments::report::Table;
+use fluentps_experiments::report::{self, Table};
+use fluentps_experiments::tracerun;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut which: Vec<String> = Vec::new();
     let mut full = false;
     let mut csv_dir: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -24,11 +30,21 @@ fn main() {
                 i += 1;
                 csv_dir = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             name => which.push(name.to_string()),
         }
         i += 1;
     }
+    if let Some(path) = &trace_out {
+        run_traced(path, full);
+    }
     if which.is_empty() {
+        if trace_out.is_some() {
+            return;
+        }
         usage();
     }
     let scale = Scale { full };
@@ -92,9 +108,32 @@ fn main() {
     }
 }
 
+/// Run the traced demo, verify the trace against the shard statistics, and
+/// write the export next to a printed summary.
+fn run_traced(path: &str, full: bool) {
+    eprintln!(
+        "[repro] tracing a FluentPS demo run ({} scale)...",
+        if full { "full" } else { "quick" }
+    );
+    let r = tracerun::demo_run(full);
+    let trace = r.trace.as_ref().expect("traced run returns a trace");
+    if let Err(e) = report::trace_reconciles(trace, &r.stats) {
+        eprintln!("[repro] trace does NOT reconcile with shard stats: {e}");
+        std::process::exit(1);
+    }
+    let rendered = tracerun::render_for_path(path, trace);
+    std::fs::write(path, rendered).expect("write trace file");
+    println!("{}", report::trace_section(trace, &r.stats).render());
+    eprintln!(
+        "[repro] wrote {path} ({} events, {} dropped from ring buffers)",
+        trace.events.len(),
+        trace.dropped
+    );
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR]"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE]"
     );
     std::process::exit(2);
 }

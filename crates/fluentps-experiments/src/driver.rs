@@ -26,6 +26,7 @@ use fluentps_ml::models::{Mlp, Model, ResidualMlp, SoftmaxRegression};
 use fluentps_ml::optim::{Optimizer, Sgd};
 use fluentps_ml::schedule::LrSchedule;
 use fluentps_ml::ParamMap;
+use fluentps_obs::{ClockSource, EventKind, Trace, TraceCollector, Tracer, VirtualClock};
 use fluentps_simnet::compute::{ComputeModel, StragglerSpec, WorkerCompute};
 use fluentps_simnet::event::EventQueue;
 use fluentps_simnet::net::LinkModel;
@@ -171,6 +172,11 @@ pub struct DriverConfig {
     /// Evaluate the model every this many *global* iterations (0 = only at
     /// the end). Ignored for `TimingOnly`.
     pub eval_every: u64,
+    /// When `Some(capacity)`, record a typed event trace of the run —
+    /// timestamped by the *virtual* clock — into per-actor ring buffers of
+    /// that capacity, returned as [`RunResult::trace`]. `None` (default)
+    /// keeps the hot path trace-free.
+    pub trace_events: Option<usize>,
     /// Master seed.
     pub seed: u64,
 }
@@ -204,6 +210,7 @@ impl Default for DriverConfig {
             server_dpr_cost: 8e-3,
             wire_bytes_scale: 1.0,
             eval_every: 0,
+            trace_events: None,
             seed: 0,
         }
     }
@@ -234,6 +241,9 @@ pub struct RunResult {
     /// Final server-side parameters (training runs only) — the handoff for
     /// warm-started continuation runs.
     pub final_params: Option<fluentps_ml::ParamMap>,
+    /// Virtual-clock event trace (only when [`DriverConfig::trace_events`]
+    /// was set).
+    pub trace: Option<Trace>,
 }
 
 enum Ev {
@@ -245,6 +255,7 @@ enum Ev {
         iter: u64,
         server: u32,
         kv: KvPairs,
+        bytes: usize,
     },
     PullArrive {
         worker: u32,
@@ -254,7 +265,9 @@ enum Ev {
     ResponseArrive {
         worker: u32,
         iter: u64,
+        server: u32,
         kv: KvPairs,
+        bytes: usize,
     },
     AckArrive {
         worker: u32,
@@ -292,6 +305,7 @@ struct WireSizes {
 }
 
 fn wire_sizes(map: &SliceMap, scale: f64) -> WireSizes {
+    use fluentps_transport::codec;
     let m = map.num_servers() as usize;
     let mut keys = vec![0usize; m];
     let mut vals = vec![0usize; m];
@@ -299,14 +313,17 @@ fn wire_sizes(map: &SliceMap, scale: f64) -> WireSizes {
         keys[p.server as usize] += 1;
         vals[p.server as usize] += p.len;
     }
+    // Codec-measured sizes (the exact `encode()` lengths of the messages the
+    // live engines would put on the wire), so simulated transfer times match
+    // real payloads byte-for-byte before scaling.
     let sc = |b: usize| ((b as f64) * scale) as usize;
     WireSizes {
         push: (0..m)
-            .map(|i| sc(16 + keys[i] * 12 + vals[i] * 4))
+            .map(|i| sc(codec::spush_wire_len_counts(keys[i], vals[i])))
             .collect(),
-        pull_req: (0..m).map(|i| 16 + keys[i] * 8).collect(),
+        pull_req: (0..m).map(|i| codec::spull_wire_len(keys[i])).collect(),
         response: (0..m)
-            .map(|i| sc(24 + keys[i] * 12 + vals[i] * 4))
+            .map(|i| sc(codec::pull_response_wire_len_counts(keys[i], vals[i])))
             .collect(),
     }
 }
@@ -341,6 +358,10 @@ struct Simulation<'a> {
     curve: Curve,
     iterations_done: u64,
     active_server_count: u32,
+    collector: Option<TraceCollector>,
+    /// Driver-level tracer for wire send/recv events (shard-internal events
+    /// go through each shard's own tracer). Disabled when not tracing.
+    tracer: Tracer,
 }
 
 impl<'a> Simulation<'a> {
@@ -510,6 +531,24 @@ impl<'a> Simulation<'a> {
             cfg.seed.wrapping_add(7),
         );
 
+        // Tracing taps the same virtual clock the event queue advances, so
+        // trace timestamps are simulated seconds, directly comparable with
+        // `total_time`.
+        let mut queue = EventQueue::new();
+        let (collector, tracer) = match cfg.trace_events {
+            Some(capacity) => {
+                let clock = VirtualClock::new();
+                queue.attach_clock(std::sync::Arc::clone(&clock));
+                let collector = TraceCollector::new(ClockSource::virtual_clock(clock), capacity);
+                for shard in &mut shards {
+                    shard.set_tracer(collector.tracer());
+                }
+                let tracer = collector.tracer();
+                (Some(collector), tracer)
+            }
+            None => (None, Tracer::disabled()),
+        };
+
         Simulation {
             cfg,
             model,
@@ -537,11 +576,13 @@ impl<'a> Simulation<'a> {
             ),
             compute,
             wires,
-            queue: EventQueue::new(),
+            queue,
             rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(99)),
             curve: Curve::new(),
             iterations_done: 0,
             active_server_count,
+            collector,
+            tracer,
         }
     }
 
@@ -574,13 +615,20 @@ impl<'a> Simulation<'a> {
                     iter,
                     server,
                     kv,
-                } => self.on_push_arrive(now, worker, iter, server, kv),
+                    bytes,
+                } => self.on_push_arrive(now, worker, iter, server, kv, bytes),
                 Ev::PullArrive {
                     worker,
                     iter,
                     server,
                 } => self.on_pull_arrive(now, worker, iter, server),
-                Ev::ResponseArrive { worker, iter, kv } => self.on_response(now, worker, iter, kv),
+                Ev::ResponseArrive {
+                    worker,
+                    iter,
+                    server,
+                    kv,
+                    bytes,
+                } => self.on_response(now, worker, iter, server, kv, bytes),
                 Ev::AckArrive { worker, iter } => self.on_ack(now, worker, iter),
                 Ev::SchedulerReport { worker, iter } => self.on_scheduler_report(now, worker, iter),
                 Ev::PullSend { worker, iter } => self.send_pulls(now, worker, iter),
@@ -671,6 +719,8 @@ impl<'a> Simulation<'a> {
             } else {
                 self.wires.push[m]
             };
+            self.tracer
+                .record(EventKind::WireSend, m as u32, worker, iter, 0, bytes as u64);
             let mut arrive = self.topo.worker_to_server(now, m as u32, bytes);
             arrive += self.ssptable_maint;
             self.queue.schedule(
@@ -680,6 +730,7 @@ impl<'a> Simulation<'a> {
                     iter,
                     server: m as u32,
                     kv,
+                    bytes,
                 },
             );
         }
@@ -725,6 +776,14 @@ impl<'a> Simulation<'a> {
         self.workers[worker as usize].pending_responses = self.active_server_count;
         let active: Vec<u32> = self.router.active_servers().collect();
         for m in active {
+            self.tracer.record(
+                EventKind::WireSend,
+                m,
+                worker,
+                iter,
+                0,
+                self.wires.pull_req[m as usize] as u64,
+            );
             let arrive = self
                 .topo
                 .worker_to_server(now, m, self.wires.pull_req[m as usize]);
@@ -739,18 +798,37 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn on_push_arrive(&mut self, now: f64, worker: u32, iter: u64, server: u32, kv: KvPairs) {
+    fn on_push_arrive(
+        &mut self,
+        now: f64,
+        worker: u32,
+        iter: u64,
+        server: u32,
+        kv: KvPairs,
+        bytes: usize,
+    ) {
+        self.tracer
+            .record(EventKind::WireRecv, server, worker, iter, 0, bytes as u64);
         let released = self.shards[server as usize].on_push(worker, iter, &kv);
         for r in released {
-            let delivery =
-                self.topo
-                    .server_to_worker(now, server, self.wires.response[server as usize]);
+            let resp_bytes = self.wires.response[server as usize];
+            self.tracer.record(
+                EventKind::WireSend,
+                server,
+                r.worker,
+                r.progress,
+                0,
+                resp_bytes as u64,
+            );
+            let delivery = self.topo.server_to_worker(now, server, resp_bytes);
             self.queue.schedule(
                 delivery,
                 Ev::ResponseArrive {
                     worker: r.worker,
                     iter: r.progress,
+                    server,
                     kv: r.kv,
+                    bytes: resp_bytes,
                 },
             );
         }
@@ -762,15 +840,38 @@ impl<'a> Simulation<'a> {
     }
 
     fn on_pull_arrive(&mut self, now: f64, worker: u32, iter: u64, server: u32) {
+        self.tracer.record(
+            EventKind::WireRecv,
+            server,
+            worker,
+            iter,
+            0,
+            self.wires.pull_req[server as usize] as u64,
+        );
         let keys = self.router.keys_for_server(server).to_vec();
         let draw: f64 = self.rng.gen();
         match self.shards[server as usize].on_pull(worker, iter, &keys, draw, None) {
             PullOutcome::Respond { kv, .. } => {
-                let delivery =
-                    self.topo
-                        .server_to_worker(now, server, self.wires.response[server as usize]);
-                self.queue
-                    .schedule(delivery, Ev::ResponseArrive { worker, iter, kv });
+                let resp_bytes = self.wires.response[server as usize];
+                self.tracer.record(
+                    EventKind::WireSend,
+                    server,
+                    worker,
+                    iter,
+                    0,
+                    resp_bytes as u64,
+                );
+                let delivery = self.topo.server_to_worker(now, server, resp_bytes);
+                self.queue.schedule(
+                    delivery,
+                    Ev::ResponseArrive {
+                        worker,
+                        iter,
+                        server,
+                        kv,
+                        bytes: resp_bytes,
+                    },
+                );
             }
             PullOutcome::Deferred => {
                 // The deferral occupies the server's processing queue,
@@ -781,7 +882,17 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn on_response(&mut self, now: f64, worker: u32, _iter: u64, kv: KvPairs) {
+    fn on_response(
+        &mut self,
+        now: f64,
+        worker: u32,
+        iter: u64,
+        server: u32,
+        kv: KvPairs,
+        bytes: usize,
+    ) {
+        self.tracer
+            .record(EventKind::WireRecv, server, worker, iter, 0, bytes as u64);
         if self.is_training() {
             let w = &mut self.workers[worker as usize];
             self.router.gather_into(&mut w.params, &kv);
@@ -910,9 +1021,11 @@ impl<'a> Simulation<'a> {
         } else {
             None
         };
+        let trace = self.collector.as_ref().map(|c| c.snapshot());
         RunResult {
             final_accuracy: self.curve.final_accuracy(),
             final_params,
+            trace,
             curve: self.curve,
             total_time,
             compute_time_mean,
@@ -1094,6 +1207,51 @@ mod tests {
         let b = run(&cfg);
         assert_eq!(a.total_time, b.total_time);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn traced_run_reconciles_with_stats_and_preserves_results() {
+        use fluentps_obs::EventKind;
+        let mut cfg = timing_cfg(
+            EngineKind::FluentPs {
+                model: SyncModel::Ssp { s: 1 },
+                policy: DprPolicy::LazyExecution,
+            },
+            4,
+            2,
+            SlicerKind::Eps { max_chunk: 8192 },
+        );
+        cfg.stragglers = StragglerSpec::random_slowdowns();
+        let plain = run(&cfg);
+        cfg.trace_events = Some(4096);
+        let traced = run(&cfg);
+
+        // Tracing is an observer: identical timing and counters.
+        assert_eq!(plain.total_time, traced.total_time);
+        assert_eq!(plain.stats, traced.stats);
+
+        let trace = traced.trace.expect("trace requested");
+        let stats = &traced.stats;
+        assert_eq!(trace.count(EventKind::PullRequested), stats.pulls_total);
+        assert_eq!(trace.count(EventKind::PullDeferred), stats.dprs);
+        assert_eq!(trace.count(EventKind::DprReleased), stats.dprs_released);
+        assert_eq!(
+            trace.count(EventKind::PushApplied) + trace.count(EventKind::LatePushDropped),
+            stats.pushes
+        );
+        assert_eq!(
+            trace.count(EventKind::VTrainAdvanced),
+            stats.v_train_advances
+        );
+        assert!(trace.count(EventKind::WireSend) > 0);
+        // The run stops as soon as every shard reaches the iteration budget,
+        // so messages may still be in flight: receives never exceed sends.
+        assert!(trace.count(EventKind::WireRecv) <= trace.count(EventKind::WireSend));
+        assert!(trace.count(EventKind::WireRecv) > 0);
+        // Virtual timestamps live inside the simulated horizon.
+        for ev in &trace.events {
+            assert!(ev.ts >= 0.0 && ev.ts <= traced.total_time);
+        }
     }
 
     #[test]

@@ -18,5 +18,6 @@ pub mod driver;
 pub mod figures;
 pub mod live;
 pub mod report;
+pub mod tracerun;
 
 pub use driver::{DriverConfig, EngineKind, ModelKind, RunResult, SlicerKind};

@@ -2,6 +2,9 @@
 
 use std::fmt::Write as _;
 
+use fluentps_core::stats::ShardStats;
+use fluentps_obs::{EventKind, Trace};
+
 /// A simple column-aligned table that renders to monospaced text (the
 /// `repro` binary prints these) and to CSV (for downstream plotting).
 #[derive(Debug, Clone, Default)]
@@ -92,6 +95,87 @@ impl Table {
         }
         out
     }
+}
+
+/// Event-trace summary cross-checked against the merged shard statistics:
+/// every event kind's total next to the counter the server state machine
+/// kept for the same occurrence, so divergence is visible at a glance.
+pub fn trace_section(trace: &Trace, stats: &ShardStats) -> Table {
+    let mut t = Table::new("trace summary", &["event", "trace count", "shard stats"]);
+    let stat_for = |kind: EventKind| -> String {
+        match kind {
+            EventKind::PullRequested => stats.pulls_total.to_string(),
+            EventKind::PullDeferred => stats.dprs.to_string(),
+            EventKind::DprReleased => stats.dprs_released.to_string(),
+            EventKind::LatePushDropped => stats.late_pushes_dropped.to_string(),
+            EventKind::VTrainAdvanced => stats.v_train_advances.to_string(),
+            // Applied pushes have no dedicated counter; `pushes` counts
+            // applied + dropped, reported on the reconciliation row below.
+            _ => "—".to_string(),
+        }
+    };
+    for kind in EventKind::ALL {
+        t.row(vec![
+            kind.name().to_string(),
+            trace.count(kind).to_string(),
+            stat_for(kind),
+        ]);
+    }
+    t.row(vec![
+        "pushes (applied+dropped)".into(),
+        (trace.count(EventKind::PushApplied) + trace.count(EventKind::LatePushDropped)).to_string(),
+        stats.pushes.to_string(),
+    ]);
+    t.row(vec![
+        "dprs still buffered".into(),
+        (trace.count(EventKind::PullDeferred) - trace.count(EventKind::DprReleased)).to_string(),
+        (stats.dprs - stats.dprs_released).to_string(),
+    ]);
+    t
+}
+
+/// Check that `trace` and `stats` tell the same story: every counter the
+/// shards kept matches the trace's per-kind totals, and the DPR ledger
+/// balances (`dprs == dprs_released + still-buffered`). Returns the first
+/// discrepancy as an error message.
+pub fn trace_reconciles(trace: &Trace, stats: &ShardStats) -> Result<(), String> {
+    let checks: [(&str, u64, u64); 5] = [
+        (
+            "pulls",
+            trace.count(EventKind::PullRequested),
+            stats.pulls_total,
+        ),
+        ("dprs", trace.count(EventKind::PullDeferred), stats.dprs),
+        (
+            "dprs_released",
+            trace.count(EventKind::DprReleased),
+            stats.dprs_released,
+        ),
+        (
+            "pushes",
+            trace.count(EventKind::PushApplied) + trace.count(EventKind::LatePushDropped),
+            stats.pushes,
+        ),
+        (
+            "v_train_advances",
+            trace.count(EventKind::VTrainAdvanced),
+            stats.v_train_advances,
+        ),
+    ];
+    for (name, from_trace, from_stats) in checks {
+        if from_trace != from_stats {
+            return Err(format!(
+                "{name}: trace says {from_trace}, shard stats say {from_stats}"
+            ));
+        }
+    }
+    if stats.dprs < stats.dprs_released {
+        return Err(format!(
+            "more DPRs released ({}) than deferred ({})",
+            stats.dprs_released, stats.dprs
+        ));
+    }
+    Ok(())
 }
 
 /// Format seconds with sensible precision.

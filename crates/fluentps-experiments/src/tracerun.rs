@@ -1,0 +1,90 @@
+//! Traced demonstration runs for `repro --trace`.
+//!
+//! Runs a representative FluentPS timing experiment with event tracing
+//! enabled and exports the trace for offline inspection: Chrome trace-event
+//! JSON (load in Perfetto / `chrome://tracing`) or JSONL, chosen by file
+//! extension.
+
+use fluentps_core::condition::SyncModel;
+use fluentps_core::dpr::DprPolicy;
+use fluentps_core::eps::ParamSpec;
+use fluentps_obs::export;
+use fluentps_obs::Trace;
+use fluentps_simnet::compute::StragglerSpec;
+use fluentps_simnet::net::LinkModel;
+
+use crate::driver::{run, DriverConfig, EngineKind, ModelKind, RunResult, SlicerKind};
+
+/// Ring-buffer capacity for traced demo runs — large enough that quick-scale
+/// runs keep every event (reconciliation still holds if some are dropped;
+/// per-kind totals survive overwriting).
+pub const TRACE_CAPACITY: usize = 1 << 16;
+
+/// Configuration of the traced demo: an SSP run with stragglers so the trace
+/// actually contains deferrals, releases and late pushes.
+pub fn demo_config(full: bool) -> DriverConfig {
+    let mut params = vec![ParamSpec {
+        key: 0,
+        len: 300_000,
+    }];
+    for k in 1..56 {
+        params.push(ParamSpec {
+            key: k,
+            len: 10_000,
+        });
+    }
+    DriverConfig {
+        engine: EngineKind::FluentPs {
+            model: SyncModel::Ssp { s: 2 },
+            policy: DprPolicy::LazyExecution,
+        },
+        num_workers: if full { 16 } else { 4 },
+        num_servers: if full { 4 } else { 2 },
+        slicer: SlicerKind::Eps { max_chunk: 8192 },
+        max_iters: if full { 300 } else { 40 },
+        model: ModelKind::TimingOnly { params },
+        dataset: None,
+        compute_base: 2.0,
+        compute_jitter: 0.2,
+        stragglers: StragglerSpec::random_slowdowns(),
+        link: LinkModel::aws_25g(),
+        trace_events: Some(TRACE_CAPACITY),
+        ..DriverConfig::default()
+    }
+}
+
+/// Run the traced demo.
+pub fn demo_run(full: bool) -> RunResult {
+    run(&demo_config(full))
+}
+
+/// Serialize `trace` for `path`: `.jsonl` gets one JSON object per line,
+/// anything else the Chrome trace-event format.
+pub fn render_for_path(path: &str, trace: &Trace) -> String {
+    if path.ends_with(".jsonl") {
+        export::jsonl(trace)
+    } else {
+        export::chrome_trace(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::trace_reconciles;
+    use fluentps_obs::json;
+
+    #[test]
+    fn demo_trace_reconciles_and_exports_valid_json() {
+        let r = demo_run(false);
+        let trace = r.trace.as_ref().expect("demo run traces");
+        assert!(trace.count(fluentps_obs::EventKind::PullDeferred) > 0);
+        trace_reconciles(trace, &r.stats).expect("trace matches stats");
+        let chrome = render_for_path("t.json", trace);
+        json::validate(&chrome).expect("chrome export is valid JSON");
+        let lines = render_for_path("t.jsonl", trace);
+        for line in lines.lines() {
+            json::validate(line).expect("each JSONL line is valid JSON");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Clock sources for trace timestamps.
+//!
+//! A trace carries timestamps in *seconds since the trace epoch* as `f64`.
+//! The threaded and TCP engines stamp events with the wall clock (an
+//! [`std::time::Instant`] captured when the collector was created); the
+//! discrete-event simulator stamps them with a [`VirtualClock`] that its
+//! event queue advances. The two are interchangeable behind
+//! [`ClockSource`], so the instrumented code in `fluentps-core` never knows
+//! which world it runs in — the same property the pure `ServerShard` state
+//! machine has.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotone simulated clock: an `f64` seconds value stored as bits in an
+/// atomic so simulator and instrumented code can share it without locking.
+#[derive(Debug, Default)]
+pub struct VirtualClock(AtomicU64);
+
+impl VirtualClock {
+    /// A clock at time 0.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VirtualClock(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Advance the clock to `now` (simulated seconds). Virtual time never
+    /// rewinds: setting an earlier time is ignored.
+    pub fn set(&self, now: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        while now > f64::from_bits(cur) {
+            match self.0.compare_exchange_weak(
+                cur,
+                now.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current simulated time in seconds.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Where a [`crate::Tracer`] reads its timestamps from.
+#[derive(Debug, Clone)]
+pub enum ClockSource {
+    /// Wall clock, relative to the epoch captured at collector creation.
+    Wall {
+        /// Time zero of the trace.
+        epoch: Instant,
+    },
+    /// The simulator's virtual clock (already relative to simulated zero).
+    Virtual(Arc<VirtualClock>),
+}
+
+impl ClockSource {
+    /// A wall clock whose epoch is *now*.
+    pub fn wall() -> Self {
+        ClockSource::Wall {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A virtual clock source sharing `clock` with the simulator.
+    pub fn virtual_clock(clock: Arc<VirtualClock>) -> Self {
+        ClockSource::Virtual(clock)
+    }
+
+    /// Seconds since the trace epoch.
+    pub fn now(&self) -> f64 {
+        match self {
+            ClockSource::Wall { epoch } => epoch.elapsed().as_secs_f64(),
+            ClockSource::Virtual(c) => c.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_advances_and_never_rewinds() {
+        let c = VirtualClock::new();
+        assert_eq!(c.get(), 0.0);
+        c.set(2.5);
+        assert_eq!(c.get(), 2.5);
+        c.set(1.0); // ignored: time is monotone
+        assert_eq!(c.get(), 2.5);
+        c.set(3.0);
+        assert_eq!(c.get(), 3.0);
+    }
+
+    #[test]
+    fn wall_clock_is_monotone_from_epoch() {
+        let src = ClockSource::wall();
+        let a = src.now();
+        let b = src.now();
+        assert!(a >= 0.0);
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_source_reads_shared_clock() {
+        let clock = VirtualClock::new();
+        let src = ClockSource::virtual_clock(Arc::clone(&clock));
+        clock.set(42.0);
+        assert_eq!(src.now(), 42.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Typed trace events.
+//!
+//! Each event carries *logical* time — the worker's iteration (`progress`)
+//! and the shard's `V_train` at the moment it was recorded — alongside the
+//! clock timestamp. Logical time is what the paper's figures are drawn in;
+//! the clock timestamp is what Chrome trace viewers lay the events out by.
+
+/// Sentinel for "no shard" / "no worker" on events where the id does not
+/// apply (e.g. a `WireSend` from the scheduler).
+pub const NO_ID: u32 = u32::MAX;
+
+/// The kinds of events FluentPS instrumentation records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A worker's `SPull` reached a shard (before the pull condition ran).
+    PullRequested,
+    /// The pull condition failed and the request became a DPR.
+    PullDeferred,
+    /// A buffered DPR was answered after `V_train` advanced far enough.
+    DprReleased,
+    /// An `SPush`'s gradients were applied to the shard's parameters.
+    PushApplied,
+    /// An `SPush` arrived with `progress < V_train` and was dropped.
+    LatePushDropped,
+    /// The shard's `V_train` advanced by one (the push condition fired).
+    VTrainAdvanced,
+    /// A worker blocked waiting for pull responses (duration span).
+    BarrierWait,
+    /// A message left a node; `bytes` is the frame's wire size.
+    WireSend,
+    /// A message arrived at a node; `bytes` is the frame's wire size.
+    WireRecv,
+}
+
+/// Number of distinct event kinds (array-index bound for per-kind counts).
+pub const KINDS: usize = 9;
+
+impl EventKind {
+    /// Every kind, in stable index order.
+    pub const ALL: [EventKind; KINDS] = [
+        EventKind::PullRequested,
+        EventKind::PullDeferred,
+        EventKind::DprReleased,
+        EventKind::PushApplied,
+        EventKind::LatePushDropped,
+        EventKind::VTrainAdvanced,
+        EventKind::BarrierWait,
+        EventKind::WireSend,
+        EventKind::WireRecv,
+    ];
+
+    /// Stable dense index in `[0, KINDS)`.
+    pub fn index(self) -> usize {
+        match self {
+            EventKind::PullRequested => 0,
+            EventKind::PullDeferred => 1,
+            EventKind::DprReleased => 2,
+            EventKind::PushApplied => 3,
+            EventKind::LatePushDropped => 4,
+            EventKind::VTrainAdvanced => 5,
+            EventKind::BarrierWait => 6,
+            EventKind::WireSend => 7,
+            EventKind::WireRecv => 8,
+        }
+    }
+
+    /// Snake-case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::PullRequested => "pull_requested",
+            EventKind::PullDeferred => "pull_deferred",
+            EventKind::DprReleased => "dpr_released",
+            EventKind::PushApplied => "push_applied",
+            EventKind::LatePushDropped => "late_push_dropped",
+            EventKind::VTrainAdvanced => "v_train_advanced",
+            EventKind::BarrierWait => "barrier_wait",
+            EventKind::WireSend => "wire_send",
+            EventKind::WireRecv => "wire_recv",
+        }
+    }
+}
+
+/// One recorded event.
+///
+/// `ts` and `dur` are seconds since the trace epoch (wall or virtual —
+/// see [`crate::ClockSource`]). `dur` is 0 for instantaneous events.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Seconds since the trace epoch.
+    pub ts: f64,
+    /// Span duration in seconds; 0 for instants.
+    pub dur: f64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Shard the event concerns, or [`NO_ID`].
+    pub shard: u32,
+    /// Worker the event concerns, or [`NO_ID`].
+    pub worker: u32,
+    /// The worker iteration attached to the triggering message.
+    pub progress: u64,
+    /// The shard's `V_train` when the event was recorded (0 if n/a).
+    pub v_train: u64,
+    /// Wire bytes for `WireSend`/`WireRecv`; payload bytes otherwise; 0 if n/a.
+    pub bytes: u64,
+    /// Global record order, for stable sorting of equal timestamps.
+    pub seq: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_match_all() {
+        for (i, k) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        let mut names: Vec<&str> = EventKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), KINDS, "names must be unique");
+    }
+}

@@ -1,0 +1,49 @@
+//! # FluentPS observability
+//!
+//! The paper's entire argument is about *when* things happen: a DPR deferred
+//! under lazy execution releases iterations later than under the soft
+//! barrier (Fig. 3), per-shard push conditions overlap where a global
+//! barrier serializes (Fig. 10), and the headline metric is DPRs per 100
+//! iterations of `V_train` progress (Table IV). This crate makes those
+//! timelines directly inspectable:
+//!
+//! * [`event`] — typed trace events ([`TraceEvent`]) carrying logical time
+//!   (worker iteration, shard `V_train`) plus a timestamp from whichever
+//!   clock the driver runs on: wall clock for the threaded and TCP engines,
+//!   the virtual clock for the discrete-event simulator.
+//! * [`ring`] — bounded ring buffers; recording is a branch on a disabled
+//!   [`Tracer`], so instrumented hot paths cost nothing when tracing is off.
+//! * [`tracer`] — the [`TraceCollector`] (one per run) hands out per-thread
+//!   [`Tracer`] handles and merges their rings into a time-ordered
+//!   [`Trace`].
+//! * [`clock`] — [`ClockSource`]: wall ([`std::time::Instant`]) or virtual
+//!   ([`VirtualClock`], driven by the simulator's event queue).
+//! * [`metrics`] — a registry of labeled counters, gauges and
+//!   [`Histogram`]s with a plain-text renderer.
+//! * [`export`] — Chrome trace-event JSON (open in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev)), JSONL, and a human-readable text
+//!   summary. DPR defer→release pairs become duration spans.
+//! * [`hist`] — the power-of-two-bucket [`Histogram`] (moved here from
+//!   `fluentps-core` so both the metrics registry and `ShardStats` share
+//!   one implementation).
+//! * [`json`] — a tiny writer/validator so exported traces can be checked
+//!   without external tools (the workspace is hermetic; see DESIGN.md §7).
+//!
+//! Everything is std-only: the crate depends only on `fluentps-util`.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod tracer;
+
+pub use clock::{ClockSource, VirtualClock};
+pub use event::{EventKind, TraceEvent, KINDS, NO_ID};
+pub use hist::Histogram;
+pub use metrics::{MetricsRegistry, MetricsScope};
+pub use tracer::{Trace, TraceCollector, Tracer};

@@ -1,0 +1,228 @@
+//! A small metrics registry: labeled counters, gauges and [`Histogram`]s.
+//!
+//! Names follow the Prometheus convention `base{label=value,...}` with
+//! labels sorted by insertion through [`MetricsScope::with`]; the text
+//! renderer emits one `name value` line per metric, sorted by name, so
+//! output is stable for golden tests.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use fluentps_util::sync::Mutex;
+
+use crate::hist::Histogram;
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+    Hist(Histogram),
+}
+
+/// A shared, thread-safe registry of named metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A scope with no labels; add them with [`MetricsScope::with`].
+    pub fn scope(&self) -> MetricsScope {
+        MetricsScope {
+            registry: self.clone(),
+            labels: String::new(),
+        }
+    }
+
+    /// Add `by` to the counter `name` (created at 0).
+    pub fn inc(&self, name: &str, by: u64) {
+        let mut m = self.metrics.lock();
+        match m.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c += by,
+            other => *other = Metric::Counter(by),
+        }
+    }
+
+    /// Set the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.metrics
+            .lock()
+            .insert(name.to_string(), Metric::Gauge(value));
+    }
+
+    /// Record `value` into the histogram `name` (created empty).
+    pub fn observe(&self, name: &str, value: u64) {
+        let mut m = self.metrics.lock();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Hist(Histogram::new()))
+        {
+            Metric::Hist(h) => h.record(value),
+            other => {
+                let mut h = Histogram::new();
+                h.record(value);
+                *other = Metric::Hist(h);
+            }
+        }
+    }
+
+    /// Current value of the counter `name` (0 if absent or not a counter).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        match self.metrics.lock().get(name) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Current value of the gauge `name`, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.metrics.lock().get(name) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// A copy of the histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        match self.metrics.lock().get(name) {
+            Some(Metric::Hist(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Render every metric as `name value` lines, sorted by name.
+    /// Histograms render as `name_count`, `name_mean`, `name_p50`,
+    /// `name_p99`, `name_max`.
+    pub fn render_text(&self) -> String {
+        let m = self.metrics.lock();
+        let mut out = String::new();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => out.push_str(&format!("{name} {c}\n")),
+                Metric::Gauge(g) => out.push_str(&format!("{name} {g}\n")),
+                Metric::Hist(h) => {
+                    out.push_str(&format!("{name}_count {}\n", h.count()));
+                    out.push_str(&format!("{name}_mean {:.3}\n", h.mean()));
+                    out.push_str(&format!("{name}_p50 {}\n", h.quantile_upper(0.5)));
+                    out.push_str(&format!("{name}_p99 {}\n", h.quantile_upper(0.99)));
+                    out.push_str(&format!("{name}_max {}\n", h.max()));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A label set bound to a registry: `scope.with("shard", "0").inc("dprs", 1)`
+/// updates the metric `dprs{shard=0}`.
+#[derive(Debug, Clone)]
+pub struct MetricsScope {
+    registry: MetricsRegistry,
+    labels: String,
+}
+
+impl MetricsScope {
+    /// This scope plus one more `label=value` pair.
+    pub fn with(&self, label: &str, value: impl std::fmt::Display) -> MetricsScope {
+        let mut labels = self.labels.clone();
+        if !labels.is_empty() {
+            labels.push(',');
+        }
+        labels.push_str(&format!("{label}={value}"));
+        MetricsScope {
+            registry: self.registry.clone(),
+            labels,
+        }
+    }
+
+    fn name(&self, base: &str) -> String {
+        if self.labels.is_empty() {
+            base.to_string()
+        } else {
+            format!("{base}{{{}}}", self.labels)
+        }
+    }
+
+    /// Add `by` to the labeled counter `base`.
+    pub fn inc(&self, base: &str, by: u64) {
+        self.registry.inc(&self.name(base), by);
+    }
+
+    /// Set the labeled gauge `base`.
+    pub fn set_gauge(&self, base: &str, value: f64) {
+        self.registry.set_gauge(&self.name(base), value);
+    }
+
+    /// Record into the labeled histogram `base`.
+    pub fn observe(&self, base: &str, value: u64) {
+        self.registry.observe(&self.name(base), value);
+    }
+
+    /// Current value of the labeled counter `base`.
+    pub fn counter_value(&self, base: &str) -> u64 {
+        self.registry.counter_value(&self.name(base))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::new();
+        r.inc("pushes", 2);
+        r.inc("pushes", 3);
+        assert_eq!(r.counter_value("pushes"), 5);
+        assert_eq!(r.counter_value("absent"), 0);
+    }
+
+    #[test]
+    fn scopes_build_labeled_names() {
+        let r = MetricsRegistry::new();
+        let shard0 = r.scope().with("shard", 0);
+        let shard1 = r.scope().with("shard", 1);
+        shard0.inc("dprs", 4);
+        shard1.inc("dprs", 7);
+        shard0.with("worker", 2).inc("pulls", 1);
+        assert_eq!(r.counter_value("dprs{shard=0}"), 4);
+        assert_eq!(r.counter_value("dprs{shard=1}"), 7);
+        assert_eq!(r.counter_value("pulls{shard=0,worker=2}"), 1);
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let r = MetricsRegistry::new();
+        r.set_gauge("live_servers", 4.0);
+        r.set_gauge("live_servers", 3.0);
+        assert_eq!(r.gauge_value("live_servers"), Some(3.0));
+    }
+
+    #[test]
+    fn histograms_observe_and_render() {
+        let r = MetricsRegistry::new();
+        for v in [1u64, 2, 3, 100] {
+            r.observe("dpr_wait", v);
+        }
+        let h = r.histogram("dpr_wait").unwrap();
+        assert_eq!(h.count(), 4);
+        let text = r.render_text();
+        assert!(text.contains("dpr_wait_count 4"));
+        assert!(text.contains("dpr_wait_max 100"));
+    }
+
+    #[test]
+    fn render_is_sorted_and_stable() {
+        let r = MetricsRegistry::new();
+        r.inc("b", 1);
+        r.inc("a", 1);
+        r.set_gauge("c", 0.5);
+        assert_eq!(r.render_text(), "a 1\nb 1\nc 0.5\n");
+        assert_eq!(r.render_text(), r.render_text());
+    }
+}

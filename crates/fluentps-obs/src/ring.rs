@@ -1,0 +1,153 @@
+//! Bounded ring buffers for trace events.
+//!
+//! Each [`crate::Tracer`] owns one ring. Recording is O(1) and never
+//! allocates after creation; when the ring is full the oldest event is
+//! overwritten and `overwritten` is bumped. Per-kind `seen` totals are
+//! incremented on *every* record, independent of capacity, so event counts
+//! reconcile against `ShardStats` counters even when the ring dropped
+//! detail.
+
+use crate::event::{EventKind, TraceEvent, KINDS};
+
+/// A fixed-capacity overwrite-oldest buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct RingBuffer {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index the next event is written at.
+    next: usize,
+    /// Number of live events (`<= capacity`).
+    len: usize,
+    /// Events overwritten because the ring was full.
+    overwritten: u64,
+    /// Total events ever recorded, per kind (never decremented).
+    seen: [u64; KINDS],
+}
+
+impl RingBuffer {
+    /// A ring holding at most `capacity` events (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            len: 0,
+            overwritten: 0,
+            seen: [0; KINDS],
+        }
+    }
+
+    /// Record an event, overwriting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        self.seen[ev.kind.index()] += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            self.buf[self.next] = ev;
+            self.overwritten += 1;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Live events, oldest first.
+    pub fn drain_ordered(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len);
+        if self.buf.len() < self.capacity {
+            out.extend_from_slice(&self.buf);
+        } else {
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+        }
+        out
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events lost to overwriting.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Total events ever recorded of `kind` (survives overwriting).
+    pub fn seen(&self, kind: EventKind) -> u64 {
+        self.seen[kind.index()]
+    }
+
+    /// The per-kind totals array, indexed by [`EventKind::index`].
+    pub fn seen_all(&self) -> &[u64; KINDS] {
+        &self.seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::NO_ID;
+
+    fn ev(ts: f64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            ts,
+            dur: 0.0,
+            kind,
+            shard: 0,
+            worker: NO_ID,
+            progress: 0,
+            v_train: 0,
+            bytes: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..5 {
+            r.push(ev(i as f64, EventKind::PushApplied));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 2);
+        let ts: Vec<f64> = r.drain_ordered().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn seen_counts_survive_overwrites() {
+        let mut r = RingBuffer::new(2);
+        for _ in 0..10 {
+            r.push(ev(0.0, EventKind::PullDeferred));
+        }
+        r.push(ev(0.0, EventKind::DprReleased));
+        assert_eq!(r.seen(EventKind::PullDeferred), 10);
+        assert_eq!(r.seen(EventKind::DprReleased), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn partial_fill_is_in_order() {
+        let mut r = RingBuffer::new(8);
+        r.push(ev(1.0, EventKind::WireSend));
+        r.push(ev(2.0, EventKind::WireRecv));
+        let ts: Vec<f64> = r.drain_ordered().iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![1.0, 2.0]);
+        assert_eq!(r.overwritten(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut r = RingBuffer::new(0);
+        r.push(ev(1.0, EventKind::BarrierWait));
+        r.push(ev(2.0, EventKind::BarrierWait));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.drain_ordered()[0].ts, 2.0);
+    }
+}

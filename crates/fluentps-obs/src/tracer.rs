@@ -1,0 +1,336 @@
+//! The collector/tracer pair: one [`TraceCollector`] per run hands out
+//! cheap [`Tracer`] handles (one per thread or per shard), and merges their
+//! ring buffers into a time-ordered [`Trace`] at the end.
+//!
+//! The cost contract: a *disabled* tracer is a `None` — every `record` call
+//! is a single branch, no clock read, no lock, no allocation. An *enabled*
+//! tracer reads the clock and takes an uncontended per-ring mutex (each
+//! thread records into its own ring; the collector only touches the rings
+//! at snapshot time).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fluentps_util::sync::Mutex;
+
+use crate::clock::ClockSource;
+use crate::event::{EventKind, TraceEvent, KINDS};
+use crate::ring::RingBuffer;
+
+struct Shared {
+    clock: ClockSource,
+    capacity: usize,
+    rings: Mutex<Vec<Arc<Mutex<RingBuffer>>>>,
+    seq: AtomicU64,
+}
+
+/// Owns the rings for one traced run; hands out [`Tracer`]s and merges
+/// their events into a [`Trace`].
+#[derive(Clone)]
+pub struct TraceCollector {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for TraceCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCollector")
+            .field("capacity", &self.shared.capacity)
+            .field("rings", &self.shared.rings.lock().len())
+            .finish()
+    }
+}
+
+impl TraceCollector {
+    /// A collector reading time from `clock`, with `capacity` events per
+    /// tracer ring.
+    pub fn new(clock: ClockSource, capacity: usize) -> Self {
+        TraceCollector {
+            shared: Arc::new(Shared {
+                clock,
+                capacity,
+                rings: Mutex::new(Vec::new()),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A wall-clock collector whose epoch is now.
+    pub fn wall(capacity: usize) -> Self {
+        Self::new(ClockSource::wall(), capacity)
+    }
+
+    /// Register a new ring and return an enabled tracer writing into it.
+    pub fn tracer(&self) -> Tracer {
+        let ring = Arc::new(Mutex::new(RingBuffer::new(self.shared.capacity)));
+        self.shared.rings.lock().push(Arc::clone(&ring));
+        Tracer(Some(TracerInner {
+            ring,
+            shared: Arc::clone(&self.shared),
+        }))
+    }
+
+    /// Seconds since the trace epoch on this collector's clock.
+    pub fn now(&self) -> f64 {
+        self.shared.clock.now()
+    }
+
+    /// Merge every ring into one trace, ordered by `(ts, seq)`.
+    ///
+    /// Non-destructive: tracers keep recording afterwards.
+    pub fn snapshot(&self) -> Trace {
+        let rings = self.shared.rings.lock();
+        let mut events = Vec::new();
+        let mut counts = [0u64; KINDS];
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            let r = ring.lock();
+            events.extend(r.drain_ordered());
+            for (total, n) in counts.iter_mut().zip(r.seen_all()) {
+                *total += n;
+            }
+            dropped += r.overwritten();
+        }
+        events.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.seq.cmp(&b.seq))
+        });
+        Trace {
+            events,
+            counts,
+            dropped,
+        }
+    }
+}
+
+struct TracerInner {
+    ring: Arc<Mutex<RingBuffer>>,
+    shared: Arc<Shared>,
+}
+
+/// A per-thread (or per-shard) recording handle. `Tracer::disabled()` is
+/// the free default: every method is a branch on `None`.
+#[derive(Default)]
+pub struct Tracer(Option<TracerInner>);
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Tracer")
+            .field(&if self.0.is_some() {
+                "enabled"
+            } else {
+                "disabled"
+            })
+            .finish()
+    }
+}
+
+impl Clone for Tracer {
+    /// A clone shares the same ring as the original.
+    fn clone(&self) -> Self {
+        Tracer(self.0.as_ref().map(|inner| TracerInner {
+            ring: Arc::clone(&inner.ring),
+            shared: Arc::clone(&inner.shared),
+        }))
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing, at no cost.
+    pub fn disabled() -> Self {
+        Tracer(None)
+    }
+
+    /// Whether events will actually be recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Seconds since the trace epoch; 0 when disabled. Use to bracket a
+    /// span for [`Tracer::record_span`].
+    pub fn now(&self) -> f64 {
+        match &self.0 {
+            Some(inner) => inner.shared.clock.now(),
+            None => 0.0,
+        }
+    }
+
+    /// Record an instantaneous event. Use [`crate::NO_ID`] for an id that
+    /// does not apply.
+    pub fn record(
+        &self,
+        kind: EventKind,
+        shard: u32,
+        worker: u32,
+        progress: u64,
+        v_train: u64,
+        bytes: u64,
+    ) {
+        if let Some(inner) = &self.0 {
+            let ts = inner.shared.clock.now();
+            inner.push(TraceEvent {
+                ts,
+                dur: 0.0,
+                kind,
+                shard,
+                worker,
+                progress,
+                v_train,
+                bytes,
+                seq: 0,
+            });
+        }
+    }
+
+    /// Record a duration span started at `start_ts` (a prior
+    /// [`Tracer::now`]) and ending now.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        kind: EventKind,
+        start_ts: f64,
+        shard: u32,
+        worker: u32,
+        progress: u64,
+        v_train: u64,
+        bytes: u64,
+    ) {
+        if let Some(inner) = &self.0 {
+            let end = inner.shared.clock.now();
+            inner.push(TraceEvent {
+                ts: start_ts,
+                dur: (end - start_ts).max(0.0),
+                kind,
+                shard,
+                worker,
+                progress,
+                v_train,
+                bytes,
+                seq: 0,
+            });
+        }
+    }
+}
+
+impl TracerInner {
+    fn push(&self, mut ev: TraceEvent) {
+        ev.seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.ring.lock().push(ev);
+    }
+}
+
+/// A merged, time-ordered view of one run's events.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events ordered by `(ts, seq)`. May be a suffix of the run if rings
+    /// overflowed — check [`Trace::dropped`].
+    pub events: Vec<TraceEvent>,
+    /// Total events recorded per kind (indexed by [`EventKind::index`]),
+    /// counted even when the event itself was overwritten.
+    pub counts: [u64; KINDS],
+    /// Events lost to ring overwriting (`counts` still include them).
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Total events of `kind` ever recorded (robust to ring overflow).
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total events ever recorded, across kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::event::NO_ID;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.record(EventKind::PushApplied, 0, 0, 1, 1, 0);
+        t.record_span(EventKind::BarrierWait, 0.0, 0, 0, 1, 1, 0);
+        assert_eq!(t.now(), 0.0);
+    }
+
+    #[test]
+    fn default_tracer_is_disabled() {
+        assert!(!Tracer::default().is_enabled());
+    }
+
+    #[test]
+    fn events_merge_in_virtual_time_order() {
+        let clock = VirtualClock::new();
+        let col = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 64);
+        let t1 = col.tracer();
+        let t2 = col.tracer();
+
+        clock.set(1.0);
+        t2.record(EventKind::PullRequested, 0, 1, 5, 0, 0);
+        clock.set(2.0);
+        t1.record(EventKind::PullDeferred, 0, 1, 5, 0, 0);
+        clock.set(3.0);
+        t2.record(EventKind::DprReleased, 0, 1, 5, 1, 0);
+
+        let trace = col.snapshot();
+        assert_eq!(trace.events.len(), 3);
+        let kinds: Vec<EventKind> = trace.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::PullRequested,
+                EventKind::PullDeferred,
+                EventKind::DprReleased
+            ]
+        );
+        assert_eq!(trace.count(EventKind::PullDeferred), 1);
+        assert_eq!(trace.total(), 3);
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn counts_survive_ring_overflow() {
+        let col = TraceCollector::wall(4);
+        let t = col.tracer();
+        for i in 0..100 {
+            t.record(EventKind::WireSend, NO_ID, 0, i, 0, 64);
+        }
+        let trace = col.snapshot();
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.count(EventKind::WireSend), 100);
+        assert_eq!(trace.dropped, 96);
+    }
+
+    #[test]
+    fn spans_carry_duration() {
+        let clock = VirtualClock::new();
+        let col = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 8);
+        let t = col.tracer();
+        clock.set(1.0);
+        let start = t.now();
+        clock.set(1.5);
+        t.record_span(EventKind::BarrierWait, start, NO_ID, 2, 7, 0, 0);
+        let trace = col.snapshot();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0].ts, 1.0);
+        assert_eq!(trace.events[0].dur, 0.5);
+    }
+
+    #[test]
+    fn cloned_tracer_shares_its_ring() {
+        let col = TraceCollector::wall(8);
+        let t = col.tracer();
+        let u = t.clone();
+        t.record(EventKind::PushApplied, 0, 0, 1, 1, 0);
+        u.record(EventKind::PushApplied, 0, 0, 2, 2, 0);
+        let trace = col.snapshot();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.dropped, 0);
+    }
+}

@@ -6,6 +6,9 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use fluentps_obs::VirtualClock;
 
 struct Entry<T> {
     time: f64,
@@ -50,6 +53,7 @@ pub struct EventQueue<T> {
     heap: BinaryHeap<Entry<T>>,
     seq: u64,
     now: f64,
+    clock: Option<Arc<VirtualClock>>,
 }
 
 impl<T> Default for EventQueue<T> {
@@ -58,6 +62,7 @@ impl<T> Default for EventQueue<T> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
+            clock: None,
         }
     }
 }
@@ -71,6 +76,15 @@ impl<T> EventQueue<T> {
     /// Current simulated time: the timestamp of the last popped event.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Mirror simulated time into `clock` so observers outside the event
+    /// loop — typically a `fluentps_obs` trace collector built with
+    /// `ClockSource::virtual_clock` — timestamp events in virtual seconds.
+    /// The clock is updated on every [`EventQueue::pop`].
+    pub fn attach_clock(&mut self, clock: Arc<VirtualClock>) {
+        clock.set(self.now);
+        self.clock = Some(clock);
     }
 
     /// Schedule `payload` at absolute time `time`. Scheduling in the past
@@ -102,6 +116,9 @@ impl<T> EventQueue<T> {
     pub fn pop(&mut self) -> Option<(f64, T)> {
         let e = self.heap.pop()?;
         self.now = e.time;
+        if let Some(clock) = &self.clock {
+            clock.set(self.now);
+        }
         Some((e.time, e.payload))
     }
 
@@ -176,6 +193,20 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn attached_clock_tracks_simulated_time() {
+        let clock = VirtualClock::new();
+        let mut q = EventQueue::new();
+        q.schedule(4.0, "a");
+        q.schedule(9.0, "b");
+        q.attach_clock(Arc::clone(&clock));
+        assert_eq!(clock.get(), 0.0);
+        q.pop();
+        assert_eq!(clock.get(), 4.0);
+        q.pop();
+        assert_eq!(clock.get(), 9.0);
     }
 
     #[test]

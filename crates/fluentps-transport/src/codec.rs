@@ -114,6 +114,63 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
     }
 }
 
+/// Exact size in bytes of `encode(msg)` — what this message costs on the
+/// wire before framing. Byte accounting (`ShardStats::bytes_in/out`, the
+/// tracer's `WireSend`/`WireRecv` events) uses this instead of
+/// hand-estimates so ablation tables match real traffic.
+pub fn encoded_len(msg: &Message) -> usize {
+    let header = 2; // version + tag
+    header
+        + match msg {
+            Message::SPush { kv, .. } => 4 + 8 + kv_encoded_len(kv),
+            Message::SPull { keys, .. } => 4 + 8 + 4 + 8 * keys.len(),
+            Message::PushAck { .. } => 4 + 8,
+            Message::PullResponse { kv, .. } => 4 + 8 + 8 + kv_encoded_len(kv),
+            Message::Register { .. } => 5,
+            Message::RegisterAck { .. } => 4 + 4,
+            Message::Heartbeat { .. } => 5 + 8,
+            Message::Barrier { .. } => 4 + 8,
+            Message::Shutdown => 0,
+        }
+}
+
+fn kv_encoded_len(kv: &KvPairs) -> usize {
+    (4 + 8 * kv.keys.len()) + (4 + 4 * kv.lens.len()) + (4 + 4 * kv.vals.len())
+}
+
+/// Encoded size of an `SPull` carrying `num_keys` keys, without building
+/// the message.
+pub fn spull_wire_len(num_keys: usize) -> usize {
+    2 + 4 + 8 + 4 + 8 * num_keys
+}
+
+/// Encoded size of an `SPush` carrying `kv`, without building the message.
+pub fn spush_wire_len(kv: &KvPairs) -> usize {
+    2 + 4 + 8 + kv_encoded_len(kv)
+}
+
+/// [`spush_wire_len`] from entry counts alone — for simulations that model
+/// payload sizes without materializing values (`num_keys` keys, each with a
+/// length entry, and `num_vals` total f32 values).
+pub fn spush_wire_len_counts(num_keys: usize, num_vals: usize) -> usize {
+    2 + 4 + 8 + kv_encoded_len_counts(num_keys, num_vals)
+}
+
+/// [`pull_response_wire_len`] from entry counts alone.
+pub fn pull_response_wire_len_counts(num_keys: usize, num_vals: usize) -> usize {
+    2 + 4 + 8 + 8 + kv_encoded_len_counts(num_keys, num_vals)
+}
+
+fn kv_encoded_len_counts(num_keys: usize, num_vals: usize) -> usize {
+    (4 + 8 * num_keys) + (4 + 4 * num_keys) + (4 + 4 * num_vals)
+}
+
+/// Encoded size of a `PullResponse` carrying `kv`, without building the
+/// message.
+pub fn pull_response_wire_len(kv: &KvPairs) -> usize {
+    2 + 4 + 8 + 8 + kv_encoded_len(kv)
+}
+
 /// Decode one message from `bytes`; the buffer must contain exactly one
 /// encoded message (framing is the transport's job).
 pub fn decode(mut bytes: Bytes) -> Result<Message, DecodeError> {
@@ -346,6 +403,98 @@ mod tests {
         });
         roundtrip(Message::Barrier { group: 1, seq: 2 });
         roundtrip(Message::Shutdown);
+    }
+
+    #[test]
+    fn encoded_len_matches_encode_exactly() {
+        let msgs = vec![
+            Message::SPush {
+                worker: 3,
+                progress: 42,
+                kv: KvPairs::from_slices(&[(1, &[1.5, -2.5][..]), (9, &[0.0][..])]),
+            },
+            Message::SPull {
+                worker: 7,
+                progress: 11,
+                keys: vec![0, 5, u64::MAX],
+            },
+            Message::SPull {
+                worker: 0,
+                progress: 0,
+                keys: vec![],
+            },
+            Message::PushAck {
+                server: 2,
+                progress: 100,
+            },
+            Message::PullResponse {
+                server: 1,
+                progress: 9,
+                version: 13,
+                kv: KvPairs::single(4, vec![3.25; 7]),
+            },
+            Message::Register {
+                node: NodeId::Worker(12),
+            },
+            Message::RegisterAck {
+                num_workers: 64,
+                num_servers: 8,
+            },
+            Message::Heartbeat {
+                node: NodeId::Server(5),
+                seq: 999,
+            },
+            Message::Barrier { group: 1, seq: 2 },
+            Message::Shutdown,
+        ];
+        for msg in msgs {
+            assert_eq!(
+                encoded_len(&msg),
+                encode(&msg).len(),
+                "encoded_len mismatch for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_len_helpers_match_built_messages() {
+        let keys = vec![1u64, 2, 3];
+        let kv = KvPairs::from_slices(&[(1, &[1.0, 2.0][..]), (2, &[3.0][..])]);
+        assert_eq!(
+            spull_wire_len(keys.len()),
+            encode(&Message::SPull {
+                worker: 0,
+                progress: 0,
+                keys
+            })
+            .len()
+        );
+        assert_eq!(
+            spush_wire_len(&kv),
+            encode(&Message::SPush {
+                worker: 0,
+                progress: 0,
+                kv: kv.clone()
+            })
+            .len()
+        );
+        // Count-based variants agree with the kv-based ones (3 values
+        // across 2 keys in the fixture).
+        assert_eq!(spush_wire_len_counts(2, 3), spush_wire_len(&kv));
+        assert_eq!(
+            pull_response_wire_len_counts(2, 3),
+            pull_response_wire_len(&kv)
+        );
+        assert_eq!(
+            pull_response_wire_len(&kv),
+            encode(&Message::PullResponse {
+                server: 0,
+                progress: 0,
+                version: 0,
+                kv
+            })
+            .len()
+        );
     }
 
     #[test]

@@ -47,6 +47,13 @@ pub fn encode_frame(from: NodeId, msg: &Message) -> Bytes {
     framed.freeze()
 }
 
+/// Total bytes `encode_frame` produces for `msg`: the 4-byte length word,
+/// the 5-byte sender id, and the codec-encoded payload. This is the number
+/// the tracer reports on `WireSend`/`WireRecv` events.
+pub fn wire_len(msg: &Message) -> usize {
+    4 + 5 + codec::encoded_len(msg)
+}
+
 /// Decode one frame body (everything after the length word).
 pub fn decode_frame_body(mut body: Bytes) -> Result<(NodeId, Message), TransportError> {
     if body.remaining() < 5 {
@@ -120,6 +127,30 @@ mod tests {
             let (f, m) = read_frame(&mut cursor).unwrap();
             assert_eq!(f, *from);
             assert_eq!(m, *msg);
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_encoded_frame() {
+        let msgs = vec![
+            Message::SPush {
+                worker: 4,
+                progress: 17,
+                kv: KvPairs::single(2, vec![1.0, 2.0, 3.0]),
+            },
+            Message::SPull {
+                worker: 1,
+                progress: 2,
+                keys: vec![0, 1, 2, 3],
+            },
+            Message::Shutdown,
+        ];
+        for msg in msgs {
+            assert_eq!(
+                wire_len(&msg),
+                encode_frame(NodeId::Worker(0), &msg).len(),
+                "wire_len mismatch for {msg:?}"
+            );
         }
     }
 

@@ -15,11 +15,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use fluentps_obs::{EventKind, Tracer, NO_ID};
 use fluentps_util::sync::Mutex;
 use fluentps_util::sync::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::TransportError;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{read_frame, wire_len, write_frame};
 use crate::msg::{Message, NodeId};
 use crate::{Mailbox, Postman};
 
@@ -56,6 +57,24 @@ struct Shared {
     conns: Mutex<HashMap<NodeId, BufWriter<TcpStream>>>,
     inbox_tx: Sender<Envelope>,
     closed: AtomicBool,
+    tracer: Tracer,
+}
+
+/// `(shard, worker)` ids for a trace event about traffic between `local`
+/// and `peer`: the server index supplies the shard lane, the worker index
+/// the worker lane, whichever side each lives on.
+fn trace_ids(local: NodeId, peer: NodeId) -> (u32, u32) {
+    let pick = |want_server: bool| {
+        [local, peer]
+            .into_iter()
+            .find_map(|n| match (want_server, n) {
+                (true, NodeId::Server(m)) => Some(m),
+                (false, NodeId::Worker(w)) => Some(w),
+                _ => None,
+            })
+            .unwrap_or(NO_ID)
+    };
+    (pick(true), pick(false))
 }
 
 /// A TCP endpoint: listener plus dialed connections.
@@ -70,6 +89,19 @@ impl TcpNode {
     /// Bind `node`'s listener on `addr` (use port 0 to let the OS choose; the
     /// actual address is available via [`TcpNode::local_addr`]).
     pub fn bind(node: NodeId, addr: SocketAddr, book: AddressBook) -> Result<Self, TransportError> {
+        Self::bind_traced(node, addr, book, Tracer::disabled())
+    }
+
+    /// [`TcpNode::bind`] with frame-level tracing: every frame written by
+    /// this node's postmen records a `wire_send` event and every frame
+    /// decoded off an accepted stream records a `wire_recv`, both carrying
+    /// the exact on-the-wire byte count.
+    pub fn bind_traced(
+        node: NodeId,
+        addr: SocketAddr,
+        book: AddressBook,
+        tracer: Tracer,
+    ) -> Result<Self, TransportError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -80,6 +112,7 @@ impl TcpNode {
             conns: Mutex::new(HashMap::new()),
             inbox_tx,
             closed: AtomicBool::new(false),
+            tracer,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -149,6 +182,17 @@ fn spawn_reader(stream: TcpStream, shared: Arc<Shared>) {
             let mut reader = std::io::BufReader::new(stream);
             // Read frames until the peer closes or the stream corrupts.
             while let Ok((from, msg)) = read_frame(&mut reader) {
+                if shared.tracer.is_enabled() {
+                    let (shard, worker) = trace_ids(shared.node, from);
+                    shared.tracer.record(
+                        EventKind::WireRecv,
+                        shard,
+                        worker,
+                        0,
+                        0,
+                        wire_len(&msg) as u64,
+                    );
+                }
                 if shared.inbox_tx.send((from, msg)).is_err() {
                     break;
                 }
@@ -209,6 +253,16 @@ impl Postman for TcpPostman {
         if result.is_err() {
             // Drop the broken connection so a later send can redial.
             conns.remove(&to);
+        } else if self.shared.tracer.is_enabled() {
+            let (shard, worker) = trace_ids(self.shared.node, to);
+            self.shared.tracer.record(
+                EventKind::WireSend,
+                shard,
+                worker,
+                0,
+                0,
+                wire_len(&msg) as u64,
+            );
         }
         result
     }
@@ -291,6 +345,49 @@ mod tests {
                 progress: 0
             }
         );
+    }
+
+    #[test]
+    fn traced_nodes_record_frame_level_wire_events() {
+        use fluentps_obs::TraceCollector;
+
+        let collector = TraceCollector::wall(1024);
+        let mut book = AddressBook::new();
+        let server = TcpNode::bind_traced(
+            NodeId::Server(2),
+            loopback(),
+            book.clone(),
+            collector.tracer(),
+        )
+        .unwrap();
+        book.insert(NodeId::Server(2), server.local_addr());
+        let worker =
+            TcpNode::bind_traced(NodeId::Worker(7), loopback(), book, collector.tracer()).unwrap();
+
+        let msg = Message::SPull {
+            worker: 7,
+            progress: 3,
+            keys: vec![1, 2, 3],
+        };
+        let expected_bytes = wire_len(&msg) as u64;
+        worker
+            .postman()
+            .send(NodeId::Server(2), msg.clone())
+            .unwrap();
+        let (_, got) = server
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("message within timeout");
+        assert_eq!(got, msg);
+
+        let trace = collector.snapshot();
+        assert_eq!(trace.count(EventKind::WireSend), 1);
+        assert_eq!(trace.count(EventKind::WireRecv), 1);
+        for ev in &trace.events {
+            assert_eq!(ev.bytes, expected_bytes);
+            assert_eq!(ev.shard, 2);
+            assert_eq!(ev.worker, 7);
+        }
     }
 
     #[test]

@@ -5,6 +5,12 @@
 //! self-contained harness: calibrated warmup, `sample_size` timed samples,
 //! and a `mean / p50 / p99` report per benchmark (plus throughput when a
 //! group declares one). Run them with `cargo bench`.
+//!
+//! When the `FLUENTPS_BENCH_JSON` environment variable names a file, every
+//! benchmark also appends one JSON object per line to it —
+//! `{"name","mean_ns","p50_ns","p99_ns"[,"throughput_per_s","throughput_unit"]}`
+//! — so scripts can collect machine-readable results (`scripts/bench.sh`
+//! wraps them into a single JSON document).
 
 use std::fmt;
 use std::hint::black_box;
@@ -218,7 +224,47 @@ impl Bencher {
             human_time(p50),
             human_time(p99),
         );
+        emit_json(label, mean, p50, p99, throughput);
     }
+}
+
+/// Append one benchmark result as a JSON line to `$FLUENTPS_BENCH_JSON`
+/// (no-op when the variable is unset; IO errors are deliberately ignored —
+/// a broken results file must not fail the benchmark run).
+fn emit_json(label: &str, mean: f64, p50: f64, p99: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("FLUENTPS_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let tp = match throughput {
+        Some(Throughput::Bytes(n)) => format!(
+            ",\"throughput_per_s\":{:.1},\"throughput_unit\":\"bytes\"",
+            n as f64 / (mean * 1e-9)
+        ),
+        Some(Throughput::Elements(n)) => format!(
+            ",\"throughput_per_s\":{:.1},\"throughput_unit\":\"elements\"",
+            n as f64 / (mean * 1e-9)
+        ),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{mean:.1},\"p50_ns\":{p50:.1},\"p99_ns\":{p99:.1}{tp}}}\n"
+    );
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
 }
 
 fn percentile(sorted: &[f64], p: f64) -> f64 {

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Run the observability benchmarks and collect machine-readable results.
+#
+# Usage: scripts/bench.sh [OUTPUT]
+#
+# Runs the `obs` bench target of crates/bench (tracer record cost when
+# disabled vs enabled, metrics registry ops, Chrome-trace export, and the
+# threaded engine with tracing off vs on) and writes OUTPUT (default
+# BENCH_obs.json): a JSON document with mean/p50/p99 nanoseconds and
+# throughput per benchmark. The `engine/threaded_tracing_off` vs
+# `engine/threaded_tracing_on` pair is the end-to-end tracing overhead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_obs.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+FLUENTPS_BENCH_JSON="$tmp" cargo bench --offline -p fluentps-bench --bench obs
+
+if [ ! -s "$tmp" ]; then
+  echo "error: benchmarks produced no JSON lines" >&2
+  exit 1
+fi
+
+{
+  printf '{"suite":"obs","benchmarks":[\n'
+  # Join the JSONL lines emitted by the harness with commas.
+  awk 'NR>1{printf ",\n"} {printf "%s", $0} END{printf "\n"}' "$tmp"
+  printf ']}\n'
+} >"$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"

@@ -6,5 +6,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
-cargo build --release --offline --workspace --all-targets
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-targets
 cargo test -q --offline --workspace
+
+# Golden-file check: the Chrome-trace exporter must emit byte-stable, valid
+# JSON for the fixture run (tests/golden/chrome_trace_fixture.json). Run
+# explicitly so a missing or stale golden file fails CI even if test
+# filtering changes.
+cargo test -q --offline --test observability chrome_trace_export_matches_golden_file

@@ -3,5 +3,6 @@ pub use fluentps_baseline as baseline;
 pub use fluentps_core as core;
 pub use fluentps_experiments as experiments;
 pub use fluentps_ml as ml;
+pub use fluentps_obs as obs;
 pub use fluentps_simnet as simnet;
 pub use fluentps_transport as transport;

@@ -1,0 +1,139 @@
+//! Observability invariants: tracing must be a pure observer (a traced run
+//! is bit-for-bit the run it observes), fixed seeds must reproduce traces,
+//! and the Chrome trace-event exporter's output is pinned by a golden file.
+//!
+//! Regenerate the golden fixture after an intentional exporter change with
+//! `FLUENTPS_BLESS=1 cargo test --test observability`.
+
+use std::sync::Arc;
+
+use fluentps::core::condition::SyncModel;
+use fluentps::core::dpr::DprPolicy;
+use fluentps::experiments::driver::{run, DriverConfig, EngineKind, ModelKind};
+use fluentps::experiments::report::trace_reconciles;
+use fluentps::ml::data::SyntheticSpec;
+use fluentps::obs::{export, json, ClockSource, EventKind, TraceCollector, VirtualClock, NO_ID};
+
+fn traced_cfg() -> DriverConfig {
+    DriverConfig {
+        engine: EngineKind::FluentPs {
+            model: SyncModel::Ssp { s: 2 },
+            policy: DprPolicy::LazyExecution,
+        },
+        num_workers: 3,
+        num_servers: 2,
+        max_iters: 30,
+        model: ModelKind::Softmax,
+        dataset: Some(SyntheticSpec {
+            dim: 12,
+            classes: 3,
+            n_train: 300,
+            n_test: 60,
+            margin: 2.5,
+            modes: 1,
+            label_noise: 0.05,
+            seed: 11,
+        }),
+        batch_size: 16,
+        eval_every: 10,
+        trace_events: Some(1 << 14),
+        seed: 11,
+        ..DriverConfig::default()
+    }
+}
+
+/// Bit-exact digest of the final parameters (sorted keys, f32 bits).
+fn param_fingerprint(params: &fluentps::ml::ParamMap) -> String {
+    let mut keys: Vec<u64> = params.keys().copied().collect();
+    keys.sort_unstable();
+    let mut out = String::new();
+    for k in keys {
+        out.push_str(&format!("{k}:"));
+        for v in &params[&k] {
+            out.push_str(&format!("{:08x}", v.to_bits()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn tracing_enabled_runs_are_deterministic() {
+    let cfg = traced_cfg();
+    let a = run(&cfg);
+    let b = run(&cfg);
+    assert_eq!(
+        param_fingerprint(a.final_params.as_ref().unwrap()),
+        param_fingerprint(b.final_params.as_ref().unwrap()),
+        "fixed seed must reproduce final parameters under tracing"
+    );
+    assert_eq!(a.stats, b.stats);
+    let (ta, tb) = (a.trace.unwrap(), b.trace.unwrap());
+    assert_eq!(ta.total(), tb.total(), "event count must be stable");
+    assert_eq!(ta.counts, tb.counts);
+    assert_eq!(ta.events.len(), tb.events.len());
+}
+
+#[test]
+fn tracing_is_a_pure_observer() {
+    let traced = run(&traced_cfg());
+    let plain = run(&DriverConfig {
+        trace_events: None,
+        ..traced_cfg()
+    });
+    assert_eq!(
+        param_fingerprint(traced.final_params.as_ref().unwrap()),
+        param_fingerprint(plain.final_params.as_ref().unwrap()),
+        "attaching a collector must not change training"
+    );
+    assert_eq!(traced.total_time, plain.total_time);
+    assert_eq!(traced.stats, plain.stats);
+    trace_reconciles(traced.trace.as_ref().unwrap(), &traced.stats)
+        .expect("trace reconciles with shard stats");
+}
+
+/// Deterministic fixture: a virtual clock driven by hand, so the exporter's
+/// output is byte-stable across machines and runs.
+fn fixture_chrome_trace() -> String {
+    let clock = VirtualClock::new();
+    let collector = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 64);
+    let tracer = collector.tracer();
+    clock.set(0.001);
+    tracer.record(EventKind::PullRequested, 0, 0, 0, 0, 42);
+    clock.set(0.002);
+    tracer.record(EventKind::PullDeferred, 0, 1, 1, 0, 42);
+    clock.set(0.003);
+    tracer.record(EventKind::PushApplied, 1, 0, 0, 0, 1024);
+    clock.set(0.004);
+    tracer.record(EventKind::VTrainAdvanced, 0, NO_ID, 0, 1, 0);
+    clock.set(0.005);
+    tracer.record(EventKind::DprReleased, 0, 1, 1, 1, 128);
+    let start = tracer.now();
+    clock.set(0.007);
+    tracer.record_span(EventKind::BarrierWait, start, NO_ID, 1, 1, 1, 0);
+    clock.set(0.008);
+    tracer.record(EventKind::WireSend, 1, 0, 1, 0, 256);
+    tracer.record(EventKind::LatePushDropped, 1, 2, 0, 3, 64);
+    export::chrome_trace(&collector.snapshot())
+}
+
+#[test]
+fn chrome_trace_export_matches_golden_file() {
+    let got = fixture_chrome_trace();
+    json::validate(&got).expect("exporter emits valid JSON");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace_fixture.json"
+    );
+    if std::env::var("FLUENTPS_BLESS").is_ok() {
+        std::fs::write(path, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run with FLUENTPS_BLESS=1 to create it");
+    assert_eq!(
+        got, want,
+        "Chrome-trace exporter output changed; if intentional, re-bless with FLUENTPS_BLESS=1"
+    );
+}
