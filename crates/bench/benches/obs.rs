@@ -14,7 +14,9 @@ use fluentps_util::{criterion_group, criterion_main};
 use fluentps_core::condition::SyncModel;
 use fluentps_core::engine::{Cluster, EngineConfig};
 use fluentps_core::eps::{EpsSlicer, ParamSpec, Slicer};
-use fluentps_obs::{export, EventKind, MetricsRegistry, TraceCollector, Tracer, NO_ID};
+use fluentps_obs::{
+    analyze, export, EventKind, MetricsRegistry, RecordArgs, TraceCollector, Tracer,
+};
 
 /// Disabled tracer: one branch, no clock read, no allocation.
 fn tracer_disabled(c: &mut Criterion) {
@@ -22,7 +24,12 @@ fn tracer_disabled(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     let tracer = Tracer::disabled();
     g.bench_function("disabled_record", |b| {
-        b.iter(|| tracer.record(EventKind::PushApplied, 0, 1, 2, 3, 4))
+        b.iter(|| {
+            tracer.record(
+                EventKind::PushApplied,
+                RecordArgs::new().shard(0).worker(1).progress(2).v_train(3),
+            )
+        })
     });
     g.finish();
 }
@@ -35,12 +42,21 @@ fn tracer_enabled(c: &mut Criterion) {
     let collector = TraceCollector::wall(4096);
     let tracer = collector.tracer();
     g.bench_function("enabled_record", |b| {
-        b.iter(|| tracer.record(EventKind::PushApplied, 0, 1, 2, 3, 4))
+        b.iter(|| {
+            tracer.record(
+                EventKind::PushApplied,
+                RecordArgs::new().shard(0).worker(1).progress(2).v_train(3),
+            )
+        })
     });
     g.bench_function("enabled_record_span", |b| {
         b.iter(|| {
             let start = tracer.now();
-            tracer.record_span(EventKind::BarrierWait, start, 0, NO_ID, 2, 3, 0)
+            tracer.record_span(
+                EventKind::BarrierWait,
+                start,
+                RecordArgs::new().shard(0).progress(2).v_train(3),
+            )
         })
     });
     g.finish();
@@ -70,11 +86,12 @@ fn export_chrome(c: &mut Criterion) {
     for i in 0..4096u64 {
         tracer.record(
             EventKind::PushApplied,
-            (i % 4) as u32,
-            (i % 8) as u32,
-            i,
-            i,
-            64,
+            RecordArgs::new()
+                .shard((i % 4) as u32)
+                .worker((i % 8) as u32)
+                .progress(i)
+                .v_train(i)
+                .bytes(64),
         );
     }
     c.bench_function("export/chrome_4k_events", |b| {
@@ -144,12 +161,55 @@ fn engine_tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Analyzer throughput: a realistic mixed event stream (pull/defer/release
+/// chains, pushes, V_train advances, wire pairs, barrier spans) through the
+/// full `analyze::analyze` pass, reported as events/sec.
+fn analyze_throughput(c: &mut Criterion) {
+    const EVENTS_PER_ITER: u64 = 9;
+    const ITERS: u64 = 1024;
+    let collector = TraceCollector::wall((ITERS * EVENTS_PER_ITER) as usize * 2);
+    let tracer = collector.tracer();
+    for i in 0..ITERS {
+        let shard = (i % 4) as u32;
+        let worker = (i % 8) as u32;
+        let at = RecordArgs::new()
+            .shard(shard)
+            .worker(worker)
+            .progress(i)
+            .v_train(i.saturating_sub(1));
+        tracer.record(EventKind::WireSend, at.bytes(64));
+        tracer.record(EventKind::WireRecv, at.bytes(64));
+        tracer.record(EventKind::PullRequested, at.bytes(58));
+        tracer.record(EventKind::PullDeferred, at);
+        tracer.record(EventKind::PushApplied, at.bytes(128));
+        tracer.record(
+            EventKind::VTrainAdvanced,
+            RecordArgs::new().shard(shard).v_train(i),
+        );
+        tracer.record(EventKind::DprReleased, at.v_train(i));
+        let start = tracer.now();
+        tracer.record_span(
+            EventKind::BarrierWait,
+            start,
+            RecordArgs::new().worker(worker).progress(i),
+        );
+        tracer.record(EventKind::LatePushDropped, at.bytes(32));
+    }
+    let trace = collector.snapshot();
+    let n = trace.events.len() as u64;
+    let mut g = c.benchmark_group("analyze");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("mixed_9k_events", |b| b.iter(|| analyze::analyze(&trace)));
+    g.finish();
+}
+
 criterion_group!(
     obs,
     tracer_disabled,
     tracer_enabled,
     metrics,
     export_chrome,
-    engine_tracing_overhead
+    engine_tracing_overhead,
+    analyze_throughput
 );
 criterion_main!(obs);

@@ -164,6 +164,28 @@ impl FluentPs {
             None => Cluster::launch(cfg, map, init),
         }
     }
+
+    /// [`FluentPs::launch`] with a [`TraceCollector`] attached: shards and
+    /// worker clients record trace events into `collector`.
+    pub fn launch_with_collector(
+        self,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: &fluentps_obs::TraceCollector,
+    ) -> (Cluster, Vec<InprocWorker>) {
+        let map = self.plan(init);
+        let cfg = EngineConfig {
+            num_workers: self.num_workers,
+            num_servers: self.num_servers,
+            model: self.model,
+            policy: self.policy,
+            grad_scale: self.grad_scale,
+            seed: self.seed,
+        };
+        let models = self
+            .per_server_models
+            .unwrap_or_else(|| vec![cfg.model; cfg.num_servers as usize]);
+        Cluster::launch_heterogeneous_with_collector(cfg, models, map, init, collector)
+    }
 }
 
 #[cfg(test)]

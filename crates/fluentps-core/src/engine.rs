@@ -9,9 +9,13 @@
 //! `fluentps-baseline` for comparison.
 
 use std::collections::HashMap;
+use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
-use fluentps_obs::{EventKind, TraceCollector, Tracer, NO_ID};
+use fluentps_obs::{
+    http, EventKind, IntrospectionServer, MetricsRegistry, RecordArgs, TraceCollector, Tracer,
+    NO_ID,
+};
 use fluentps_util::rng::StdRng;
 
 use fluentps_transport::inproc::{Endpoint, Fabric, InprocPostman};
@@ -91,6 +95,27 @@ impl Cluster {
         Self::launch_inner(cfg, models, map, init, Some(collector))
     }
 
+    /// [`Cluster::launch_with_collector`] plus a live introspection
+    /// endpoint: `registry` is served at `addr` as Prometheus text on
+    /// `/metrics`, next to `/healthz` and `/trace` (the collector's live
+    /// JSONL tail). Cluster-shape gauges are published into `registry` at
+    /// launch. Bind loopback (`127.0.0.1:0`) unless the endpoint is
+    /// deliberately exposed. The endpoint outlives the cluster until the
+    /// returned [`IntrospectionServer`] is stopped or dropped.
+    pub fn launch_introspected(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: &TraceCollector,
+        registry: &MetricsRegistry,
+        addr: SocketAddr,
+    ) -> std::io::Result<(Cluster, Vec<InprocWorker>, IntrospectionServer)> {
+        let (cluster, workers) = Self::launch_with_collector(cfg, map, init, collector);
+        publish_cluster_gauges(registry, "threaded", cfg.num_workers, cfg.num_servers);
+        let server = http::serve(addr, registry.clone(), Some(collector.clone()))?;
+        Ok((cluster, workers, server))
+    }
+
     /// Like [`Cluster::launch`] but with a per-server synchronization model —
     /// the paper's headline flexibility: "each parameter server can choose
     /// the adaptive synchronization model to update its parameter shard".
@@ -101,6 +126,18 @@ impl Cluster {
         init: &HashMap<u64, Vec<f32>>,
     ) -> (Cluster, Vec<InprocWorker>) {
         Self::launch_inner(cfg, models, map, init, None)
+    }
+
+    /// [`Cluster::launch_heterogeneous`] with a [`TraceCollector`] attached,
+    /// so per-shard models and tracing compose.
+    pub fn launch_heterogeneous_with_collector(
+        cfg: EngineConfig,
+        models: Vec<SyncModel>,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: &TraceCollector,
+    ) -> (Cluster, Vec<InprocWorker>) {
+        Self::launch_inner(cfg, models, map, init, Some(collector))
     }
 
     fn launch_inner(
@@ -189,6 +226,20 @@ impl Cluster {
     }
 }
 
+/// Static cluster-shape gauges every introspected engine publishes, so a
+/// bare `/metrics` scrape identifies what is running before any traffic.
+pub(crate) fn publish_cluster_gauges(
+    registry: &MetricsRegistry,
+    engine: &str,
+    workers: u32,
+    servers: u32,
+) {
+    let scope = registry.scope().with("engine", engine);
+    scope.set_gauge("cluster_workers", workers as f64);
+    scope.set_gauge("cluster_servers", servers as f64);
+    scope.set_gauge("cluster_up", 1.0);
+}
+
 fn server_loop(
     mut shard: ServerShard,
     endpoint: Endpoint,
@@ -202,11 +253,10 @@ fn server_loop(
     let send = |worker: u32, msg: Message| {
         tracer.record(
             EventKind::WireSend,
-            server_id,
-            worker,
-            0,
-            0,
-            frame::wire_len(&msg) as u64,
+            RecordArgs::new()
+                .shard(server_id)
+                .worker(worker)
+                .bytes(frame::wire_len(&msg) as u64),
         );
         let _ = postman.send(NodeId::Worker(worker), msg);
     };
@@ -218,11 +268,10 @@ fn server_loop(
             };
             tracer.record(
                 EventKind::WireRecv,
-                server_id,
-                worker,
-                0,
-                0,
-                frame::wire_len(&msg) as u64,
+                RecordArgs::new()
+                    .shard(server_id)
+                    .worker(worker)
+                    .bytes(frame::wire_len(&msg) as u64),
             );
         }
         match msg {

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use fluentps_obs::{EventKind, Tracer, NO_ID};
+use fluentps_obs::{EventKind, RecordArgs, Tracer};
 use fluentps_transport::{codec, KvPairs};
 
 use crate::condition::{SyncModel, SyncPolicy, SyncState};
@@ -209,11 +209,12 @@ impl ServerShard {
         self.stats.bytes_in += req_bytes;
         self.tracer.record(
             EventKind::PullRequested,
-            self.cfg.server_id,
-            worker,
-            progress,
-            self.v_train,
-            req_bytes,
+            RecordArgs::new()
+                .shard(self.cfg.server_id)
+                .worker(worker)
+                .progress(progress)
+                .v_train(self.v_train)
+                .bytes(req_bytes),
         );
         let significance = significance.or(self.last_significance[worker as usize]);
         let st = self.sync_state();
@@ -237,11 +238,11 @@ impl ServerShard {
             self.stats.dprs += 1;
             self.tracer.record(
                 EventKind::PullDeferred,
-                self.cfg.server_id,
-                worker,
-                progress,
-                self.v_train,
-                0,
+                RecordArgs::new()
+                    .shard(self.cfg.server_id)
+                    .worker(worker)
+                    .progress(progress)
+                    .v_train(self.v_train),
             );
             self.buffer.defer(
                 self.cfg.policy,
@@ -272,22 +273,24 @@ impl ServerShard {
             self.stats.late_pushes_dropped += 1;
             self.tracer.record(
                 EventKind::LatePushDropped,
-                self.cfg.server_id,
-                worker,
-                progress,
-                self.v_train,
-                push_bytes,
+                RecordArgs::new()
+                    .shard(self.cfg.server_id)
+                    .worker(worker)
+                    .progress(progress)
+                    .v_train(self.v_train)
+                    .bytes(push_bytes),
             );
         } else {
             self.last_significance[worker as usize] = Some(self.push_significance(kv));
             self.apply_gradients(kv);
             self.tracer.record(
                 EventKind::PushApplied,
-                self.cfg.server_id,
-                worker,
-                progress,
-                self.v_train,
-                push_bytes,
+                RecordArgs::new()
+                    .shard(self.cfg.server_id)
+                    .worker(worker)
+                    .progress(progress)
+                    .v_train(self.v_train)
+                    .bytes(push_bytes),
             );
         }
         self.progress.record_push(progress);
@@ -306,11 +309,9 @@ impl ServerShard {
             self.stats.v_train_advances += 1;
             self.tracer.record(
                 EventKind::VTrainAdvanced,
-                self.cfg.server_id,
-                NO_ID,
-                0,
-                self.v_train,
-                0,
+                RecordArgs::new()
+                    .shard(self.cfg.server_id)
+                    .v_train(self.v_train),
             );
             self.progress.prune_below(self.v_train);
             let st = self.sync_state();
@@ -341,11 +342,12 @@ impl ServerShard {
         self.stats.dpr_wait_hist.record(waited);
         self.tracer.record(
             EventKind::DprReleased,
-            self.cfg.server_id,
-            dpr.worker,
-            dpr.progress,
-            self.v_train,
-            resp_bytes,
+            RecordArgs::new()
+                .shard(self.cfg.server_id)
+                .worker(dpr.worker)
+                .progress(dpr.progress)
+                .v_train(self.v_train)
+                .bytes(resp_bytes),
         );
         ReleasedPull {
             worker: dpr.worker,

@@ -11,7 +11,10 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
-use fluentps_obs::{EventKind, TraceCollector, Tracer, NO_ID};
+use fluentps_obs::{
+    http, EventKind, IntrospectionServer, MetricsRegistry, RecordArgs, TraceCollector, Tracer,
+    NO_ID,
+};
 use fluentps_util::rng::StdRng;
 
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
@@ -59,6 +62,25 @@ impl TcpCluster {
         collector: &TraceCollector,
     ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
         Self::launch_inner(cfg, map, init, Some(collector))
+    }
+
+    /// [`TcpCluster::launch_with_collector`] plus a live introspection
+    /// endpoint serving `registry` at `addr` (`/metrics`, `/healthz`,
+    /// `/trace`). Cluster-shape gauges are published at launch; bind
+    /// loopback (`127.0.0.1:0`) unless the endpoint is deliberately
+    /// exposed.
+    pub fn launch_introspected(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: &TraceCollector,
+        registry: &MetricsRegistry,
+        addr: SocketAddr,
+    ) -> Result<(TcpCluster, Vec<TcpWorker>, IntrospectionServer), TransportError> {
+        let (cluster, workers) = Self::launch_inner(cfg, map, init, Some(collector))?;
+        crate::engine::publish_cluster_gauges(registry, "tcp", cfg.num_workers, cfg.num_servers);
+        let server = http::serve(addr, registry.clone(), Some(collector.clone()))?;
+        Ok((cluster, workers, server))
     }
 
     fn launch_inner(
@@ -173,11 +195,10 @@ fn tcp_server_loop(
     let send = |worker: u32, msg: Message| {
         tracer.record(
             EventKind::WireSend,
-            server_id,
-            worker,
-            0,
-            0,
-            frame::wire_len(&msg) as u64,
+            RecordArgs::new()
+                .shard(server_id)
+                .worker(worker)
+                .bytes(frame::wire_len(&msg) as u64),
         );
         let _ = postman.send(NodeId::Worker(worker), msg);
     };
@@ -189,11 +210,10 @@ fn tcp_server_loop(
             };
             tracer.record(
                 EventKind::WireRecv,
-                server_id,
-                worker,
-                0,
-                0,
-                frame::wire_len(&msg) as u64,
+                RecordArgs::new()
+                    .shard(server_id)
+                    .worker(worker)
+                    .bytes(frame::wire_len(&msg) as u64),
             );
         }
         match msg {

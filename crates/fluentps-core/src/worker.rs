@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use fluentps_obs::{EventKind, Tracer, NO_ID};
+use fluentps_obs::{EventKind, RecordArgs, Tracer};
 use fluentps_transport::{frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError};
 
 use crate::eps::SliceMap;
@@ -167,11 +167,11 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             };
             self.tracer.record(
                 EventKind::WireSend,
-                m as u32,
-                self.worker_id,
-                progress,
-                0,
-                frame::wire_len(&msg) as u64,
+                RecordArgs::new()
+                    .shard(m as u32)
+                    .worker(self.worker_id)
+                    .progress(progress)
+                    .bytes(frame::wire_len(&msg) as u64),
             );
             self.postman.send(NodeId::Server(m as u32), msg)?;
             sent += 1;
@@ -228,11 +228,11 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             };
             self.tracer.record(
                 EventKind::WireSend,
-                m,
-                self.worker_id,
-                progress,
-                0,
-                frame::wire_len(&msg) as u64,
+                RecordArgs::new()
+                    .shard(m)
+                    .worker(self.worker_id)
+                    .progress(progress)
+                    .bytes(frame::wire_len(&msg) as u64),
             );
             self.postman.send(NodeId::Server(m), msg)?;
             expected += 1;
@@ -261,11 +261,10 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             self.tracer.record_span(
                 EventKind::BarrierWait,
                 wait_start,
-                NO_ID,
-                self.worker_id,
-                progress,
-                report.max_version,
-                0,
+                RecordArgs::new()
+                    .worker(self.worker_id)
+                    .progress(progress)
+                    .v_train(report.max_version),
             );
         }
         Ok(report)

@@ -2,26 +2,45 @@
 //!
 //! Usage:
 //!   repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|all> [--full] [--csv DIR]
-//!   repro --trace FILE [--full]
+//!   repro --trace FILE [--full] [--metrics-addr ADDR]
+//!   repro analyze FILE [--md] [--ssp S | --pssp-const S C]
+//!   repro validate-json FILE
 //!
 //! Quick mode (default) finishes each experiment in seconds-to-minutes;
 //! `--full` uses paper-like worker counts and iteration budgets.
 //! `--trace FILE` runs a traced FluentPS demo and writes the event trace to
 //! FILE — Chrome trace-event JSON (open in Perfetto or `chrome://tracing`),
-//! or JSONL when FILE ends in `.jsonl`.
+//! or JSONL when FILE ends in `.jsonl`. With `--metrics-addr` the run also
+//! serves `/metrics`, `/healthz` and `/trace` on ADDR while it executes.
+//! `analyze` reads a JSONL trace back and prints the full analytics report
+//! (straggler scoreboard, time breakdowns, staleness histogram, block-rate
+//! curve, critical path); `--ssp`/`--pssp-const` add the analytical
+//! `Pr[blocked | gap=k]` column to compare against the empirical one.
+//! `validate-json` checks a file parses under the in-tree JSON validator.
 
 use std::io::Write as _;
 
+use fluentps_core::pssp;
 use fluentps_experiments::figures::{self, Scale};
 use fluentps_experiments::report::{self, Table};
 use fluentps_experiments::tracerun;
+use fluentps_obs::analyze;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => run_analyze(&args[1..]),
+        Some("validate-json") => run_validate_json(&args[1..]),
+        _ => run_figures(&args),
+    }
+}
+
+fn run_figures(args: &[String]) {
     let mut which: Vec<String> = Vec::new();
     let mut full = false;
     let mut csv_dir: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut metrics_addr: Option<std::net::SocketAddr> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -34,12 +53,20 @@ fn main() {
                 i += 1;
                 trace_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--metrics-addr" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                metrics_addr = Some(raw.parse().unwrap_or_else(|e| {
+                    eprintln!("[repro] bad --metrics-addr {raw:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
             name => which.push(name.to_string()),
         }
         i += 1;
     }
     if let Some(path) = &trace_out {
-        run_traced(path, full);
+        run_traced(path, full, metrics_addr);
     }
     if which.is_empty() {
         if trace_out.is_some() {
@@ -109,13 +136,19 @@ fn main() {
 }
 
 /// Run the traced demo, verify the trace against the shard statistics, and
-/// write the export next to a printed summary.
-fn run_traced(path: &str, full: bool) {
+/// write the export next to a printed summary. With `metrics_addr` the
+/// introspection endpoint serves `/metrics` and `/trace` during the run.
+fn run_traced(path: &str, full: bool, metrics_addr: Option<std::net::SocketAddr>) {
     eprintln!(
         "[repro] tracing a FluentPS demo run ({} scale)...",
         if full { "full" } else { "quick" }
     );
-    let r = tracerun::demo_run(full);
+    let mut cfg = tracerun::demo_config(full);
+    cfg.metrics_addr = metrics_addr;
+    if let Some(addr) = metrics_addr {
+        eprintln!("[repro] serving /metrics, /healthz and /trace on http://{addr}/");
+    }
+    let r = fluentps_experiments::driver::run(&cfg);
     let trace = r.trace.as_ref().expect("traced run returns a trace");
     if let Err(e) = report::trace_reconciles(trace, &r.stats) {
         eprintln!("[repro] trace does NOT reconcile with shard stats: {e}");
@@ -131,9 +164,114 @@ fn run_traced(path: &str, full: bool) {
     );
 }
 
+/// `repro analyze FILE`: parse a JSONL trace and print the analytics report.
+fn run_analyze(args: &[String]) {
+    let mut path: Option<String> = None;
+    let mut markdown = false;
+    let mut analytical: Option<Box<dyn Fn(u64) -> f64>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--md" => markdown = true,
+            "--ssp" => {
+                i += 1;
+                let s: u64 = parse_arg(args.get(i), "--ssp S");
+                analytical = Some(Box::new(move |k| if k >= s { 1.0 } else { 0.0 }));
+            }
+            "--pssp-const" => {
+                let s: u64 = parse_arg(args.get(i + 1), "--pssp-const S C");
+                let c: f64 = parse_arg(args.get(i + 2), "--pssp-const S C");
+                i += 2;
+                analytical = Some(Box::new(move |k| pssp::constant_probability(c, s, k)));
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_string()),
+            other => {
+                eprintln!("[repro] unknown analyze argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    let path = path.unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("[repro] cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let trace = analyze::parse_jsonl(&text).unwrap_or_else(|e| {
+        eprintln!("[repro] {path} is not a JSONL trace: {e}");
+        std::process::exit(1);
+    });
+    if trace.events.is_empty() {
+        eprintln!("[repro] {path} holds no events — nothing to analyze");
+        std::process::exit(1);
+    }
+    let a = analyze::analyze(&trace);
+    for t in report::analysis_sections(&a, analytical.as_deref()) {
+        if markdown {
+            println!("{}", t.to_markdown());
+        } else {
+            println!("{}", t.render());
+        }
+    }
+    let straggler = a
+        .straggler()
+        .map(|w| format!("worker {} ({} iters)", w.worker, w.iterations))
+        .unwrap_or_else(|| "none".to_string());
+    eprintln!(
+        "[repro] analyzed {} events ({} dropped) over {:.3}s: straggler {straggler}, \
+         max granted staleness {}, critical path {:.6}s",
+        trace.events.len(),
+        a.dropped,
+        a.span.1 - a.span.0,
+        a.max_granted_staleness()
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "—".to_string()),
+        a.critical_path_secs(),
+    );
+}
+
+/// `repro validate-json FILE`: check the file (or each line of a `.jsonl`
+/// file) parses under the in-tree JSON validator.
+fn run_validate_json(args: &[String]) {
+    let path = args.first().cloned().unwrap_or_else(|| usage());
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("[repro] cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    if path.ends_with(".jsonl") {
+        for (n, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Err(e) = fluentps_obs::json::validate(line) {
+                eprintln!("[repro] {path}:{} invalid JSON: {e}", n + 1);
+                std::process::exit(1);
+            }
+        }
+    } else if let Err(e) = fluentps_obs::json::validate(&text) {
+        eprintln!("[repro] {path} invalid JSON: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("[repro] {path} is valid JSON");
+}
+
+fn parse_arg<T: std::str::FromStr>(arg: Option<&String>, what: &str) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let raw = arg.cloned().unwrap_or_else(|| {
+        eprintln!("[repro] missing value for {what}");
+        std::process::exit(2);
+    });
+    raw.parse().unwrap_or_else(|e| {
+        eprintln!("[repro] bad value {raw:?} for {what}: {e}");
+        std::process::exit(2);
+    })
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE]"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE"
     );
     std::process::exit(2);
 }

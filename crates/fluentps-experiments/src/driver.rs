@@ -26,7 +26,9 @@ use fluentps_ml::models::{Mlp, Model, ResidualMlp, SoftmaxRegression};
 use fluentps_ml::optim::{Optimizer, Sgd};
 use fluentps_ml::schedule::LrSchedule;
 use fluentps_ml::ParamMap;
-use fluentps_obs::{ClockSource, EventKind, Trace, TraceCollector, Tracer, VirtualClock};
+use fluentps_obs::{
+    ClockSource, EventKind, RecordArgs, Trace, TraceCollector, Tracer, VirtualClock,
+};
 use fluentps_simnet::compute::{ComputeModel, StragglerSpec, WorkerCompute};
 use fluentps_simnet::event::EventQueue;
 use fluentps_simnet::net::LinkModel;
@@ -177,6 +179,11 @@ pub struct DriverConfig {
     /// that capacity, returned as [`RunResult::trace`]. `None` (default)
     /// keeps the hot path trace-free.
     pub trace_events: Option<usize>,
+    /// When `Some(addr)`, serve a live introspection endpoint there for
+    /// the duration of the run: `/metrics` (Prometheus text), `/healthz`,
+    /// and — when [`DriverConfig::trace_events`] is also set — `/trace`
+    /// (JSONL tail). Bind loopback unless deliberately exposing it.
+    pub metrics_addr: Option<std::net::SocketAddr>,
     /// Master seed.
     pub seed: u64,
 }
@@ -211,6 +218,7 @@ impl Default for DriverConfig {
             wire_bytes_scale: 1.0,
             eval_every: 0,
             trace_events: None,
+            metrics_addr: None,
             seed: 0,
         }
     }
@@ -362,6 +370,10 @@ struct Simulation<'a> {
     /// Driver-level tracer for wire send/recv events (shard-internal events
     /// go through each shard's own tracer). Disabled when not tracing.
     tracer: Tracer,
+    /// Live endpoint held open for the duration of the run (dropped —
+    /// and therefore stopped — when the simulation finishes).
+    introspection: Option<fluentps_obs::IntrospectionServer>,
+    metrics: fluentps_obs::MetricsRegistry,
 }
 
 impl<'a> Simulation<'a> {
@@ -549,6 +561,16 @@ impl<'a> Simulation<'a> {
             None => (None, Tracer::disabled()),
         };
 
+        let metrics = fluentps_obs::MetricsRegistry::new();
+        let introspection = cfg.metrics_addr.map(|addr| {
+            let scope = metrics.scope().with("engine", "simulated");
+            scope.set_gauge("cluster_workers", cfg.num_workers as f64);
+            scope.set_gauge("cluster_servers", cfg.num_servers as f64);
+            scope.set_gauge("cluster_up", 1.0);
+            fluentps_obs::http::serve(addr, metrics.clone(), collector.clone())
+                .expect("bind introspection endpoint")
+        });
+
         Simulation {
             cfg,
             model,
@@ -583,6 +605,8 @@ impl<'a> Simulation<'a> {
             active_server_count,
             collector,
             tracer,
+            introspection,
+            metrics,
         }
     }
 
@@ -719,8 +743,14 @@ impl<'a> Simulation<'a> {
             } else {
                 self.wires.push[m]
             };
-            self.tracer
-                .record(EventKind::WireSend, m as u32, worker, iter, 0, bytes as u64);
+            self.tracer.record(
+                EventKind::WireSend,
+                RecordArgs::new()
+                    .shard(m as u32)
+                    .worker(worker)
+                    .progress(iter)
+                    .bytes(bytes as u64),
+            );
             let mut arrive = self.topo.worker_to_server(now, m as u32, bytes);
             arrive += self.ssptable_maint;
             self.queue.schedule(
@@ -778,11 +808,11 @@ impl<'a> Simulation<'a> {
         for m in active {
             self.tracer.record(
                 EventKind::WireSend,
-                m,
-                worker,
-                iter,
-                0,
-                self.wires.pull_req[m as usize] as u64,
+                RecordArgs::new()
+                    .shard(m)
+                    .worker(worker)
+                    .progress(iter)
+                    .bytes(self.wires.pull_req[m as usize] as u64),
             );
             let arrive = self
                 .topo
@@ -807,18 +837,24 @@ impl<'a> Simulation<'a> {
         kv: KvPairs,
         bytes: usize,
     ) {
-        self.tracer
-            .record(EventKind::WireRecv, server, worker, iter, 0, bytes as u64);
+        self.tracer.record(
+            EventKind::WireRecv,
+            RecordArgs::new()
+                .shard(server)
+                .worker(worker)
+                .progress(iter)
+                .bytes(bytes as u64),
+        );
         let released = self.shards[server as usize].on_push(worker, iter, &kv);
         for r in released {
             let resp_bytes = self.wires.response[server as usize];
             self.tracer.record(
                 EventKind::WireSend,
-                server,
-                r.worker,
-                r.progress,
-                0,
-                resp_bytes as u64,
+                RecordArgs::new()
+                    .shard(server)
+                    .worker(r.worker)
+                    .progress(r.progress)
+                    .bytes(resp_bytes as u64),
             );
             let delivery = self.topo.server_to_worker(now, server, resp_bytes);
             self.queue.schedule(
@@ -842,11 +878,11 @@ impl<'a> Simulation<'a> {
     fn on_pull_arrive(&mut self, now: f64, worker: u32, iter: u64, server: u32) {
         self.tracer.record(
             EventKind::WireRecv,
-            server,
-            worker,
-            iter,
-            0,
-            self.wires.pull_req[server as usize] as u64,
+            RecordArgs::new()
+                .shard(server)
+                .worker(worker)
+                .progress(iter)
+                .bytes(self.wires.pull_req[server as usize] as u64),
         );
         let keys = self.router.keys_for_server(server).to_vec();
         let draw: f64 = self.rng.gen();
@@ -855,11 +891,11 @@ impl<'a> Simulation<'a> {
                 let resp_bytes = self.wires.response[server as usize];
                 self.tracer.record(
                     EventKind::WireSend,
-                    server,
-                    worker,
-                    iter,
-                    0,
-                    resp_bytes as u64,
+                    RecordArgs::new()
+                        .shard(server)
+                        .worker(worker)
+                        .progress(iter)
+                        .bytes(resp_bytes as u64),
                 );
                 let delivery = self.topo.server_to_worker(now, server, resp_bytes);
                 self.queue.schedule(
@@ -891,8 +927,14 @@ impl<'a> Simulation<'a> {
         kv: KvPairs,
         bytes: usize,
     ) {
-        self.tracer
-            .record(EventKind::WireRecv, server, worker, iter, 0, bytes as u64);
+        self.tracer.record(
+            EventKind::WireRecv,
+            RecordArgs::new()
+                .shard(server)
+                .worker(worker)
+                .progress(iter)
+                .bytes(bytes as u64),
+        );
         if self.is_training() {
             let w = &mut self.workers[worker as usize];
             self.router.gather_into(&mut w.params, &kv);
@@ -1022,6 +1064,14 @@ impl<'a> Simulation<'a> {
             None
         };
         let trace = self.collector.as_ref().map(|c| c.snapshot());
+        if self.introspection.is_some() {
+            // Final shard totals, scrapeable until the endpoint is dropped
+            // with the simulation below.
+            self.metrics.inc("sim_pulls_total", stats.pulls_total);
+            self.metrics.inc("sim_dprs_total", stats.dprs);
+            self.metrics.inc("sim_pushes_total", stats.pushes);
+            self.metrics.set_gauge("sim_total_time_seconds", total_time);
+        }
         RunResult {
             final_accuracy: self.curve.final_accuracy(),
             final_params,

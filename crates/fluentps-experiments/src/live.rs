@@ -17,6 +17,7 @@ use fluentps_ml::data::{synthetic, BatchSampler, SyntheticSpec};
 use fluentps_ml::models::{Mlp, Model, SoftmaxRegression};
 use fluentps_ml::optim::{Optimizer, Sgd};
 use fluentps_ml::schedule::LrSchedule;
+use fluentps_obs::{MetricsRegistry, Trace, TraceCollector};
 
 /// Configuration of a live (threaded-engine) training run.
 #[derive(Debug, Clone)]
@@ -39,6 +40,14 @@ pub struct LiveConfig {
     pub batch_size: usize,
     /// Learning-rate schedule.
     pub lr: LrSchedule,
+    /// When `Some(capacity)`, attach a wall-clock [`TraceCollector`] of
+    /// that ring capacity and return the trace in
+    /// [`LiveResult::trace`].
+    pub trace_events: Option<usize>,
+    /// When `Some(addr)`, serve `/metrics`, `/healthz` and (if tracing)
+    /// `/trace` there while training runs. Bind loopback unless
+    /// deliberately exposing the endpoint.
+    pub metrics_addr: Option<std::net::SocketAddr>,
     /// Seed.
     pub seed: u64,
 }
@@ -64,6 +73,8 @@ impl Default for LiveConfig {
             hidden: None,
             batch_size: 16,
             lr: LrSchedule::Constant(0.25),
+            trace_events: None,
+            metrics_addr: None,
             seed: 0,
         }
     }
@@ -78,6 +89,8 @@ pub struct LiveResult {
     pub wall_seconds: f64,
     /// Merged shard statistics.
     pub stats: ShardStats,
+    /// Event trace (when [`LiveConfig::trace_events`] was set).
+    pub trace: Option<Trace>,
 }
 
 /// Run a live training job on the threaded in-process engine.
@@ -97,14 +110,30 @@ pub fn run_live(cfg: &LiveConfig) -> LiveResult {
     };
     let init = model.init_params(cfg.seed);
 
-    let (cluster, workers) = FluentPs::builder()
+    let collector = cfg
+        .trace_events
+        .or(cfg.metrics_addr.map(|_| 1 << 16))
+        .map(TraceCollector::wall);
+    let builder = FluentPs::builder()
         .workers(cfg.num_workers)
         .servers(cfg.num_servers)
         .model(cfg.model)
         .policy(cfg.policy)
         .slicer(SlicerChoice::Eps { max_chunk: 4096 })
-        .seed(cfg.seed)
-        .launch(&init);
+        .seed(cfg.seed);
+    let (cluster, workers) = match &collector {
+        Some(col) => builder.launch_with_collector(&init, col),
+        None => builder.launch(&init),
+    };
+    let introspection = cfg.metrics_addr.map(|addr| {
+        let registry = MetricsRegistry::new();
+        let scope = registry.scope().with("engine", "threaded");
+        scope.set_gauge("cluster_workers", cfg.num_workers as f64);
+        scope.set_gauge("cluster_servers", cfg.num_servers as f64);
+        scope.set_gauge("cluster_up", 1.0);
+        fluentps_obs::http::serve(addr, registry, collector.clone())
+            .expect("bind introspection endpoint")
+    });
 
     let start = Instant::now();
     let model_ref: &dyn Model = model.as_ref();
@@ -147,10 +176,16 @@ pub fn run_live(cfg: &LiveConfig) -> LiveResult {
     for s in cluster.shutdown() {
         stats.merge(&s);
     }
+    let trace = match cfg.trace_events {
+        Some(_) => collector.as_ref().map(|c| c.snapshot()),
+        None => None,
+    };
+    drop(introspection);
     LiveResult {
         accuracy: model.accuracy(&results[0], &test),
         wall_seconds,
         stats,
+        trace,
     }
 }
 

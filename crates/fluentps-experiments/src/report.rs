@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 
 use fluentps_core::stats::ShardStats;
+use fluentps_obs::analyze::Analysis;
 use fluentps_obs::{EventKind, Trace};
 
 /// A simple column-aligned table that renders to monospaced text (the
@@ -62,6 +63,26 @@ impl Table {
         let _ = writeln!(out, "{}", "-".repeat(total.saturating_sub(2)));
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table (title as a heading).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header
+                .iter()
+                .map(|_| " --- ")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
         }
         out
     }
@@ -178,6 +199,165 @@ pub fn trace_reconciles(trace: &Trace, stats: &ShardStats) -> Result<(), String>
     Ok(())
 }
 
+/// Render a full [`Analysis`] as report tables, in reading order:
+/// per-worker breakdown, straggler scoreboard, progress spread, per-shard
+/// sync health, staleness histogram, PSSP block rate per gap (with an
+/// analytical column when `analytical` supplies `Pr[blocked | gap=k]`),
+/// and the extracted critical path.
+pub fn analysis_sections(a: &Analysis, analytical: Option<&dyn Fn(u64) -> f64>) -> Vec<Table> {
+    let mut tables = Vec::new();
+
+    let mut t = Table::new(
+        "per-worker time breakdown",
+        &[
+            "worker", "iters", "active", "compute", "barrier", "wire", "sent B", "recv B",
+        ],
+    );
+    for w in &a.workers {
+        t.row(vec![
+            w.worker.to_string(),
+            w.iterations.to_string(),
+            secs(w.active_secs()),
+            secs(w.compute_secs()),
+            secs(w.barrier_secs),
+            secs(w.wire_secs),
+            w.bytes_sent.to_string(),
+            w.bytes_recvd.to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "straggler scoreboard",
+        &["rank", "worker", "iters", "behind", "barrier", "defer rate"],
+    );
+    let mut ranked: Vec<_> = a.workers.iter().collect();
+    ranked.sort_by(|x, y| {
+        x.iterations.cmp(&y.iterations).then(
+            y.last_ts
+                .partial_cmp(&x.last_ts)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+    });
+    let fastest = a.workers.iter().map(|w| w.iterations).max().unwrap_or(0);
+    for (rank, w) in ranked.iter().enumerate() {
+        let defer_rate = if w.pulls == 0 {
+            0.0
+        } else {
+            w.deferred as f64 / w.pulls as f64
+        };
+        t.row(vec![
+            (rank + 1).to_string(),
+            w.worker.to_string(),
+            w.iterations.to_string(),
+            (fastest - w.iterations).to_string(),
+            secs(w.barrier_secs),
+            format!("{:.1}%", defer_rate * 100.0),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "progress spread over time",
+        &["t", "min progress", "max progress", "spread"],
+    );
+    for p in &a.spread {
+        t.row(vec![
+            secs(p.ts - a.span.0),
+            p.min_progress.to_string(),
+            p.max_progress.to_string(),
+            p.spread().to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "per-shard sync health",
+        &[
+            "shard",
+            "dprs",
+            "resid mean",
+            "resid max",
+            "open",
+            "pushes",
+            "late drop",
+            "v_train",
+            "adv interval",
+        ],
+    );
+    for s in &a.shards {
+        t.row(vec![
+            s.shard.to_string(),
+            s.dpr_count.to_string(),
+            secs(s.dpr_residence_mean),
+            secs(s.dpr_residence_max),
+            s.outstanding_dprs.to_string(),
+            s.pushes.to_string(),
+            format!("{:.1}%", s.late_drop_rate() * 100.0),
+            s.final_v_train.to_string(),
+            secs(s.advance_interval_mean),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "staleness at pull time",
+        &["gap", "pulls", "granted", "deferred"],
+    );
+    for g in &a.gaps {
+        t.row(vec![
+            g.gap.to_string(),
+            g.pulls.to_string(),
+            g.granted().to_string(),
+            g.deferred.to_string(),
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "block rate per gap",
+        &["gap", "pulls", "empirical Pr[block]", "analytical"],
+    );
+    for g in &a.gaps {
+        let analytic = match analytical {
+            Some(f) => format!("{:.3}", f(g.gap)),
+            None => "—".to_string(),
+        };
+        t.row(vec![
+            g.gap.to_string(),
+            g.pulls.to_string(),
+            format!("{:.3}", g.block_rate()),
+            analytic,
+        ]);
+    }
+    tables.push(t);
+
+    let mut t = Table::new(
+        "critical path",
+        &["step", "what", "shard", "worker", "t", "secs"],
+    );
+    let id = |x: u32| {
+        if x == u32::MAX {
+            "—".to_string()
+        } else {
+            x.to_string()
+        }
+    };
+    for (i, step) in a.critical_path.iter().enumerate() {
+        t.row(vec![
+            (i + 1).to_string(),
+            step.what.to_string(),
+            id(step.shard),
+            id(step.worker),
+            secs(step.ts - a.span.0),
+            format!("{:.6}", step.secs),
+        ]);
+    }
+    tables.push(t);
+
+    tables
+}
+
 /// Format seconds with sensible precision.
 pub fn secs(t: f64) -> String {
     if t >= 100.0 {
@@ -232,6 +412,72 @@ mod tests {
         t.row(vec!["a,b".into()]);
         let csv = t.to_csv();
         assert!(csv.contains("\"a,b\""));
+    }
+
+    #[test]
+    fn markdown_renders_header_separator_and_rows() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### demo\n"));
+        assert!(md.contains("| name | value |"));
+        assert!(md.contains("| --- | --- |"));
+        assert!(md.contains("| a | 1 |"));
+    }
+
+    #[test]
+    fn analysis_sections_cover_the_report_and_label_the_analytical_column() {
+        use fluentps_obs::{EventKind, RecordArgs, TraceCollector};
+        let collector = TraceCollector::wall(64);
+        let tracer = collector.tracer();
+        // Worker 0 pulls at gap 0 (granted) and gap 2 (deferred).
+        tracer.record(
+            EventKind::PullRequested,
+            RecordArgs::new().shard(0).worker(0).progress(0),
+        );
+        tracer.record(
+            EventKind::PullRequested,
+            RecordArgs::new().shard(0).worker(0).progress(2),
+        );
+        tracer.record(
+            EventKind::PullDeferred,
+            RecordArgs::new().shard(0).worker(0).progress(2),
+        );
+        tracer.record(
+            EventKind::PushApplied,
+            RecordArgs::new().shard(0).worker(1).progress(0),
+        );
+        let a = fluentps_obs::analyze::analyze(&collector.snapshot());
+        let analytical = |k: u64| if k >= 2 { 1.0 } else { 0.0 };
+        let tables = analysis_sections(&a, Some(&analytical));
+        let titles: Vec<&str> = [
+            "per-worker time breakdown",
+            "straggler scoreboard",
+            "progress spread over time",
+            "per-shard sync health",
+            "staleness at pull time",
+            "block rate per gap",
+            "critical path",
+        ]
+        .to_vec();
+        let rendered: Vec<String> = tables.iter().map(|t| t.render()).collect();
+        for title in titles {
+            assert!(
+                rendered
+                    .iter()
+                    .any(|r| r.contains(&format!("== {title} =="))),
+                "missing section {title}"
+            );
+        }
+        // The block-rate table carries the analytical column values.
+        let block = rendered
+            .iter()
+            .find(|r| r.contains("block rate per gap"))
+            .unwrap();
+        assert!(block.contains("1.000"), "analytical Pr missing: {block}");
+        // Without an analytical curve the column renders as a dash.
+        let plain = analysis_sections(&a, None);
+        assert!(plain.iter().any(|t| t.render().contains("—")));
     }
 
     #[test]

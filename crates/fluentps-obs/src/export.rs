@@ -179,24 +179,38 @@ pub fn text_summary(trace: &Trace) -> String {
 mod tests {
     use super::*;
     use crate::clock::{ClockSource, VirtualClock};
-    use crate::tracer::TraceCollector;
+    use crate::tracer::{RecordArgs, TraceCollector};
     use std::sync::Arc;
 
     fn sample_trace() -> Trace {
         let clock = VirtualClock::new();
         let col = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 64);
         let t = col.tracer();
+        let at = |shard: u32, worker: u32, progress: u64, v_train: u64| {
+            RecordArgs::new()
+                .shard(shard)
+                .worker(worker)
+                .progress(progress)
+                .v_train(v_train)
+        };
         clock.set(0.001);
-        t.record(EventKind::PullRequested, 0, 1, 5, 4, 58);
-        t.record(EventKind::PullDeferred, 0, 1, 5, 4, 0);
+        t.record(EventKind::PullRequested, at(0, 1, 5, 4).bytes(58));
+        t.record(EventKind::PullDeferred, at(0, 1, 5, 4));
         clock.set(0.002);
-        t.record(EventKind::PushApplied, 0, 2, 4, 4, 120);
-        t.record(EventKind::VTrainAdvanced, 0, NO_ID, 0, 5, 0);
-        t.record(EventKind::DprReleased, 0, 1, 5, 5, 0);
+        t.record(EventKind::PushApplied, at(0, 2, 4, 4).bytes(120));
+        t.record(
+            EventKind::VTrainAdvanced,
+            RecordArgs::new().shard(0).v_train(5),
+        );
+        t.record(EventKind::DprReleased, at(0, 1, 5, 5));
         clock.set(0.003);
         let start = t.now();
         clock.set(0.004);
-        t.record_span(EventKind::BarrierWait, start, NO_ID, 1, 6, 0, 0);
+        t.record_span(
+            EventKind::BarrierWait,
+            start,
+            RecordArgs::new().worker(1).progress(6),
+        );
         col.snapshot()
     }
 
@@ -216,7 +230,10 @@ mod tests {
     fn unmatched_dpr_stays_an_instant() {
         let col = TraceCollector::wall(8);
         let t = col.tracer();
-        t.record(EventKind::PullDeferred, 0, 1, 9, 2, 0);
+        t.record(
+            EventKind::PullDeferred,
+            RecordArgs::new().shard(0).worker(1).progress(9).v_train(2),
+        );
         let doc = chrome_trace(&col.snapshot());
         json::validate(&doc).unwrap();
         assert!(doc.contains("pull_deferred"));

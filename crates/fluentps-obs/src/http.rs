@@ -1,0 +1,318 @@
+//! A hand-rolled HTTP/1.1 introspection endpoint on
+//! [`std::net::TcpListener`] — no external crates, per the hermetic-build
+//! gate (DESIGN.md §7).
+//!
+//! Routes:
+//!
+//! * `GET /healthz` — liveness, `200 ok`.
+//! * `GET /metrics` — the attached [`MetricsRegistry`] in Prometheus text
+//!   exposition format ([`MetricsRegistry::render_prometheus`]). When a
+//!   [`TraceCollector`] is attached, per-kind event totals and the dropped
+//!   count are refreshed into the registry on every scrape, so the scrape
+//!   path carries the cost, not the training hot path.
+//! * `GET /trace?last=N` — the newest `N` buffered events as JSONL
+//!   (default 256), from a non-destructive collector snapshot.
+//!
+//! Security note: callers should bind loopback (`127.0.0.1:0`) unless the
+//! endpoint is deliberately exposed — everything the server reports is
+//! read-only, but traces reveal workload shape. All engine and driver
+//! integrations in this workspace default to loopback.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::export;
+use crate::metrics::MetricsRegistry;
+use crate::tracer::{Trace, TraceCollector};
+
+/// Events returned by `/trace` when no `last=N` parameter is given.
+const DEFAULT_TAIL: usize = 256;
+
+/// Longest request head we will read before answering 400.
+const MAX_REQUEST_BYTES: usize = 8192;
+
+/// A running introspection endpoint. Dropping it (or calling
+/// [`IntrospectionServer::stop`]) shuts the listener down and joins the
+/// accept thread.
+#[derive(Debug)]
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Serve `/metrics`, `/healthz` and `/trace` on `addr` until the returned
+/// handle is stopped or dropped. Pass `0` as the port to let the OS pick
+/// one — read it back from [`IntrospectionServer::local_addr`].
+pub fn serve(
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+    collector: Option<TraceCollector>,
+) -> std::io::Result<IntrospectionServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("fluentps-introspection".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let _ = handle_connection(stream, &registry, collector.as_ref());
+                }
+            }
+        })?;
+    Ok(IntrospectionServer {
+        addr: local,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+impl IntrospectionServer {
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shut the endpoint down and join the accept thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in `incoming()`; poke it awake.
+        if let Ok(stream) = TcpStream::connect(self.addr) {
+            drop(stream);
+        }
+        let _ = handle.join();
+    }
+}
+
+impl Drop for IntrospectionServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &MetricsRegistry,
+    collector: Option<&TraceCollector>,
+) -> std::io::Result<()> {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let Some(head) = read_request_head(&mut stream)? else {
+        return respond(&mut stream, 400, "text/plain", "bad request\n");
+    };
+    let Some((method, target)) = parse_request_line(&head) else {
+        return respond(&mut stream, 400, "text/plain", "bad request\n");
+    };
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "method not allowed\n");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    match path {
+        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/metrics" => {
+            registry.inc("introspection_scrapes_total", 1);
+            if let Some(col) = collector {
+                refresh_trace_metrics(registry, &col.snapshot());
+            }
+            let body = registry.render_prometheus();
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/trace" => match collector {
+            Some(col) => {
+                let last = query_param(query, "last")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_TAIL);
+                let mut trace = col.snapshot();
+                if trace.events.len() > last {
+                    trace.events.drain(..trace.events.len() - last);
+                }
+                let body = export::jsonl(&trace);
+                respond(&mut stream, 200, "application/jsonl", &body)
+            }
+            None => respond(&mut stream, 404, "text/plain", "no trace collector\n"),
+        },
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+/// Mirror the collector's per-kind totals and drop count into the registry
+/// so `/metrics` reports trace liveness without touching the hot path.
+fn refresh_trace_metrics(registry: &MetricsRegistry, trace: &Trace) {
+    for kind in crate::event::EventKind::ALL {
+        registry
+            .scope()
+            .with("kind", kind.name())
+            .set_gauge("trace_events_recorded", trace.count(kind) as f64);
+    }
+    registry.set_gauge("trace_events_dropped", trace.dropped as f64);
+}
+
+/// Read until the end of the request head (`\r\n\r\n`) or the size cap.
+/// Returns `None` when the peer sends no parseable head.
+fn read_request_head(stream: &mut TcpStream) -> std::io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => break,
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    Ok(Some(String::from_utf8_lossy(&buf).into_owned()))
+}
+
+/// `"GET /metrics HTTP/1.1\r\n..."` → `("GET", "/metrics")`.
+fn parse_request_line(head: &str) -> Option<(&str, &str)> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    Some((method, target))
+}
+
+/// First value of `key` in an `a=1&b=2` query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::tracer::RecordArgs;
+
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status")
+            .parse()
+            .expect("numeric status");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_healthz_metrics_and_trace() {
+        let registry = MetricsRegistry::new();
+        registry.inc("pulls{shard=0}", 7);
+        let collector = TraceCollector::wall(64);
+        let tracer = collector.tracer();
+        tracer.record(
+            EventKind::PushApplied,
+            RecordArgs::new().shard(0).worker(1).progress(3).v_train(2),
+        );
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            registry.clone(),
+            Some(collector),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("# TYPE pulls counter"));
+        assert!(body.contains("pulls{shard=\"0\"} 7"));
+        assert!(body.contains("trace_events_recorded{kind=\"push_applied\"} 1"));
+        assert_eq!(registry.counter_value("introspection_scrapes_total"), 1);
+
+        let (status, body) = get(addr, "/trace?last=1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"kind\":\"push_applied\""));
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn trace_route_without_collector_is_404() {
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+        )
+        .expect("bind");
+        let (status, _) = get(server.local_addr(), "/trace");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn stop_joins_and_frees_the_port() {
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        server.stop();
+        // The listener is gone: a fresh bind to the same port succeeds.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "port still held after stop");
+    }
+}

@@ -23,6 +23,13 @@
 //! * [`export`] — Chrome trace-event JSON (open in `chrome://tracing` or
 //!   [Perfetto](https://ui.perfetto.dev)), JSONL, and a human-readable text
 //!   summary. DPR defer→release pairs become duration spans.
+//! * [`analyze`] — the trace-analytics engine: per-worker time breakdowns,
+//!   straggler scoreboard, per-shard sync health (DPR residence, late-push
+//!   drop rate, `V_train` cadence), staleness/block-rate per gap, and
+//!   critical-path extraction; plus a parser for exported JSONL traces.
+//! * [`http`] — a hand-rolled HTTP/1.1 introspection endpoint on
+//!   `std::net::TcpListener` serving `/metrics` (Prometheus text),
+//!   `/healthz` and `/trace?last=N` from a live run.
 //! * [`hist`] — the power-of-two-bucket [`Histogram`] (moved here from
 //!   `fluentps-core` so both the metrics registry and `ShardStats` share
 //!   one implementation).
@@ -33,17 +40,21 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod clock;
 pub mod event;
 pub mod export;
 pub mod hist;
+pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod tracer;
 
+pub use analyze::{analyze, Analysis};
 pub use clock::{ClockSource, VirtualClock};
 pub use event::{EventKind, TraceEvent, KINDS, NO_ID};
 pub use hist::Histogram;
+pub use http::IntrospectionServer;
 pub use metrics::{MetricsRegistry, MetricsScope};
-pub use tracer::{Trace, TraceCollector, Tracer};
+pub use tracer::{RecordArgs, Trace, TraceCollector, Tracer};

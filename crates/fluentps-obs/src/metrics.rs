@@ -116,6 +116,88 @@ impl MetricsRegistry {
         }
         out
     }
+
+    /// Render every metric in the Prometheus text exposition format:
+    /// one `# TYPE` comment per metric family, label values quoted, and
+    /// histogram suffixes (`_count`, `_mean`, `_p50`, `_p99`, `_max`)
+    /// attached to the base name *before* the label set. Families are
+    /// grouped so every sample follows its `# TYPE` line.
+    pub fn render_prometheus(&self) -> String {
+        // family base name -> (type string, sample lines)
+        let mut families: BTreeMap<String, (&'static str, Vec<String>)> = BTreeMap::new();
+        let sample = |families: &mut BTreeMap<String, (&'static str, Vec<String>)>,
+                      base: &str,
+                      labels: &str,
+                      ty: &'static str,
+                      value: String| {
+            let fam = families
+                .entry(base.to_string())
+                .or_insert_with(|| (ty, Vec::new()));
+            fam.1.push(format!("{base}{labels} {value}\n"));
+        };
+        let m = self.metrics.lock();
+        for (name, metric) in m.iter() {
+            let (base, labels) = split_labels(name);
+            let labels = prometheus_labels(&labels);
+            match metric {
+                Metric::Counter(c) => {
+                    sample(&mut families, base, &labels, "counter", format!("{c}"))
+                }
+                Metric::Gauge(g) => sample(&mut families, base, &labels, "gauge", format!("{g}")),
+                Metric::Hist(h) => {
+                    let parts: [(&str, String); 5] = [
+                        ("_count", format!("{}", h.count())),
+                        ("_mean", format!("{:.3}", h.mean())),
+                        ("_p50", format!("{}", h.quantile_upper(0.5))),
+                        ("_p99", format!("{}", h.quantile_upper(0.99))),
+                        ("_max", format!("{}", h.max())),
+                    ];
+                    for (suffix, value) in parts {
+                        sample(
+                            &mut families,
+                            &format!("{base}{suffix}"),
+                            &labels,
+                            "gauge",
+                            value,
+                        );
+                    }
+                }
+            }
+        }
+        let mut out = String::new();
+        for (base, (ty, lines)) in families {
+            out.push_str(&format!("# TYPE {base} {ty}\n"));
+            for line in lines {
+                out.push_str(&line);
+            }
+        }
+        out
+    }
+}
+
+/// Split a registry key `base{l=v,...}` into the base name and the raw
+/// label string (`""` when unlabeled).
+fn split_labels(name: &str) -> (&str, String) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.trim_end_matches('}').to_string()),
+        None => (name, String::new()),
+    }
+}
+
+/// Re-render a raw `l=v,l2=v2` label string with Prometheus quoting:
+/// `{l="v",l2="v2"}`.
+fn prometheus_labels(raw: &str) -> String {
+    if raw.is_empty() {
+        return String::new();
+    }
+    let quoted: Vec<String> = raw
+        .split(',')
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => format!("{k}=\"{v}\""),
+            None => pair.to_string(),
+        })
+        .collect();
+    format!("{{{}}}", quoted.join(","))
 }
 
 /// A label set bound to a registry: `scope.with("shard", "0").inc("dprs", 1)`
@@ -214,6 +296,29 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("dpr_wait_count 4"));
         assert!(text.contains("dpr_wait_max 100"));
+    }
+
+    #[test]
+    fn prometheus_rendering_quotes_labels_and_types_families() {
+        let r = MetricsRegistry::new();
+        r.inc("pulls{shard=0,worker=2}", 3);
+        r.inc("pulls{shard=1,worker=0}", 1);
+        r.set_gauge("live_servers", 2.0);
+        r.observe("dpr_wait{shard=0}", 7);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE pulls counter\n"));
+        assert!(text.contains("pulls{shard=\"0\",worker=\"2\"} 3\n"));
+        assert!(text.contains("pulls{shard=\"1\",worker=\"0\"} 1\n"));
+        assert!(text.contains("# TYPE live_servers gauge\n"));
+        assert!(text.contains("live_servers 2\n"));
+        // Histogram suffixes attach to the base name, before the labels.
+        assert!(text.contains("dpr_wait_count{shard=\"0\"} 1\n"));
+        assert!(text.contains("dpr_wait_max{shard=\"0\"} 7\n"));
+        // Every sample follows its family's TYPE line; a family is typed
+        // exactly once.
+        assert_eq!(text.matches("# TYPE pulls ").count(), 1);
+        // Stable output.
+        assert_eq!(text, r.render_prometheus());
     }
 
     #[test]

@@ -14,8 +14,84 @@ use std::sync::Arc;
 use fluentps_util::sync::Mutex;
 
 use crate::clock::ClockSource;
-use crate::event::{EventKind, TraceEvent, KINDS};
+use crate::event::{EventKind, TraceEvent, KINDS, NO_ID};
 use crate::ring::RingBuffer;
+
+/// The payload of one recorded event: which ids it concerns plus its
+/// logical-time and size fields. The default is "nothing applies" —
+/// [`NO_ID`] ids and zeroed fields — so call sites set only what the
+/// event kind actually carries:
+///
+/// ```
+/// # use fluentps_obs::{RecordArgs, Tracer, EventKind};
+/// # let tracer = Tracer::disabled();
+/// tracer.record(
+///     EventKind::PushApplied,
+///     RecordArgs::new().shard(0).worker(2).progress(7).v_train(5),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordArgs {
+    /// Shard the event concerns, or [`NO_ID`].
+    pub shard: u32,
+    /// Worker the event concerns, or [`NO_ID`].
+    pub worker: u32,
+    /// Worker iteration (clock value) at the event.
+    pub progress: u64,
+    /// Shard `V_train` at the event.
+    pub v_train: u64,
+    /// Payload bytes, for wire events.
+    pub bytes: u64,
+}
+
+impl Default for RecordArgs {
+    fn default() -> Self {
+        RecordArgs {
+            shard: NO_ID,
+            worker: NO_ID,
+            progress: 0,
+            v_train: 0,
+            bytes: 0,
+        }
+    }
+}
+
+impl RecordArgs {
+    /// An empty payload: both ids [`NO_ID`], all fields zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the shard id.
+    pub fn shard(mut self, shard: u32) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Set the worker id.
+    pub fn worker(mut self, worker: u32) -> Self {
+        self.worker = worker;
+        self
+    }
+
+    /// Set the worker iteration.
+    pub fn progress(mut self, progress: u64) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// Set the shard `V_train`.
+    pub fn v_train(mut self, v_train: u64) -> Self {
+        self.v_train = v_train;
+        self
+    }
+
+    /// Set the payload byte count.
+    pub fn bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
+    }
+}
 
 struct Shared {
     clock: ClockSource,
@@ -155,28 +231,20 @@ impl Tracer {
         }
     }
 
-    /// Record an instantaneous event. Use [`crate::NO_ID`] for an id that
-    /// does not apply.
-    pub fn record(
-        &self,
-        kind: EventKind,
-        shard: u32,
-        worker: u32,
-        progress: u64,
-        v_train: u64,
-        bytes: u64,
-    ) {
+    /// Record an instantaneous event carrying `args` (ids default to
+    /// [`NO_ID`] — set only what applies).
+    pub fn record(&self, kind: EventKind, args: RecordArgs) {
         if let Some(inner) = &self.0 {
             let ts = inner.shared.clock.now();
             inner.push(TraceEvent {
                 ts,
                 dur: 0.0,
                 kind,
-                shard,
-                worker,
-                progress,
-                v_train,
-                bytes,
+                shard: args.shard,
+                worker: args.worker,
+                progress: args.progress,
+                v_train: args.v_train,
+                bytes: args.bytes,
                 seq: 0,
             });
         }
@@ -184,28 +252,18 @@ impl Tracer {
 
     /// Record a duration span started at `start_ts` (a prior
     /// [`Tracer::now`]) and ending now.
-    #[allow(clippy::too_many_arguments)]
-    pub fn record_span(
-        &self,
-        kind: EventKind,
-        start_ts: f64,
-        shard: u32,
-        worker: u32,
-        progress: u64,
-        v_train: u64,
-        bytes: u64,
-    ) {
+    pub fn record_span(&self, kind: EventKind, start_ts: f64, args: RecordArgs) {
         if let Some(inner) = &self.0 {
             let end = inner.shared.clock.now();
             inner.push(TraceEvent {
                 ts: start_ts,
                 dur: (end - start_ts).max(0.0),
                 kind,
-                shard,
-                worker,
-                progress,
-                v_train,
-                bytes,
+                shard: args.shard,
+                worker: args.worker,
+                progress: args.progress,
+                v_train: args.v_train,
+                bytes: args.bytes,
                 seq: 0,
             });
         }
@@ -250,13 +308,30 @@ mod tests {
     use crate::clock::VirtualClock;
     use crate::event::NO_ID;
 
+    fn ev(shard: u32, worker: u32, progress: u64, v_train: u64) -> RecordArgs {
+        RecordArgs::new()
+            .shard(shard)
+            .worker(worker)
+            .progress(progress)
+            .v_train(v_train)
+    }
+
     #[test]
     fn disabled_tracer_records_nothing() {
         let t = Tracer::disabled();
         assert!(!t.is_enabled());
-        t.record(EventKind::PushApplied, 0, 0, 1, 1, 0);
-        t.record_span(EventKind::BarrierWait, 0.0, 0, 0, 1, 1, 0);
+        t.record(EventKind::PushApplied, ev(0, 0, 1, 1));
+        t.record_span(EventKind::BarrierWait, 0.0, ev(0, 0, 1, 1));
         assert_eq!(t.now(), 0.0);
+    }
+
+    #[test]
+    fn record_args_default_is_no_id() {
+        let args = RecordArgs::new();
+        assert_eq!(args.shard, NO_ID);
+        assert_eq!(args.worker, NO_ID);
+        assert_eq!((args.progress, args.v_train, args.bytes), (0, 0, 0));
+        assert_eq!(args.bytes(9).bytes, 9);
     }
 
     #[test]
@@ -272,11 +347,11 @@ mod tests {
         let t2 = col.tracer();
 
         clock.set(1.0);
-        t2.record(EventKind::PullRequested, 0, 1, 5, 0, 0);
+        t2.record(EventKind::PullRequested, ev(0, 1, 5, 0));
         clock.set(2.0);
-        t1.record(EventKind::PullDeferred, 0, 1, 5, 0, 0);
+        t1.record(EventKind::PullDeferred, ev(0, 1, 5, 0));
         clock.set(3.0);
-        t2.record(EventKind::DprReleased, 0, 1, 5, 1, 0);
+        t2.record(EventKind::DprReleased, ev(0, 1, 5, 1));
 
         let trace = col.snapshot();
         assert_eq!(trace.events.len(), 3);
@@ -299,7 +374,10 @@ mod tests {
         let col = TraceCollector::wall(4);
         let t = col.tracer();
         for i in 0..100 {
-            t.record(EventKind::WireSend, NO_ID, 0, i, 0, 64);
+            t.record(
+                EventKind::WireSend,
+                RecordArgs::new().worker(0).progress(i).bytes(64),
+            );
         }
         let trace = col.snapshot();
         assert_eq!(trace.events.len(), 4);
@@ -315,7 +393,11 @@ mod tests {
         clock.set(1.0);
         let start = t.now();
         clock.set(1.5);
-        t.record_span(EventKind::BarrierWait, start, NO_ID, 2, 7, 0, 0);
+        t.record_span(
+            EventKind::BarrierWait,
+            start,
+            RecordArgs::new().worker(2).progress(7),
+        );
         let trace = col.snapshot();
         assert_eq!(trace.events.len(), 1);
         assert_eq!(trace.events[0].ts, 1.0);
@@ -327,8 +409,8 @@ mod tests {
         let col = TraceCollector::wall(8);
         let t = col.tracer();
         let u = t.clone();
-        t.record(EventKind::PushApplied, 0, 0, 1, 1, 0);
-        u.record(EventKind::PushApplied, 0, 0, 2, 2, 0);
+        t.record(EventKind::PushApplied, ev(0, 0, 1, 1));
+        u.record(EventKind::PushApplied, ev(0, 0, 2, 2));
         let trace = col.snapshot();
         assert_eq!(trace.events.len(), 2);
         assert_eq!(trace.dropped, 0);

@@ -15,7 +15,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use fluentps_obs::{EventKind, Tracer, NO_ID};
+use fluentps_obs::{EventKind, RecordArgs, Tracer, NO_ID};
 use fluentps_util::sync::Mutex;
 use fluentps_util::sync::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
@@ -186,11 +186,10 @@ fn spawn_reader(stream: TcpStream, shared: Arc<Shared>) {
                     let (shard, worker) = trace_ids(shared.node, from);
                     shared.tracer.record(
                         EventKind::WireRecv,
-                        shard,
-                        worker,
-                        0,
-                        0,
-                        wire_len(&msg) as u64,
+                        RecordArgs::new()
+                            .shard(shard)
+                            .worker(worker)
+                            .bytes(wire_len(&msg) as u64),
                     );
                 }
                 if shared.inbox_tx.send((from, msg)).is_err() {
@@ -257,11 +256,10 @@ impl Postman for TcpPostman {
             let (shard, worker) = trace_ids(self.shared.node, to);
             self.shared.tracer.record(
                 EventKind::WireSend,
-                shard,
-                worker,
-                0,
-                0,
-                wire_len(&msg) as u64,
+                RecordArgs::new()
+                    .shard(shard)
+                    .worker(worker)
+                    .bytes(wire_len(&msg) as u64),
             );
         }
         result

@@ -4,7 +4,8 @@
 # Usage: scripts/bench.sh [OUTPUT]
 #
 # Runs the `obs` bench target of crates/bench (tracer record cost when
-# disabled vs enabled, metrics registry ops, Chrome-trace export, and the
+# disabled vs enabled, metrics registry ops, Chrome-trace export, the
+# trace-analytics engine in events/second over a mixed-kind trace, and the
 # threaded engine with tracing off vs on) and writes OUTPUT (default
 # BENCH_obs.json): a JSON document with mean/p50/p99 nanoseconds and
 # throughput per benchmark. The `engine/threaded_tracing_off` vs

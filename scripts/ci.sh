@@ -14,3 +14,19 @@ cargo test -q --offline --workspace
 # explicitly so a missing or stale golden file fails CI even if test
 # filtering changes.
 cargo test -q --offline --test observability chrome_trace_export_matches_golden_file
+
+# Smoke round-trip through the analytics engine: trace a demo run, analyze
+# the export, and require the report's straggler and staleness sections to
+# carry data. Uses the release binary the build step above produced.
+smokedir="$(mktemp -d)"
+trap 'rm -rf "$smokedir"' EXIT
+./target/release/repro --trace "$smokedir/trace.jsonl" >/dev/null
+./target/release/repro analyze "$smokedir/trace.jsonl" --ssp 2 >"$smokedir/report.txt"
+test "$(sed -n '/== straggler scoreboard ==/,/^$/p' "$smokedir/report.txt" | wc -l)" -gt 3
+test "$(sed -n '/== staleness at pull time ==/,/^$/p' "$smokedir/report.txt" | wc -l)" -gt 3
+
+# Committed benchmark results must parse under the in-tree JSON validator.
+for bench_json in BENCH_*.json; do
+  [ -e "$bench_json" ] || continue
+  ./target/release/repro validate-json "$bench_json"
+done

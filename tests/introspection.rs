@@ -1,0 +1,133 @@
+//! Live introspection endpoint, end to end: launch the threaded engine with
+//! tracing and a metrics registry, train from worker threads, and scrape
+//! `/healthz`, `/metrics` and `/trace` over real TCP *while the run is in
+//! flight*. Validates the Prometheus text exposition shape: every
+//! non-comment line is `name value` with a float value, and no full metric
+//! name (base + labels) appears twice.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use fluentps::core::condition::SyncModel;
+use fluentps::core::engine::{Cluster, EngineConfig};
+use fluentps::core::eps::{EpsSlicer, ParamSpec, Slicer};
+use fluentps::obs::{MetricsRegistry, TraceCollector};
+
+/// Minimal HTTP/1.1 GET over a fresh connection; returns (status line, body).
+fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to introspection endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+#[test]
+fn threaded_engine_serves_metrics_and_healthz_while_training() {
+    let num_workers = 2u32;
+    let iters = 30u64;
+    let params = vec![
+        ParamSpec { key: 0, len: 512 },
+        ParamSpec { key: 1, len: 128 },
+    ];
+    let map = EpsSlicer { max_chunk: 256 }.slice(&params, 1);
+    let mut init = HashMap::new();
+    init.insert(0u64, vec![0.0f32; 512]);
+    init.insert(1u64, vec![0.0f32; 128]);
+
+    let collector = TraceCollector::wall(1 << 14);
+    let registry = MetricsRegistry::new();
+    let cfg = EngineConfig {
+        num_workers,
+        num_servers: 1,
+        model: SyncModel::Ssp { s: 2 },
+        ..EngineConfig::default()
+    };
+    let (cluster, workers, server) = Cluster::launch_introspected(
+        cfg,
+        map,
+        &init,
+        &collector,
+        &registry,
+        "127.0.0.1:0".parse().unwrap(),
+    )
+    .expect("bind introspection endpoint");
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = workers
+        .into_iter()
+        .map(|mut w| {
+            std::thread::spawn(move || {
+                let grads: HashMap<u64, Vec<f32>> =
+                    [(0u64, vec![1.0f32; 512]), (1u64, vec![1.0f32; 128])].into();
+                for i in 0..iters {
+                    w.spush(i, &grads).unwrap();
+                    let mut out = HashMap::new();
+                    w.spull_wait(i, &mut out).unwrap();
+                }
+            })
+        })
+        .collect();
+
+    // Scrape mid-run: the endpoint must answer while workers are training.
+    let (status, body) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "healthz status: {status}");
+    assert_eq!(body, "ok\n");
+
+    let (status, text) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "metrics status: {status}");
+    let mut seen = HashSet::new();
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.starts_with('#') {
+            assert!(
+                line.starts_with("# TYPE "),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let (name, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("sample line is not `name value`: {line}"));
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("value {value:?} on {line:?} is not a float: {e}"));
+        assert!(seen.insert(name.to_string()), "duplicate metric: {name}");
+        samples += 1;
+    }
+    assert!(samples > 0, "no samples in exposition:\n{text}");
+    assert!(
+        text.contains("cluster_workers{engine=\"threaded\"} 2"),
+        "missing cluster gauge in:\n{text}"
+    );
+    assert!(text.contains("# TYPE trace_events_recorded gauge"));
+    assert!(text.contains("introspection_scrapes_total"));
+
+    let (status, tail) = http_get(addr, "/trace?last=8");
+    assert!(status.contains("200"), "trace status: {status}");
+    let lines: Vec<&str> = tail.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty() && lines.len() <= 8, "tail: {tail}");
+    for line in &lines {
+        fluentps::obs::json::validate(line).expect("trace tail line is valid JSON");
+    }
+
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    // A second scrape after the run reflects the finished trace.
+    let (_, text) = http_get(addr, "/metrics");
+    assert!(text.contains("trace_events_recorded"));
+    drop(server);
+    let stats = cluster.shutdown();
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].pulls_total, num_workers as u64 * iters);
+}

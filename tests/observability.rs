@@ -12,7 +12,9 @@ use fluentps::core::dpr::DprPolicy;
 use fluentps::experiments::driver::{run, DriverConfig, EngineKind, ModelKind};
 use fluentps::experiments::report::trace_reconciles;
 use fluentps::ml::data::SyntheticSpec;
-use fluentps::obs::{export, json, ClockSource, EventKind, TraceCollector, VirtualClock, NO_ID};
+use fluentps::obs::{
+    export, json, ClockSource, EventKind, RecordArgs, TraceCollector, VirtualClock,
+};
 
 fn traced_cfg() -> DriverConfig {
     DriverConfig {
@@ -98,22 +100,36 @@ fn fixture_chrome_trace() -> String {
     let clock = VirtualClock::new();
     let collector = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 64);
     let tracer = collector.tracer();
+    let at = |shard: u32, worker: u32, progress: u64, v_train: u64| {
+        RecordArgs::new()
+            .shard(shard)
+            .worker(worker)
+            .progress(progress)
+            .v_train(v_train)
+    };
     clock.set(0.001);
-    tracer.record(EventKind::PullRequested, 0, 0, 0, 0, 42);
+    tracer.record(EventKind::PullRequested, at(0, 0, 0, 0).bytes(42));
     clock.set(0.002);
-    tracer.record(EventKind::PullDeferred, 0, 1, 1, 0, 42);
+    tracer.record(EventKind::PullDeferred, at(0, 1, 1, 0).bytes(42));
     clock.set(0.003);
-    tracer.record(EventKind::PushApplied, 1, 0, 0, 0, 1024);
+    tracer.record(EventKind::PushApplied, at(1, 0, 0, 0).bytes(1024));
     clock.set(0.004);
-    tracer.record(EventKind::VTrainAdvanced, 0, NO_ID, 0, 1, 0);
+    tracer.record(
+        EventKind::VTrainAdvanced,
+        RecordArgs::new().shard(0).v_train(1),
+    );
     clock.set(0.005);
-    tracer.record(EventKind::DprReleased, 0, 1, 1, 1, 128);
+    tracer.record(EventKind::DprReleased, at(0, 1, 1, 1).bytes(128));
     let start = tracer.now();
     clock.set(0.007);
-    tracer.record_span(EventKind::BarrierWait, start, NO_ID, 1, 1, 1, 0);
+    tracer.record_span(
+        EventKind::BarrierWait,
+        start,
+        RecordArgs::new().worker(1).progress(1).v_train(1),
+    );
     clock.set(0.008);
-    tracer.record(EventKind::WireSend, 1, 0, 1, 0, 256);
-    tracer.record(EventKind::LatePushDropped, 1, 2, 0, 3, 64);
+    tracer.record(EventKind::WireSend, at(1, 0, 1, 0).bytes(256));
+    tracer.record(EventKind::LatePushDropped, at(1, 2, 0, 3).bytes(64));
     export::chrome_trace(&collector.snapshot())
 }
 
