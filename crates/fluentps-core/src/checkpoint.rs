@@ -3,11 +3,15 @@
 //! fault-tolerance half of elasticity — EPS moves the *placement*, the
 //! checkpoint moves the *state*).
 //!
-//! Format: a small header (version, v_train, entry count) followed by the
-//! parameters as one codec-encoded `KvPairs`. Synchronization state other
-//! than `V_train` (the DPR buffer, per-iteration counts) is deliberately
-//! not checkpointed: buffered pulls belong to connections that died with
-//! the old server; workers re-issue them on reconnect.
+//! Format: a small header (version, v_train), the per-worker applied-push
+//! watermarks, then the parameters as one codec-encoded `KvPairs`.
+//! Synchronization state other than `V_train` (the DPR buffer,
+//! per-iteration counts) is deliberately not checkpointed: buffered pulls
+//! belong to connections that died with the old server; workers re-issue
+//! them on reconnect, and replay their recent pushes so the replacement can
+//! rebuild the push counts `V_train` needs to advance. The watermarks let
+//! the replacement's server loop drop replayed pushes that were already
+//! applied before the snapshot, keeping recovery effectively exactly-once.
 
 use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
@@ -17,21 +21,42 @@ use fluentps_transport::{KvPairs, Message};
 
 use crate::server::ServerShard;
 
-/// Version byte of the checkpoint format.
-pub const CHECKPOINT_VERSION: u8 = 1;
+/// Version byte of the checkpoint format. Version 2 added the per-worker
+/// applied-push watermarks; version-1 blobs are rejected with
+/// [`DecodeError::VersionMismatch`].
+pub const CHECKPOINT_VERSION: u8 = 2;
 
 /// A serializable snapshot of a shard's durable state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardCheckpoint {
     /// Overall training progress at snapshot time.
     pub v_train: u64,
+    /// Per-worker highest applied push progress, encoded as `progress + 1`
+    /// (`0` = no push from that worker has been applied). A replacement
+    /// server loop seeds its duplicate-push filter from these so replayed
+    /// pushes that already contributed to `params` are not applied twice.
+    pub applied: Vec<u64>,
     /// All parameters of the shard.
     pub params: KvPairs,
 }
 
 impl ShardCheckpoint {
-    /// Capture a shard's durable state.
+    /// Capture a shard's durable state with no watermark information (all
+    /// replayed pushes will re-apply — at-least-once recovery).
     pub fn capture(shard: &ServerShard, keys: &[u64]) -> Self {
+        let n = shard.config().num_workers as usize;
+        Self::capture_with_applied(shard, keys, &vec![None; n])
+    }
+
+    /// Capture a shard's durable state plus the caller's per-worker
+    /// applied-push watermarks (kept by the serving loop, which sees the
+    /// requests; the shard state machine does not track identity of
+    /// duplicates).
+    pub fn capture_with_applied(
+        shard: &ServerShard,
+        keys: &[u64],
+        applied: &[Option<u64>],
+    ) -> Self {
         let mut params = KvPairs::default();
         for &key in keys {
             if let Some(vals) = shard.read_param(key) {
@@ -42,8 +67,21 @@ impl ShardCheckpoint {
         }
         ShardCheckpoint {
             v_train: shard.v_train(),
+            applied: applied
+                .iter()
+                .map(|w| w.map(|p| p + 1).unwrap_or(0))
+                .collect(),
             params,
         }
+    }
+
+    /// The applied-push watermarks in decoded form (`None` = worker had no
+    /// applied push at snapshot time).
+    pub fn applied_watermarks(&self) -> Vec<Option<u64>> {
+        self.applied
+            .iter()
+            .map(|&x| if x == 0 { None } else { Some(x - 1) })
+            .collect()
     }
 
     /// Serialize to bytes (reuses the wire codec for the payload).
@@ -51,6 +89,10 @@ impl ShardCheckpoint {
         let mut buf = BytesMut::with_capacity(self.params.payload_bytes() + 32);
         buf.put_u8(CHECKPOINT_VERSION);
         buf.put_u64_le(self.v_train);
+        buf.put_u32_le(self.applied.len() as u32);
+        for &w in &self.applied {
+            buf.put_u64_le(w);
+        }
         // Wrap the params in a PullResponse so the existing codec carries
         // them; progress/server fields are unused here.
         codec::encode_into(
@@ -67,9 +109,9 @@ impl ShardCheckpoint {
 
     /// Deserialize from bytes.
     pub fn from_bytes(mut bytes: Bytes) -> Result<Self, DecodeError> {
-        if bytes.remaining() < 9 {
+        if bytes.remaining() < 13 {
             return Err(DecodeError::Truncated {
-                needed: 9,
+                needed: 13,
                 available: bytes.remaining(),
             });
         }
@@ -81,9 +123,18 @@ impl ShardCheckpoint {
             });
         }
         let v_train = bytes.get_u64_le();
+        let n = bytes.get_u32_le() as usize;
+        if bytes.remaining() < n * 8 {
+            return Err(DecodeError::Truncated {
+                needed: n * 8,
+                available: bytes.remaining(),
+            });
+        }
+        let applied = (0..n).map(|_| bytes.get_u64_le()).collect();
         match codec::decode(bytes)? {
             Message::PullResponse { kv, .. } => Ok(ShardCheckpoint {
                 v_train,
+                applied,
                 params: kv,
             }),
             _ => Err(DecodeError::UnknownTag(0xFF)),
@@ -172,14 +223,40 @@ mod tests {
     fn corrupt_checkpoint_is_rejected() {
         let (shard, keys) = trained_shard();
         let bytes = ShardCheckpoint::capture(&shard, &keys).to_bytes();
-        // Wrong version byte.
+        // Wrong version byte: the exact mismatch is reported.
         let mut v = bytes.to_vec();
         v[0] = 9;
-        assert!(ShardCheckpoint::from_bytes(Bytes::from(v)).is_err());
+        assert_eq!(
+            ShardCheckpoint::from_bytes(Bytes::from(v)),
+            Err(DecodeError::VersionMismatch {
+                expected: CHECKPOINT_VERSION,
+                found: 9,
+            })
+        );
         // Truncated payload.
         assert!(ShardCheckpoint::from_bytes(bytes.slice(0..bytes.len() - 3)).is_err());
         // Empty.
-        assert!(ShardCheckpoint::from_bytes(Bytes::new()).is_err());
+        assert_eq!(
+            ShardCheckpoint::from_bytes(Bytes::new()),
+            Err(DecodeError::Truncated {
+                needed: 13,
+                available: 0,
+            })
+        );
+        // Every possible truncation errors; none may panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                ShardCheckpoint::from_bytes(bytes.slice(0..cut)).is_err(),
+                "truncation at {cut} accepted"
+            );
+        }
+        // A watermark count promising more entries than the blob holds.
+        let mut v = bytes.to_vec();
+        v[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            ShardCheckpoint::from_bytes(Bytes::from(v)),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

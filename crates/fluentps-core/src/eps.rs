@@ -122,6 +122,14 @@ impl SliceMap {
     pub fn total_values(&self) -> usize {
         self.placements.iter().map(|p| p.len).sum()
     }
+
+    /// Rebuild a map from an explicit placement list — used by workers that
+    /// receive a `RouteUpdate` after a failure remap. `num_servers` stays
+    /// the cluster's full width so per-server indexing remains stable even
+    /// when a (dead) server owns nothing.
+    pub fn from_raw(placements: Vec<Placement>, num_servers: u32) -> Self {
+        Self::from_placements(placements, num_servers)
+    }
 }
 
 /// A strategy for placing parameters on servers.
@@ -252,6 +260,46 @@ impl EpsSlicer {
             moved,
         )
     }
+
+    /// Remap only the slices owned by `dead` onto the surviving servers,
+    /// preserving every surviving server's id and placements. This is the
+    /// degraded-mode counterpart of [`EpsSlicer::rebalance`], which
+    /// renumbers servers and therefore cannot be applied to a live cluster
+    /// whose survivors keep their identities. Returns the new map and the
+    /// number of values moved.
+    ///
+    /// Panics if `dead` is the only server in the map.
+    pub fn remap_dead(&self, map: &SliceMap, dead: u32) -> (SliceMap, usize) {
+        let num_servers = map.num_servers();
+        let survivors: Vec<u32> = (0..num_servers).filter(|&m| m != dead).collect();
+        assert!(
+            !survivors.is_empty(),
+            "cannot remap: server {dead} was the only one"
+        );
+        let mut placements: Vec<Placement> = map.placements().to_vec();
+        let mut loads = vec![0usize; num_servers as usize];
+        for p in &placements {
+            if p.server != dead {
+                loads[p.server as usize] += p.len;
+            }
+        }
+        // LPT-place the orphans on the least-loaded survivor.
+        let mut orphans: Vec<usize> = (0..placements.len())
+            .filter(|&i| placements[i].server == dead)
+            .collect();
+        orphans.sort_by_key(|&i| (std::cmp::Reverse(placements[i].len), placements[i].new_key));
+        let mut moved = 0usize;
+        for i in orphans {
+            let &target = survivors
+                .iter()
+                .min_by_key(|&&m| (loads[m as usize], m))
+                .expect("at least one survivor");
+            placements[i].server = target;
+            loads[target as usize] += placements[i].len;
+            moved += placements[i].len;
+        }
+        (SliceMap::from_placements(placements, num_servers), moved)
+    }
 }
 
 impl Slicer for EpsSlicer {
@@ -381,5 +429,44 @@ mod tests {
         let map = EpsSlicer::default().slice(&skewed_model(), 1);
         assert_eq!(map.server_loads(), vec![map.total_values()]);
         assert_eq!(map.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn remap_dead_moves_only_the_dead_servers_slices() {
+        let slicer = EpsSlicer { max_chunk: 1024 };
+        let map = slicer.slice(&skewed_model(), 4);
+        let dead = 1u32;
+        let dead_load = map.server_loads()[dead as usize];
+        let (remapped, moved) = slicer.remap_dead(&map, dead);
+
+        // Exactly the dead server's values moved; survivors kept their ids
+        // and their own placements byte for byte.
+        assert_eq!(moved, dead_load);
+        assert_eq!(remapped.num_servers(), 4);
+        assert_eq!(remapped.server_loads()[dead as usize], 0);
+        for p in map.placements() {
+            if p.server == dead {
+                continue;
+            }
+            let q = remapped.placement_of(p.new_key).expect("survivor slice");
+            assert_eq!(q, p, "surviving placement changed");
+        }
+        // Every orphan landed on a survivor.
+        assert_eq!(remapped.total_values(), map.total_values());
+    }
+
+    #[test]
+    #[should_panic(expected = "only one")]
+    fn remap_dead_panics_with_no_survivors() {
+        let map = EpsSlicer::default().slice(&skewed_model(), 1);
+        EpsSlicer::default().remap_dead(&map, 0);
+    }
+
+    #[test]
+    fn from_raw_roundtrips_placements() {
+        let map = EpsSlicer::default().slice(&skewed_model(), 3);
+        let rebuilt = SliceMap::from_raw(map.placements().to_vec(), 3);
+        assert_eq!(rebuilt.placements(), map.placements());
+        assert_eq!(rebuilt.num_servers(), 3);
     }
 }

@@ -79,6 +79,7 @@ pub mod hist;
 pub mod key;
 pub mod progress;
 pub mod pssp;
+pub mod recovery;
 pub mod regret;
 pub mod scheduler;
 pub mod server;

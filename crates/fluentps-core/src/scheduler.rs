@@ -23,6 +23,11 @@ pub struct LivenessMonitor {
 
 impl LivenessMonitor {
     /// Nodes not heard from for `timeout` time units are considered dead.
+    ///
+    /// The deadline is exclusive: a node is dead when `now - last_seen >
+    /// timeout`, i.e. a heartbeat exactly `timeout` units old still counts
+    /// as alive. Drivers sizing `timeout` as N heartbeat intervals get N
+    /// full missed beats of grace, not N-1.
     pub fn new(timeout: u64) -> Self {
         assert!(timeout > 0, "timeout must be positive");
         LivenessMonitor {
@@ -65,6 +70,11 @@ impl LivenessMonitor {
     /// Forget a node entirely (it was decommissioned on purpose).
     pub fn remove(&mut self, node: NodeId) {
         self.last_seen.remove(&node);
+    }
+
+    /// When `node` was last observed, if it is tracked at all.
+    pub fn last_seen(&self, node: NodeId) -> Option<u64> {
+        self.last_seen.get(&node).copied()
     }
 }
 
@@ -179,6 +189,22 @@ mod tests {
         assert!(m.dead_nodes(10).is_empty());
         assert_eq!(m.dead_nodes(12), vec![NodeId::Server(1)]);
         assert_eq!(m.alive_nodes(12), vec![NodeId::Server(0)]);
+    }
+
+    #[test]
+    fn liveness_deadline_is_exclusive() {
+        // Pin the boundary contract documented on `new()`: death requires
+        // `now - last_seen > timeout`, strictly greater.
+        let mut m = LivenessMonitor::new(10);
+        m.observe(NodeId::Server(0), 5);
+        // Exactly `timeout` units of silence: still alive.
+        assert!(m.dead_nodes(15).is_empty());
+        assert_eq!(m.alive_nodes(15), vec![NodeId::Server(0)]);
+        // One unit past the deadline: dead.
+        assert_eq!(m.dead_nodes(16), vec![NodeId::Server(0)]);
+        assert!(m.alive_nodes(16).is_empty());
+        assert_eq!(m.last_seen(NodeId::Server(0)), Some(5));
+        assert_eq!(m.last_seen(NodeId::Server(1)), None);
     }
 
     #[test]

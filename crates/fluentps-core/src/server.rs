@@ -153,6 +153,20 @@ impl ServerShard {
         self.progress.prune_below(v_train);
     }
 
+    /// Re-seed progress bookkeeping from a checkpoint's applied-push
+    /// watermark (recovery path). A gapless watermark means the applied
+    /// set for `worker` is exactly `0..=watermark`, so this observes the
+    /// worker at that progress and reconstructs `Count[i]` for every
+    /// iteration at or above `V_train`. Without it, replayed pushes that a
+    /// recovery layer deduplicates would never re-enter the counts and a
+    /// worker that ran ahead pre-crash could stall `V_train` forever.
+    pub fn seed_applied(&mut self, worker: u32, watermark: u64) {
+        self.progress.observe(worker, watermark);
+        for i in self.v_train..=watermark {
+            self.progress.record_push(i);
+        }
+    }
+
     /// Current overall training progress of this shard.
     pub fn v_train(&self) -> u64 {
         self.v_train

@@ -95,7 +95,7 @@ impl TcpCluster {
         // Bind every node first so the final address book is complete, then
         // hand each node the finished book (TcpNode snapshots it at bind, so
         // bind receive-only nodes first and sender nodes after).
-        let mut book = AddressBook::new();
+        let book = AddressBook::new();
         let mut server_rx = Vec::new();
         for m in 0..cfg.num_servers {
             let node = TcpNode::bind(NodeId::Server(m), loopback, AddressBook::new())?;

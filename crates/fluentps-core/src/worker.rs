@@ -5,12 +5,16 @@
 //! gradient across the per-server wire keys for `sPush`, and gathers the
 //! per-server `PullResponse`s back into whole parameters after `sPull`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::time::Duration;
 
 use fluentps_obs::{EventKind, RecordArgs, Tracer};
-use fluentps_transport::{frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError};
+use fluentps_transport::{
+    frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement,
+};
+use fluentps_util::rng::StdRng;
 
-use crate::eps::SliceMap;
+use crate::eps::{Placement, SliceMap};
 
 /// Key routing derived from a [`SliceMap`].
 #[derive(Debug, Clone)]
@@ -98,6 +102,74 @@ impl Router {
     }
 }
 
+/// Client-side resilience policy: per-pull timeouts and bounded retries
+/// with exponential backoff plus seeded jitter.
+///
+/// When attached to a [`WorkerClient`] via
+/// [`WorkerClient::set_retry_policy`], each blocking pull wait uses
+/// `timeout` instead of blocking forever; on expiry the client replays its
+/// buffered recent pushes to every unresponsive server and re-issues the
+/// pull (servers deduplicate replays by `(worker, progress)` watermark, so
+/// retries never double-apply gradients). The jitter is drawn from a
+/// [`StdRng`] seeded with `jitter_seed ^ worker_id`, keeping backoff
+/// schedules reproducible run to run.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// How long a pull wait may go without any message before a retry fires.
+    pub timeout: Duration,
+    /// Retries per pull round before giving up with
+    /// [`TransportError::Timeout`].
+    pub max_retries: u32,
+    /// First backoff delay; doubles each consecutive retry.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed for the backoff jitter (xor-ed with the worker id).
+    pub jitter_seed: u64,
+    /// How many recent iterations of pushes to keep for replay. Must cover
+    /// the staleness bound plus the checkpoint interval, or a recovering
+    /// cluster may stall waiting for pushes nobody can replay.
+    pub replay_depth: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout: Duration::from_millis(250),
+            max_retries: 12,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_secs(1),
+            jitter_seed: 0xF1F0,
+            replay_depth: 16,
+        }
+    }
+}
+
+/// Live retry state: the policy, the jitter rng and the push replay buffer
+/// (most recent `replay_depth` iterations, each as one `KvPairs` per
+/// server).
+struct RetryState {
+    policy: RetryPolicy,
+    rng: StdRng,
+    replay: VecDeque<(u64, Vec<KvPairs>)>,
+}
+
+impl RetryState {
+    /// Backoff for retry number `attempt` (1-based): exponential from the
+    /// base, capped, plus up to one base-interval of seeded jitter.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.policy.backoff_base.as_millis() as u64;
+        let exp = base.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
+        let capped = exp.min(self.policy.backoff_cap.as_millis() as u64);
+        let jitter = if base > 0 {
+            self.rng.gen_range(0..base)
+        } else {
+            0
+        };
+        Duration::from_millis(capped + jitter)
+    }
+}
+
 /// Outcome of a completed `sPull` + `wait`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PullReport {
@@ -117,6 +189,7 @@ pub struct WorkerClient<P, M> {
     mailbox: M,
     router: Router,
     tracer: Tracer,
+    retry: Option<RetryState>,
 }
 
 impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
@@ -128,6 +201,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             mailbox,
             router,
             tracer: Tracer::disabled(),
+            retry: None,
         }
     }
 
@@ -135,6 +209,18 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
     /// span covering each blocking wait for pull responses.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Enable the resilience layer. Without a policy (the default) the
+    /// client blocks indefinitely on pulls and propagates send errors —
+    /// exactly the pre-fault-tolerance behavior.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        let rng = StdRng::seed_from_u64(policy.jitter_seed ^ self.worker_id as u64);
+        self.retry = Some(RetryState {
+            policy,
+            rng,
+            replay: VecDeque::new(),
+        });
     }
 
     /// This worker's id (`n`).
@@ -149,12 +235,23 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
 
     /// `sPush`: send this iteration's gradients to every owning server.
     /// Returns the number of servers contacted.
+    ///
+    /// With a [`RetryPolicy`] attached the scattered shards are also kept in
+    /// the replay buffer, and a transport-level send failure is absorbed
+    /// (traced as `ConnectionLost`) instead of propagated: the buffered
+    /// push is re-delivered when the next pull wait times out and replays.
     pub fn spush(
-        &self,
+        &mut self,
         progress: u64,
         grads: &HashMap<u64, Vec<f32>>,
     ) -> Result<u32, TransportError> {
         let shards = self.router.scatter(grads);
+        if let Some(retry) = &mut self.retry {
+            retry.replay.push_back((progress, shards.clone()));
+            while retry.replay.len() > retry.policy.replay_depth {
+                retry.replay.pop_front();
+            }
+        }
         let mut sent = 0;
         for (m, kv) in shards.into_iter().enumerate() {
             if kv.is_empty() {
@@ -173,8 +270,20 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                     .progress(progress)
                     .bytes(frame::wire_len(&msg) as u64),
             );
-            self.postman.send(NodeId::Server(m as u32), msg)?;
-            sent += 1;
+            match self.postman.send(NodeId::Server(m as u32), msg) {
+                Ok(()) => sent += 1,
+                Err(e) if self.retry.is_some() => {
+                    self.tracer.record(
+                        EventKind::ConnectionLost,
+                        RecordArgs::new()
+                            .shard(m as u32)
+                            .worker(self.worker_id)
+                            .progress(progress),
+                    );
+                    let _ = e;
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(sent)
     }
@@ -207,67 +316,234 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         orig_keys: &[u64],
         params: &mut HashMap<u64, Vec<f32>>,
     ) -> Result<PullReport, TransportError> {
-        // Group the requested slices by owning server.
-        let mut per_server: HashMap<u32, Vec<u64>> = HashMap::new();
-        for &orig in orig_keys {
-            for p in self.router.slice_map().slices_of(orig) {
-                per_server.entry(p.server).or_default().push(p.new_key);
-            }
-        }
-        let mut servers: Vec<u32> = per_server.keys().copied().collect();
-        servers.sort_unstable();
-        let mut expected = 0u32;
-        for m in servers {
-            let mut keys = per_server.remove(&m).expect("grouped");
-            keys.sort_unstable();
-            keys.dedup();
-            let msg = Message::SPull {
-                worker: self.worker_id,
-                progress,
-                keys,
-            };
-            self.tracer.record(
-                EventKind::WireSend,
-                RecordArgs::new()
-                    .shard(m)
-                    .worker(self.worker_id)
-                    .progress(progress)
-                    .bytes(frame::wire_len(&msg) as u64),
-            );
-            self.postman.send(NodeId::Server(m), msg)?;
-            expected += 1;
-        }
+        let groups = self.pull_groups(orig_keys);
         let mut report = PullReport {
             responses: 0,
             max_version: 0,
             min_version: u64::MAX,
         };
         let wait_start = self.tracer.now();
-        while report.responses < expected {
-            let (_, msg) = self.mailbox.recv()?;
-            match msg {
-                Message::PullResponse { kv, version, .. } => {
-                    self.router.gather_into(params, &kv);
-                    report.responses += 1;
-                    report.max_version = report.max_version.max(version);
-                    report.min_version = report.min_version.min(version);
+
+        if self.retry.is_none() {
+            // Legacy path: no timeouts, any PullResponse counts, send
+            // errors propagate.
+            for (m, keys) in &groups {
+                let msg = Message::SPull {
+                    worker: self.worker_id,
+                    progress,
+                    keys: keys.clone(),
+                };
+                self.trace_send(*m, progress, &msg);
+                self.postman.send(NodeId::Server(*m), msg)?;
+            }
+            let expected = groups.len() as u32;
+            while report.responses < expected {
+                let (_, msg) = self.mailbox.recv()?;
+                match msg {
+                    Message::PullResponse { kv, version, .. } => {
+                        self.router.gather_into(params, &kv);
+                        report.responses += 1;
+                        report.max_version = report.max_version.max(version);
+                        report.min_version = report.min_version.min(version);
+                    }
+                    Message::PushAck { .. } => {}
+                    Message::Shutdown => return Err(TransportError::Disconnected),
+                    _ => {}
                 }
-                Message::PushAck { .. } => {}
-                Message::Shutdown => return Err(TransportError::Disconnected),
-                _ => {}
+            }
+            if expected > 0 {
+                self.trace_wait(wait_start, progress, report.max_version);
+            }
+            return Ok(report);
+        }
+
+        // Resilient path: bounded timeouts; only responses echoing *this*
+        // round's progress from a still-awaited server count, so stale
+        // duplicates caused by earlier retries are absorbed silently.
+        let mut groups = groups;
+        let mut awaiting: BTreeSet<u32> = groups.iter().map(|(m, _)| *m).collect();
+        for (m, keys) in &groups {
+            self.try_send_pull(*m, progress, keys.clone());
+        }
+        let mut attempt = 0u32;
+        while !awaiting.is_empty() {
+            let timeout = self.retry.as_ref().expect("retry on").policy.timeout;
+            match self.mailbox.recv_timeout(timeout)? {
+                Some((_, msg)) => match msg {
+                    Message::PullResponse {
+                        server,
+                        progress: echo,
+                        kv,
+                        version,
+                    } => {
+                        if echo == progress && awaiting.remove(&server) {
+                            self.router.gather_into(params, &kv);
+                            report.responses += 1;
+                            report.max_version = report.max_version.max(version);
+                            report.min_version = report.min_version.min(version);
+                        }
+                    }
+                    Message::PushAck { .. } => {}
+                    Message::RouteUpdate { placements } => {
+                        // A server died and its keys moved. Rebuild the
+                        // router and restart this round under the new
+                        // routing; servers that already answered re-serve
+                        // from their reply cache and gathering is
+                        // idempotent, so the restart cannot double-apply.
+                        self.apply_route_update(&placements);
+                        groups = self.pull_groups(orig_keys);
+                        awaiting = groups.iter().map(|(m, _)| *m).collect();
+                        report.responses = 0;
+                        report.max_version = 0;
+                        report.min_version = u64::MAX;
+                        for (m, keys) in &groups {
+                            self.try_send_pull(*m, progress, keys.clone());
+                        }
+                        attempt = 0;
+                    }
+                    Message::Shutdown => return Err(TransportError::Disconnected),
+                    _ => {}
+                },
+                None => {
+                    attempt += 1;
+                    let retry = self.retry.as_mut().expect("retry on");
+                    if attempt > retry.policy.max_retries {
+                        return Err(TransportError::Timeout);
+                    }
+                    let backoff = retry.backoff(attempt);
+                    let replay: Vec<(u64, Vec<KvPairs>)> = retry.replay.iter().cloned().collect();
+                    for &m in &awaiting {
+                        self.tracer.record(
+                            EventKind::RetryScheduled,
+                            RecordArgs::new()
+                                .shard(m)
+                                .worker(self.worker_id)
+                                .progress(progress)
+                                .bytes(backoff.as_millis() as u64),
+                        );
+                    }
+                    std::thread::sleep(backoff);
+                    // Reconnect-and-re-issue: replay recent pushes to each
+                    // unresponsive server (a replacement rebuilt from a
+                    // checkpoint needs them to advance `V_train`; servers
+                    // that already applied them dedup by watermark), then
+                    // re-send the pull.
+                    for &m in &awaiting {
+                        for (p, shards) in &replay {
+                            if let Some(kv) = shards.get(m as usize) {
+                                if !kv.is_empty() {
+                                    self.try_send(
+                                        m,
+                                        *p,
+                                        Message::SPush {
+                                            worker: self.worker_id,
+                                            progress: *p,
+                                            kv: kv.clone(),
+                                        },
+                                    );
+                                }
+                            }
+                        }
+                        if let Some((_, keys)) = groups.iter().find(|(s, _)| *s == m) {
+                            self.try_send_pull(m, progress, keys.clone());
+                        }
+                    }
+                }
             }
         }
-        if expected > 0 {
-            self.tracer.record_span(
-                EventKind::BarrierWait,
-                wait_start,
-                RecordArgs::new()
-                    .worker(self.worker_id)
-                    .progress(progress)
-                    .v_train(report.max_version),
-            );
+        if report.responses > 0 {
+            self.trace_wait(wait_start, progress, report.max_version);
         }
         Ok(report)
+    }
+
+    /// Group the slices of `orig_keys` by owning server: sorted
+    /// `(server, wire keys)` pairs, keys sorted and deduplicated.
+    fn pull_groups(&self, orig_keys: &[u64]) -> Vec<(u32, Vec<u64>)> {
+        let mut per_server: HashMap<u32, Vec<u64>> = HashMap::new();
+        for &orig in orig_keys {
+            for p in self.router.slice_map().slices_of(orig) {
+                per_server.entry(p.server).or_default().push(p.new_key);
+            }
+        }
+        let mut groups: Vec<(u32, Vec<u64>)> = per_server.into_iter().collect();
+        groups.sort_unstable_by_key(|(m, _)| *m);
+        for (_, keys) in &mut groups {
+            keys.sort_unstable();
+            keys.dedup();
+        }
+        groups
+    }
+
+    /// Rebuild the router from a `RouteUpdate`'s placement table and drop
+    /// the push replay buffer: its per-server layout described the old
+    /// routing and survivors already hold those pushes.
+    fn apply_route_update(&mut self, placements: &[WirePlacement]) {
+        let num_servers = self.router.num_servers();
+        let placements: Vec<Placement> = placements
+            .iter()
+            .map(|p| Placement {
+                orig_key: p.orig_key,
+                new_key: p.new_key,
+                server: p.server,
+                offset: p.offset as usize,
+                len: p.len as usize,
+            })
+            .collect();
+        self.router = Router::new(SliceMap::from_raw(placements, num_servers));
+        if let Some(retry) = &mut self.retry {
+            retry.replay.clear();
+        }
+    }
+
+    fn trace_send(&self, m: u32, progress: u64, msg: &Message) {
+        self.tracer.record(
+            EventKind::WireSend,
+            RecordArgs::new()
+                .shard(m)
+                .worker(self.worker_id)
+                .progress(progress)
+                .bytes(frame::wire_len(msg) as u64),
+        );
+    }
+
+    fn trace_wait(&self, wait_start: f64, progress: u64, max_version: u64) {
+        self.tracer.record_span(
+            EventKind::BarrierWait,
+            wait_start,
+            RecordArgs::new()
+                .worker(self.worker_id)
+                .progress(progress)
+                .v_train(max_version),
+        );
+    }
+
+    /// Send, absorbing transport errors (traced as `ConnectionLost`; the
+    /// next retry re-issues after `TcpPostman` has dropped the dead
+    /// connection and can redial).
+    fn try_send(&self, m: u32, progress: u64, msg: Message) {
+        self.trace_send(m, progress, &msg);
+        if self.postman.send(NodeId::Server(m), msg).is_err() {
+            self.tracer.record(
+                EventKind::ConnectionLost,
+                RecordArgs::new()
+                    .shard(m)
+                    .worker(self.worker_id)
+                    .progress(progress),
+            );
+        }
+    }
+
+    fn try_send_pull(&self, m: u32, progress: u64, keys: Vec<u64>) {
+        self.try_send(
+            m,
+            progress,
+            Message::SPull {
+                worker: self.worker_id,
+                progress,
+                keys,
+            },
+        );
     }
 }
 
@@ -347,5 +623,232 @@ mod tests {
         let shards = r.scatter(&vals);
         let total: usize = shards.iter().map(|kv| kv.vals.len()).sum();
         assert_eq!(total, 10 + 7);
+    }
+
+    // --- resilience layer -------------------------------------------------
+
+    use fluentps_transport::Fabric;
+
+    fn fast_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            timeout: Duration::from_millis(30),
+            max_retries,
+            backoff_base: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            jitter_seed: 7,
+            replay_depth: 4,
+        }
+    }
+
+    /// Echo a pull: one `PullResponse` carrying `1.0` per requested key.
+    fn echo_response(server: u32, progress: u64, keys: &[u64]) -> Message {
+        let mut kv = KvPairs::default();
+        for &k in keys {
+            kv.keys.push(k);
+            kv.lens.push(1);
+            kv.vals.push(1.0);
+        }
+        Message::PullResponse {
+            server,
+            progress,
+            version: progress,
+            kv,
+        }
+    }
+
+    #[test]
+    fn timeout_replays_pushes_and_reissues_pull() {
+        let fabric = Fabric::new();
+        let worker_ep = fabric.register(NodeId::Worker(0));
+        let server_ep = fabric.register(NodeId::Server(0));
+        let params = vec![ParamSpec { key: 0, len: 1 }];
+        let r = Router::new(EpsSlicer { max_chunk: 16 }.slice(&params, 1));
+
+        // Server: swallow the first pull; answer from the second onward.
+        // Count pushes to show the replay actually re-delivered them.
+        let server = std::thread::spawn(move || {
+            let mut pulls = 0u32;
+            let mut pushes = 0u32;
+            loop {
+                let (_, msg) = server_ep.recv().expect("server recv");
+                match msg {
+                    Message::SPush { .. } => pushes += 1,
+                    Message::SPull {
+                        worker,
+                        progress,
+                        keys,
+                    } => {
+                        pulls += 1;
+                        if pulls >= 2 {
+                            server_ep
+                                .postman()
+                                .send(NodeId::Worker(worker), echo_response(0, progress, &keys))
+                                .expect("respond");
+                        }
+                    }
+                    Message::Shutdown => return (pulls, pushes),
+                    _ => {}
+                }
+            }
+        });
+
+        let postman = worker_ep.postman();
+        let mut client = WorkerClient::new(0, postman.clone(), worker_ep, r);
+        client.set_retry_policy(fast_policy(5));
+        let mut grads = HashMap::new();
+        grads.insert(0u64, vec![0.5f32]);
+        client.spush(0, &grads).expect("push");
+        let mut out = HashMap::new();
+        let report = client
+            .spull_wait(0, &mut out)
+            .expect("pull succeeds via retry");
+        assert_eq!(report.responses, 1);
+        assert_eq!(out[&0], vec![1.0]);
+
+        postman.send(NodeId::Server(0), Message::Shutdown).unwrap();
+        let (pulls, pushes) = server.join().unwrap();
+        assert!(pulls >= 2, "retry re-issued the pull (saw {pulls})");
+        assert!(
+            pushes >= 2,
+            "retry replayed the buffered push (saw {pushes})"
+        );
+    }
+
+    #[test]
+    fn stale_progress_echo_is_ignored() {
+        let fabric = Fabric::new();
+        let worker_ep = fabric.register(NodeId::Worker(0));
+        let server_ep = fabric.register(NodeId::Server(0));
+        let params = vec![ParamSpec { key: 0, len: 1 }];
+        let r = Router::new(EpsSlicer { max_chunk: 16 }.slice(&params, 1));
+
+        let server = std::thread::spawn(move || loop {
+            let (_, msg) = server_ep.recv().expect("server recv");
+            match msg {
+                Message::SPull {
+                    worker,
+                    progress,
+                    keys,
+                } => {
+                    // A late response from a previous round first…
+                    server_ep
+                        .postman()
+                        .send(
+                            NodeId::Worker(worker),
+                            echo_response(0, progress.wrapping_sub(1), &keys),
+                        )
+                        .unwrap();
+                    // …then the real one.
+                    server_ep
+                        .postman()
+                        .send(NodeId::Worker(worker), echo_response(0, progress, &keys))
+                        .unwrap();
+                }
+                Message::Shutdown => return,
+                _ => {}
+            }
+        });
+
+        let postman = worker_ep.postman();
+        let mut client = WorkerClient::new(0, postman.clone(), worker_ep, r);
+        client.set_retry_policy(fast_policy(5));
+        let mut out = HashMap::new();
+        let report = client.spull_wait(3, &mut out).expect("pull");
+        // Exactly one response counted, and it is the matching round's.
+        assert_eq!(report.responses, 1);
+        assert_eq!(report.max_version, 3);
+        postman.send(NodeId::Server(0), Message::Shutdown).unwrap();
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_timeout() {
+        let fabric = Fabric::new();
+        let worker_ep = fabric.register(NodeId::Worker(0));
+        let _server_ep = fabric.register(NodeId::Server(0)); // never reads
+        let params = vec![ParamSpec { key: 0, len: 1 }];
+        let r = Router::new(EpsSlicer { max_chunk: 16 }.slice(&params, 1));
+        let postman = worker_ep.postman();
+        let mut client = WorkerClient::new(0, postman, worker_ep, r);
+        client.set_retry_policy(RetryPolicy {
+            timeout: Duration::from_millis(5),
+            max_retries: 2,
+            ..fast_policy(2)
+        });
+        let mut out = HashMap::new();
+        let err = client.spull_wait(0, &mut out).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout), "got {err:?}");
+    }
+
+    #[test]
+    fn route_update_restarts_the_round_on_the_new_routing() {
+        let fabric = Fabric::new();
+        let worker_ep = fabric.register(NodeId::Worker(0));
+        let s0 = fabric.register(NodeId::Server(0));
+        let _s1 = fabric.register(NodeId::Server(1)); // dead: never reads
+        let ctl = fabric.register(NodeId::Scheduler);
+        // Four single-value params over two servers: both own something.
+        let params: Vec<ParamSpec> = (0..4).map(|k| ParamSpec { key: k, len: 1 }).collect();
+        let map = EpsSlicer { max_chunk: 16 }.slice(&params, 2);
+        assert!(map.server_loads().iter().all(|&l| l > 0));
+        let r = Router::new(map.clone());
+
+        // Server 0 answers any pull for exactly the requested keys.
+        let server0 = std::thread::spawn(move || loop {
+            let (_, msg) = s0.recv().expect("server0 recv");
+            match msg {
+                Message::SPull {
+                    worker,
+                    progress,
+                    keys,
+                } => {
+                    s0.postman()
+                        .send(NodeId::Worker(worker), echo_response(0, progress, &keys))
+                        .unwrap();
+                }
+                Message::Shutdown => return,
+                _ => {}
+            }
+        });
+
+        // After a beat, announce that server 1 is gone: everything now
+        // lives on server 0.
+        let (remapped, _moved) = EpsSlicer { max_chunk: 16 }.remap_dead(&map, 1);
+        let wire: Vec<WirePlacement> = remapped
+            .placements()
+            .iter()
+            .map(|p| WirePlacement {
+                orig_key: p.orig_key,
+                new_key: p.new_key,
+                server: p.server,
+                offset: p.offset as u32,
+                len: p.len as u32,
+            })
+            .collect();
+        let ctl_postman = ctl.postman();
+        let announcer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            ctl_postman
+                .send(NodeId::Worker(0), Message::RouteUpdate { placements: wire })
+                .unwrap();
+        });
+
+        let postman = worker_ep.postman();
+        let mut client = WorkerClient::new(0, postman.clone(), worker_ep, r);
+        client.set_retry_policy(RetryPolicy {
+            timeout: Duration::from_millis(100),
+            ..fast_policy(10)
+        });
+        let mut out = HashMap::new();
+        let report = client.spull_wait(0, &mut out).expect("pull after remap");
+        // One responder (everything on server 0 now) and all params present.
+        assert_eq!(report.responses, 1);
+        assert_eq!(out.len(), 4);
+        assert!(client.router().keys_for_server(1).is_empty());
+        assert_eq!(client.router().keys_for_server(0).len(), 4);
+
+        postman.send(NodeId::Server(0), Message::Shutdown).unwrap();
+        server0.join().unwrap();
+        announcer.join().unwrap();
     }
 }

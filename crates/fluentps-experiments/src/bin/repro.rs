@@ -5,6 +5,8 @@
 //!   repro --trace FILE [--full] [--metrics-addr ADDR]
 //!   repro analyze FILE [--md] [--ssp S | --pssp-const S C]
 //!   repro validate-json FILE
+//!   repro chaos [--seed N] [--workers N] [--servers N] [--iters N]
+//!               [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]
 //!
 //! Quick mode (default) finishes each experiment in seconds-to-minutes;
 //! `--full` uses paper-like worker counts and iteration budgets.
@@ -31,7 +33,96 @@ fn main() {
     match args.first().map(String::as_str) {
         Some("analyze") => run_analyze(&args[1..]),
         Some("validate-json") => run_validate_json(&args[1..]),
+        Some("chaos") => run_chaos_cmd(&args[1..]),
         _ => run_figures(&args),
+    }
+}
+
+/// `repro chaos`: a seeded fault-injection run on the live resilient TCP
+/// engine. Prints stable `chaos-stats` / `chaos-fingerprint` lines to
+/// stdout so CI can diff two same-seed runs, and exits non-zero if any
+/// worker fails to finish its iterations.
+fn run_chaos_cmd(args: &[String]) {
+    let mut cfg = fluentps_experiments::live::ChaosConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                cfg.seed = parse_arg(args.get(i), "--seed N");
+            }
+            "--workers" => {
+                i += 1;
+                cfg.num_workers = parse_arg(args.get(i), "--workers N");
+            }
+            "--servers" => {
+                i += 1;
+                cfg.num_servers = parse_arg(args.get(i), "--servers N");
+            }
+            "--iters" => {
+                i += 1;
+                cfg.max_iters = parse_arg(args.get(i), "--iters N");
+            }
+            "--staleness" => {
+                i += 1;
+                cfg.staleness = parse_arg(args.get(i), "--staleness S");
+            }
+            "--faults" => {
+                i += 1;
+                cfg.faults = parse_arg(args.get(i), "--faults N");
+            }
+            "--kill" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("[repro] missing value for --kill M@V");
+                    std::process::exit(2);
+                });
+                let (m, v) = raw.split_once('@').unwrap_or_else(|| {
+                    eprintln!("[repro] bad --kill {raw:?}: expected M@V (e.g. 0@10)");
+                    std::process::exit(2);
+                });
+                cfg.kill_server = Some((
+                    parse_arg(Some(&m.to_string()), "--kill M@V"),
+                    parse_arg(Some(&v.to_string()), "--kill M@V"),
+                ));
+            }
+            "--metrics-addr" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| usage());
+                cfg.metrics_addr = Some(raw.parse().unwrap_or_else(|e| {
+                    eprintln!("[repro] bad --metrics-addr {raw:?}: {e}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("[repro] unknown chaos argument {other:?}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+    eprintln!(
+        "[repro] chaos: {}w x {}s, {} iters, seed {}, faults {}, kill {:?}",
+        cfg.num_workers, cfg.num_servers, cfg.max_iters, cfg.seed, cfg.faults, cfg.kill_server
+    );
+    // A worker that exhausts its retries panics its thread; run_chaos
+    // propagates the panic, which exits this process non-zero.
+    let r = fluentps_experiments::live::run_chaos(&cfg);
+    for (m, s) in r.stats.iter().enumerate() {
+        println!(
+            "chaos-stats server={m} pushes={} pulls={} v_train={} dprs={} released={}",
+            s.pushes, s.pulls_total, s.v_train_advances, s.dprs, s.dprs_released
+        );
+    }
+    println!("chaos-dead-at-end {}", r.dead_at_end);
+    println!("chaos-fingerprint {}", r.fingerprint);
+    eprintln!(
+        "[repro] chaos done in {:.2}s, accuracy {:.3}",
+        r.wall_seconds, r.accuracy
+    );
+    if cfg.kill_server.is_some() && r.dead_at_end > 0 {
+        eprintln!("[repro] chaos: server still dead at end of run");
+        std::process::exit(1);
     }
 }
 
@@ -271,7 +362,7 @@ where
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]"
     );
     std::process::exit(2);
 }

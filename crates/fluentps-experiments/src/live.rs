@@ -7,17 +7,22 @@
 //! code, real threads and (optionally) real sockets.
 
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fluentps_core::api::{FluentPs, SlicerChoice};
 use fluentps_core::condition::SyncModel;
 use fluentps_core::dpr::DprPolicy;
+use fluentps_core::engine::EngineConfig;
+use fluentps_core::eps::{EpsSlicer, ParamSpec, Slicer};
+use fluentps_core::recovery::{RecoveryConfig, ResilientTcpCluster};
 use fluentps_core::stats::ShardStats;
+use fluentps_core::worker::RetryPolicy;
 use fluentps_ml::data::{synthetic, BatchSampler, SyntheticSpec};
 use fluentps_ml::models::{Mlp, Model, SoftmaxRegression};
 use fluentps_ml::optim::{Optimizer, Sgd};
 use fluentps_ml::schedule::LrSchedule;
 use fluentps_obs::{MetricsRegistry, Trace, TraceCollector};
+use fluentps_transport::fault::FaultPlan;
 
 /// Configuration of a live (threaded-engine) training run.
 #[derive(Debug, Clone)]
@@ -186,6 +191,244 @@ pub fn run_live(cfg: &LiveConfig) -> LiveResult {
         wall_seconds,
         stats,
         trace,
+    }
+}
+
+/// Configuration of a chaos run: live TCP training under a seeded fault
+/// schedule, optionally killing (and recovering) a server mid-training.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Workers (threads, each with its own TCP endpoint).
+    pub num_workers: u32,
+    /// Servers.
+    pub num_servers: u32,
+    /// Iterations per worker.
+    pub max_iters: u64,
+    /// SSP staleness bound.
+    pub staleness: u64,
+    /// Kill server `m` once its shard's `V_train` reaches the threshold;
+    /// the supervisor replaces it from the latest checkpoint.
+    pub kill_server: Option<(u32, u64)>,
+    /// Number of seeded chaos fault rules (drops, reorder-delays,
+    /// duplicates) applied to the data path. 0 = none.
+    pub faults: usize,
+    /// When `Some(addr)`, serve `/metrics` and the liveness-fed `/healthz`
+    /// readiness view there for the duration of the run.
+    pub metrics_addr: Option<std::net::SocketAddr>,
+    /// Master seed: drives data, initialization, and the fault schedule.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            num_workers: 2,
+            num_servers: 2,
+            max_iters: 30,
+            staleness: 2,
+            kill_server: None,
+            faults: 0,
+            metrics_addr: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosResult {
+    /// Final test accuracy on worker 0's parameters.
+    pub accuracy: f32,
+    /// Wall-clock seconds.
+    pub wall_seconds: f64,
+    /// Per-server statistics (a replaced server's incarnations merged).
+    pub stats: Vec<ShardStats>,
+    /// Servers still dead when the run ended (0 after a successful
+    /// replacement).
+    pub dead_at_end: usize,
+    /// Digest of the run's *logical* outcome: per-server synchronization
+    /// counters plus worker 0's final parameter bits. Single-worker runs
+    /// with the same seed reproduce it bit-for-bit; CI diffs it across two
+    /// runs.
+    pub fingerprint: String,
+}
+
+/// FNV-1a, the fingerprint hash (stable, dependency-free).
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = if h == 0 { 0xcbf2_9ce4_8422_2325 } else { h };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run live TCP training through the fault-tolerant runtime under a seeded
+/// chaos schedule. Panics (non-zero exit for the CLI) if any worker fails
+/// to complete its iterations — retries, replay and server replacement are
+/// expected to absorb every injected fault.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
+    let dataset = SyntheticSpec {
+        dim: 16,
+        classes: 4,
+        n_train: 1200,
+        n_test: 300,
+        margin: 3.0,
+        modes: 1,
+        label_noise: 0.0,
+        seed: cfg.seed,
+    };
+    let (train, test) = synthetic(dataset);
+    let model = SoftmaxRegression {
+        dim: dataset.dim,
+        classes: dataset.classes,
+    };
+    let init = model.init_params(cfg.seed);
+    let specs: Vec<ParamSpec> = model
+        .param_shapes()
+        .iter()
+        .map(|s| ParamSpec {
+            key: s.key,
+            len: s.len,
+        })
+        .collect();
+    // Chunk small enough that every server owns slices — a kill target
+    // with an empty shard would never reach its `V_train` threshold.
+    let map = EpsSlicer { max_chunk: 16 }.slice(&specs, cfg.num_servers);
+
+    let ecfg = EngineConfig {
+        num_workers: cfg.num_workers,
+        num_servers: cfg.num_servers,
+        model: SyncModel::Ssp { s: cfg.staleness },
+        policy: DprPolicy::LazyExecution,
+        seed: cfg.seed,
+        ..EngineConfig::default()
+    };
+    let rcfg = RecoveryConfig {
+        heartbeat_every: Duration::from_millis(10),
+        liveness_timeout: Duration::from_millis(80),
+        checkpoint_every: 1,
+        kill_server: cfg.kill_server,
+        spawn_replacement: true,
+        retry: RetryPolicy {
+            timeout: Duration::from_millis(60),
+            max_retries: 100,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            jitter_seed: cfg.seed ^ 0xC4A0,
+            replay_depth: 32,
+        },
+        fault_plan: if cfg.faults > 0 {
+            FaultPlan::chaos(
+                cfg.seed,
+                cfg.num_workers,
+                cfg.num_servers,
+                cfg.max_iters,
+                cfg.faults,
+            )
+        } else {
+            FaultPlan::passthrough()
+        },
+    };
+
+    let (cluster, workers) =
+        ResilientTcpCluster::launch(ecfg, rcfg, map, &init, None).expect("launch chaos cluster");
+    let introspection = cfg.metrics_addr.map(|addr| {
+        let registry = MetricsRegistry::new();
+        let scope = registry.scope().with("engine", "resilient-tcp");
+        scope.set_gauge("cluster_workers", cfg.num_workers as f64);
+        scope.set_gauge("cluster_servers", cfg.num_servers as f64);
+        scope.set_gauge("cluster_up", 1.0);
+        fluentps_obs::http::serve_with_health(addr, registry, None, Some(cluster.health()))
+            .expect("bind introspection endpoint")
+    });
+
+    let start = Instant::now();
+    let model_ref = &model;
+    let results: Vec<HashMap<u64, Vec<f32>>> = fluentps_util::sync::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|mut client| {
+                let train = &train;
+                let init = init.clone();
+                let cfg = cfg.clone();
+                scope.spawn(move || {
+                    let n = client.worker_id();
+                    let mut params = init;
+                    let mut opt = Sgd::new(0.25, 0.9, 0.0);
+                    let mut sampler = BatchSampler::new(
+                        train.partition(n, cfg.num_workers),
+                        cfg.batch_size(),
+                        cfg.seed.wrapping_add(500 + n as u64),
+                    );
+                    for i in 0..cfg.max_iters {
+                        let batch = train.batch(&sampler.next_indices());
+                        let (_, grads) = model_ref.loss_and_grad(&params, &batch);
+                        let deltas = opt.deltas(&params, &grads);
+                        client.spush(i, &deltas).expect("push under chaos");
+                        let report = client
+                            .spull_wait(i, &mut params)
+                            .expect("pull survives chaos");
+                        // The SSP contract holds through faults and
+                        // recovery: a granted pull is never staler than
+                        // the bound allows.
+                        assert!(
+                            report.min_version as i64 >= i as i64 - cfg.staleness as i64,
+                            "worker {n} iter {i}: granted version {} violates s={}",
+                            report.min_version,
+                            cfg.staleness
+                        );
+                    }
+                    params
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("chaos worker thread"))
+            .collect()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let health = cluster.health();
+    let dead_at_end = health.dead_count();
+    let stats = cluster.shutdown();
+    drop(introspection);
+
+    let mut h = 0u64;
+    for (m, s) in stats.iter().enumerate() {
+        h = fnv1a(h, &(m as u64).to_le_bytes());
+        for v in [
+            s.pushes,
+            s.pulls_total,
+            s.v_train_advances,
+            s.dprs,
+            s.dprs_released,
+        ] {
+            h = fnv1a(h, &v.to_le_bytes());
+        }
+    }
+    let mut keys: Vec<&u64> = results[0].keys().collect();
+    keys.sort_unstable();
+    for k in keys {
+        h = fnv1a(h, &k.to_le_bytes());
+        for v in &results[0][k] {
+            h = fnv1a(h, &v.to_bits().to_le_bytes());
+        }
+    }
+
+    ChaosResult {
+        accuracy: model.accuracy(&results[0], &test),
+        wall_seconds,
+        stats,
+        dead_at_end,
+        fingerprint: format!("{h:016x}"),
+    }
+}
+
+impl ChaosConfig {
+    fn batch_size(&self) -> usize {
+        16
     }
 }
 

@@ -30,10 +30,26 @@ pub enum EventKind {
     WireSend,
     /// A message arrived at a node; `bytes` is the frame's wire size.
     WireRecv,
+    /// A worker's request timed out and a retry (with backoff) was queued.
+    RetryScheduled,
+    /// A send failed at the transport level; the client will redial.
+    ConnectionLost,
+    /// A shard checkpoint was captured (`v_train` is the snapshot point,
+    /// `bytes` the serialized size).
+    CheckpointCaptured,
+    /// A replacement shard restored state from a checkpoint (`v_train` is
+    /// the restored progress).
+    CheckpointRestored,
+    /// EPS moved a dead shard's keys; `bytes` carries the number of values
+    /// moved.
+    ShardRemapped,
+    /// The liveness monitor declared a node dead (`shard`/`worker` identify
+    /// it; `v_train` carries the logical detection time).
+    NodeDeclaredDead,
 }
 
 /// Number of distinct event kinds (array-index bound for per-kind counts).
-pub const KINDS: usize = 9;
+pub const KINDS: usize = 15;
 
 impl EventKind {
     /// Every kind, in stable index order.
@@ -47,6 +63,12 @@ impl EventKind {
         EventKind::BarrierWait,
         EventKind::WireSend,
         EventKind::WireRecv,
+        EventKind::RetryScheduled,
+        EventKind::ConnectionLost,
+        EventKind::CheckpointCaptured,
+        EventKind::CheckpointRestored,
+        EventKind::ShardRemapped,
+        EventKind::NodeDeclaredDead,
     ];
 
     /// Stable dense index in `[0, KINDS)`.
@@ -61,6 +83,12 @@ impl EventKind {
             EventKind::BarrierWait => 6,
             EventKind::WireSend => 7,
             EventKind::WireRecv => 8,
+            EventKind::RetryScheduled => 9,
+            EventKind::ConnectionLost => 10,
+            EventKind::CheckpointCaptured => 11,
+            EventKind::CheckpointRestored => 12,
+            EventKind::ShardRemapped => 13,
+            EventKind::NodeDeclaredDead => 14,
         }
     }
 
@@ -76,6 +104,12 @@ impl EventKind {
             EventKind::BarrierWait => "barrier_wait",
             EventKind::WireSend => "wire_send",
             EventKind::WireRecv => "wire_recv",
+            EventKind::RetryScheduled => "retry_scheduled",
+            EventKind::ConnectionLost => "connection_lost",
+            EventKind::CheckpointCaptured => "checkpoint_captured",
+            EventKind::CheckpointRestored => "checkpoint_restored",
+            EventKind::ShardRemapped => "shard_remapped",
+            EventKind::NodeDeclaredDead => "node_declared_dead",
         }
     }
 }

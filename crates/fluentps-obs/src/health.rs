@@ -1,0 +1,122 @@
+//! Cluster readiness shared between a supervising runtime and `/healthz`.
+//!
+//! A [`HealthView`] is a small thread-safe snapshot of per-node liveness:
+//! the supervisor (which owns the liveness monitor) refreshes it on every
+//! tick, and the introspection endpoint renders it on demand. Node names
+//! are plain strings so this crate stays independent of the transport's
+//! node-id type.
+
+use std::sync::Arc;
+
+use fluentps_util::sync::Mutex;
+
+/// Liveness of one node as last observed by the supervisor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NodeHealth {
+    /// Display name, e.g. `server0`.
+    pub name: String,
+    /// Milliseconds since the node's last heartbeat.
+    pub last_seen_age_ms: u64,
+    /// True once the liveness monitor declared the node dead.
+    pub dead: bool,
+}
+
+#[derive(Debug, Default)]
+struct HealthState {
+    nodes: Vec<NodeHealth>,
+}
+
+/// Shared, cloneable readiness view. All clones observe the same state.
+#[derive(Debug, Clone, Default)]
+pub struct HealthView {
+    inner: Arc<Mutex<HealthState>>,
+}
+
+impl HealthView {
+    /// An empty view (no nodes yet — reported as ready).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replace the per-node snapshot wholesale (the supervisor calls this
+    /// each liveness tick).
+    pub fn update(&self, nodes: Vec<NodeHealth>) {
+        self.inner.lock().nodes = nodes;
+    }
+
+    /// Number of nodes currently declared dead.
+    pub fn dead_count(&self) -> usize {
+        self.inner.lock().nodes.iter().filter(|n| n.dead).count()
+    }
+
+    /// Render the readiness body served at `/healthz`: the first line is
+    /// `ready` or `degraded`, followed by the dead-node count and one line
+    /// per node with its last-heartbeat age. Returns `(ready, body)`.
+    pub fn render(&self) -> (bool, String) {
+        let state = self.inner.lock();
+        let dead = state.nodes.iter().filter(|n| n.dead).count();
+        let ready = dead == 0;
+        let mut body = String::new();
+        body.push_str(if ready { "ready\n" } else { "degraded\n" });
+        body.push_str(&format!("dead_nodes {dead}\n"));
+        for n in &state.nodes {
+            body.push_str(&format!(
+                "node {} age_ms {} {}\n",
+                n.name,
+                n.last_seen_age_ms,
+                if n.dead { "dead" } else { "alive" }
+            ));
+        }
+        (ready, body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_view_is_ready() {
+        let v = HealthView::new();
+        let (ready, body) = v.render();
+        assert!(ready);
+        assert!(body.starts_with("ready\n"));
+        assert!(body.contains("dead_nodes 0"));
+    }
+
+    #[test]
+    fn dead_node_degrades_the_view() {
+        let v = HealthView::new();
+        v.update(vec![
+            NodeHealth {
+                name: "server0".into(),
+                last_seen_age_ms: 12,
+                dead: false,
+            },
+            NodeHealth {
+                name: "server1".into(),
+                last_seen_age_ms: 5000,
+                dead: true,
+            },
+        ]);
+        assert_eq!(v.dead_count(), 1);
+        let (ready, body) = v.render();
+        assert!(!ready);
+        assert!(body.starts_with("degraded\n"));
+        assert!(body.contains("dead_nodes 1"));
+        assert!(body.contains("node server0 age_ms 12 alive"));
+        assert!(body.contains("node server1 age_ms 5000 dead"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let v = HealthView::new();
+        let c = v.clone();
+        c.update(vec![NodeHealth {
+            name: "server0".into(),
+            last_seen_age_ms: 1,
+            dead: true,
+        }]);
+        assert_eq!(v.dead_count(), 1);
+    }
+}

@@ -4,7 +4,11 @@
 //!
 //! Routes:
 //!
-//! * `GET /healthz` — liveness, `200 ok`.
+//! * `GET /healthz` — readiness. With a [`HealthView`] attached
+//!   ([`serve_with_health`]) this reports per-node last-heartbeat ages and
+//!   the dead-node count as fed by the cluster's liveness monitor — `200`
+//!   while every node is alive, `503` once any node is declared dead.
+//!   Without one it degrades to the static `200 ok` liveness probe.
 //! * `GET /metrics` — the attached [`MetricsRegistry`] in Prometheus text
 //!   exposition format ([`MetricsRegistry::render_prometheus`]). When a
 //!   [`TraceCollector`] is attached, per-kind event totals and the dropped
@@ -26,6 +30,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crate::export;
+use crate::health::HealthView;
 use crate::metrics::MetricsRegistry;
 use crate::tracer::{Trace, TraceCollector};
 
@@ -53,6 +58,17 @@ pub fn serve(
     registry: MetricsRegistry,
     collector: Option<TraceCollector>,
 ) -> std::io::Result<IntrospectionServer> {
+    serve_with_health(addr, registry, collector, None)
+}
+
+/// [`serve`] plus a [`HealthView`]: `/healthz` becomes a readiness probe
+/// reflecting the cluster's liveness monitor instead of a static `ok`.
+pub fn serve_with_health(
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+    collector: Option<TraceCollector>,
+    health: Option<HealthView>,
+) -> std::io::Result<IntrospectionServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -65,7 +81,8 @@ pub fn serve(
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let _ = handle_connection(stream, &registry, collector.as_ref());
+                    let _ =
+                        handle_connection(stream, &registry, collector.as_ref(), health.as_ref());
                 }
             }
         })?;
@@ -110,6 +127,7 @@ fn handle_connection(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
     collector: Option<&TraceCollector>,
+    health: Option<&HealthView>,
 ) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let Some(head) = read_request_head(&mut stream)? else {
@@ -126,7 +144,18 @@ fn handle_connection(
         None => (target, ""),
     };
     match path {
-        "/healthz" => respond(&mut stream, 200, "text/plain", "ok\n"),
+        "/healthz" => match health {
+            Some(view) => {
+                let (ready, body) = view.render();
+                respond(
+                    &mut stream,
+                    if ready { 200 } else { 503 },
+                    "text/plain",
+                    &body,
+                )
+            }
+            None => respond(&mut stream, 200, "text/plain", "ok\n"),
+        },
         "/metrics" => {
             registry.inc("introspection_scrapes_total", 1);
             if let Some(col) = collector {
@@ -215,6 +244,7 @@ fn respond(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        503 => "Service Unavailable",
         _ => "Error",
     };
     let head = format!(
@@ -286,6 +316,50 @@ mod tests {
 
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
+        server.stop();
+    }
+
+    #[test]
+    fn healthz_reflects_the_attached_health_view() {
+        use crate::health::NodeHealth;
+        let health = HealthView::new();
+        let server = serve_with_health(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+            Some(health.clone()),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        // All alive: ready.
+        health.update(vec![NodeHealth {
+            name: "server0".into(),
+            last_seen_age_ms: 3,
+            dead: false,
+        }]);
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.starts_with("ready\n"));
+        assert!(body.contains("node server0 age_ms 3 alive"));
+
+        // One dead: degraded, 503.
+        health.update(vec![
+            NodeHealth {
+                name: "server0".into(),
+                last_seen_age_ms: 4,
+                dead: false,
+            },
+            NodeHealth {
+                name: "server1".into(),
+                last_seen_age_ms: 9000,
+                dead: true,
+            },
+        ]);
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 503);
+        assert!(body.starts_with("degraded\n"));
+        assert!(body.contains("dead_nodes 1"));
         server.stop();
     }
 

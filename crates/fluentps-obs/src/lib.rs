@@ -44,6 +44,7 @@ pub mod analyze;
 pub mod clock;
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod hist;
 pub mod http;
 pub mod json;
@@ -54,6 +55,7 @@ pub mod tracer;
 pub use analyze::{analyze, Analysis};
 pub use clock::{ClockSource, VirtualClock};
 pub use event::{EventKind, TraceEvent, KINDS, NO_ID};
+pub use health::{HealthView, NodeHealth};
 pub use hist::Histogram;
 pub use http::IntrospectionServer;
 pub use metrics::{MetricsRegistry, MetricsScope};

@@ -10,7 +10,7 @@
 use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::DecodeError;
-use crate::msg::{KvPairs, Message, NodeId};
+use crate::msg::{KvPairs, Message, NodeId, WirePlacement};
 
 /// Version byte prepended to every encoded message.
 pub const WIRE_VERSION: u8 = 1;
@@ -30,6 +30,8 @@ mod tag {
     pub const HEARTBEAT: u8 = 7;
     pub const BARRIER: u8 = 8;
     pub const SHUTDOWN: u8 = 9;
+    pub const INSTALL: u8 = 10;
+    pub const ROUTE_UPDATE: u8 = 11;
 }
 
 mod node_tag {
@@ -111,6 +113,21 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
         Message::Shutdown => {
             buf.put_u8(tag::SHUTDOWN);
         }
+        Message::Install { kv } => {
+            buf.put_u8(tag::INSTALL);
+            put_kv(buf, kv);
+        }
+        Message::RouteUpdate { placements } => {
+            buf.put_u8(tag::ROUTE_UPDATE);
+            buf.put_u32_le(placements.len() as u32);
+            for p in placements {
+                buf.put_u64_le(p.orig_key);
+                buf.put_u64_le(p.new_key);
+                buf.put_u32_le(p.server);
+                buf.put_u32_le(p.offset);
+                buf.put_u32_le(p.len);
+            }
+        }
     }
 }
 
@@ -131,6 +148,8 @@ pub fn encoded_len(msg: &Message) -> usize {
             Message::Heartbeat { .. } => 5 + 8,
             Message::Barrier { .. } => 4 + 8,
             Message::Shutdown => 0,
+            Message::Install { kv } => kv_encoded_len(kv),
+            Message::RouteUpdate { placements } => 4 + 28 * placements.len(),
         }
 }
 
@@ -220,6 +239,22 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, DecodeError> {
             seq: get_u64(buf)?,
         },
         tag::SHUTDOWN => Message::Shutdown,
+        tag::INSTALL => Message::Install { kv: get_kv(buf)? },
+        tag::ROUTE_UPDATE => {
+            let count = get_u32(buf)? as u64;
+            let n = check_len(buf, count, 28)?;
+            let mut placements = Vec::with_capacity(n);
+            for _ in 0..n {
+                placements.push(WirePlacement {
+                    orig_key: buf.get_u64_le(),
+                    new_key: buf.get_u64_le(),
+                    server: buf.get_u32_le(),
+                    offset: buf.get_u32_le(),
+                    len: buf.get_u32_le(),
+                });
+            }
+            Message::RouteUpdate { placements }
+        }
         other => return Err(DecodeError::UnknownTag(other)),
     };
     Ok(msg)
@@ -403,6 +438,28 @@ mod tests {
         });
         roundtrip(Message::Barrier { group: 1, seq: 2 });
         roundtrip(Message::Shutdown);
+        roundtrip(Message::Install {
+            kv: KvPairs::from_slices(&[(2, &[0.5, 1.5][..])]),
+        });
+        roundtrip(Message::RouteUpdate {
+            placements: vec![
+                WirePlacement {
+                    orig_key: 0,
+                    new_key: 1 << 40,
+                    server: 1,
+                    offset: 0,
+                    len: 16,
+                },
+                WirePlacement {
+                    orig_key: 3,
+                    new_key: (3 << 40) | 16,
+                    server: 0,
+                    offset: 16,
+                    len: 8,
+                },
+            ],
+        });
+        roundtrip(Message::RouteUpdate { placements: vec![] });
     }
 
     #[test]
@@ -446,6 +503,18 @@ mod tests {
             },
             Message::Barrier { group: 1, seq: 2 },
             Message::Shutdown,
+            Message::Install {
+                kv: KvPairs::single(8, vec![2.5; 3]),
+            },
+            Message::RouteUpdate {
+                placements: vec![WirePlacement {
+                    orig_key: 1,
+                    new_key: 2,
+                    server: 0,
+                    offset: 0,
+                    len: 4,
+                }],
+            },
         ];
         for msg in msgs {
             assert_eq!(

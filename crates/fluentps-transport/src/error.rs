@@ -10,6 +10,9 @@ pub enum TransportError {
     Disconnected,
     /// A message was addressed to a node this transport does not know.
     UnknownNode(crate::msg::NodeId),
+    /// A request went unanswered past its deadline and the retry budget is
+    /// exhausted (client-side resilience layer).
+    Timeout,
     /// The wire bytes could not be decoded into a [`crate::Message`].
     Decode(DecodeError),
     /// An I/O error from a stream transport (TCP).
@@ -48,6 +51,7 @@ impl fmt::Display for TransportError {
         match self {
             TransportError::Disconnected => write!(f, "transport disconnected"),
             TransportError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            TransportError::Timeout => write!(f, "request timed out; retries exhausted"),
             TransportError::Decode(e) => write!(f, "decode error: {e}"),
             TransportError::Io(e) => write!(f, "io error: {e}"),
         }

@@ -13,6 +13,9 @@
 //!   tests, examples and the threaded engine.
 //! * [`tcp`] — a real TCP transport over `std::net` so a FluentPS cluster can
 //!   run as separate OS processes (see the `tcp_cluster` example).
+//! * [`fault`] — a deterministic fault-injection shim over any
+//!   [`Mailbox`]/[`Postman`] pair (drop/delay/duplicate/sever), driven by
+//!   seeded, content-matched schedules so chaos runs replay bit-for-bit.
 //!
 //! All transports expose the same [`Mailbox`]/[`Postman`] pair so the engine
 //! code in `fluentps-core` is transport-agnostic.
@@ -21,6 +24,7 @@
 
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod frame;
 pub mod inproc;
 pub mod msg;
@@ -28,8 +32,9 @@ pub mod quant;
 pub mod tcp;
 
 pub use error::TransportError;
+pub use fault::{FaultInjector, FaultPlan};
 pub use inproc::{Endpoint, Fabric};
-pub use msg::{KvPairs, Message, NodeId};
+pub use msg::{KvPairs, Message, NodeId, WirePlacement};
 
 /// Receiving half of a transport endpoint.
 pub trait Mailbox: Send {

@@ -119,6 +119,23 @@ impl KvPairs {
     }
 }
 
+/// One entry of a placement table carried on the wire by
+/// [`Message::RouteUpdate`]. Mirrors the EPS `Placement` struct in
+/// `fluentps-core` (which transport cannot depend on) field for field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WirePlacement {
+    /// The application's original parameter key.
+    pub orig_key: u64,
+    /// The EPS-remapped wire key.
+    pub new_key: u64,
+    /// Owning server.
+    pub server: u32,
+    /// Offset of this slice inside the original parameter.
+    pub offset: u32,
+    /// Length of this slice.
+    pub len: u32,
+}
+
 /// One message of the FluentPS protocol.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -192,6 +209,20 @@ pub enum Message {
     },
     /// Orderly shutdown request.
     Shutdown,
+    /// Recovery: install parameters into a shard verbatim (no gradient
+    /// semantics). Sent by a supervisor when a dead server's keys are
+    /// adopted by a survivor, or when seeding a replacement from a
+    /// checkpoint.
+    Install {
+        /// Parameters to install, keyed by wire key.
+        kv: KvPairs,
+    },
+    /// Recovery: a new key placement after a server died and its slices
+    /// were remapped. Workers rebuild their router from this.
+    RouteUpdate {
+        /// The complete new placement table.
+        placements: Vec<WirePlacement>,
+    },
 }
 
 impl Message {
@@ -208,6 +239,8 @@ impl Message {
             Message::Heartbeat { .. } => 16,
             Message::Barrier { .. } => 12,
             Message::Shutdown => 1,
+            Message::Install { kv } => 4 + kv.payload_bytes(),
+            Message::RouteUpdate { placements } => 4 + placements.len() * 28,
         }
     }
 }

@@ -24,12 +24,18 @@ use crate::frame::{read_frame, wire_len, write_frame};
 use crate::msg::{Message, NodeId};
 use crate::{Mailbox, Postman};
 
-/// Static mapping from node identity to listening address, distributed
-/// out-of-band (mirrors how PS-Lite nodes learn the scheduler address from
-/// environment variables).
-#[derive(Debug, Clone, Default)]
+/// Mapping from node identity to listening address, distributed out-of-band
+/// (mirrors how PS-Lite nodes learn the scheduler address from environment
+/// variables).
+///
+/// The book is internally shared: clones hand out views of the *same*
+/// directory, so re-registering a node (e.g. a replacement server bound to
+/// a fresh port after a crash) is immediately visible to every postman
+/// built from any clone. A postman whose connection breaks redials through
+/// the book, which is how workers find a recovered server.
+#[derive(Clone, Default)]
 pub struct AddressBook {
-    addrs: HashMap<NodeId, SocketAddr>,
+    addrs: Arc<fluentps_util::sync::RwLock<HashMap<NodeId, SocketAddr>>>,
 }
 
 impl AddressBook {
@@ -38,14 +44,30 @@ impl AddressBook {
         Self::default()
     }
 
-    /// Record where `node` listens.
-    pub fn insert(&mut self, node: NodeId, addr: SocketAddr) {
-        self.addrs.insert(node, addr);
+    /// Record (or update) where `node` listens. Visible through every
+    /// clone of this book.
+    pub fn insert(&self, node: NodeId, addr: SocketAddr) {
+        self.addrs.write().insert(node, addr);
     }
 
     /// Look up a node's listening address.
     pub fn get(&self, node: NodeId) -> Option<SocketAddr> {
-        self.addrs.get(&node).copied()
+        self.addrs.read().get(&node).copied()
+    }
+
+    /// A deep copy whose entries no longer track this book (for building
+    /// deliberately stale views in tests).
+    pub fn detached(&self) -> Self {
+        let addrs = self.addrs.read().clone();
+        AddressBook {
+            addrs: Arc::new(fluentps_util::sync::RwLock::new(addrs)),
+        }
+    }
+}
+
+impl std::fmt::Debug for AddressBook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.addrs.read().iter()).finish()
     }
 }
 
@@ -277,7 +299,7 @@ mod tests {
 
     #[test]
     fn two_nodes_exchange_messages() {
-        let mut book = AddressBook::new();
+        let book = AddressBook::new();
         let server = TcpNode::bind(NodeId::Server(0), loopback(), book.clone()).unwrap();
         book.insert(NodeId::Server(0), server.local_addr());
         let worker = TcpNode::bind(NodeId::Worker(0), loopback(), book.clone()).unwrap();
@@ -301,11 +323,11 @@ mod tests {
 
     #[test]
     fn reply_flows_over_dialed_back_connection() {
-        let mut book = AddressBook::new();
+        let book = AddressBook::new();
         let server = TcpNode::bind(NodeId::Server(0), loopback(), book.clone()).unwrap();
         book.insert(NodeId::Server(0), server.local_addr());
         let worker = TcpNode::bind(NodeId::Worker(0), loopback(), book.clone()).unwrap();
-        let mut book2 = book.clone();
+        let book2 = book.clone();
         book2.insert(NodeId::Worker(0), worker.local_addr());
         // Server needs the worker's address to reply; rebuild its postman view
         // by binding a fresh server with the complete book in real usage. Here
@@ -350,7 +372,7 @@ mod tests {
         use fluentps_obs::TraceCollector;
 
         let collector = TraceCollector::wall(1024);
-        let mut book = AddressBook::new();
+        let book = AddressBook::new();
         let server = TcpNode::bind_traced(
             NodeId::Server(2),
             loopback(),
@@ -398,7 +420,7 @@ mod tests {
 
     #[test]
     fn many_messages_preserve_order() {
-        let mut book = AddressBook::new();
+        let book = AddressBook::new();
         let server = TcpNode::bind(NodeId::Server(0), loopback(), book.clone()).unwrap();
         book.insert(NodeId::Server(0), server.local_addr());
         let worker = TcpNode::bind(NodeId::Worker(0), loopback(), book).unwrap();

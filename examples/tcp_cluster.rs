@@ -23,7 +23,7 @@ fn main() {
     let loopback: std::net::SocketAddr = "127.0.0.1:0".parse().unwrap();
 
     // Bind everyone on OS-chosen ports, then distribute the address book.
-    let mut book = AddressBook::new();
+    let book = AddressBook::new();
     let server_node = TcpNode::bind(NodeId::Server(0), loopback, book.clone()).unwrap();
     book.insert(NodeId::Server(0), server_node.local_addr());
     let mut worker_nodes = Vec::new();

@@ -30,3 +30,19 @@ for bench_json in BENCH_*.json; do
   [ -e "$bench_json" ] || continue
   ./target/release/repro validate-json "$bench_json"
 done
+
+# Chaos smoke: a seeded fault schedule (drops, reorder-delays, duplicates)
+# on the live resilient TCP engine must be bit-deterministic — same seed,
+# same logical outcome. Run twice and diff the stats/fingerprint lines.
+./target/release/repro chaos --seed 42 --workers 1 --servers 2 --iters 20 --faults 8 \
+  >"$smokedir/chaos_a.txt" 2>/dev/null
+./target/release/repro chaos --seed 42 --workers 1 --servers 2 --iters 20 --faults 8 \
+  >"$smokedir/chaos_b.txt" 2>/dev/null
+diff "$smokedir/chaos_a.txt" "$smokedir/chaos_b.txt"
+
+# Kill-and-recover smoke: crash a server mid-training; the supervisor must
+# replace it from a checkpoint and the run must converge and exit 0 with no
+# server left dead.
+./target/release/repro chaos --seed 13 --workers 2 --servers 2 --iters 25 --kill 0@8 \
+  >"$smokedir/chaos_kill.txt" 2>/dev/null
+grep -q '^chaos-dead-at-end 0$' "$smokedir/chaos_kill.txt"

@@ -169,7 +169,7 @@ fn tcp_transport_carries_a_full_training_exchange() {
     use fluentps::transport::{Mailbox, Message, NodeId, Postman};
 
     let loopback: std::net::SocketAddr = "127.0.0.1:0".parse().unwrap();
-    let mut book = AddressBook::new();
+    let book = AddressBook::new();
     let server_rx = TcpNode::bind(NodeId::Server(0), loopback, book.clone()).unwrap();
     book.insert(NodeId::Server(0), server_rx.local_addr());
     let worker = TcpNode::bind(NodeId::Worker(0), loopback, book.clone()).unwrap();

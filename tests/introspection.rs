@@ -9,9 +9,13 @@ use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::TcpStream;
 
+use std::time::{Duration, Instant};
+
 use fluentps::core::condition::SyncModel;
 use fluentps::core::engine::{Cluster, EngineConfig};
 use fluentps::core::eps::{EpsSlicer, ParamSpec, Slicer};
+use fluentps::core::recovery::{RecoveryConfig, ResilientTcpCluster};
+use fluentps::core::worker::RetryPolicy;
 use fluentps::obs::{MetricsRegistry, TraceCollector};
 
 /// Minimal HTTP/1.1 GET over a fresh connection; returns (status line, body).
@@ -130,4 +134,101 @@ fn threaded_engine_serves_metrics_and_healthz_while_training() {
     let stats = cluster.shutdown();
     assert_eq!(stats.len(), 1);
     assert_eq!(stats[0].pulls_total, num_workers as u64 * iters);
+}
+
+/// Poll `/healthz` until `pred(status, body)` holds or the deadline passes;
+/// returns the final response either way.
+fn poll_healthz(
+    addr: std::net::SocketAddr,
+    deadline: Duration,
+    pred: impl Fn(&str, &str) -> bool,
+) -> (String, String) {
+    let start = Instant::now();
+    loop {
+        let (status, body) = http_get(addr, "/healthz");
+        if pred(&status, &body) || start.elapsed() > deadline {
+            return (status, body);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn resilient_engine_healthz_reflects_the_liveness_monitor() {
+    // The fault-tolerant TCP engine feeds its supervisor's liveness view
+    // into `/healthz`: ready (200) with per-server heartbeat ages while the
+    // cluster is whole, degraded (503) once a server is declared dead and
+    // not replaced.
+    let params = vec![ParamSpec { key: 0, len: 8 }, ParamSpec { key: 1, len: 8 }];
+    let map = EpsSlicer { max_chunk: 8 }.slice(&params, 2);
+    let mut init = HashMap::new();
+    init.insert(0u64, vec![0.0f32; 8]);
+    init.insert(1u64, vec![0.0f32; 8]);
+    let cfg = EngineConfig {
+        num_workers: 1,
+        num_servers: 2,
+        ..EngineConfig::default()
+    };
+    let rcfg = RecoveryConfig {
+        heartbeat_every: Duration::from_millis(10),
+        liveness_timeout: Duration::from_millis(60),
+        checkpoint_every: 1,
+        kill_server: Some((0, 2)),
+        spawn_replacement: false, // degrade, so /healthz flips to 503
+        retry: RetryPolicy {
+            timeout: Duration::from_millis(50),
+            max_retries: 80,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(40),
+            jitter_seed: 7,
+            replay_depth: 16,
+        },
+        ..RecoveryConfig::default()
+    };
+    let (cluster, mut workers) =
+        ResilientTcpCluster::launch(cfg, rcfg, map, &init, None).expect("launch");
+    let server = fluentps::obs::http::serve_with_health(
+        "127.0.0.1:0".parse().unwrap(),
+        MetricsRegistry::new(),
+        None,
+        Some(cluster.health()),
+    )
+    .expect("bind introspection endpoint");
+    let addr = server.local_addr();
+
+    // Whole cluster: ready, with a heartbeat-age line per server.
+    let (status, body) = poll_healthz(addr, Duration::from_secs(5), |s, b| {
+        s.contains("200") && b.contains("node server0") && b.contains("node server1")
+    });
+    assert!(
+        status.contains("200"),
+        "pre-failure healthz: {status}\n{body}"
+    );
+    assert!(body.starts_with("ready\n"), "pre-failure body: {body}");
+
+    // Train through the kill; retries and degraded-mode rerouting absorb it.
+    let mut w = workers.remove(0);
+    let grads: HashMap<u64, Vec<f32>> = [(0u64, vec![1.0f32; 8]), (1u64, vec![1.0f32; 8])].into();
+    let mut out = HashMap::new();
+    for i in 0..6u64 {
+        w.spush(i, &grads).expect("push");
+        w.spull_wait(i, &mut out)
+            .expect("pull survives degradation");
+    }
+
+    // Server 0 is dead for good: the readiness probe reports degraded.
+    let (status, body) = poll_healthz(addr, Duration::from_secs(5), |s, _| s.contains("503"));
+    assert!(
+        status.contains("503"),
+        "post-failure healthz: {status}\n{body}"
+    );
+    assert!(body.starts_with("degraded\n"), "post-failure body: {body}");
+    assert!(body.contains("dead_nodes 1"), "post-failure body: {body}");
+
+    server.stop();
+    let stats = cluster.shutdown();
+    assert!(
+        stats[1].pushes >= 6,
+        "survivor carried the tail of training"
+    );
 }
