@@ -161,6 +161,76 @@ fn engine_tracing_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// One complete TCP-engine run: 2 servers, 2 workers, 5 iterations, with or
+/// without cluster-wide trace streaming to a collector service.
+fn run_tcp_cluster(collect: Option<std::net::SocketAddr>) -> u64 {
+    use fluentps_core::tcp_engine::TcpCluster;
+
+    let specs = vec![
+        ParamSpec { key: 0, len: 256 },
+        ParamSpec { key: 1, len: 128 },
+    ];
+    let mut init = HashMap::new();
+    init.insert(0u64, vec![0.0f32; 256]);
+    init.insert(1u64, vec![0.0f32; 128]);
+    let map = EpsSlicer { max_chunk: 64 }.slice(&specs, 2);
+    let cfg = EngineConfig {
+        num_workers: 2,
+        num_servers: 2,
+        model: SyncModel::Ssp { s: 1 },
+        ..EngineConfig::default()
+    };
+    let (cluster, mut workers) = match collect {
+        Some(addr) => TcpCluster::launch_collected(cfg, map, &init, addr, 1 << 12).unwrap(),
+        None => TcpCluster::launch(cfg, map, &init).unwrap(),
+    };
+    let mut grads = HashMap::new();
+    grads.insert(0u64, vec![1e-3f32; 256]);
+    grads.insert(1u64, vec![1e-3f32; 128]);
+    let handles: Vec<_> = workers
+        .drain(..)
+        .map(|mut w| {
+            let grads = grads.clone();
+            std::thread::spawn(move || {
+                let mut params = HashMap::new();
+                for i in 0..5u64 {
+                    w.spush(i, &grads).unwrap();
+                    w.spull_wait(i, &mut params).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = cluster.shutdown();
+    stats.iter().map(|s| s.pulls_total).sum()
+}
+
+/// The streaming-path pair: the same TCP workload bare vs. with every node
+/// shipping its trace rings to a collector service over loopback. The
+/// delta is the full cost of cluster-wide collection — per-node collectors,
+/// the clock handshake, batching and the collector-side merge — as seen by
+/// the training loop.
+fn collect_streaming_overhead(c: &mut Criterion) {
+    use fluentps_transport::CollectorService;
+
+    let mut g = c.benchmark_group("collect");
+    g.sample_size(10);
+    g.bench_function("tcp_streaming_off", |b| b.iter(|| run_tcp_cluster(None)));
+    g.bench_function("tcp_streaming_on", |b| {
+        b.iter(|| {
+            let mut service =
+                CollectorService::bind("127.0.0.1:0".parse().unwrap(), 1 << 14).unwrap();
+            let pulls = run_tcp_cluster(Some(service.local_addr()));
+            let merged = service.snapshot().events.len();
+            service.stop();
+            (pulls, merged)
+        })
+    });
+    g.finish();
+}
+
 /// Analyzer throughput: a realistic mixed event stream (pull/defer/release
 /// chains, pushes, V_train advances, wire pairs, barrier spans) through the
 /// full `analyze::analyze` pass, reported as events/sec.
@@ -210,6 +280,7 @@ criterion_group!(
     metrics,
     export_chrome,
     engine_tracing_overhead,
+    collect_streaming_overhead,
     analyze_throughput
 );
 criterion_main!(obs);

@@ -38,6 +38,7 @@ use fluentps_util::buf::Bytes;
 use fluentps_util::rng::StdRng;
 use fluentps_util::sync::Mutex;
 
+use fluentps_transport::collect::{StreamerConfig, TraceStreamer};
 use fluentps_transport::fault::{FaultInjector, FaultPlan, FaultyMailbox, FaultyPostman};
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
 use fluentps_transport::{
@@ -82,6 +83,17 @@ pub struct RecoveryConfig {
     pub retry: RetryPolicy,
     /// Seeded fault schedule applied to all worker/server messaging.
     pub fault_plan: FaultPlan,
+    /// When set, every node — each server loop, each worker client, the
+    /// supervisor — records into its *own* wall-clock [`TraceCollector`]
+    /// and streams its ring to the trace collector service at this
+    /// address (see `fluentps_transport::collect`). Distinct per-node
+    /// epochs are the point: the collection protocol's clock-offset
+    /// handshake aligns them onto one cluster timeline. When a collector
+    /// address is set, any in-process collector passed to
+    /// [`ResilientTcpCluster::launch`] is ignored.
+    pub collector_addr: Option<SocketAddr>,
+    /// Per-node ring capacity (events) when `collector_addr` is set.
+    pub trace_ring_capacity: usize,
 }
 
 impl Default for RecoveryConfig {
@@ -94,7 +106,28 @@ impl Default for RecoveryConfig {
             spawn_replacement: true,
             retry: RetryPolicy::default(),
             fault_plan: FaultPlan::passthrough(),
+            collector_addr: None,
+            trace_ring_capacity: 1 << 14,
         }
+    }
+}
+
+/// Per-node tracing setup: either a handle into the shared in-process
+/// collector, or (when streaming) a private collector plus the streamer
+/// shipping its ring to the collection service.
+fn node_tracing(
+    rcfg: &RecoveryConfig,
+    shared: &Tracer,
+    node: NodeId,
+) -> (Tracer, Option<TraceStreamer>) {
+    match rcfg.collector_addr {
+        Some(addr) => {
+            let col = TraceCollector::wall(rcfg.trace_ring_capacity);
+            let tracer = col.tracer();
+            let streamer = TraceStreamer::start(node, &col, addr, StreamerConfig::default());
+            (tracer, Some(streamer))
+        }
+        None => (shared.clone(), None),
     }
 }
 
@@ -105,6 +138,13 @@ pub struct ResilientTcpCluster {
     _control_node: TcpNode,
     injector: FaultInjector,
     health: HealthView,
+    /// Streamers for the worker clients' trace rings; stopped (with a
+    /// final flush) at shutdown, after the caller's worker threads are
+    /// done recording.
+    worker_streamers: Vec<TraceStreamer>,
+    /// Streamer for the supervisor's own events (deaths, restores,
+    /// remaps); stopped last, after the supervisor thread exits.
+    supervisor_streamer: Option<TraceStreamer>,
     /// Where each node listens; shared live with every postman, so a
     /// replacement server becomes reachable the moment it rebinds.
     pub addresses: AddressBook,
@@ -159,7 +199,8 @@ impl ResilientTcpCluster {
                 keys.push(p.new_key);
             }
             keys.sort_unstable();
-            shard.set_tracer(tracer.clone());
+            let (server_tracer, server_streamer) = node_tracing(&rcfg, &tracer, NodeId::Server(m));
+            shard.set_tracer(server_tracer.clone());
             let handle = spawn_server_loop(
                 ServerLoop {
                     shard,
@@ -168,7 +209,7 @@ impl ResilientTcpCluster {
                     last_reply: vec![None; cfg.num_workers as usize],
                     pending_pull: vec![None; cfg.num_workers as usize],
                     rng: StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1)),
-                    tracer: tracer.clone(),
+                    tracer: server_tracer,
                     rcfg: rcfg.clone(),
                     store: Arc::clone(&store),
                 },
@@ -179,11 +220,13 @@ impl ResilientTcpCluster {
                     book.clone(),
                 )?,
                 &injector,
+                server_streamer,
             );
             handles.push((m, handle));
         }
 
         let router = Router::new(map.clone());
+        let mut worker_streamers = Vec::new();
         let workers: Vec<ResilientWorker> = worker_nodes
             .into_iter()
             .enumerate()
@@ -192,7 +235,10 @@ impl ResilientTcpCluster {
                 let postman = injector.postman(NodeId::Worker(n), node.postman());
                 let mailbox = injector.mailbox(NodeId::Worker(n), node);
                 let mut w = WorkerClient::new(n, postman, mailbox, router.clone());
-                w.set_tracer(tracer.clone());
+                let (worker_tracer, worker_streamer) =
+                    node_tracing(&rcfg, &tracer, NodeId::Worker(n));
+                worker_streamers.extend(worker_streamer);
+                w.set_tracer(worker_tracer);
                 w.set_retry_policy(rcfg.retry.clone());
                 w
             })
@@ -201,13 +247,15 @@ impl ResilientTcpCluster {
         let control_node = TcpNode::bind(NodeId::Worker(u32::MAX), loopback, book.clone())?;
         let control = control_node.postman();
 
+        let (supervisor_tracer, supervisor_streamer) =
+            node_tracing(&rcfg, &tracer, NodeId::Scheduler);
         let supervisor = Supervisor {
             cfg,
             rcfg,
             book: book.clone(),
             map,
             injector: injector.clone(),
-            tracer,
+            tracer: supervisor_tracer,
             store,
             handles,
             loopback,
@@ -226,6 +274,8 @@ impl ResilientTcpCluster {
                 _control_node: control_node,
                 injector,
                 health,
+                worker_streamers,
+                supervisor_streamer,
                 addresses: book,
             },
             workers,
@@ -247,9 +297,21 @@ impl ResilientTcpCluster {
 
     /// Stop the supervisor and every server; returns per-server statistics
     /// (a replaced server's incarnations are merged under its id).
+    ///
+    /// Call after the worker threads have finished: the workers' trace
+    /// streamers final-flush here, so events recorded later would be lost.
     pub fn shutdown(self) -> Vec<ShardStats> {
+        // Workers are done recording by contract; flush their rings first.
+        for s in self.worker_streamers {
+            s.stop();
+        }
         let _ = self.control.send(NodeId::Scheduler, Message::Shutdown);
-        self.supervisor.join().expect("supervisor thread")
+        let stats = self.supervisor.join().expect("supervisor thread");
+        // The supervisor records recovery events until it exits; flush last.
+        if let Some(s) = self.supervisor_streamer {
+            s.stop();
+        }
+        stats
     }
 }
 
@@ -324,6 +386,7 @@ fn spawn_server_loop(
     rx: TcpNode,
     tx: TcpNode,
     injector: &FaultInjector,
+    streamer: Option<TraceStreamer>,
 ) -> JoinHandle<ShardStats> {
     let m = state.shard.config().server_id;
     // The tx node's id is an implementation detail; faults match on the
@@ -332,7 +395,15 @@ fn spawn_server_loop(
     let mailbox = injector.mailbox(NodeId::Server(m), rx);
     std::thread::Builder::new()
         .name(format!("fluentps-rts-server-{m}"))
-        .spawn(move || resilient_server_loop(state, mailbox, postman, tx))
+        .spawn(move || {
+            let stats = resilient_server_loop(state, mailbox, postman, tx);
+            // Final-flush this server's trace stream from its own thread so a
+            // killed server still ships everything it recorded before exiting.
+            if let Some(s) = streamer {
+                s.stop();
+            }
+            stats
+        })
         .expect("spawn resilient server")
 }
 
@@ -656,7 +727,11 @@ impl Supervisor {
         self.book.insert(NodeId::Server(m), rx.local_addr());
 
         let mut shard = fresh_shard(&self.cfg, m);
-        shard.set_tracer(self.tracer.clone());
+        // The replacement gets its own collector+streamer: on the merged
+        // timeline it is a new incarnation of `serverM` (the collector folds
+        // the restarted batch sequence into the same per-node accounting).
+        let (rep_tracer, rep_streamer) = node_tracing(&self.rcfg, &self.tracer, NodeId::Server(m));
+        shard.set_tracer(rep_tracer.clone());
         cp.restore_into(&mut shard);
         let keys = cp.params.keys.clone();
         let watermarks = cp.applied_watermarks();
@@ -705,13 +780,14 @@ impl Supervisor {
                 last_reply: vec![None; self.cfg.num_workers as usize],
                 pending_pull: vec![None; self.cfg.num_workers as usize],
                 rng,
-                tracer: self.tracer.clone(),
+                tracer: rep_tracer,
                 rcfg,
                 store: Arc::clone(&self.store),
             },
             rx,
             tx,
             &self.injector,
+            rep_streamer,
         );
         self.handles.push((m, handle));
         true
@@ -814,6 +890,8 @@ mod tests {
                 replay_depth: 16,
             },
             fault_plan: FaultPlan::passthrough(),
+            collector_addr: None,
+            trace_ring_capacity: 1 << 10,
         }
     }
 
@@ -891,6 +969,52 @@ mod tests {
         let stats = cluster.shutdown();
         // The survivor carried the tail of training.
         assert!(stats[1].pushes >= 6);
+    }
+
+    #[test]
+    fn collected_kill_run_merges_every_node_with_exact_accounting() {
+        use fluentps_transport::CollectorService;
+
+        let (cfg, map, init) = two_server_setup();
+        let mut service = CollectorService::bind("127.0.0.1:0".parse().unwrap(), 1 << 12)
+            .expect("bind collector");
+        let mut rcfg = fast_recovery(Some((0, 2)), true);
+        rcfg.collector_addr = Some(service.local_addr());
+        let (cluster, mut workers) =
+            ResilientTcpCluster::launch(cfg, rcfg, map, &init, None).expect("launch");
+        let mut w = workers.remove(0);
+        let grads: HashMap<u64, Vec<f32>> =
+            [(0u64, vec![1.0f32; 4]), (1u64, vec![1.0f32; 4])].into();
+        let mut params = HashMap::new();
+        for i in 0..5u64 {
+            w.spush(i, &grads).expect("push");
+            w.spull_wait(i, &mut params).expect("pull");
+        }
+        drop(w); // worker thread done recording before shutdown() flushes
+        cluster.shutdown();
+
+        // Every node appears exactly once, and the killed server's two
+        // incarnations fold into one stream.
+        let stats = service.node_stats();
+        let names: Vec<&str> = stats.iter().map(|s| s.node.as_str()).collect();
+        assert_eq!(names, ["scheduler", "server0", "server1", "worker0"]);
+        let server0 = &stats[1];
+        assert_eq!(server0.incarnations, 2, "kill + replacement");
+        service
+            .check_balance()
+            .expect("received + dropped == emitted on every node");
+
+        // The merged timeline is monotone and includes the recovery events
+        // the supervisor and the replacement recorded in *their* streams.
+        let trace = service.snapshot();
+        assert!(trace
+            .events
+            .windows(2)
+            .all(|w| w[0].ts <= w[1].ts && w[0].seq < w[1].seq));
+        assert!(trace.counts[EventKind::CheckpointRestored.index()] >= 1);
+        assert!(trace.counts[EventKind::CheckpointCaptured.index()] >= 1);
+        assert!(trace.counts[EventKind::PushApplied.index()] >= 5);
+        service.stop();
     }
 
     #[test]

@@ -17,6 +17,7 @@ use fluentps_obs::{
 };
 use fluentps_util::rng::StdRng;
 
+use fluentps_transport::collect::{StreamerConfig, TraceStreamer};
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
 use fluentps_transport::{frame, Mailbox, Message, NodeId, Postman, TransportError};
 
@@ -38,6 +39,9 @@ pub struct TcpCluster {
     // would mark its postman disconnected.
     _control_node: TcpNode,
     num_servers: u32,
+    // Per-worker trace streamers when launched collected; final-flushed at
+    // shutdown (after the worker threads are done recording).
+    worker_streamers: Vec<TraceStreamer>,
     /// Where each node listens (exported so external processes could join).
     pub addresses: AddressBook,
 }
@@ -50,7 +54,7 @@ impl TcpCluster {
         map: SliceMap,
         init: &HashMap<u64, Vec<f32>>,
     ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
-        Self::launch_inner(cfg, map, init, None)
+        Self::launch_inner(cfg, map, init, None, None)
     }
 
     /// [`TcpCluster::launch`] with a [`TraceCollector`]: shards, server
@@ -61,7 +65,22 @@ impl TcpCluster {
         init: &HashMap<u64, Vec<f32>>,
         collector: &TraceCollector,
     ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
-        Self::launch_inner(cfg, map, init, Some(collector))
+        Self::launch_inner(cfg, map, init, Some(collector), None)
+    }
+
+    /// Launch with *cluster-wide trace collection*: every server loop and
+    /// worker client gets its own wall-clock [`TraceCollector`] of
+    /// `ring_capacity` events and a [`TraceStreamer`] shipping them to the
+    /// [`fluentps_transport::CollectorService`] at `collector_addr`, where
+    /// they are clock-aligned and merged onto one timeline.
+    pub fn launch_collected(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector_addr: SocketAddr,
+        ring_capacity: usize,
+    ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
+        Self::launch_inner(cfg, map, init, None, Some((collector_addr, ring_capacity)))
     }
 
     /// [`TcpCluster::launch_with_collector`] plus a live introspection
@@ -77,7 +96,7 @@ impl TcpCluster {
         registry: &MetricsRegistry,
         addr: SocketAddr,
     ) -> Result<(TcpCluster, Vec<TcpWorker>, IntrospectionServer), TransportError> {
-        let (cluster, workers) = Self::launch_inner(cfg, map, init, Some(collector))?;
+        let (cluster, workers) = Self::launch_inner(cfg, map, init, Some(collector), None)?;
         crate::engine::publish_cluster_gauges(registry, "tcp", cfg.num_workers, cfg.num_servers);
         let server = http::serve(addr, registry.clone(), Some(collector.clone()))?;
         Ok((cluster, workers, server))
@@ -88,7 +107,23 @@ impl TcpCluster {
         map: SliceMap,
         init: &HashMap<u64, Vec<f32>>,
         collector: Option<&TraceCollector>,
+        stream_to: Option<(SocketAddr, usize)>,
     ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
+        // Per-node tracing when streaming to a cluster collector: each node
+        // gets its own collector (distinct clock epochs make the offset
+        // handshake meaningful) plus a streamer shipping its ring.
+        let node_tracing = |node: NodeId| -> (Tracer, Option<TraceStreamer>) {
+            match stream_to {
+                Some((addr, capacity)) => {
+                    let col = TraceCollector::wall(capacity);
+                    let tracer = col.tracer();
+                    let streamer =
+                        TraceStreamer::start(node, &col, addr, StreamerConfig::default());
+                    (tracer, Some(streamer))
+                }
+                None => (collector.map(|c| c.tracer()).unwrap_or_default(), None),
+            }
+        };
         assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
         let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
 
@@ -132,12 +167,20 @@ impl TcpCluster {
                     .unwrap_or_else(|| vec![0.0; p.len]);
                 shard.init_param(p.new_key, vals);
             }
-            let tracer = collector.map(|c| c.tracer()).unwrap_or_default();
+            let (tracer, streamer) = node_tracing(NodeId::Server(m));
             shard.set_tracer(tracer.clone());
             let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
             let handle = std::thread::Builder::new()
                 .name(format!("fluentps-tcp-server-{m}"))
-                .spawn(move || tcp_server_loop(shard, rx, tx, rng, tracer))
+                .spawn(move || {
+                    let stats = tcp_server_loop(shard, rx, tx, rng, tracer);
+                    // Final-flush from the server's own thread so everything
+                    // it recorded reaches the collector before it exits.
+                    if let Some(s) = streamer {
+                        s.stop();
+                    }
+                    stats
+                })
                 .expect("spawn tcp server");
             servers.push(handle);
         }
@@ -146,15 +189,16 @@ impl TcpCluster {
         let control_node = TcpNode::bind(NodeId::Scheduler, loopback, book.clone())?;
         let control = control_node.postman();
 
+        let mut worker_streamers = Vec::new();
         let workers = worker_nodes
             .into_iter()
             .enumerate()
             .map(|(n, node)| {
                 let postman = node.postman();
                 let mut w = WorkerClient::new(n as u32, postman, node, router.clone());
-                if let Some(c) = collector {
-                    w.set_tracer(c.tracer());
-                }
+                let (tracer, streamer) = node_tracing(NodeId::Worker(n as u32));
+                worker_streamers.extend(streamer);
+                w.set_tracer(tracer);
                 w
             })
             .collect();
@@ -165,6 +209,7 @@ impl TcpCluster {
                 control,
                 _control_node: control_node,
                 num_servers: cfg.num_servers,
+                worker_streamers,
                 addresses: book,
             },
             workers,
@@ -172,7 +217,13 @@ impl TcpCluster {
     }
 
     /// Send shutdown to every server and collect their statistics.
+    ///
+    /// For collected launches, call after the worker threads have finished:
+    /// the workers' trace streamers final-flush here.
     pub fn shutdown(self) -> Vec<ShardStats> {
+        for s in self.worker_streamers {
+            s.stop();
+        }
         for m in 0..self.num_servers {
             let _ = self.control.send(NodeId::Server(m), Message::Shutdown);
         }
@@ -362,6 +413,59 @@ mod tests {
         assert!(trace.count(EventKind::WireSend) >= 6);
         assert!(trace.count(EventKind::WireRecv) >= 6);
         assert_eq!(trace.count(EventKind::BarrierWait), 3);
+    }
+
+    #[test]
+    fn tcp_cluster_collected_run_merges_and_balances() {
+        use fluentps_transport::CollectorService;
+
+        let specs = vec![ParamSpec { key: 0, len: 6 }, ParamSpec { key: 1, len: 3 }];
+        let mut init = HashMap::new();
+        init.insert(0u64, vec![0.0; 6]);
+        init.insert(1u64, vec![0.0; 3]);
+        let map = EpsSlicer { max_chunk: 4 }.slice(&specs, 2);
+        let cfg = EngineConfig {
+            num_workers: 2,
+            num_servers: 2,
+            model: SyncModel::Bsp,
+            ..EngineConfig::default()
+        };
+        let mut service = CollectorService::bind("127.0.0.1:0".parse().unwrap(), 1 << 12)
+            .expect("bind collector");
+        let (cluster, workers) =
+            TcpCluster::launch_collected(cfg, map, &init, service.local_addr(), 1 << 10)
+                .expect("launch");
+
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|mut w| {
+                std::thread::spawn(move || {
+                    let grads: HashMap<u64, Vec<f32>> =
+                        [(0u64, vec![1.0f32; 6]), (1u64, vec![2.0f32; 3])].into();
+                    let mut params = HashMap::new();
+                    for i in 0..3u64 {
+                        w.spush(i, &grads).unwrap();
+                        w.spull_wait(i, &mut params).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        cluster.shutdown();
+
+        let stats = service.node_stats();
+        let names: Vec<&str> = stats.iter().map(|s| s.node.as_str()).collect();
+        assert_eq!(names, ["server0", "server1", "worker0", "worker1"]);
+        service.check_balance().expect("exact per-node accounting");
+        let trace = service.snapshot();
+        // Cross-process wire pairs land on the one merged timeline: both
+        // directions of every push/pull appear.
+        assert!(trace.count(EventKind::WireSend) >= 12);
+        assert!(trace.count(EventKind::WireRecv) >= 12);
+        assert!(trace.events.windows(2).all(|w| w[0].ts <= w[1].ts));
+        service.stop();
     }
 
     #[test]

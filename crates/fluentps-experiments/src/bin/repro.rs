@@ -7,6 +7,7 @@
 //!   repro validate-json FILE
 //!   repro chaos [--seed N] [--workers N] [--servers N] [--iters N]
 //!               [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]
+//!   repro collect FILE [chaos flags] [--ring N]
 //!
 //! Quick mode (default) finishes each experiment in seconds-to-minutes;
 //! `--full` uses paper-like worker counts and iteration budgets.
@@ -34,16 +35,19 @@ fn main() {
         Some("analyze") => run_analyze(&args[1..]),
         Some("validate-json") => run_validate_json(&args[1..]),
         Some("chaos") => run_chaos_cmd(&args[1..]),
+        Some("collect") => run_collect_cmd(&args[1..]),
         _ => run_figures(&args),
     }
 }
 
-/// `repro chaos`: a seeded fault-injection run on the live resilient TCP
-/// engine. Prints stable `chaos-stats` / `chaos-fingerprint` lines to
-/// stdout so CI can diff two same-seed runs, and exits non-zero if any
-/// worker fails to finish its iterations.
-fn run_chaos_cmd(args: &[String]) {
-    let mut cfg = fluentps_experiments::live::ChaosConfig::default();
+/// Parse the shared chaos/collect flags into `cfg`; bare arguments land in
+/// `file` when `file_ok` (the collect output path), otherwise error out.
+fn parse_chaos_args(
+    args: &[String],
+    cfg: &mut fluentps_experiments::live::ChaosConfig,
+    file: &mut Option<String>,
+    file_ok: bool,
+) {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +75,10 @@ fn run_chaos_cmd(args: &[String]) {
                 i += 1;
                 cfg.faults = parse_arg(args.get(i), "--faults N");
             }
+            "--ring" => {
+                i += 1;
+                cfg.trace_ring_capacity = parse_arg(args.get(i), "--ring N");
+            }
             "--kill" => {
                 i += 1;
                 let raw = args.get(i).cloned().unwrap_or_else(|| {
@@ -94,13 +102,25 @@ fn run_chaos_cmd(args: &[String]) {
                     std::process::exit(2);
                 }));
             }
+            other if file_ok && file.is_none() && !other.starts_with('-') => {
+                *file = Some(other.to_string());
+            }
             other => {
-                eprintln!("[repro] unknown chaos argument {other:?}");
+                eprintln!("[repro] unknown argument {other:?}");
                 usage();
             }
         }
         i += 1;
     }
+}
+
+/// `repro chaos`: a seeded fault-injection run on the live resilient TCP
+/// engine. Prints stable `chaos-stats` / `chaos-fingerprint` lines to
+/// stdout so CI can diff two same-seed runs, and exits non-zero if any
+/// worker fails to finish its iterations.
+fn run_chaos_cmd(args: &[String]) {
+    let mut cfg = fluentps_experiments::live::ChaosConfig::default();
+    parse_chaos_args(args, &mut cfg, &mut None, false);
     eprintln!(
         "[repro] chaos: {}w x {}s, {} iters, seed {}, faults {}, kill {:?}",
         cfg.num_workers, cfg.num_servers, cfg.max_iters, cfg.seed, cfg.faults, cfg.kill_server
@@ -108,6 +128,13 @@ fn run_chaos_cmd(args: &[String]) {
     // A worker that exhausts its retries panics its thread; run_chaos
     // propagates the panic, which exits this process non-zero.
     let r = fluentps_experiments::live::run_chaos(&cfg);
+    print_chaos_result(&cfg, &r);
+}
+
+fn print_chaos_result(
+    cfg: &fluentps_experiments::live::ChaosConfig,
+    r: &fluentps_experiments::live::ChaosResult,
+) {
     for (m, s) in r.stats.iter().enumerate() {
         println!(
             "chaos-stats server={m} pushes={} pulls={} v_train={} dprs={} released={}",
@@ -124,6 +151,110 @@ fn run_chaos_cmd(args: &[String]) {
         eprintln!("[repro] chaos: server still dead at end of run");
         std::process::exit(1);
     }
+}
+
+/// `repro collect FILE`: a chaos run with cluster-wide trace collection —
+/// every node (workers, servers, supervisor) streams its ring-buffered
+/// events to an in-process collector service, which clock-aligns and
+/// merges them onto one timeline. The merged trace is written to FILE
+/// (JSONL when it ends in `.jsonl`, Chrome trace-event JSON otherwise) so
+/// `repro analyze FILE` can chew on the whole cluster at once. Prints
+/// stable `collect-node` / `collect-balanced` / `collect-recovery` lines
+/// for CI, and exits non-zero when any node's accounting does not balance.
+fn run_collect_cmd(args: &[String]) {
+    use fluentps_obs::EventKind;
+    use fluentps_transport::CollectorService;
+
+    let mut cfg = fluentps_experiments::live::ChaosConfig::default();
+    let mut file = None;
+    parse_chaos_args(args, &mut cfg, &mut file, true);
+    let path = file.unwrap_or_else(|| {
+        eprintln!("[repro] collect needs an output FILE");
+        usage();
+    });
+
+    let mut service = CollectorService::bind(
+        "127.0.0.1:0".parse().expect("loopback"),
+        // The merged view keeps up to 4 rings' worth per node; the
+        // streamers drained the rings live, so this bounds collector
+        // memory, not what the nodes could record.
+        cfg.trace_ring_capacity * 4,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("[repro] cannot bind trace collector: {e}");
+        std::process::exit(1);
+    });
+    cfg.collector_addr = Some(service.local_addr());
+    // In collect mode the introspection endpoint serves the *merged*
+    // cluster timeline (and per-node collection counters on /metrics), so
+    // take the address over from the chaos run's own endpoint.
+    let introspection = cfg.metrics_addr.take().map(|addr| {
+        let registry = fluentps_obs::MetricsRegistry::new();
+        let scope = registry.scope().with("engine", "resilient-tcp");
+        scope.set_gauge("cluster_workers", cfg.num_workers as f64);
+        scope.set_gauge("cluster_servers", cfg.num_servers as f64);
+        scope.set_gauge("cluster_up", 1.0);
+        eprintln!("[repro] serving merged /trace and /metrics on http://{addr}/");
+        fluentps_obs::http::serve_source(
+            addr,
+            registry,
+            Some(fluentps_obs::TraceSource::Cluster(service.cluster())),
+            None,
+        )
+        .expect("bind introspection endpoint")
+    });
+    eprintln!(
+        "[repro] collect: {}w x {}s, {} iters, seed {}, faults {}, kill {:?}, collector {}",
+        cfg.num_workers,
+        cfg.num_servers,
+        cfg.max_iters,
+        cfg.seed,
+        cfg.faults,
+        cfg.kill_server,
+        service.local_addr()
+    );
+
+    let r = fluentps_experiments::live::run_chaos(&cfg);
+
+    // Every streamer has final-flushed and passed its read barrier by the
+    // time run_chaos returns, so the snapshot below is the whole run.
+    for s in service.node_stats() {
+        println!(
+            "collect-node {} emitted={} received={} dropped={} incarnations={}",
+            s.node, s.emitted, s.received, s.dropped, s.incarnations
+        );
+    }
+    match service.check_balance() {
+        Ok(()) => println!("collect-balanced ok"),
+        Err(bad) => {
+            for s in &bad {
+                eprintln!(
+                    "[repro] unbalanced node {}: emitted {} != received {} + dropped {}",
+                    s.node, s.emitted, s.received, s.dropped
+                );
+            }
+            println!("collect-balanced FAILED");
+            std::process::exit(1);
+        }
+    }
+    let trace = service.snapshot();
+    println!(
+        "collect-recovery checkpoint_captured={} checkpoint_restored={} shard_remapped={} node_declared_dead={}",
+        trace.count(EventKind::CheckpointCaptured),
+        trace.count(EventKind::CheckpointRestored),
+        trace.count(EventKind::ShardRemapped),
+        trace.count(EventKind::NodeDeclaredDead),
+    );
+    let rendered = tracerun::render_for_path(&path, &trace);
+    std::fs::write(&path, rendered).expect("write merged trace");
+    eprintln!(
+        "[repro] wrote {path} ({} events merged from {} nodes)",
+        trace.events.len(),
+        service.node_stats().len()
+    );
+    drop(introspection);
+    service.stop();
+    print_chaos_result(&cfg, &r);
 }
 
 fn run_figures(args: &[String]) {
@@ -362,7 +493,7 @@ where
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]"
     );
     std::process::exit(2);
 }

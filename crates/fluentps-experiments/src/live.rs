@@ -215,6 +215,12 @@ pub struct ChaosConfig {
     /// When `Some(addr)`, serve `/metrics` and the liveness-fed `/healthz`
     /// readiness view there for the duration of the run.
     pub metrics_addr: Option<std::net::SocketAddr>,
+    /// When `Some(addr)`, every node (workers, servers, supervisor) streams
+    /// its trace events to the [`fluentps_transport::CollectorService`]
+    /// listening there, so the run yields one merged cluster timeline.
+    pub collector_addr: Option<std::net::SocketAddr>,
+    /// Per-node trace ring capacity used when `collector_addr` is set.
+    pub trace_ring_capacity: usize,
     /// Master seed: drives data, initialization, and the fault schedule.
     pub seed: u64,
 }
@@ -229,6 +235,8 @@ impl Default for ChaosConfig {
             kill_server: None,
             faults: 0,
             metrics_addr: None,
+            collector_addr: None,
+            trace_ring_capacity: 1 << 14,
             seed: 0,
         }
     }
@@ -329,6 +337,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         } else {
             FaultPlan::passthrough()
         },
+        collector_addr: cfg.collector_addr,
+        trace_ring_capacity: cfg.trace_ring_capacity,
     };
 
     let (cluster, workers) =

@@ -14,8 +14,15 @@
 //!   [`TraceCollector`] is attached, per-kind event totals and the dropped
 //!   count are refreshed into the registry on every scrape, so the scrape
 //!   path carries the cost, not the training hot path.
-//! * `GET /trace?last=N` — the newest `N` buffered events as JSONL
-//!   (default 256), from a non-destructive collector snapshot.
+//! * `GET /trace?last=N&actor=ID` — the newest `N` buffered events as JSONL
+//!   (default 256), from a non-destructive snapshot. `actor=worker1`,
+//!   `actor=server0` (alias `shard0`) or a bare integer filter to one
+//!   actor's events before the tail is taken. The trace may be a single
+//!   process's [`TraceCollector`] or — via [`serve_source`] with
+//!   [`TraceSource::Cluster`] — the live merged timeline of a whole
+//!   cluster, in which case `/metrics` also exports per-node collection
+//!   counters (events received/dropped, clock offset, HLC bumps,
+//!   incarnations).
 //!
 //! Security note: callers should bind loopback (`127.0.0.1:0`) unless the
 //! endpoint is deliberately exposed — everything the server reports is
@@ -29,6 +36,9 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use fluentps_util::sync::Mutex;
+
+use crate::collect::{ClusterCollector, NodeStats};
 use crate::export;
 use crate::health::HealthView;
 use crate::metrics::MetricsRegistry;
@@ -50,6 +60,32 @@ pub struct IntrospectionServer {
     handle: Option<JoinHandle<()>>,
 }
 
+/// What `/trace` (and the trace part of `/metrics`) is served from.
+#[derive(Clone)]
+pub enum TraceSource {
+    /// One process's ring-buffered collector.
+    Local(TraceCollector),
+    /// The live merged timeline of a whole cluster, shared with a
+    /// `CollectorService` (the TCP side lives in `fluentps-transport`).
+    Cluster(Arc<Mutex<ClusterCollector>>),
+}
+
+impl TraceSource {
+    fn snapshot(&self) -> Trace {
+        match self {
+            TraceSource::Local(col) => col.snapshot(),
+            TraceSource::Cluster(cluster) => cluster.lock().snapshot(),
+        }
+    }
+
+    fn node_stats(&self) -> Option<Vec<NodeStats>> {
+        match self {
+            TraceSource::Local(_) => None,
+            TraceSource::Cluster(cluster) => Some(cluster.lock().node_stats()),
+        }
+    }
+}
+
 /// Serve `/metrics`, `/healthz` and `/trace` on `addr` until the returned
 /// handle is stopped or dropped. Pass `0` as the port to let the OS pick
 /// one — read it back from [`IntrospectionServer::local_addr`].
@@ -69,6 +105,18 @@ pub fn serve_with_health(
     collector: Option<TraceCollector>,
     health: Option<HealthView>,
 ) -> std::io::Result<IntrospectionServer> {
+    serve_source(addr, registry, collector.map(TraceSource::Local), health)
+}
+
+/// [`serve_with_health`] over any [`TraceSource`] — attach
+/// [`TraceSource::Cluster`] to serve a collector service's live merged
+/// cluster timeline instead of one process's rings.
+pub fn serve_source(
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+    source: Option<TraceSource>,
+    health: Option<HealthView>,
+) -> std::io::Result<IntrospectionServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -81,8 +129,7 @@ pub fn serve_with_health(
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let _ =
-                        handle_connection(stream, &registry, collector.as_ref(), health.as_ref());
+                    let _ = handle_connection(stream, &registry, source.as_ref(), health.as_ref());
                 }
             }
         })?;
@@ -126,7 +173,7 @@ impl Drop for IntrospectionServer {
 fn handle_connection(
     mut stream: TcpStream,
     registry: &MetricsRegistry,
-    collector: Option<&TraceCollector>,
+    source: Option<&TraceSource>,
     health: Option<&HealthView>,
 ) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
@@ -158,18 +205,38 @@ fn handle_connection(
         },
         "/metrics" => {
             registry.inc("introspection_scrapes_total", 1);
-            if let Some(col) = collector {
-                refresh_trace_metrics(registry, &col.snapshot());
+            if let Some(src) = source {
+                refresh_trace_metrics(registry, &src.snapshot());
+                if let Some(stats) = src.node_stats() {
+                    refresh_collect_metrics(registry, &stats);
+                }
             }
             let body = registry.render_prometheus();
             respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
         }
-        "/trace" => match collector {
-            Some(col) => {
+        "/trace" => match source {
+            Some(src) => {
                 let last = query_param(query, "last")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(DEFAULT_TAIL);
-                let mut trace = col.snapshot();
+                let actor = match query_param(query, "actor") {
+                    Some(raw) => match parse_actor(raw) {
+                        Some(f) => Some(f),
+                        None => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "bad actor: expect workerN, serverN, shardN or an id\n",
+                            )
+                        }
+                    },
+                    None => None,
+                };
+                let mut trace = src.snapshot();
+                if let Some(filter) = actor {
+                    trace.events.retain(|ev| filter.matches(ev));
+                }
                 if trace.events.len() > last {
                     trace.events.drain(..trace.events.len() - last);
                 }
@@ -180,6 +247,56 @@ fn handle_connection(
         },
         _ => respond(&mut stream, 404, "text/plain", "not found\n"),
     }
+}
+
+/// `/trace?actor=...` filter: `workerN` matches events recorded for worker
+/// `N`, `serverN`/`shardN` those for shard `N`, a bare integer either side.
+#[derive(Debug, Clone, Copy)]
+enum ActorFilter {
+    Worker(u32),
+    Shard(u32),
+    Either(u32),
+}
+
+impl ActorFilter {
+    fn matches(self, ev: &crate::event::TraceEvent) -> bool {
+        match self {
+            ActorFilter::Worker(n) => ev.worker == n,
+            ActorFilter::Shard(m) => ev.shard == m,
+            ActorFilter::Either(id) => ev.worker == id || ev.shard == id,
+        }
+    }
+}
+
+fn parse_actor(raw: &str) -> Option<ActorFilter> {
+    if let Some(n) = raw.strip_prefix("worker") {
+        return n.parse().ok().map(ActorFilter::Worker);
+    }
+    if let Some(m) = raw
+        .strip_prefix("server")
+        .or_else(|| raw.strip_prefix("shard"))
+    {
+        return m.parse().ok().map(ActorFilter::Shard);
+    }
+    raw.parse().ok().map(ActorFilter::Either)
+}
+
+/// Per-node collection counters for the cluster source: how many events
+/// each node's streamer shipped vs. lost, its estimated clock offset, HLC
+/// bump count and incarnation count (a replaced server restarts its
+/// stream).
+fn refresh_collect_metrics(registry: &MetricsRegistry, stats: &[NodeStats]) {
+    for s in stats {
+        let scope = registry.scope().with("node", &s.node);
+        scope.set_gauge("trace_collect_received", s.received as f64);
+        scope.set_gauge("trace_collect_emitted", s.emitted as f64);
+        scope.set_gauge("trace_collect_dropped", s.dropped as f64);
+        scope.set_gauge("trace_collect_batches", s.batches as f64);
+        scope.set_gauge("trace_collect_offset_seconds", s.offset_secs);
+        scope.set_gauge("trace_collect_hlc_bumps", s.hlc_bumps as f64);
+        scope.set_gauge("trace_collect_incarnations", s.incarnations as f64);
+    }
+    registry.set_gauge("trace_collect_nodes", stats.len() as f64);
 }
 
 /// Mirror the collector's per-kind totals and drop count into the registry
@@ -360,6 +477,82 @@ mod tests {
         assert_eq!(status, 503);
         assert!(body.starts_with("degraded\n"));
         assert!(body.contains("dead_nodes 1"));
+        server.stop();
+    }
+
+    #[test]
+    fn trace_route_filters_by_actor() {
+        let collector = TraceCollector::wall(64);
+        let tracer = collector.tracer();
+        tracer.record(EventKind::PushApplied, RecordArgs::new().shard(0).worker(1));
+        tracer.record(EventKind::PushApplied, RecordArgs::new().shard(0).worker(2));
+        tracer.record(EventKind::VTrainAdvanced, RecordArgs::new().shard(3));
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            Some(collector),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/trace?actor=worker1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"worker\":1"));
+
+        let (status, body) = get(addr, "/trace?actor=shard0");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2);
+
+        // Bare id matches either side; composes with last=N.
+        let (status, body) = get(addr, "/trace?actor=0&last=1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+
+        let (status, _) = get(addr, "/trace?actor=bogus");
+        assert_eq!(status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn cluster_source_serves_merged_trace_and_collection_metrics() {
+        let mut cluster = ClusterCollector::new(1024);
+        let ev = |ts: f64, worker: u32| crate::event::TraceEvent {
+            ts,
+            dur: 0.0,
+            kind: EventKind::PushApplied,
+            shard: 0,
+            worker,
+            progress: 0,
+            v_train: 0,
+            bytes: 0,
+            seq: 0,
+        };
+        cluster.ingest("worker0", 0.0, 1, 1, 0, &[ev(1.0, 0)]);
+        cluster.ingest("worker1", 0.5, 1, 2, 1, &[ev(2.0, 1)]);
+        let server = serve_source(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            Some(TraceSource::Cluster(Arc::new(Mutex::new(cluster)))),
+            None,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/trace");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2);
+
+        let (status, body) = get(addr, "/trace?actor=worker1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("trace_collect_nodes 2"));
+        assert!(body.contains("trace_collect_received{node=\"worker0\"} 1"));
+        assert!(body.contains("trace_collect_dropped{node=\"worker1\"} 1"));
+        assert!(body.contains("trace_collect_offset_seconds{node=\"worker1\"} 0.5"));
         server.stop();
     }
 

@@ -18,6 +18,10 @@
 //!   [`Trace`].
 //! * [`clock`] — [`ClockSource`]: wall ([`std::time::Instant`]) or virtual
 //!   ([`VirtualClock`], driven by the simulator's event queue).
+//! * [`collect`] — cluster-wide collection: NTP-style clock-offset
+//!   estimation ([`OffsetEstimator`]), a hybrid logical clock ([`Hlc`])
+//!   and the [`ClusterCollector`] that merges N per-node streams into one
+//!   causally-consistent [`Trace`] with exact per-node drop accounting.
 //! * [`metrics`] — a registry of labeled counters, gauges and
 //!   [`Histogram`]s with a plain-text renderer.
 //! * [`export`] — Chrome trace-event JSON (open in `chrome://tracing` or
@@ -42,6 +46,7 @@
 
 pub mod analyze;
 pub mod clock;
+pub mod collect;
 pub mod event;
 pub mod export;
 pub mod health;
@@ -54,9 +59,10 @@ pub mod tracer;
 
 pub use analyze::{analyze, Analysis};
 pub use clock::{ClockSource, VirtualClock};
+pub use collect::{ClusterCollector, Hlc, NodeStats, OffsetEstimator};
 pub use event::{EventKind, TraceEvent, KINDS, NO_ID};
 pub use health::{HealthView, NodeHealth};
 pub use hist::Histogram;
-pub use http::IntrospectionServer;
+pub use http::{IntrospectionServer, TraceSource};
 pub use metrics::{MetricsRegistry, MetricsScope};
-pub use tracer::{RecordArgs, Trace, TraceCollector, Tracer};
+pub use tracer::{CursorBatch, RecordArgs, Trace, TraceCollector, TraceCursor, Tracer};

@@ -1,0 +1,132 @@
+//! Property tests for cluster-wide trace collection: the merge must not
+//! care how node batches interleave, per-stream timestamps must come out
+//! strictly monotone, and the clock-offset estimate must stay within the
+//! error bound the minimum-RTT rule promises.
+
+use fluentps_obs::{ClusterCollector, EventKind, Hlc, OffsetEstimator, TraceEvent, KINDS};
+use fluentps_util::proptest::prelude::*;
+
+const NODES: [&str; 3] = ["server0", "server1", "worker0"];
+
+/// One node's stream: finite timestamps and kinds; the source `seq` is the
+/// index, matching what a per-node ring hands its streamer.
+fn arb_stream() -> impl Strategy<Value = Vec<TraceEvent>> {
+    prop::collection::vec((-1.0e6f64..1.0e6, 0..KINDS), 0..24).prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, (ts, kind))| TraceEvent {
+                ts,
+                dur: 0.0,
+                kind: EventKind::ALL[kind],
+                shard: 0,
+                worker: 0,
+                progress: 0,
+                v_train: 0,
+                bytes: 0,
+                seq: i as u64,
+            })
+            .collect()
+    })
+}
+
+fn arb_cluster() -> impl Strategy<Value = Vec<(Vec<TraceEvent>, f64)>> {
+    prop::collection::vec((arb_stream(), -1.0e3f64..1.0e3), NODES.len()..=NODES.len())
+}
+
+proptest! {
+    /// Ingesting the same per-node batches under two different
+    /// interleavings — whole streams in node order vs. split batches in
+    /// reverse node order — yields the identical merged trace and the
+    /// identical per-node accounting. Per-node order is fixed (the
+    /// transport is FIFO per connection); everything else is up for grabs.
+    #[test]
+    fn merge_is_order_insensitive_across_node_interleavings(
+        cluster in arb_cluster(),
+        frac in 0.0f64..1.0,
+    ) {
+        let mut a = ClusterCollector::new(1 << 10);
+        for (node, (events, offset)) in NODES.iter().zip(&cluster) {
+            a.ingest(node, *offset, 1, events.len() as u64, 0, events);
+        }
+
+        let mut b = ClusterCollector::new(1 << 10);
+        // First halves in reverse node order, then second halves forward.
+        for (node, (events, offset)) in NODES.iter().zip(&cluster).rev() {
+            let cut = ((events.len() as f64) * frac) as usize;
+            b.ingest(node, *offset, 1, cut as u64, 0, &events[..cut]);
+        }
+        for (node, (events, offset)) in NODES.iter().zip(&cluster) {
+            let cut = ((events.len() as f64) * frac) as usize;
+            b.ingest(node, *offset, 2, events.len() as u64, 0, &events[cut..]);
+        }
+
+        let (ta, tb) = (a.snapshot(), b.snapshot());
+        prop_assert_eq!(&ta.events, &tb.events);
+        prop_assert_eq!(ta.counts, tb.counts);
+        prop_assert_eq!(ta.dropped, tb.dropped);
+        for (sa, sb) in a.node_stats().iter().zip(b.node_stats().iter()) {
+            prop_assert_eq!(&sa.node, &sb.node);
+            prop_assert_eq!(sa.received, sb.received);
+            prop_assert_eq!(sa.emitted, sb.emitted);
+            prop_assert_eq!(sa.dropped, sb.dropped);
+            prop_assert_eq!(sa.hlc_bumps, sb.hlc_bumps);
+        }
+    }
+
+    /// The HLC emits strictly increasing, finite stamps no matter what the
+    /// physical clock feeds it — ties, rewinds, even NaN/infinity. (Inputs
+    /// span far beyond any real run's seconds-scale timestamps, but stay
+    /// clear of f64::MAX where no finite successor exists at all.)
+    #[test]
+    fn hlc_stamps_are_strictly_monotone(
+        ts in prop::collection::vec(
+            prop_oneof![
+                -1.0e12f64..1.0e12,
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+            ],
+            1..128,
+        ),
+    ) {
+        let mut hlc = Hlc::new();
+        let stamps: Vec<f64> = ts.iter().map(|&t| hlc.observe(t)).collect();
+        prop_assert!(stamps.iter().all(|s| s.is_finite()));
+        prop_assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// After ingest, one node's merged timeline is strictly monotone: the
+    /// per-stream HLC healed every tie and rewind the offset shift left.
+    #[test]
+    fn ingested_stream_timestamps_are_strictly_monotone(
+        events in arb_stream(),
+        offset in -1.0e3f64..1.0e3,
+    ) {
+        let mut col = ClusterCollector::new(1 << 10);
+        col.ingest("worker0", offset, 1, events.len() as u64, 0, &events);
+        let trace = col.snapshot();
+        prop_assert_eq!(trace.events.len(), events.len());
+        prop_assert!(trace.events.windows(2).all(|w| w[0].ts < w[1].ts));
+    }
+
+    /// Asymmetric-path probes: with true offset `d` and per-sample one-way
+    /// delays `(a, b)`, the midpoint estimate errs by `|a - b| / 2`, which
+    /// is at most half the winning sample's RTT. The minimum-RTT rule must
+    /// keep the final estimate inside that bound.
+    #[test]
+    fn offset_estimate_error_is_bounded_by_half_the_winning_rtt(
+        d in -1.0e3f64..1.0e3,
+        delays in prop::collection::vec((1.0e-6f64..0.1, 1.0e-6f64..0.1), 1..16),
+    ) {
+        let mut est = OffsetEstimator::new();
+        let mut t = 0.0;
+        for &(a, b) in &delays {
+            est.add_sample(t, t + a + d, t + a + b);
+            t += 1.0;
+        }
+        prop_assert_eq!(est.samples(), delays.len());
+        let rtt = est.rtt().expect("at least one sample");
+        prop_assert!((est.offset() - d).abs() <= rtt / 2.0 + 1e-9,
+            "estimate {} vs true {} exceeds rtt/2 = {}", est.offset(), d, rtt / 2.0);
+    }
+}

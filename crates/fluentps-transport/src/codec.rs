@@ -7,6 +7,7 @@
 //! compact and decode costs predictable, which matters because gradients for
 //! large layers dominate traffic.
 
+use fluentps_obs::{EventKind, TraceEvent};
 use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::DecodeError;
@@ -32,13 +33,21 @@ mod tag {
     pub const SHUTDOWN: u8 = 9;
     pub const INSTALL: u8 = 10;
     pub const ROUTE_UPDATE: u8 = 11;
+    pub const TRACE_BATCH: u8 = 12;
+    pub const CLOCK_PING: u8 = 13;
+    pub const CLOCK_PONG: u8 = 14;
 }
 
 mod node_tag {
     pub const SCHEDULER: u8 = 0;
     pub const SERVER: u8 = 1;
     pub const WORKER: u8 = 2;
+    pub const COLLECTOR: u8 = 3;
 }
+
+/// Encoded size of one [`TraceEvent`]: two f64 bit patterns, the kind index
+/// byte, two u32 actor ids and four u64 logical fields.
+const EVENT_WIRE_LEN: usize = 8 + 8 + 1 + 4 + 4 + 8 + 8 + 8 + 8;
 
 /// Encode a message into a fresh byte buffer.
 pub fn encode(msg: &Message) -> Bytes {
@@ -128,6 +137,41 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
                 buf.put_u32_le(p.len);
             }
         }
+        Message::TraceBatch {
+            node,
+            offset_secs,
+            batch_seq,
+            emitted,
+            dropped,
+            events,
+        } => {
+            buf.put_u8(tag::TRACE_BATCH);
+            put_node(buf, *node);
+            buf.put_u64_le(offset_secs.to_bits());
+            buf.put_u64_le(*batch_seq);
+            buf.put_u64_le(*emitted);
+            buf.put_u64_le(*dropped);
+            buf.put_u32_le(events.len() as u32);
+            for e in events {
+                put_event(buf, e);
+            }
+        }
+        Message::ClockPing { node, seq, t_send } => {
+            buf.put_u8(tag::CLOCK_PING);
+            put_node(buf, *node);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(t_send.to_bits());
+        }
+        Message::ClockPong {
+            seq,
+            t_send,
+            t_collector,
+        } => {
+            buf.put_u8(tag::CLOCK_PONG);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(t_send.to_bits());
+            buf.put_u64_le(t_collector.to_bits());
+        }
     }
 }
 
@@ -150,6 +194,11 @@ pub fn encoded_len(msg: &Message) -> usize {
             Message::Shutdown => 0,
             Message::Install { kv } => kv_encoded_len(kv),
             Message::RouteUpdate { placements } => 4 + 28 * placements.len(),
+            Message::TraceBatch { events, .. } => {
+                5 + 8 + 8 + 8 + 8 + 4 + EVENT_WIRE_LEN * events.len()
+            }
+            Message::ClockPing { .. } => 5 + 8 + 8,
+            Message::ClockPong { .. } => 8 + 8 + 8,
         }
 }
 
@@ -239,6 +288,37 @@ pub fn decode(mut bytes: Bytes) -> Result<Message, DecodeError> {
             seq: get_u64(buf)?,
         },
         tag::SHUTDOWN => Message::Shutdown,
+        tag::TRACE_BATCH => {
+            let node = get_node(buf)?;
+            let offset_secs = f64::from_bits(get_u64(buf)?);
+            let batch_seq = get_u64(buf)?;
+            let emitted = get_u64(buf)?;
+            let dropped = get_u64(buf)?;
+            let count = get_u32(buf)? as u64;
+            let n = check_len(buf, count, EVENT_WIRE_LEN)?;
+            let mut events = Vec::with_capacity(n);
+            for _ in 0..n {
+                events.push(get_event(buf)?);
+            }
+            Message::TraceBatch {
+                node,
+                offset_secs,
+                batch_seq,
+                emitted,
+                dropped,
+                events,
+            }
+        }
+        tag::CLOCK_PING => Message::ClockPing {
+            node: get_node(buf)?,
+            seq: get_u64(buf)?,
+            t_send: f64::from_bits(get_u64(buf)?),
+        },
+        tag::CLOCK_PONG => Message::ClockPong {
+            seq: get_u64(buf)?,
+            t_send: f64::from_bits(get_u64(buf)?),
+            t_collector: f64::from_bits(get_u64(buf)?),
+        },
         tag::INSTALL => Message::Install { kv: get_kv(buf)? },
         tag::ROUTE_UPDATE => {
             let count = get_u32(buf)? as u64;
@@ -274,6 +354,10 @@ fn put_node(buf: &mut BytesMut, node: NodeId) {
             buf.put_u8(node_tag::WORKER);
             buf.put_u32_le(n);
         }
+        NodeId::Collector => {
+            buf.put_u8(node_tag::COLLECTOR);
+            buf.put_u32_le(0);
+        }
     }
 }
 
@@ -284,8 +368,42 @@ fn get_node(buf: &mut Bytes) -> Result<NodeId, DecodeError> {
         node_tag::SCHEDULER => Ok(NodeId::Scheduler),
         node_tag::SERVER => Ok(NodeId::Server(idx)),
         node_tag::WORKER => Ok(NodeId::Worker(idx)),
+        node_tag::COLLECTOR => Ok(NodeId::Collector),
         other => Err(DecodeError::UnknownTag(other)),
     }
+}
+
+fn put_event(buf: &mut BytesMut, e: &TraceEvent) {
+    buf.put_u64_le(e.ts.to_bits());
+    buf.put_u64_le(e.dur.to_bits());
+    buf.put_u8(e.kind.index() as u8);
+    buf.put_u32_le(e.shard);
+    buf.put_u32_le(e.worker);
+    buf.put_u64_le(e.progress);
+    buf.put_u64_le(e.v_train);
+    buf.put_u64_le(e.bytes);
+    buf.put_u64_le(e.seq);
+}
+
+fn get_event(buf: &mut Bytes) -> Result<TraceEvent, DecodeError> {
+    // `check_len` in the caller guarantees `EVENT_WIRE_LEN` bytes remain.
+    let ts = f64::from_bits(buf.get_u64_le());
+    let dur = f64::from_bits(buf.get_u64_le());
+    let kind_idx = buf.get_u8();
+    let kind = *EventKind::ALL
+        .get(kind_idx as usize)
+        .ok_or(DecodeError::UnknownTag(kind_idx))?;
+    Ok(TraceEvent {
+        ts,
+        dur,
+        kind,
+        shard: buf.get_u32_le(),
+        worker: buf.get_u32_le(),
+        progress: buf.get_u64_le(),
+        v_train: buf.get_u64_le(),
+        bytes: buf.get_u64_le(),
+        seq: buf.get_u64_le(),
+    })
 }
 
 fn put_kv(buf: &mut BytesMut, kv: &KvPairs) {
@@ -460,6 +578,84 @@ mod tests {
             ],
         });
         roundtrip(Message::RouteUpdate { placements: vec![] });
+        roundtrip(Message::TraceBatch {
+            node: NodeId::Worker(1),
+            offset_secs: -0.0625,
+            batch_seq: 3,
+            emitted: 40,
+            dropped: 2,
+            events: vec![
+                TraceEvent {
+                    ts: 1.5,
+                    dur: 0.25,
+                    kind: EventKind::BarrierWait,
+                    shard: 0,
+                    worker: 1,
+                    progress: 7,
+                    v_train: 6,
+                    bytes: 0,
+                    seq: 38,
+                },
+                TraceEvent {
+                    ts: 1.75,
+                    dur: 0.0,
+                    kind: EventKind::NodeDeclaredDead,
+                    shard: 2,
+                    worker: u32::MAX,
+                    progress: 0,
+                    v_train: 9,
+                    bytes: 0,
+                    seq: 39,
+                },
+            ],
+        });
+        roundtrip(Message::TraceBatch {
+            node: NodeId::Collector,
+            offset_secs: 0.0,
+            batch_seq: 0,
+            emitted: 0,
+            dropped: 0,
+            events: vec![],
+        });
+        roundtrip(Message::ClockPing {
+            node: NodeId::Server(2),
+            seq: 11,
+            t_send: 0.125,
+        });
+        roundtrip(Message::ClockPong {
+            seq: 11,
+            t_send: 0.125,
+            t_collector: 0.375,
+        });
+    }
+
+    #[test]
+    fn trace_event_with_unknown_kind_index_is_rejected() {
+        let msg = Message::TraceBatch {
+            node: NodeId::Worker(0),
+            offset_secs: 0.0,
+            batch_seq: 0,
+            emitted: 1,
+            dropped: 0,
+            events: vec![TraceEvent {
+                ts: 0.0,
+                dur: 0.0,
+                kind: EventKind::PullRequested,
+                shard: 0,
+                worker: 0,
+                progress: 0,
+                v_train: 0,
+                bytes: 0,
+                seq: 0,
+            }],
+        };
+        let mut bytes = encode(&msg).to_vec();
+        // The kind byte sits after version+tag (2), node (5), four u64
+        // headers (32), the count word (4) and the event's ts+dur (16).
+        let kind_at = 2 + 5 + 32 + 4 + 16;
+        bytes[kind_at] = 0xEE;
+        let err = decode(Bytes::from(bytes)).unwrap_err();
+        assert_eq!(err, DecodeError::UnknownTag(0xEE));
     }
 
     #[test]
@@ -514,6 +710,34 @@ mod tests {
                     offset: 0,
                     len: 4,
                 }],
+            },
+            Message::TraceBatch {
+                node: NodeId::Server(1),
+                offset_secs: 0.5,
+                batch_seq: 2,
+                emitted: 10,
+                dropped: 1,
+                events: vec![TraceEvent {
+                    ts: 0.25,
+                    dur: 0.0,
+                    kind: EventKind::WireRecv,
+                    shard: 1,
+                    worker: 0,
+                    progress: 4,
+                    v_train: 3,
+                    bytes: 64,
+                    seq: 9,
+                }],
+            },
+            Message::ClockPing {
+                node: NodeId::Worker(3),
+                seq: 1,
+                t_send: 0.5,
+            },
+            Message::ClockPong {
+                seq: 1,
+                t_send: 0.5,
+                t_collector: 0.75,
             },
         ];
         for msg in msgs {

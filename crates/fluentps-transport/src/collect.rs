@@ -1,0 +1,551 @@
+//! Trace collection over TCP: the collector service and per-node streamers.
+//!
+//! The pure merge/alignment core lives in `fluentps_obs::collect`; this
+//! module is the wire plumbing around it. A [`CollectorService`] owns a
+//! plain `TcpListener` — *not* a [`crate::tcp::TcpNode`], whose connections
+//! are unidirectional and whose inbox would mix clock pongs into training
+//! traffic — and each node runs a [`TraceStreamer`] thread that:
+//!
+//! 1. dials the collector and runs a short [`Message::ClockPing`] /
+//!    [`Message::ClockPong`] handshake to estimate its clock offset
+//!    (minimum-RTT sample wins, see `fluentps_obs::OffsetEstimator`);
+//! 2. polls the node's `TraceCollector` ring buffers on a bounded cadence
+//!    through a `TraceCursor` and ships fresh events as length-prefixed
+//!    [`Message::TraceBatch`] frames, chunked to `max_batch` events;
+//! 3. never blocks the training hot path: recording stays ring-buffered
+//!    and drop-oldest, and a failed send drops the chunk (counted in the
+//!    next batch header's cumulative `dropped`) instead of stalling.
+//!
+//! Shutdown is a read barrier: after the final flush the streamer sends one
+//! more ping and waits for its pong. The collector handles each connection
+//! serially, so the pong proves every prior batch was ingested — that is
+//! what makes `received + dropped == emitted` exact at run end.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fluentps_obs::clock::ClockSource;
+use fluentps_obs::collect::{ClusterCollector, NodeStats};
+use fluentps_obs::{Trace, TraceCollector};
+use fluentps_util::sync::Mutex;
+
+use crate::error::TransportError;
+use crate::frame::{read_frame, write_frame};
+use crate::msg::{Message, NodeId};
+
+/// How long a streamer keeps retrying its initial dial before giving up
+/// (the collector is normally bound before any node starts).
+const CONNECT_RETRIES: u32 = 20;
+const CONNECT_RETRY_EVERY: Duration = Duration::from_millis(50);
+/// Read timeout for pong waits, so a dead collector cannot wedge shutdown.
+const PONG_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The central collection endpoint: accepts node connections, answers
+/// clock pings with the collector-clock time, and feeds every trace batch
+/// into a shared [`ClusterCollector`].
+pub struct CollectorService {
+    local_addr: SocketAddr,
+    cluster: Arc<Mutex<ClusterCollector>>,
+    clock: ClockSource,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl CollectorService {
+    /// Bind the service (port 0 lets the OS choose; see
+    /// [`CollectorService::local_addr`]). `capacity_per_node` bounds the
+    /// merged buffer per stream, mirroring the sender-side rings.
+    pub fn bind(addr: SocketAddr, capacity_per_node: usize) -> Result<Self, TransportError> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let cluster = Arc::new(Mutex::new(ClusterCollector::new(capacity_per_node)));
+        let clock = ClockSource::wall();
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_cluster = Arc::clone(&cluster);
+        let accept_clock = clock.clone();
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("trace-collector-accept".into())
+            .spawn(move || {
+                while !accept_stop.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            stream.set_nodelay(true).ok();
+                            spawn_ingest(stream, Arc::clone(&accept_cluster), accept_clock.clone());
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn collector accept thread");
+        Ok(CollectorService {
+            local_addr,
+            cluster,
+            clock,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address nodes should stream to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Seconds since the collector's epoch (the cluster timeline's zero).
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Shared handle to the merge core (e.g. for live HTTP serving).
+    pub fn cluster(&self) -> Arc<Mutex<ClusterCollector>> {
+        Arc::clone(&self.cluster)
+    }
+
+    /// Merge every stream ingested so far into one trace.
+    pub fn snapshot(&self) -> Trace {
+        self.cluster.lock().snapshot()
+    }
+
+    /// Per-node collection accounting.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.cluster.lock().node_stats()
+    }
+
+    /// Verify `received + dropped == emitted` for every stream.
+    pub fn check_balance(&self) -> Result<(), Vec<NodeStats>> {
+        self.cluster.lock().check_balance()
+    }
+
+    /// Stop accepting new connections. Live ingest threads finish when
+    /// their peers close, which streamer shutdown guarantees.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the non-blocking accept loop awake.
+        TcpStream::connect(self.local_addr).ok();
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for CollectorService {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn spawn_ingest(stream: TcpStream, cluster: Arc<Mutex<ClusterCollector>>, clock: ClockSource) {
+    std::thread::Builder::new()
+        .name("trace-collector-ingest".into())
+        .spawn(move || {
+            let mut writer = match stream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let mut reader = BufReader::new(stream);
+            while let Ok((_, msg)) = read_frame(&mut reader) {
+                match msg {
+                    Message::ClockPing { seq, t_send, .. } => {
+                        let pong = Message::ClockPong {
+                            seq,
+                            t_send,
+                            t_collector: clock.now(),
+                        };
+                        if write_frame(&mut writer, NodeId::Collector, &pong).is_err() {
+                            break;
+                        }
+                    }
+                    Message::TraceBatch {
+                        node,
+                        offset_secs,
+                        batch_seq,
+                        emitted,
+                        dropped,
+                        events,
+                    } => {
+                        cluster.lock().ingest(
+                            &node.to_string(),
+                            offset_secs,
+                            batch_seq,
+                            emitted,
+                            dropped,
+                            &events,
+                        );
+                    }
+                    Message::Shutdown => break,
+                    // The collector is a passive sink; training traffic on
+                    // this port is a wiring bug, not a protocol state.
+                    _ => {}
+                }
+            }
+        })
+        .expect("spawn collector ingest thread");
+}
+
+/// Tuning knobs for a [`TraceStreamer`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamerConfig {
+    /// Ring-poll (and batch-send) cadence.
+    pub poll_every: Duration,
+    /// Maximum events per `TraceBatch` frame; larger polls are chunked.
+    pub max_batch: usize,
+    /// Clock-offset probes at connection time.
+    pub pings: u32,
+}
+
+impl Default for StreamerConfig {
+    fn default() -> Self {
+        StreamerConfig {
+            poll_every: Duration::from_millis(20),
+            max_batch: 512,
+            pings: 4,
+        }
+    }
+}
+
+/// What a streamer did over its lifetime, returned by
+/// [`TraceStreamer::stop`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamerReport {
+    /// `TraceBatch` frames written successfully.
+    pub batches: u64,
+    /// Events shipped to the collector.
+    pub events_sent: u64,
+    /// Events dropped because a send failed (already folded into the
+    /// cumulative `dropped` the collector saw in batch headers).
+    pub send_drops: u64,
+    /// Whether the initial dial ever succeeded.
+    pub connected: bool,
+}
+
+/// Background thread that streams one node's ring-buffered trace events to
+/// a [`CollectorService`].
+pub struct TraceStreamer {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<StreamerReport>>,
+}
+
+impl TraceStreamer {
+    /// Start streaming `collector`'s events to `addr`, identifying as
+    /// `node`. The streamer owns its cursor: use one streamer per
+    /// `TraceCollector`.
+    pub fn start(
+        node: NodeId,
+        collector: &TraceCollector,
+        addr: SocketAddr,
+        cfg: StreamerConfig,
+    ) -> TraceStreamer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let col = collector.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("trace-streamer-{node}"))
+            .spawn(move || stream_loop(node, col, addr, cfg, thread_stop))
+            .expect("spawn trace streamer thread");
+        TraceStreamer {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Flush everything still buffered, run the shutdown read barrier and
+    /// return the streamer's accounting.
+    pub fn stop(mut self) -> StreamerReport {
+        self.stop.store(true, Ordering::SeqCst);
+        match self.handle.take() {
+            Some(h) => h.join().unwrap_or_default(),
+            None => StreamerReport::default(),
+        }
+    }
+}
+
+impl Drop for TraceStreamer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct StreamerConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn dial(addr: SocketAddr) -> Option<StreamerConn> {
+    for _ in 0..CONNECT_RETRIES {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(Some(PONG_TIMEOUT)).ok();
+            if let Ok(writer) = stream.try_clone() {
+                return Some(StreamerConn {
+                    writer,
+                    reader: BufReader::new(stream),
+                });
+            }
+        }
+        std::thread::sleep(CONNECT_RETRY_EVERY);
+    }
+    None
+}
+
+/// One ping/pong exchange; returns `(t_send, t_collector, t_recv)`.
+fn ping_once(
+    conn: &mut StreamerConn,
+    node: NodeId,
+    seq: u64,
+    col: &TraceCollector,
+) -> Option<(f64, f64, f64)> {
+    let t_send = col.now();
+    write_frame(
+        &mut conn.writer,
+        node,
+        &Message::ClockPing { node, seq, t_send },
+    )
+    .ok()?;
+    loop {
+        match read_frame(&mut conn.reader) {
+            Ok((
+                _,
+                Message::ClockPong {
+                    seq: s,
+                    t_send: echoed,
+                    t_collector,
+                },
+            )) => {
+                let t_recv = col.now();
+                if s == seq {
+                    return Some((echoed, t_collector, t_recv));
+                }
+                // A stale pong from an earlier probe; keep reading.
+            }
+            Ok(_) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn stream_loop(
+    node: NodeId,
+    col: TraceCollector,
+    addr: SocketAddr,
+    cfg: StreamerConfig,
+    stop: Arc<AtomicBool>,
+) -> StreamerReport {
+    let mut report = StreamerReport::default();
+    let mut cursor = col.cursor();
+    let Some(mut conn) = dial(addr) else {
+        // Never connected: idle until stop so the cursor accounting is
+        // still drained (and discarded) without spinning.
+        while !stop.load(Ordering::SeqCst) {
+            std::thread::sleep(cfg.poll_every);
+        }
+        return report;
+    };
+    report.connected = true;
+
+    let mut estimator = fluentps_obs::OffsetEstimator::new();
+    for seq in 0..u64::from(cfg.pings.max(1)) {
+        if let Some((t_send, t_collector, t_recv)) = ping_once(&mut conn, node, seq, &col) {
+            estimator.add_sample(t_send, t_collector, t_recv);
+        } else {
+            break;
+        }
+    }
+
+    let mut batch_seq = 0u64;
+    let mut flush = |conn: &mut StreamerConn, report: &mut StreamerReport, batch_seq: &mut u64| {
+        let polled = cursor.poll();
+        // Chunk to max_batch; always emit at least one (possibly empty)
+        // frame so cumulative accounting reaches the collector even when
+        // nothing new was recorded.
+        let chunks: Vec<&[fluentps_obs::TraceEvent]> = if polled.events.is_empty() {
+            vec![&[][..]]
+        } else {
+            polled.events.chunks(cfg.max_batch.max(1)).collect()
+        };
+        for chunk in chunks {
+            *batch_seq += 1;
+            let msg = Message::TraceBatch {
+                node,
+                offset_secs: estimator.offset(),
+                batch_seq: *batch_seq,
+                emitted: polled.emitted,
+                dropped: polled.dropped + report.send_drops,
+                events: chunk.to_vec(),
+            };
+            if write_frame(&mut conn.writer, node, &msg).is_ok() {
+                report.batches += 1;
+                report.events_sent += chunk.len() as u64;
+            } else {
+                // Never block or retry on the hot path: the chunk is gone;
+                // account for it in the next header that does get through.
+                report.send_drops += chunk.len() as u64;
+            }
+        }
+    };
+
+    while !stop.load(Ordering::SeqCst) {
+        std::thread::sleep(cfg.poll_every);
+        flush(&mut conn, &mut report, &mut batch_seq);
+    }
+    // Final flush picks up everything recorded up to the stop request.
+    flush(&mut conn, &mut report, &mut batch_seq);
+    // Read barrier: the pong proves the collector processed every batch
+    // written before the ping on this (serially handled) connection.
+    ping_once(&mut conn, node, u64::MAX, &col);
+    write_frame(&mut conn.writer, node, &Message::Shutdown).ok();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fluentps_obs::{EventKind, RecordArgs};
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[test]
+    fn streamer_ships_events_and_accounting_balances() {
+        let mut service = CollectorService::bind(loopback(), 1 << 14).unwrap();
+        let col = TraceCollector::wall(1 << 12);
+        let tracer = col.tracer();
+        let streamer = TraceStreamer::start(
+            NodeId::Worker(3),
+            &col,
+            service.local_addr(),
+            StreamerConfig {
+                poll_every: Duration::from_millis(5),
+                ..StreamerConfig::default()
+            },
+        );
+        for i in 0..200u64 {
+            tracer.record(
+                EventKind::PushApplied,
+                RecordArgs::new().shard(0).worker(3).progress(i),
+            );
+        }
+        let report = streamer.stop();
+        assert!(report.connected);
+        assert_eq!(report.events_sent, 200);
+        assert_eq!(report.send_drops, 0);
+
+        let stats = service.node_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].node, "worker3");
+        assert_eq!(stats[0].received, 200);
+        assert_eq!(stats[0].emitted, 200);
+        assert_eq!(stats[0].dropped, 0);
+        service.check_balance().expect("balanced");
+
+        let trace = service.snapshot();
+        assert_eq!(trace.events.len(), 200);
+        assert_eq!(trace.count(EventKind::PushApplied), 200);
+        // Merged timeline is strictly ordered with re-keyed seq.
+        for (i, w) in trace.events.windows(2).enumerate() {
+            assert!(w[0].ts <= w[1].ts, "ts out of order at {i}");
+            assert!(w[0].seq < w[1].seq);
+        }
+        service.stop();
+    }
+
+    #[test]
+    fn ring_overwrites_are_accounted_as_drops() {
+        let mut service = CollectorService::bind(loopback(), 1 << 14).unwrap();
+        let col = TraceCollector::wall(16); // tiny ring: most events overwritten
+        let tracer = col.tracer();
+        // Record everything before the streamer's first poll can drain.
+        for i in 0..1000u64 {
+            tracer.record(EventKind::WireSend, RecordArgs::new().progress(i));
+        }
+        let streamer = TraceStreamer::start(
+            NodeId::Server(1),
+            &col,
+            service.local_addr(),
+            StreamerConfig {
+                poll_every: Duration::from_millis(200),
+                ..StreamerConfig::default()
+            },
+        );
+        let report = streamer.stop();
+        assert!(report.connected);
+        let stats = service.node_stats();
+        assert_eq!(stats[0].emitted, 1000);
+        assert_eq!(stats[0].received + stats[0].dropped, 1000);
+        assert!(stats[0].dropped >= 1000 - 16);
+        service.check_balance().expect("balanced despite drops");
+        service.stop();
+    }
+
+    #[test]
+    fn two_nodes_merge_onto_one_timeline() {
+        let mut service = CollectorService::bind(loopback(), 1 << 14).unwrap();
+        let col_a = TraceCollector::wall(256);
+        let col_b = TraceCollector::wall(256);
+        let ta = col_a.tracer();
+        let tb = col_b.tracer();
+        let sa = TraceStreamer::start(
+            NodeId::Worker(0),
+            &col_a,
+            service.local_addr(),
+            StreamerConfig::default(),
+        );
+        let sb = TraceStreamer::start(
+            NodeId::Server(0),
+            &col_b,
+            service.local_addr(),
+            StreamerConfig::default(),
+        );
+        for i in 0..50u64 {
+            ta.record(EventKind::WireSend, RecordArgs::new().worker(0).progress(i));
+            tb.record(EventKind::WireRecv, RecordArgs::new().shard(0).progress(i));
+        }
+        sa.stop();
+        sb.stop();
+        let stats = service.node_stats();
+        assert_eq!(stats.len(), 2);
+        service.check_balance().expect("both balanced");
+        let trace = service.snapshot();
+        assert_eq!(trace.events.len(), 100);
+        assert_eq!(trace.count(EventKind::WireSend), 50);
+        assert_eq!(trace.count(EventKind::WireRecv), 50);
+        service.stop();
+    }
+
+    #[test]
+    fn streamer_without_collector_gives_up_quietly() {
+        let col = TraceCollector::wall(64);
+        let tracer = col.tracer();
+        tracer.record(EventKind::PushApplied, RecordArgs::new());
+        // Nothing listens here (bind-then-drop reserves a dead port).
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let streamer = TraceStreamer::start(
+            NodeId::Worker(9),
+            &col,
+            addr,
+            StreamerConfig {
+                poll_every: Duration::from_millis(1),
+                ..StreamerConfig::default()
+            },
+        );
+        std::thread::sleep(Duration::from_millis(30));
+        let report = streamer.stop();
+        assert!(!report.connected);
+        assert_eq!(report.batches, 0);
+    }
+}

@@ -21,6 +21,7 @@ fn node_to_pair(node: NodeId) -> (u8, u32) {
         NodeId::Scheduler => (0, 0),
         NodeId::Server(m) => (1, m),
         NodeId::Worker(n) => (2, n),
+        NodeId::Collector => (3, 0),
     }
 }
 
@@ -29,6 +30,7 @@ fn node_from_pair(kind: u8, idx: u32) -> Result<NodeId, DecodeError> {
         0 => Ok(NodeId::Scheduler),
         1 => Ok(NodeId::Server(idx)),
         2 => Ok(NodeId::Worker(idx)),
+        3 => Ok(NodeId::Collector),
         other => Err(DecodeError::UnknownTag(other)),
     }
 }

@@ -16,6 +16,11 @@
 //! * [`fault`] — a deterministic fault-injection shim over any
 //!   [`Mailbox`]/[`Postman`] pair (drop/delay/duplicate/sever), driven by
 //!   seeded, content-matched schedules so chaos runs replay bit-for-bit.
+//! * [`collect`] — cluster-wide trace collection: a [`CollectorService`]
+//!   that merges every node's ring-buffered trace events onto one
+//!   clock-aligned timeline, and the [`TraceStreamer`] each node runs to
+//!   ship its events there (clock-offset handshake + bounded batching +
+//!   drop-oldest backpressure).
 //!
 //! All transports expose the same [`Mailbox`]/[`Postman`] pair so the engine
 //! code in `fluentps-core` is transport-agnostic.
@@ -23,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod collect;
 pub mod error;
 pub mod fault;
 pub mod frame;
@@ -31,6 +37,7 @@ pub mod msg;
 pub mod quant;
 pub mod tcp;
 
+pub use collect::{CollectorService, StreamerConfig, StreamerReport, TraceStreamer};
 pub use error::TransportError;
 pub use fault::{FaultInjector, FaultPlan};
 pub use inproc::{Endpoint, Fabric};

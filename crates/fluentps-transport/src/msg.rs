@@ -7,10 +7,15 @@
 
 use std::fmt;
 
+use fluentps_obs::TraceEvent;
+
 /// Identifier of a node in a FluentPS cluster.
 ///
 /// The scheduler only monitors liveness and assigns key ranges (Section
-/// III-A); servers own parameter shards; workers compute gradients.
+/// III-A); servers own parameter shards; workers compute gradients. The
+/// collector is a passive observability sink: it never participates in
+/// training traffic, it only receives [`Message::TraceBatch`] streams and
+/// answers [`Message::ClockPing`]s.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum NodeId {
     /// The single scheduler node.
@@ -19,6 +24,8 @@ pub enum NodeId {
     Server(u32),
     /// The `n`-th worker, `n` in `0..N`.
     Worker(u32),
+    /// The central trace collector (at most one per cluster).
+    Collector,
 }
 
 impl NodeId {
@@ -39,6 +46,7 @@ impl fmt::Display for NodeId {
             NodeId::Scheduler => write!(f, "scheduler"),
             NodeId::Server(m) => write!(f, "server{m}"),
             NodeId::Worker(n) => write!(f, "worker{n}"),
+            NodeId::Collector => write!(f, "collector"),
         }
     }
 }
@@ -223,6 +231,48 @@ pub enum Message {
         /// The complete new placement table.
         placements: Vec<WirePlacement>,
     },
+    /// Observability: a batch of trace events streamed from one node to the
+    /// central collector. Each batch is self-describing: it carries the
+    /// sender's current clock-offset estimate and its cumulative emit/drop
+    /// accounting, so the collector can align timestamps and verify
+    /// `received + dropped == emitted` without per-connection state.
+    TraceBatch {
+        /// The node whose ring buffer produced these events.
+        node: NodeId,
+        /// The sender's estimated offset to the collector clock, in seconds
+        /// (add to a sender timestamp to land on the collector timeline).
+        offset_secs: f64,
+        /// Monotone per-sender batch sequence number (gap detection).
+        batch_seq: u64,
+        /// Total events the sender's tracer has recorded so far.
+        emitted: u64,
+        /// Total events lost at the sender so far (ring overwrites before
+        /// streaming plus send failures).
+        dropped: u64,
+        /// The events, in the sender's record order.
+        events: Vec<TraceEvent>,
+    },
+    /// Observability: clock-offset probe. The sender stamps its local send
+    /// time; the collector echoes it back in a [`Message::ClockPong`]
+    /// together with its own receive time (NTP-style RTT-midpoint
+    /// estimation).
+    ClockPing {
+        /// The probing node.
+        node: NodeId,
+        /// Probe sequence number, echoed in the pong.
+        seq: u64,
+        /// Sender-local send timestamp in seconds.
+        t_send: f64,
+    },
+    /// Observability: collector's answer to a [`Message::ClockPing`].
+    ClockPong {
+        /// Echo of the ping's sequence number.
+        seq: u64,
+        /// Echo of the ping's sender-local send timestamp.
+        t_send: f64,
+        /// Collector-local timestamp when the ping was processed.
+        t_collector: f64,
+    },
 }
 
 impl Message {
@@ -241,6 +291,9 @@ impl Message {
             Message::Shutdown => 1,
             Message::Install { kv } => 4 + kv.payload_bytes(),
             Message::RouteUpdate { placements } => 4 + placements.len() * 28,
+            Message::TraceBatch { events, .. } => 41 + events.len() * 57,
+            Message::ClockPing { .. } => 21,
+            Message::ClockPong { .. } => 24,
         }
     }
 }
@@ -290,7 +343,10 @@ mod tests {
         assert!(!NodeId::Server(0).is_worker());
         assert!(NodeId::Worker(3).is_worker());
         assert!(!NodeId::Scheduler.is_server());
+        assert!(!NodeId::Collector.is_server());
+        assert!(!NodeId::Collector.is_worker());
         assert_eq!(NodeId::Worker(2).to_string(), "worker2");
+        assert_eq!(NodeId::Collector.to_string(), "collector");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Property tests: the wire codec must roundtrip every well-formed message
 //! and must never panic on arbitrary byte soup.
 
+use fluentps_obs::{EventKind, TraceEvent, KINDS};
 use fluentps_transport::codec::{decode, encode};
 use fluentps_transport::msg::{KvPairs, Message, NodeId};
 use fluentps_util::buf::Bytes;
@@ -22,7 +23,33 @@ fn arb_node() -> impl Strategy<Value = NodeId> {
         Just(NodeId::Scheduler),
         any::<u32>().prop_map(NodeId::Server),
         any::<u32>().prop_map(NodeId::Worker),
+        Just(NodeId::Collector),
     ]
+}
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    (
+        any::<f64>(),
+        any::<f64>(),
+        0..KINDS,
+        any::<u32>(),
+        any::<u32>(),
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(ts, dur, kind, shard, worker, progress, (v, b, s))| TraceEvent {
+                ts,
+                dur,
+                kind: EventKind::ALL[kind],
+                shard,
+                worker,
+                progress,
+                v_train: v,
+                bytes: b,
+                seq: s,
+            },
+        )
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -64,6 +91,34 @@ fn arb_message() -> impl Strategy<Value = Message> {
         (arb_node(), any::<u64>()).prop_map(|(node, seq)| Message::Heartbeat { node, seq }),
         (any::<u32>(), any::<u64>()).prop_map(|(group, seq)| Message::Barrier { group, seq }),
         Just(Message::Shutdown),
+        (
+            arb_node(),
+            any::<f64>(),
+            any::<u64>(),
+            (any::<u64>(), any::<u64>()),
+            prop::collection::vec(arb_event(), 0..8),
+        )
+            .prop_map(
+                |(node, offset_secs, batch_seq, (emitted, dropped), events)| {
+                    Message::TraceBatch {
+                        node,
+                        offset_secs,
+                        batch_seq,
+                        emitted,
+                        dropped,
+                        events,
+                    }
+                }
+            ),
+        (arb_node(), any::<u64>(), any::<f64>())
+            .prop_map(|(node, seq, t_send)| Message::ClockPing { node, seq, t_send }),
+        (any::<u64>(), any::<f64>(), any::<f64>()).prop_map(|(seq, t_send, t_collector)| {
+            Message::ClockPong {
+                seq,
+                t_send,
+                t_collector,
+            }
+        }),
     ]
 }
 

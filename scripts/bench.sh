@@ -2,20 +2,40 @@
 # Run the observability benchmarks and collect machine-readable results.
 #
 # Usage: scripts/bench.sh [OUTPUT]
+#        scripts/bench.sh --check [TOLERANCE]
 #
 # Runs the `obs` bench target of crates/bench (tracer record cost when
 # disabled vs enabled, metrics registry ops, Chrome-trace export, the
-# trace-analytics engine in events/second over a mixed-kind trace, and the
-# threaded engine with tracing off vs on) and writes OUTPUT (default
-# BENCH_obs.json): a JSON document with mean/p50/p99 nanoseconds and
-# throughput per benchmark. The `engine/threaded_tracing_off` vs
-# `engine/threaded_tracing_on` pair is the end-to-end tracing overhead.
+# trace-analytics engine in events/second over a mixed-kind trace, the
+# threaded engine with tracing off vs on, and the TCP engine with cluster
+# trace streaming off vs on) and writes OUTPUT (default BENCH_obs.json): a
+# JSON document with mean/p50/p99 nanoseconds and throughput per benchmark.
+# The `engine/threaded_tracing_off` vs `engine/threaded_tracing_on` pair is
+# the end-to-end tracing overhead; `collect/tcp_streaming_off` vs
+# `collect/tcp_streaming_on` is the cost of shipping every node's trace
+# ring to a collector service during a live TCP run.
+#
+# --check: run the benchmarks into a scratch file and compare each mean
+# against the committed BENCH_obs.json baseline. A benchmark whose fresh
+# mean exceeds TOLERANCE (default 1.5) times its baseline prints a warning.
+# Always exits 0 — machines differ too much for a hard gate, so the guard
+# is advisory and the warnings are for humans reading the CI log.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_obs.json}"
+check=""
+tolerance="1.5"
+out="BENCH_obs.json"
+if [ "${1:-}" = "--check" ]; then
+  check=1
+  tolerance="${2:-1.5}"
+else
+  out="${1:-BENCH_obs.json}"
+fi
+
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+fresh="$(mktemp)"
+trap 'rm -f "$tmp" "$fresh"' EXIT
 
 FLUENTPS_BENCH_JSON="$tmp" cargo bench --offline -p fluentps-bench --bench obs
 
@@ -24,6 +44,7 @@ if [ ! -s "$tmp" ]; then
   exit 1
 fi
 
+[ -n "$check" ] && out="$fresh"
 {
   printf '{"suite":"obs","benchmarks":[\n'
   # Join the JSONL lines emitted by the harness with commas.
@@ -31,4 +52,51 @@ fi
   printf ']}\n'
 } >"$out"
 
-echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+if [ -z "$check" ]; then
+  echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+  exit 0
+fi
+
+if [ ! -f BENCH_obs.json ]; then
+  echo "bench-check: no committed BENCH_obs.json baseline to compare against"
+  exit 0
+fi
+
+awk -v tol="$tolerance" '
+  function mean_of(line) {
+    # One benchmark per line: {"name":"...","mean_ns":...,...}
+    if (match(line, /"name":"[^"]*"/)) {
+      bname = substr(line, RSTART + 8, RLENGTH - 9)
+      if (match(line, /"mean_ns":[0-9.]+/)) {
+        return bname SUBSEP substr(line, RSTART + 10, RLENGTH - 10)
+      }
+    }
+    return ""
+  }
+  NR == FNR {
+    r = mean_of($0)
+    if (r != "") { split(r, kv, SUBSEP); base[kv[1]] = kv[2] + 0 }
+    next
+  }
+  {
+    r = mean_of($0)
+    if (r != "") { split(r, kv, SUBSEP); cur[kv[1]] = kv[2] + 0; order[++n] = kv[1] }
+  }
+  END {
+    checked = 0
+    for (i = 1; i <= n; i++) {
+      name = order[i]
+      if (!(name in base)) {
+        printf "bench-check: %s has no committed baseline (new benchmark?)\n", name
+        continue
+      }
+      checked++
+      if (base[name] > 0 && cur[name] > base[name] * tol) {
+        printf "bench-check: WARNING %s mean %.1fns exceeds %.2fx committed baseline %.1fns\n", \
+          name, cur[name], tol, base[name]
+      }
+    }
+    printf "bench-check: compared %d benchmarks against BENCH_obs.json (tolerance %.2fx, advisory)\n", \
+      checked, tol
+  }
+' BENCH_obs.json "$fresh"

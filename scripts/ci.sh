@@ -46,3 +46,25 @@ diff "$smokedir/chaos_a.txt" "$smokedir/chaos_b.txt"
 ./target/release/repro chaos --seed 13 --workers 2 --servers 2 --iters 25 --kill 0@8 \
   >"$smokedir/chaos_kill.txt" 2>/dev/null
 grep -q '^chaos-dead-at-end 0$' "$smokedir/chaos_kill.txt"
+
+# Collected-run smoke: every node of a chaos run (faults + a mid-run server
+# kill) streams its trace ring to a central collector; the merged,
+# clock-aligned timeline must balance exactly (received + dropped ==
+# emitted per node), list every actor exactly once, carry the recovery
+# events, and feed the analyzer end to end.
+./target/release/repro collect "$smokedir/merged.jsonl" \
+  --seed 11 --workers 2 --servers 2 --iters 30 --faults 6 --kill 0@6 \
+  >"$smokedir/collect.txt" 2>/dev/null
+grep -q '^collect-balanced ok$' "$smokedir/collect.txt"
+grep -q '^chaos-dead-at-end 0$' "$smokedir/collect.txt"
+grep -Eq '^collect-recovery .*checkpoint_restored=[1-9][0-9]* ' "$smokedir/collect.txt"
+for node in scheduler server0 server1 worker0 worker1; do
+  test "$(grep -c "^collect-node $node " "$smokedir/collect.txt")" -eq 1
+done
+./target/release/repro analyze "$smokedir/merged.jsonl" >"$smokedir/collect_report.txt"
+test "$(sed -n '/== straggler scoreboard ==/,/^$/p' "$smokedir/collect_report.txt" | wc -l)" -gt 3
+
+# Advisory perf guard: re-run the benchmarks and compare each mean against
+# the committed BENCH_obs.json. Never fails the gate (machine speeds vary);
+# regressions past the tolerance band show up as warnings in this log.
+bash scripts/bench.sh --check || echo "bench-check: comparison skipped"

@@ -153,3 +153,113 @@ fn chrome_trace_export_matches_golden_file() {
         "Chrome-trace exporter output changed; if intentional, re-bless with FLUENTPS_BLESS=1"
     );
 }
+
+/// Deterministic *cluster* fixture: four nodes' streams (2 workers, 2
+/// servers), each on its own clock epoch, hand-ingested into a
+/// [`ClusterCollector`] with fixed offsets — exactly what the collector
+/// service computes from its ping/pong handshakes, minus the sockets. The
+/// export pins the whole merged pipeline: offset alignment, HLC tie-healing
+/// and the `(ts, node, seq)` merge order.
+fn fixture_cluster_chrome_trace() -> String {
+    use fluentps::obs::{ClusterCollector, TraceEvent};
+
+    let ev = |ts: f64, kind: EventKind, shard: u32, worker: u32, seq: u64| TraceEvent {
+        ts,
+        dur: 0.0,
+        kind,
+        shard,
+        worker,
+        progress: seq,
+        v_train: 0,
+        bytes: 64,
+        seq,
+    };
+    let mut cluster = ClusterCollector::new(64);
+    // worker0 runs 2.0s behind the collector clock, worker1 0.5s ahead,
+    // server0 is aligned, server1 1.0s behind. Each stream's local
+    // timestamps are chosen so the *aligned* events interleave across
+    // nodes: worker0's send at local 0.010 lands at 2.010, between
+    // server0's recv (2.005) and reply (2.015).
+    cluster.ingest(
+        "worker0",
+        2.0,
+        1,
+        3,
+        0,
+        &[
+            ev(0.010, EventKind::WireSend, 0, 0, 0),
+            ev(0.030, EventKind::WireRecv, 0, 0, 1),
+            ev(0.030, EventKind::BarrierWait, 0, 0, 2), // tie → HLC bump
+        ],
+    );
+    cluster.ingest(
+        "worker1",
+        -0.5,
+        1,
+        2,
+        0,
+        &[
+            ev(2.512, EventKind::WireSend, 1, 1, 0),
+            ev(2.535, EventKind::WireRecv, 1, 1, 1),
+        ],
+    );
+    cluster.ingest(
+        "server0",
+        0.0,
+        1,
+        4,
+        1, // of 4 recorded, one was lost to a ring overwrite at the sender
+        &[
+            ev(2.005, EventKind::WireRecv, 0, 0, 1),
+            ev(2.014, EventKind::PushApplied, 0, 0, 2),
+            ev(2.015, EventKind::WireSend, 0, 0, 3),
+        ],
+    );
+    // server1 restarts mid-run (a replacement after a kill): batch_seq
+    // resets and its counters start over — the second incarnation's
+    // accounting folds into the same stream.
+    cluster.ingest(
+        "server1",
+        1.0,
+        1,
+        1,
+        0,
+        &[ev(1.013, EventKind::WireRecv, 1, 1, 0)],
+    );
+    cluster.ingest(
+        "server1",
+        1.0,
+        1,
+        2,
+        0,
+        &[
+            ev(1.020, EventKind::VTrainAdvanced, 1, 1, 0),
+            ev(1.025, EventKind::WireSend, 1, 1, 1),
+        ],
+    );
+    cluster
+        .check_balance()
+        .expect("fixture accounting balances");
+    export::chrome_trace(&cluster.snapshot())
+}
+
+#[test]
+fn cluster_chrome_trace_export_matches_golden_file() {
+    let got = fixture_cluster_chrome_trace();
+    json::validate(&got).expect("exporter emits valid JSON");
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/chrome_trace_cluster_fixture.json"
+    );
+    if std::env::var("FLUENTPS_BLESS").is_ok() {
+        std::fs::write(path, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden file missing — run with FLUENTPS_BLESS=1 to create it");
+    assert_eq!(
+        got, want,
+        "merged-cluster trace export changed; if intentional, re-bless with FLUENTPS_BLESS=1"
+    );
+}
