@@ -231,6 +231,73 @@ fn collect_streaming_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Zero-copy wire path: frames coalesced into one reused buffer on encode,
+/// decoded in place by a streaming reader — the per-frame cost the TCP
+/// transport and trace streamers pay at steady state (no allocations once
+/// the buffers are warm).
+fn wire_throughput(c: &mut Criterion) {
+    use fluentps_transport::frame::{encode_frame_into, FrameReader};
+    use fluentps_transport::{KvPairs, Message, NodeId};
+    use fluentps_util::buf::BytesMut;
+
+    const FRAMES: u64 = 64;
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(FRAMES));
+
+    // A gradient push of 64 f32s: the shape of the dominant hot-path frame.
+    let push = Message::SPush {
+        worker: 1,
+        progress: 7,
+        kv: KvPairs::single(3, vec![0.125f32; 64]),
+    };
+    g.bench_function("frames_per_s", |b| {
+        let mut buf = BytesMut::new();
+        let mut reader = FrameReader::new();
+        b.iter(|| {
+            buf.clear();
+            for _ in 0..FRAMES {
+                encode_frame_into(NodeId::Worker(1), &push, &mut buf);
+            }
+            let mut cursor = std::io::Cursor::new(buf.as_ref());
+            for _ in 0..FRAMES {
+                reader.read_from(&mut cursor).unwrap();
+            }
+            buf.len()
+        })
+    });
+
+    // A pull round trip: the SPull request plus its PullResponse, encoded
+    // and decoded as one element — FRAMES request/response pairs per iter.
+    let pull = Message::SPull {
+        worker: 0,
+        progress: 3,
+        keys: (0..16).collect(),
+    };
+    let resp = Message::PullResponse {
+        server: 0,
+        progress: 3,
+        version: 9,
+        kv: KvPairs::single(0, vec![1.0f32; 96]),
+    };
+    g.bench_function("pulls_per_s", |b| {
+        let mut buf = BytesMut::new();
+        let mut reader = FrameReader::new();
+        b.iter(|| {
+            buf.clear();
+            for _ in 0..FRAMES {
+                encode_frame_into(NodeId::Worker(0), &pull, &mut buf);
+                encode_frame_into(NodeId::Server(0), &resp, &mut buf);
+            }
+            let mut cursor = std::io::Cursor::new(buf.as_ref());
+            for _ in 0..FRAMES * 2 {
+                reader.read_from(&mut cursor).unwrap();
+            }
+            buf.len()
+        })
+    });
+    g.finish();
+}
+
 /// Analyzer throughput: a realistic mixed event stream (pull/defer/release
 /// chains, pushes, V_train advances, wire pairs, barrier spans) through the
 /// full `analyze::analyze` pass, reported as events/sec.
@@ -281,6 +348,7 @@ criterion_group!(
     export_chrome,
     engine_tracing_overhead,
     collect_streaming_overhead,
+    wire_throughput,
     analyze_throughput
 );
 criterion_main!(obs);

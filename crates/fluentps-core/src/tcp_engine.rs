@@ -243,7 +243,12 @@ fn tcp_server_loop(
 ) -> ShardStats {
     let postman = tx.postman();
     let server_id = shard.config().server_id;
-    let send = |worker: u32, msg: Message| {
+    // Every reply a handled message produces (a PushAck plus any released
+    // PullResponses, or the shutdown drain) is queued and handed to the
+    // transport as one batch, so the TCP postman coalesces all frames for a
+    // worker into a single write instead of one syscall per reply.
+    let mut replies: Vec<(NodeId, Message)> = Vec::new();
+    let send = |replies: &mut Vec<(NodeId, Message)>, worker: u32, msg: Message| {
         tracer.record(
             EventKind::WireSend,
             RecordArgs::new()
@@ -251,7 +256,7 @@ fn tcp_server_loop(
                 .worker(worker)
                 .bytes(frame::wire_len(&msg) as u64),
         );
-        let _ = postman.send(NodeId::Worker(worker), msg);
+        replies.push((NodeId::Worker(worker), msg));
     };
     while let Ok((_, msg)) = rx.recv() {
         if tracer.is_enabled() {
@@ -267,6 +272,7 @@ fn tcp_server_loop(
                     .bytes(frame::wire_len(&msg) as u64),
             );
         }
+        let mut done = false;
         match msg {
             Message::SPush {
                 worker,
@@ -275,6 +281,7 @@ fn tcp_server_loop(
             } => {
                 let released = shard.on_push(worker, progress, &kv);
                 send(
+                    &mut replies,
                     worker,
                     Message::PushAck {
                         server: server_id,
@@ -283,6 +290,7 @@ fn tcp_server_loop(
                 );
                 for r in released {
                     send(
+                        &mut replies,
                         r.worker,
                         Message::PullResponse {
                             server: server_id,
@@ -303,6 +311,7 @@ fn tcp_server_loop(
                     shard.on_pull(worker, progress, &keys, draw, None)
                 {
                     send(
+                        &mut replies,
                         worker,
                         Message::PullResponse {
                             server: server_id,
@@ -316,6 +325,7 @@ fn tcp_server_loop(
             Message::Shutdown => {
                 for r in shard.drain_shutdown() {
                     send(
+                        &mut replies,
                         r.worker,
                         Message::PullResponse {
                             server: server_id,
@@ -325,9 +335,15 @@ fn tcp_server_loop(
                         },
                     );
                 }
-                break;
+                done = true;
             }
             _ => {}
+        }
+        if !replies.is_empty() {
+            let _ = postman.send_batch(std::mem::take(&mut replies));
+        }
+        if done {
+            break;
         }
     }
     shard.stats().clone()

@@ -253,6 +253,37 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             }
         }
         let mut sent = 0;
+        if self.retry.is_none() {
+            // No per-server failure handling needed, so hand all shards to
+            // the transport as one batch: the TCP postman coalesces every
+            // frame per server into a single write. Per-destination order
+            // (and hence determinism) is unchanged.
+            let mut batch = Vec::with_capacity(shards.len());
+            for (m, kv) in shards.into_iter().enumerate() {
+                if kv.is_empty() {
+                    continue;
+                }
+                let msg = Message::SPush {
+                    worker: self.worker_id,
+                    progress,
+                    kv,
+                };
+                self.tracer.record(
+                    EventKind::WireSend,
+                    RecordArgs::new()
+                        .shard(m as u32)
+                        .worker(self.worker_id)
+                        .progress(progress)
+                        .bytes(frame::wire_len(&msg) as u64),
+                );
+                batch.push((NodeId::Server(m as u32), msg));
+            }
+            sent = batch.len() as u32;
+            self.postman.send_batch(batch)?;
+            return Ok(sent);
+        }
+        // Retry path keeps one send per server: a failure must be absorbed
+        // and traced as ConnectionLost for that server alone.
         for (m, kv) in shards.into_iter().enumerate() {
             if kv.is_empty() {
                 continue;
@@ -272,7 +303,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             );
             match self.postman.send(NodeId::Server(m as u32), msg) {
                 Ok(()) => sent += 1,
-                Err(e) if self.retry.is_some() => {
+                Err(_) => {
                     self.tracer.record(
                         EventKind::ConnectionLost,
                         RecordArgs::new()
@@ -280,9 +311,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                             .worker(self.worker_id)
                             .progress(progress),
                     );
-                    let _ = e;
                 }
-                Err(e) => return Err(e),
             }
         }
         Ok(sent)
@@ -326,7 +355,9 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
 
         if self.retry.is_none() {
             // Legacy path: no timeouts, any PullResponse counts, send
-            // errors propagate.
+            // errors propagate. All pull requests go out as one batch so
+            // the TCP postman writes one coalesced frame run per server.
+            let mut batch = Vec::with_capacity(groups.len());
             for (m, keys) in &groups {
                 let msg = Message::SPull {
                     worker: self.worker_id,
@@ -334,8 +365,9 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                     keys: keys.clone(),
                 };
                 self.trace_send(*m, progress, &msg);
-                self.postman.send(NodeId::Server(*m), msg)?;
+                batch.push((NodeId::Server(*m), msg));
             }
+            self.postman.send_batch(batch)?;
             let expected = groups.len() as u32;
             while report.responses < expected {
                 let (_, msg) = self.mailbox.recv()?;

@@ -49,10 +49,21 @@ mod node_tag {
 /// byte, two u32 actor ids and four u64 logical fields.
 const EVENT_WIRE_LEN: usize = 8 + 8 + 1 + 4 + 4 + 8 + 8 + 8 + 8;
 
-/// Encode a message into a fresh byte buffer.
+/// Encode a message into a fresh byte buffer, sized exactly via
+/// [`encoded_len`] so encoding never reallocates mid-write (the old
+/// `payload_bytes() + 16` estimate under-counted KV-heavy messages and
+/// forced a mid-encode reallocation on the hot path).
 pub fn encode(msg: &Message) -> Bytes {
-    let mut buf = BytesMut::with_capacity(msg.payload_bytes() + 16);
+    let exact = encoded_len(msg);
+    let mut buf = BytesMut::with_capacity(exact);
+    let cap_before = buf.capacity();
     encode_into(msg, &mut buf);
+    debug_assert_eq!(buf.len(), exact, "encoded_len out of sync with encode");
+    debug_assert_eq!(
+        buf.capacity(),
+        cap_before,
+        "encode reallocated: reserve was under-sized"
+    );
     buf.freeze()
 }
 
@@ -239,10 +250,55 @@ pub fn pull_response_wire_len(kv: &KvPairs) -> usize {
     2 + 4 + 8 + 8 + kv_encoded_len(kv)
 }
 
+/// Copy `frame` with the byte at `idx` overwritten by `val` — the shared
+/// corruption helper for codec tests (unit and property-based): every
+/// "flip one byte, expect a decode error" case routes through here instead
+/// of hand-rolling its own `to_vec` + index dance.
+///
+/// Panics when `idx` is out of bounds or `val` equals the byte already
+/// there: a no-op "corruption" would silently test nothing.
+pub fn corrupt_at(frame: &Bytes, idx: usize, val: u8) -> Bytes {
+    assert!(
+        idx < frame.len(),
+        "corrupt_at: index {idx} out of bounds for {}-byte frame",
+        frame.len()
+    );
+    assert_ne!(
+        frame[idx], val,
+        "corrupt_at: byte {idx} is already {val:#04x}; corruption would be a no-op"
+    );
+    let mut bytes = frame.as_ref().to_vec();
+    bytes[idx] = val;
+    Bytes::from(bytes)
+}
+
 /// Decode one message from `bytes`; the buffer must contain exactly one
-/// encoded message (framing is the transport's job).
+/// encoded message (framing is the transport's job), so leftover bytes are
+/// a [`DecodeError::TrailingBytes`] error — without this check a corrupted
+/// tag byte could silently misparse a long message as a short one.
 pub fn decode(mut bytes: Bytes) -> Result<Message, DecodeError> {
-    let buf = &mut bytes;
+    let msg = decode_from(&mut bytes)?;
+    if bytes.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(bytes.remaining()));
+    }
+    Ok(msg)
+}
+
+/// [`decode`] from a borrowed slice — the zero-copy read path: a reader
+/// that keeps one reusable buffer per connection decodes each frame in
+/// place instead of copying it into an owned [`Bytes`] first. Enforces the
+/// same exactly-one-message contract as [`decode`].
+pub fn decode_slice(bytes: &[u8]) -> Result<Message, DecodeError> {
+    let mut cursor = bytes;
+    let msg = decode_from(&mut cursor)?;
+    if cursor.remaining() != 0 {
+        return Err(DecodeError::TrailingBytes(cursor.remaining()));
+    }
+    Ok(msg)
+}
+
+/// Decode one message from any [`Buf`] cursor.
+pub fn decode_from<B: Buf>(buf: &mut B) -> Result<Message, DecodeError> {
     let version = get_u8(buf)?;
     if version != WIRE_VERSION {
         return Err(DecodeError::VersionMismatch {
@@ -361,7 +417,7 @@ fn put_node(buf: &mut BytesMut, node: NodeId) {
     }
 }
 
-fn get_node(buf: &mut Bytes) -> Result<NodeId, DecodeError> {
+fn get_node<B: Buf>(buf: &mut B) -> Result<NodeId, DecodeError> {
     let kind = get_u8(buf)?;
     let idx = get_u32(buf)?;
     match kind {
@@ -385,7 +441,7 @@ fn put_event(buf: &mut BytesMut, e: &TraceEvent) {
     buf.put_u64_le(e.seq);
 }
 
-fn get_event(buf: &mut Bytes) -> Result<TraceEvent, DecodeError> {
+fn get_event<B: Buf>(buf: &mut B) -> Result<TraceEvent, DecodeError> {
     // `check_len` in the caller guarantees `EVENT_WIRE_LEN` bytes remain.
     let ts = f64::from_bits(buf.get_u64_le());
     let dur = f64::from_bits(buf.get_u64_le());
@@ -412,7 +468,7 @@ fn put_kv(buf: &mut BytesMut, kv: &KvPairs) {
     put_f32_vec(buf, &kv.vals);
 }
 
-fn get_kv(buf: &mut Bytes) -> Result<KvPairs, DecodeError> {
+fn get_kv<B: Buf>(buf: &mut B) -> Result<KvPairs, DecodeError> {
     let kv = KvPairs {
         keys: get_u64_vec(buf)?,
         lens: get_u32_vec(buf)?,
@@ -445,7 +501,7 @@ fn put_f32_vec(buf: &mut BytesMut, v: &[f32]) {
     }
 }
 
-fn check_len(buf: &Bytes, count: u64, elem_size: usize) -> Result<usize, DecodeError> {
+fn check_len<B: Buf>(buf: &B, count: u64, elem_size: usize) -> Result<usize, DecodeError> {
     if count > MAX_ELEMS {
         return Err(DecodeError::LengthOverflow(count));
     }
@@ -460,25 +516,25 @@ fn check_len(buf: &Bytes, count: u64, elem_size: usize) -> Result<usize, DecodeE
     Ok(n)
 }
 
-fn get_u64_vec(buf: &mut Bytes) -> Result<Vec<u64>, DecodeError> {
+fn get_u64_vec<B: Buf>(buf: &mut B) -> Result<Vec<u64>, DecodeError> {
     let count = get_u32(buf)? as u64;
     let n = check_len(buf, count, 8)?;
     Ok((0..n).map(|_| buf.get_u64_le()).collect())
 }
 
-fn get_u32_vec(buf: &mut Bytes) -> Result<Vec<u32>, DecodeError> {
+fn get_u32_vec<B: Buf>(buf: &mut B) -> Result<Vec<u32>, DecodeError> {
     let count = get_u32(buf)? as u64;
     let n = check_len(buf, count, 4)?;
     Ok((0..n).map(|_| buf.get_u32_le()).collect())
 }
 
-fn get_f32_vec(buf: &mut Bytes) -> Result<Vec<f32>, DecodeError> {
+fn get_f32_vec<B: Buf>(buf: &mut B) -> Result<Vec<f32>, DecodeError> {
     let count = get_u32(buf)? as u64;
     let n = check_len(buf, count, 4)?;
     Ok((0..n).map(|_| f32::from_bits(buf.get_u32_le())).collect())
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
+fn get_u8<B: Buf>(buf: &mut B) -> Result<u8, DecodeError> {
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated {
             needed: 1,
@@ -488,7 +544,7 @@ fn get_u8(buf: &mut Bytes) -> Result<u8, DecodeError> {
     Ok(buf.get_u8())
 }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
+fn get_u32<B: Buf>(buf: &mut B) -> Result<u32, DecodeError> {
     if buf.remaining() < 4 {
         return Err(DecodeError::Truncated {
             needed: 4,
@@ -498,7 +554,7 @@ fn get_u32(buf: &mut Bytes) -> Result<u32, DecodeError> {
     Ok(buf.get_u32_le())
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+fn get_u64<B: Buf>(buf: &mut B) -> Result<u64, DecodeError> {
     if buf.remaining() < 8 {
         return Err(DecodeError::Truncated {
             needed: 8,
@@ -649,12 +705,10 @@ mod tests {
                 seq: 0,
             }],
         };
-        let mut bytes = encode(&msg).to_vec();
         // The kind byte sits after version+tag (2), node (5), four u64
         // headers (32), the count word (4) and the event's ts+dur (16).
         let kind_at = 2 + 5 + 32 + 4 + 16;
-        bytes[kind_at] = 0xEE;
-        let err = decode(Bytes::from(bytes)).unwrap_err();
+        let err = decode(corrupt_at(&encode(&msg), kind_at, 0xEE)).unwrap_err();
         assert_eq!(err, DecodeError::UnknownTag(0xEE));
     }
 
@@ -792,9 +846,7 @@ mod tests {
 
     #[test]
     fn rejects_wrong_version() {
-        let mut bytes = encode(&Message::Shutdown).to_vec();
-        bytes[0] = 99;
-        let err = decode(Bytes::from(bytes)).unwrap_err();
+        let err = decode(corrupt_at(&encode(&Message::Shutdown), 0, 99)).unwrap_err();
         assert_eq!(
             err,
             DecodeError::VersionMismatch {

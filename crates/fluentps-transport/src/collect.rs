@@ -21,7 +21,7 @@
 //! serially, so the pong proves every prior batch was ingested — that is
 //! what makes `received + dropped == emitted` exact at run end.
 
-use std::io::BufReader;
+use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -31,10 +31,11 @@ use std::time::Duration;
 use fluentps_obs::clock::ClockSource;
 use fluentps_obs::collect::{ClusterCollector, NodeStats};
 use fluentps_obs::{Trace, TraceCollector};
-use fluentps_util::sync::Mutex;
+use fluentps_util::buf::BytesMut;
+use fluentps_util::sync::{Mutex, StopFlag};
 
 use crate::error::TransportError;
-use crate::frame::{read_frame, write_frame};
+use crate::frame::{encode_frame_into, write_frame, FrameReader};
 use crate::msg::{Message, NodeId};
 
 /// How long a streamer keeps retrying its initial dial before giving up
@@ -152,7 +153,11 @@ fn spawn_ingest(stream: TcpStream, cluster: Arc<Mutex<ClusterCollector>>, clock:
                 Err(_) => return,
             };
             let mut reader = BufReader::new(stream);
-            while let Ok((_, msg)) = read_frame(&mut reader) {
+            let mut frames = FrameReader::new();
+            // One reused body buffer per connection: frames are decoded in
+            // place, so the streaming drain costs no per-frame allocation
+            // beyond the decoded events themselves.
+            while let Ok((_, msg)) = frames.read_from(&mut reader) {
                 match msg {
                     Message::ClockPing { seq, t_send, .. } => {
                         let pong = Message::ClockPong {
@@ -198,6 +203,12 @@ pub struct StreamerConfig {
     pub poll_every: Duration,
     /// Maximum events per `TraceBatch` frame; larger polls are chunked.
     pub max_batch: usize,
+    /// Byte budget per coalesced write: a drain encodes its chunk frames
+    /// back-to-back into one reused buffer and normally writes them with a
+    /// single flush, but hands the buffer to the kernel early whenever it
+    /// crosses this budget, so a huge backlog cannot queue unbounded bytes
+    /// in user space and write latency stays bounded.
+    pub max_batch_bytes: usize,
     /// Clock-offset probes at connection time.
     pub pings: u32,
 }
@@ -207,6 +218,7 @@ impl Default for StreamerConfig {
         StreamerConfig {
             poll_every: Duration::from_millis(20),
             max_batch: 512,
+            max_batch_bytes: 256 << 10,
             pings: 4,
         }
     }
@@ -230,7 +242,7 @@ pub struct StreamerReport {
 /// Background thread that streams one node's ring-buffered trace events to
 /// a [`CollectorService`].
 pub struct TraceStreamer {
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopFlag>,
     handle: Option<JoinHandle<StreamerReport>>,
 }
 
@@ -244,7 +256,7 @@ impl TraceStreamer {
         addr: SocketAddr,
         cfg: StreamerConfig,
     ) -> TraceStreamer {
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = Arc::new(StopFlag::new());
         let thread_stop = Arc::clone(&stop);
         let col = collector.clone();
         let handle = std::thread::Builder::new()
@@ -258,9 +270,11 @@ impl TraceStreamer {
     }
 
     /// Flush everything still buffered, run the shutdown read barrier and
-    /// return the streamer's accounting.
+    /// return the streamer's accounting. The stop latch wakes a streamer
+    /// parked in its poll wait immediately, so shutdown costs one drain +
+    /// barrier round-trip, not a full `poll_every` sleep.
     pub fn stop(mut self) -> StreamerReport {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.stop();
         match self.handle.take() {
             Some(h) => h.join().unwrap_or_default(),
             None => StreamerReport::default(),
@@ -270,7 +284,7 @@ impl TraceStreamer {
 
 impl Drop for TraceStreamer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -280,9 +294,10 @@ impl Drop for TraceStreamer {
 struct StreamerConn {
     writer: TcpStream,
     reader: BufReader<TcpStream>,
+    frames: FrameReader,
 }
 
-fn dial(addr: SocketAddr) -> Option<StreamerConn> {
+fn dial(addr: SocketAddr, stop: &StopFlag) -> Option<StreamerConn> {
     for _ in 0..CONNECT_RETRIES {
         if let Ok(stream) = TcpStream::connect(addr) {
             stream.set_nodelay(true).ok();
@@ -291,10 +306,13 @@ fn dial(addr: SocketAddr) -> Option<StreamerConn> {
                 return Some(StreamerConn {
                     writer,
                     reader: BufReader::new(stream),
+                    frames: FrameReader::new(),
                 });
             }
         }
-        std::thread::sleep(CONNECT_RETRY_EVERY);
+        if stop.wait_timeout(CONNECT_RETRY_EVERY) {
+            return None;
+        }
     }
     None
 }
@@ -314,7 +332,7 @@ fn ping_once(
     )
     .ok()?;
     loop {
-        match read_frame(&mut conn.reader) {
+        match conn.frames.read_from(&mut conn.reader) {
             Ok((
                 _,
                 Message::ClockPong {
@@ -335,21 +353,46 @@ fn ping_once(
     }
 }
 
+/// Hand the coalesced frames accumulated in `scratch` to the kernel in one
+/// `write_all` and settle their accounting: success credits every pending
+/// chunk, failure drops them all (counted in the next header that does get
+/// through). The buffer is cleared but keeps its allocation for reuse.
+fn write_coalesced(
+    conn: &mut StreamerConn,
+    scratch: &mut BytesMut,
+    pending_batches: &mut u64,
+    pending_events: &mut u64,
+    report: &mut StreamerReport,
+) {
+    if scratch.is_empty() {
+        return;
+    }
+    if conn.writer.write_all(scratch.as_ref()).is_ok() {
+        report.batches += *pending_batches;
+        report.events_sent += *pending_events;
+    } else {
+        // Never block or retry on the hot path: the chunks are gone;
+        // account for them in the next header that does get through.
+        report.send_drops += *pending_events;
+    }
+    scratch.clear();
+    *pending_batches = 0;
+    *pending_events = 0;
+}
+
 fn stream_loop(
     node: NodeId,
     col: TraceCollector,
     addr: SocketAddr,
     cfg: StreamerConfig,
-    stop: Arc<AtomicBool>,
+    stop: Arc<StopFlag>,
 ) -> StreamerReport {
     let mut report = StreamerReport::default();
     let mut cursor = col.cursor();
-    let Some(mut conn) = dial(addr) else {
-        // Never connected: idle until stop so the cursor accounting is
-        // still drained (and discarded) without spinning.
-        while !stop.load(Ordering::SeqCst) {
-            std::thread::sleep(cfg.poll_every);
-        }
+    let Some(mut conn) = dial(addr, &stop) else {
+        // Never connected: park until stop (the latch wakes us at once) so
+        // the cursor accounting is still discarded without spinning.
+        while !stop.wait_timeout(cfg.poll_every) {}
         return report;
     };
     report.connected = true;
@@ -364,7 +407,11 @@ fn stream_loop(
     }
 
     let mut batch_seq = 0u64;
-    let mut flush = |conn: &mut StreamerConn, report: &mut StreamerReport, batch_seq: &mut u64| {
+    // One reused encode buffer for the whole connection: each drain
+    // coalesces all its chunk frames here and writes them with a single
+    // syscall, spilling early only past the byte budget.
+    let mut scratch = BytesMut::new();
+    let mut drain = |conn: &mut StreamerConn, report: &mut StreamerReport, batch_seq: &mut u64| {
         let polled = cursor.poll();
         // Chunk to max_batch; always emit at least one (possibly empty)
         // frame so cumulative accounting reaches the collector even when
@@ -374,6 +421,9 @@ fn stream_loop(
         } else {
             polled.events.chunks(cfg.max_batch.max(1)).collect()
         };
+        scratch.clear();
+        let mut pending_batches = 0u64;
+        let mut pending_events = 0u64;
         for chunk in chunks {
             *batch_seq += 1;
             let msg = Message::TraceBatch {
@@ -384,23 +434,33 @@ fn stream_loop(
                 dropped: polled.dropped + report.send_drops,
                 events: chunk.to_vec(),
             };
-            if write_frame(&mut conn.writer, node, &msg).is_ok() {
-                report.batches += 1;
-                report.events_sent += chunk.len() as u64;
-            } else {
-                // Never block or retry on the hot path: the chunk is gone;
-                // account for it in the next header that does get through.
-                report.send_drops += chunk.len() as u64;
+            encode_frame_into(node, &msg, &mut scratch);
+            pending_batches += 1;
+            pending_events += chunk.len() as u64;
+            if scratch.len() >= cfg.max_batch_bytes {
+                write_coalesced(
+                    conn,
+                    &mut scratch,
+                    &mut pending_batches,
+                    &mut pending_events,
+                    report,
+                );
             }
         }
+        write_coalesced(
+            conn,
+            &mut scratch,
+            &mut pending_batches,
+            &mut pending_events,
+            report,
+        );
     };
 
-    while !stop.load(Ordering::SeqCst) {
-        std::thread::sleep(cfg.poll_every);
-        flush(&mut conn, &mut report, &mut batch_seq);
+    while !stop.wait_timeout(cfg.poll_every) {
+        drain(&mut conn, &mut report, &mut batch_seq);
     }
-    // Final flush picks up everything recorded up to the stop request.
-    flush(&mut conn, &mut report, &mut batch_seq);
+    // Final drain picks up everything recorded up to the stop request.
+    drain(&mut conn, &mut report, &mut batch_seq);
     // Read barrier: the pong proves the collector processed every batch
     // written before the ping on this (serially handled) connection.
     ping_once(&mut conn, node, u64::MAX, &col);

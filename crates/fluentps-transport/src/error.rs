@@ -44,6 +44,10 @@ pub enum DecodeError {
     InconsistentKv,
     /// A declared length would exceed the sanity cap (corrupt frame).
     LengthOverflow(u64),
+    /// A buffer that must hold exactly one message had bytes left after it
+    /// (a corrupted tag can turn a long message into a short one; the
+    /// leftovers are how that misparse is caught).
+    TrailingBytes(usize),
 }
 
 impl fmt::Display for TransportError {
@@ -73,6 +77,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::InconsistentKv => write!(f, "inconsistent KvPairs lengths"),
             DecodeError::LengthOverflow(n) => write!(f, "declared length {n} exceeds cap"),
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} bytes left after a complete message")
+            }
         }
     }
 }

@@ -35,17 +35,35 @@ fn node_from_pair(kind: u8, idx: u32) -> Result<NodeId, DecodeError> {
     }
 }
 
-/// Serialize `(from, msg)` into one framed buffer ready to be written to a
-/// stream in a single `write_all`.
-pub fn encode_frame(from: NodeId, msg: &Message) -> Bytes {
-    let mut payload = BytesMut::with_capacity(msg.payload_bytes() + 24);
+/// Append one frame for `(from, msg)` to `buf` and return the frame's byte
+/// length. Writes the length word as a placeholder, encodes the sender id
+/// and payload straight behind it, then patches the length in place — one
+/// buffer, no intermediate copy. With an exact reserve up front the append
+/// never reallocates (debug-asserted), so a caller that `clear()`s and
+/// reuses `buf` pays zero allocations per frame at steady state.
+pub fn encode_frame_into(from: NodeId, msg: &Message, buf: &mut BytesMut) -> usize {
+    let frame_len = wire_len(msg);
+    buf.reserve(frame_len);
+    let cap_before = buf.capacity();
+    let start = buf.len();
+    buf.put_u32_le(0); // length placeholder, patched below
     let (kind, idx) = node_to_pair(from);
-    payload.put_u8(kind);
-    payload.put_u32_le(idx);
-    codec::encode_into(msg, &mut payload);
-    let mut framed = BytesMut::with_capacity(payload.len() + 4);
-    framed.put_u32_le(payload.len() as u32);
-    framed.extend_from_slice(&payload);
+    buf.put_u8(kind);
+    buf.put_u32_le(idx);
+    codec::encode_into(msg, buf);
+    let body_len = buf.len() - start - 4;
+    buf.set_u32_le_at(start, body_len as u32);
+    debug_assert_eq!(buf.len() - start, frame_len, "wire_len out of sync");
+    debug_assert_eq!(buf.capacity(), cap_before, "frame encode reallocated");
+    frame_len
+}
+
+/// Serialize `(from, msg)` into one framed buffer ready to be written to a
+/// stream in a single `write_all`. Allocates per call — hot paths should
+/// use [`encode_frame_into`] with a reused buffer instead.
+pub fn encode_frame(from: NodeId, msg: &Message) -> Bytes {
+    let mut framed = BytesMut::with_capacity(wire_len(msg));
+    encode_frame_into(from, msg, &mut framed);
     framed.freeze()
 }
 
@@ -72,24 +90,67 @@ pub fn decode_frame_body(mut body: Bytes) -> Result<(NodeId, Message), Transport
     Ok((from, msg))
 }
 
-/// Write one framed message to a stream.
+/// Write one framed message to a stream (one `write_all`, no flush — the
+/// caller decides the flush cadence; see the batch-coalescing contract in
+/// DESIGN.md § wire path).
 pub fn write_frame<W: Write>(w: &mut W, from: NodeId, msg: &Message) -> Result<(), TransportError> {
     let frame = encode_frame(from, msg);
     w.write_all(&frame)?;
     Ok(())
 }
 
-/// Read one framed message from a stream, blocking until complete.
-pub fn read_frame<R: Read>(r: &mut R) -> Result<(NodeId, Message), TransportError> {
-    let mut len_buf = [0u8; 4];
-    r.read_exact(&mut len_buf)?;
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(DecodeError::LengthOverflow(len as u64).into());
+/// Decode one frame body from a borrowed slice (everything after the
+/// length word) without copying it into an owned buffer first.
+pub fn decode_frame_slice(body: &[u8]) -> Result<(NodeId, Message), TransportError> {
+    let mut cursor = body;
+    if cursor.remaining() < 5 {
+        return Err(DecodeError::Truncated {
+            needed: 5,
+            available: cursor.remaining(),
+        }
+        .into());
     }
-    let mut body = vec![0u8; len as usize];
-    r.read_exact(&mut body)?;
-    decode_frame_body(Bytes::from(body))
+    let kind = cursor.get_u8();
+    let idx = cursor.get_u32_le();
+    let from = node_from_pair(kind, idx)?;
+    let msg = codec::decode_slice(cursor)?;
+    Ok((from, msg))
+}
+
+/// Streaming frame reader that owns one reusable body buffer: each frame is
+/// read into the same allocation and decoded in place, so the per-frame
+/// `vec![0u8; len]` of the old read path disappears. The buffer grows to
+/// the largest frame seen on the connection and stays there.
+#[derive(Default)]
+pub struct FrameReader {
+    body: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with an empty scratch buffer.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Read one framed message from `r`, blocking until complete.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> Result<(NodeId, Message), TransportError> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME {
+            return Err(DecodeError::LengthOverflow(len as u64).into());
+        }
+        self.body.resize(len as usize, 0);
+        r.read_exact(&mut self.body)?;
+        decode_frame_slice(&self.body)
+    }
+}
+
+/// Read one framed message from a stream, blocking until complete.
+/// Allocates a fresh body buffer per call — connection loops should hold a
+/// [`FrameReader`] instead.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(NodeId, Message), TransportError> {
+    FrameReader::new().read_from(r)
 }
 
 #[cfg(test)]
@@ -152,6 +213,69 @@ mod tests {
                 wire_len(&msg),
                 encode_frame(NodeId::Worker(0), &msg).len(),
                 "wire_len mismatch for {msg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reused_buffer_coalesces_frames_without_reallocating() {
+        let msgs = vec![
+            Message::SPush {
+                worker: 1,
+                progress: 2,
+                kv: KvPairs::single(0, vec![0.5; 32]),
+            },
+            Message::SPull {
+                worker: 1,
+                progress: 2,
+                keys: vec![0, 1],
+            },
+            Message::Shutdown,
+        ];
+        let mut buf = BytesMut::new();
+        // Warm the buffer once, then the steady-state batch must not grow it.
+        for m in &msgs {
+            encode_frame_into(NodeId::Worker(1), m, &mut buf);
+        }
+        buf.clear();
+        let warm_cap = buf.capacity();
+        let mut total = 0;
+        for m in &msgs {
+            total += encode_frame_into(NodeId::Worker(1), m, &mut buf);
+        }
+        assert_eq!(buf.len(), total);
+        assert_eq!(buf.capacity(), warm_cap, "steady-state batch reallocated");
+        // The coalesced bytes decode back to the same frame sequence.
+        let mut cursor = Cursor::new(buf.as_ref().to_vec());
+        let mut reader = FrameReader::new();
+        for m in &msgs {
+            let (from, got) = reader.read_from(&mut cursor).unwrap();
+            assert_eq!(from, NodeId::Worker(1));
+            assert_eq!(got, *m);
+        }
+    }
+
+    #[test]
+    fn frame_reader_matches_read_frame() {
+        let mut stream = Vec::new();
+        for seq in 0..10u64 {
+            write_frame(
+                &mut stream,
+                NodeId::Server(1),
+                &Message::Heartbeat {
+                    node: NodeId::Server(1),
+                    seq,
+                },
+            )
+            .unwrap();
+        }
+        let mut a = Cursor::new(stream.clone());
+        let mut b = Cursor::new(stream);
+        let mut reader = FrameReader::new();
+        for _ in 0..10 {
+            assert_eq!(
+                reader.read_from(&mut a).unwrap(),
+                read_frame(&mut b).unwrap()
             );
         }
     }

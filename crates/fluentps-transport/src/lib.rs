@@ -64,4 +64,20 @@ pub trait Postman: Send {
     /// Send `msg` to `to`. Delivery is reliable and per-sender FIFO on all
     /// provided transports.
     fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError>;
+
+    /// Send a batch of messages, preserving per-destination order. The
+    /// default delegates to [`Postman::send`] one message at a time —
+    /// message-level semantics (fault injection, simulation) are unchanged
+    /// — while transports that can coalesce (TCP) override this to write
+    /// all frames for a destination in one syscall with a single flush.
+    /// Every message is attempted; the first error (if any) is returned.
+    fn send_batch(&self, batch: Vec<(NodeId, Message)>) -> Result<(), TransportError> {
+        let mut first_err = None;
+        for (to, msg) in batch {
+            if let Err(e) = self.send(to, msg) {
+                first_err.get_or_insert(e);
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    }
 }

@@ -8,7 +8,7 @@
 //! reliable, per-sender FIFO delivery.
 
 use std::collections::HashMap;
-use std::io::BufWriter;
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,11 +16,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use fluentps_obs::{EventKind, RecordArgs, Tracer, NO_ID};
+use fluentps_util::buf::BytesMut;
 use fluentps_util::sync::Mutex;
 use fluentps_util::sync::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::TransportError;
-use crate::frame::{read_frame, wire_len, write_frame};
+use crate::frame::{encode_frame_into, wire_len, FrameReader};
 use crate::msg::{Message, NodeId};
 use crate::{Mailbox, Postman};
 
@@ -73,10 +74,21 @@ impl std::fmt::Debug for AddressBook {
 
 type Envelope = (NodeId, Message);
 
+/// One dialed connection: the socket plus a reusable scratch buffer frames
+/// are encoded into before a single `write_all` hands them to the kernel.
+/// The buffer grows to the largest frame/batch written and stays there —
+/// the per-frame `BytesMut` allocation of the old path is gone, and because
+/// the whole frame (or batch of frames) reaches the socket in one write
+/// there is no per-message flush (DESIGN.md § wire path).
+struct Conn {
+    stream: TcpStream,
+    buf: BytesMut,
+}
+
 struct Shared {
     node: NodeId,
     book: AddressBook,
-    conns: Mutex<HashMap<NodeId, BufWriter<TcpStream>>>,
+    conns: Mutex<HashMap<NodeId, Conn>>,
     inbox_tx: Sender<Envelope>,
     closed: AtomicBool,
     tracer: Tracer,
@@ -202,8 +214,11 @@ fn spawn_reader(stream: TcpStream, shared: Arc<Shared>) {
         .name(format!("tcp-reader-{}", shared.node))
         .spawn(move || {
             let mut reader = std::io::BufReader::new(stream);
+            let mut frames = FrameReader::new();
             // Read frames until the peer closes or the stream corrupts.
-            while let Ok((from, msg)) = read_frame(&mut reader) {
+            // The frame body buffer is reused across frames and decoded in
+            // place — no per-frame allocation on the receive path.
+            while let Ok((from, msg)) = frames.read_from(&mut reader) {
                 if shared.tracer.is_enabled() {
                     let (shard, worker) = trace_ids(shared.node, from);
                     shared.tracer.record(
@@ -252,12 +267,13 @@ pub struct TcpPostman {
     shared: Arc<Shared>,
 }
 
-impl Postman for TcpPostman {
-    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError> {
-        if self.shared.closed.load(Ordering::SeqCst) {
-            return Err(TransportError::Disconnected);
-        }
-        let mut conns = self.shared.conns.lock();
+impl TcpPostman {
+    /// Get (or dial) the connection to `to`.
+    fn ensure_conn<'c>(
+        &self,
+        conns: &'c mut HashMap<NodeId, Conn>,
+        to: NodeId,
+    ) -> Result<&'c mut Conn, TransportError> {
         if let std::collections::hash_map::Entry::Vacant(e) = conns.entry(to) {
             let addr = self
                 .shared
@@ -266,25 +282,104 @@ impl Postman for TcpPostman {
                 .ok_or(TransportError::UnknownNode(to))?;
             let stream = TcpStream::connect(addr)?;
             stream.set_nodelay(true)?;
-            e.insert(BufWriter::new(stream));
+            e.insert(Conn {
+                stream,
+                buf: BytesMut::new(),
+            });
         }
-        let writer = conns.get_mut(&to).expect("just inserted");
-        let result = write_frame(writer, self.shared.node, &msg)
-            .and_then(|()| std::io::Write::flush(writer).map_err(TransportError::from));
+        Ok(conns.get_mut(&to).expect("just inserted"))
+    }
+
+    /// Hand `conn.buf` to the kernel in one write and clear it for reuse.
+    /// On error the connection is dropped so a later send can redial.
+    fn write_out(
+        &self,
+        conns: &mut HashMap<NodeId, Conn>,
+        to: NodeId,
+    ) -> Result<(), TransportError> {
+        let conn = conns.get_mut(&to).expect("connection present");
+        let result = conn
+            .stream
+            .write_all(conn.buf.as_ref())
+            .map_err(TransportError::from);
+        conn.buf.clear();
         if result.is_err() {
-            // Drop the broken connection so a later send can redial.
             conns.remove(&to);
-        } else if self.shared.tracer.is_enabled() {
+        }
+        result
+    }
+
+    fn trace_send(&self, to: NodeId, bytes: u64) {
+        if self.shared.tracer.is_enabled() {
             let (shard, worker) = trace_ids(self.shared.node, to);
             self.shared.tracer.record(
                 EventKind::WireSend,
-                RecordArgs::new()
-                    .shard(shard)
-                    .worker(worker)
-                    .bytes(wire_len(&msg) as u64),
+                RecordArgs::new().shard(shard).worker(worker).bytes(bytes),
             );
         }
+    }
+}
+
+impl Postman for TcpPostman {
+    fn send(&self, to: NodeId, msg: Message) -> Result<(), TransportError> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(TransportError::Disconnected);
+        }
+        let from = self.shared.node;
+        let mut conns = self.shared.conns.lock();
+        let conn = self.ensure_conn(&mut conns, to)?;
+        let bytes = encode_frame_into(from, &msg, &mut conn.buf) as u64;
+        let result = self.write_out(&mut conns, to);
+        if result.is_ok() {
+            self.trace_send(to, bytes);
+        }
         result
+    }
+
+    /// Coalesced send: frames for the same destination are encoded
+    /// back-to-back into that connection's scratch buffer and written with
+    /// a *single* `write_all` per destination — one flush per drained
+    /// batch instead of one per message. Per-destination FIFO order is
+    /// preserved; a failure on one destination does not stop the others
+    /// (the first error is returned after every destination is attempted).
+    fn send_batch(&self, batch: Vec<(NodeId, Message)>) -> Result<(), TransportError> {
+        if self.shared.closed.load(Ordering::SeqCst) {
+            return Err(TransportError::Disconnected);
+        }
+        let from = self.shared.node;
+        let mut conns = self.shared.conns.lock();
+        let mut first_err = None;
+        // Destinations in first-appearance order, with per-message byte
+        // counts kept for tracing after the destination's write succeeds.
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut traced: Vec<(NodeId, u64)> = Vec::with_capacity(batch.len());
+        for (to, msg) in &batch {
+            match self.ensure_conn(&mut conns, *to) {
+                Ok(conn) => {
+                    if conn.buf.is_empty() {
+                        order.push(*to);
+                    }
+                    let bytes = encode_frame_into(from, msg, &mut conn.buf) as u64;
+                    traced.push((*to, bytes));
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        for to in order {
+            match self.write_out(&mut conns, to) {
+                Ok(()) => {
+                    for &(t, bytes) in traced.iter().filter(|(t, _)| *t == to) {
+                        self.trace_send(t, bytes);
+                    }
+                }
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        first_err.map_or(Ok(()), Err)
     }
 }
 

@@ -2,7 +2,7 @@
 //! and must never panic on arbitrary byte soup.
 
 use fluentps_obs::{EventKind, TraceEvent, KINDS};
-use fluentps_transport::codec::{decode, encode};
+use fluentps_transport::codec::{corrupt_at, decode, encode};
 use fluentps_transport::msg::{KvPairs, Message, NodeId};
 use fluentps_util::buf::Bytes;
 use fluentps_util::proptest::prelude::*;
@@ -142,6 +142,35 @@ proptest! {
         let cut = ((bytes.len() as f64) * frac) as usize;
         if cut < bytes.len() {
             prop_assert!(decode(bytes.slice(0..cut)).is_err());
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_never_silent(
+        msg in arb_message(),
+        frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let bytes = encode(&msg);
+        // Every encoding is at least version+tag, so an index always exists;
+        // XOR with a non-zero flip guarantees the byte actually changes.
+        let idx = (((bytes.len() - 1) as f64) * frac) as usize;
+        let corrupted = corrupt_at(&bytes, idx, bytes[idx] ^ flip);
+        match decode(corrupted.clone()) {
+            // Either the codec notices the damage...
+            Err(_) => {}
+            // ...or the flipped byte was plain payload, in which case the
+            // decoded message must account for every corrupted byte (same
+            // encoded length — the strict trailing-bytes check means no
+            // silent short misparse) and be canonically stable. Exact byte
+            // equality is too strong: Scheduler/Collector node ids carry a
+            // don't-care index on the wire.
+            Ok(back) => {
+                let reencoded = encode(&back);
+                prop_assert_eq!(reencoded.len(), corrupted.len());
+                let again = decode(reencoded).expect("re-encoded message must decode");
+                prop_assert_eq!(format!("{:?}", back), format!("{:?}", again));
+            }
         }
     }
 }

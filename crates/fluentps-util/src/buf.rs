@@ -42,6 +42,24 @@ pub trait Buf {
     }
 }
 
+/// Borrowed-slice cursor: lets decoders run over a reused read buffer
+/// without first copying it into an owned [`Bytes`]. Advancing shrinks the
+/// slice from the front.
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+}
+
 /// Append-style writes of little-endian integers.
 pub trait BufMut {
     /// Append raw bytes.
@@ -202,6 +220,47 @@ impl BytesMut {
         self.data.is_empty()
     }
 
+    /// Writable capacity before the next append reallocates.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Ensure room for `additional` more bytes without reallocating later.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Drop the written bytes but keep the allocation — the reuse primitive
+    /// for per-connection scratch buffers: encode a batch, write it to the
+    /// stream, `clear()`, repeat. Capacity converges on the largest batch
+    /// seen and no further allocation happens on the hot path.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Shorten to `len` written bytes (no-op if already shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.data.truncate(len);
+    }
+
+    /// Take the written bytes out, leaving this buffer empty. The returned
+    /// buffer owns the old allocation; `self` starts from scratch. Use
+    /// [`BytesMut::clear`] instead when the *allocation* should stay with
+    /// the writer.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            data: std::mem::take(&mut self.data),
+        }
+    }
+
+    /// Overwrite 4 already-written bytes at `at` with a little-endian
+    /// `u32` — how the framer patches a length word after encoding the
+    /// payload behind it, instead of building the frame in a second buffer.
+    /// Panics if `at + 4` exceeds the written length.
+    pub fn set_u32_le_at(&mut self, at: usize, v: u32) {
+        self.data[at..at + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
     /// Append raw bytes.
     pub fn extend_from_slice(&mut self, src: &[u8]) {
         self.data.extend_from_slice(src);
@@ -285,6 +344,59 @@ mod tests {
     fn slice_out_of_bounds_panics() {
         let bytes = Bytes::from(vec![1, 2, 3]);
         let _ = bytes.slice(0..4);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_for_reuse() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_slice(&[0u8; 100]);
+        let grown = b.capacity();
+        assert!(grown >= 100);
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), grown);
+        // Refilling within capacity never reallocates.
+        b.put_slice(&[1u8; 100]);
+        assert_eq!(b.capacity(), grown);
+    }
+
+    #[test]
+    fn split_takes_contents_and_allocation() {
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 2, 3]);
+        let head = b.split();
+        assert_eq!(head.as_ref(), &[1, 2, 3]);
+        assert!(b.is_empty());
+        b.put_u8(9);
+        assert_eq!(b.as_ref(), &[9]);
+    }
+
+    #[test]
+    fn set_u32_le_at_patches_in_place() {
+        let mut b = BytesMut::new();
+        b.put_u32_le(0); // placeholder
+        b.put_slice(b"payload");
+        b.set_u32_le_at(0, 7);
+        let mut frozen = b.freeze();
+        assert_eq!(frozen.get_u32_le(), 7);
+        assert_eq!(frozen.chunk(), b"payload");
+    }
+
+    #[test]
+    fn slice_cursor_reads_like_bytes() {
+        let data = {
+            let mut b = BytesMut::new();
+            b.put_u8(3);
+            b.put_u32_le(77);
+            b.put_u64_le(u64::MAX);
+            b.freeze().to_vec()
+        };
+        let mut cur: &[u8] = &data;
+        assert_eq!(cur.remaining(), 13);
+        assert_eq!(cur.get_u8(), 3);
+        assert_eq!(cur.get_u32_le(), 77);
+        assert_eq!(cur.get_u64_le(), u64::MAX);
+        assert_eq!(cur.remaining(), 0);
     }
 
     #[test]

@@ -79,6 +79,49 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A one-way latch for background-loop shutdown: worker threads park on
+/// [`StopFlag::wait_timeout`] for their poll cadence and wake *immediately*
+/// when another thread calls [`StopFlag::stop`], instead of sleeping out the
+/// rest of the interval. Replaces `AtomicBool` + `thread::sleep` polling,
+/// whose shutdown latency is a full poll period per loop.
+#[derive(Debug, Default)]
+pub struct StopFlag {
+    stopped: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl StopFlag {
+    /// A flag in the running state.
+    pub fn new() -> Self {
+        StopFlag::default()
+    }
+
+    /// Latch to stopped and wake every waiter. Idempotent.
+    pub fn stop(&self) {
+        *self.stopped.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+
+    /// Whether [`StopFlag::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        *self.stopped.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Park for up to `timeout`, returning early — with `true` — as soon as
+    /// the flag stops. Returns the stopped state either way.
+    pub fn wait_timeout(&self, timeout: Duration) -> bool {
+        let guard = self.stopped.lock().unwrap_or_else(|e| e.into_inner());
+        if *guard {
+            return true;
+        }
+        let (guard, _timed_out) = self
+            .cv
+            .wait_timeout_while(guard, timeout, |stopped| !*stopped)
+            .unwrap_or_else(|e| e.into_inner());
+        *guard
+    }
+}
+
 /// Create an unbounded mpsc channel.
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
@@ -239,6 +282,31 @@ mod tests {
             .collect();
         let total: u32 = consumers.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn stop_flag_wakes_parked_waiter_early() {
+        let flag = Arc::new(StopFlag::new());
+        assert!(!flag.is_stopped());
+        assert!(!flag.wait_timeout(Duration::from_millis(1)));
+        let waiter = {
+            let flag = Arc::clone(&flag);
+            std::thread::spawn(move || {
+                let start = std::time::Instant::now();
+                assert!(flag.wait_timeout(Duration::from_secs(30)));
+                start.elapsed()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        flag.stop();
+        let waited = waiter.join().unwrap();
+        assert!(
+            waited < Duration::from_secs(5),
+            "woke early, not at timeout"
+        );
+        assert!(flag.is_stopped());
+        // Stopped flag returns immediately.
+        assert!(flag.wait_timeout(Duration::from_secs(30)));
     }
 
     #[test]
