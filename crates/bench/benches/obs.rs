@@ -340,6 +340,58 @@ fn analyze_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Streaming analyzer: the same mixed event shape as `analyze_throughput`,
+/// pushed one event at a time through `StreamAnalyzer` with small tumbling
+/// windows (so window closes and histogram-ring rotation are on the
+/// measured path), reported as events/sec.
+fn stream_window(c: &mut Criterion) {
+    use fluentps_obs::{StreamAnalyzer, StreamConfig, TraceEvent, NO_ID};
+
+    const ITERS: u64 = 1024;
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut ts = 0.0f64;
+    let ev = |ts: f64, kind: EventKind, shard: u32, worker: u32, i: u64| TraceEvent {
+        ts,
+        dur: 0.0,
+        kind,
+        shard,
+        worker,
+        progress: i,
+        v_train: i.saturating_sub(1),
+        bytes: 64,
+        seq: 0,
+    };
+    for i in 0..ITERS {
+        let shard = (i % 4) as u32;
+        let worker = (i % 8) as u32;
+        ts += 0.002; // ~20 events per 0.04s window
+        events.push(ev(ts, EventKind::WireSend, shard, worker, i));
+        events.push(ev(ts + 1e-4, EventKind::WireRecv, shard, worker, i));
+        events.push(ev(ts + 2e-4, EventKind::PullRequested, shard, worker, i));
+        events.push(ev(ts + 3e-4, EventKind::PullDeferred, shard, worker, i));
+        events.push(ev(ts + 4e-4, EventKind::PushApplied, shard, worker, i));
+        events.push(ev(ts + 5e-4, EventKind::VTrainAdvanced, shard, NO_ID, i));
+        events.push(ev(ts + 6e-4, EventKind::DprReleased, shard, worker, i));
+    }
+    let n = events.len() as u64;
+    let mut g = c.benchmark_group("stream");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("window_record", |b| {
+        b.iter(|| {
+            let mut s = StreamAnalyzer::new(StreamConfig {
+                window_secs: 0.04,
+                windows: 8,
+            });
+            for ev in &events {
+                s.advance_to(ev.ts);
+                s.ingest(ev);
+            }
+            (s.total(), s.windows_closed())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     obs,
     tracer_disabled,
@@ -349,6 +401,7 @@ criterion_group!(
     engine_tracing_overhead,
     collect_streaming_overhead,
     wire_throughput,
-    analyze_throughput
+    analyze_throughput,
+    stream_window
 );
 criterion_main!(obs);

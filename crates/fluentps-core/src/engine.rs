@@ -13,8 +13,8 @@ use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
 use fluentps_obs::{
-    http, EventKind, IntrospectionServer, MetricsRegistry, RecordArgs, TraceCollector, Tracer,
-    NO_ID,
+    http, EventKind, HealthEngine, HealthTap, IntrospectionServer, MetricsRegistry, RecordArgs,
+    StreamConfig, TraceCollector, TraceSource, Tracer, NO_ID,
 };
 use fluentps_util::rng::StdRng;
 
@@ -65,6 +65,10 @@ pub struct Cluster {
     fabric: Fabric,
     servers: Vec<JoinHandle<ShardStats>>,
     num_servers: u32,
+    // Live health engine + the tap feeding it from the run's collector,
+    // when launched introspected; the tap drains and the engine is
+    // finalized at shutdown.
+    health: Option<(HealthEngine, HealthTap)>,
 }
 
 /// The worker client type served by the in-process engine.
@@ -102,6 +106,12 @@ impl Cluster {
     /// launch. Bind loopback (`127.0.0.1:0`) unless the endpoint is
     /// deliberately exposed. The endpoint outlives the cluster until the
     /// returned [`IntrospectionServer`] is stopped or dropped.
+    ///
+    /// A streaming [`HealthEngine`] with the default alert rules is fed
+    /// from `collector` for the lifetime of the run, so the endpoint also
+    /// serves `/slo` and `/alerts`; [`Cluster::health_engine`] exposes the
+    /// same engine in-process. The engine is finalized (last window closed,
+    /// state frozen) by [`Cluster::shutdown`].
     pub fn launch_introspected(
         cfg: EngineConfig,
         map: SliceMap,
@@ -110,10 +120,25 @@ impl Cluster {
         registry: &MetricsRegistry,
         addr: SocketAddr,
     ) -> std::io::Result<(Cluster, Vec<InprocWorker>, IntrospectionServer)> {
-        let (cluster, workers) = Self::launch_with_collector(cfg, map, init, collector);
+        let (mut cluster, workers) = Self::launch_with_collector(cfg, map, init, collector);
         publish_cluster_gauges(registry, "threaded", cfg.num_workers, cfg.num_servers);
-        let server = http::serve(addr, registry.clone(), Some(collector.clone()))?;
+        let engine = HealthEngine::with_default_rules(StreamConfig::default());
+        let tap = engine.attach_to(collector, std::time::Duration::from_millis(20));
+        let server = http::serve_observed(
+            addr,
+            registry.clone(),
+            Some(TraceSource::Local(collector.clone())),
+            None,
+            Some(engine.clone()),
+        )?;
+        cluster.health = Some((engine, tap));
         Ok((cluster, workers, server))
+    }
+
+    /// The live [`HealthEngine`] attached by [`Cluster::launch_introspected`]
+    /// (`None` for the other launch paths).
+    pub fn health_engine(&self) -> Option<&HealthEngine> {
+        self.health.as_ref().map(|(engine, _)| engine)
     }
 
     /// Like [`Cluster::launch`] but with a per-server synchronization model —
@@ -205,6 +230,7 @@ impl Cluster {
                 fabric,
                 servers,
                 num_servers: cfg.num_servers,
+                health: None,
             },
             workers,
         )
@@ -219,10 +245,18 @@ impl Cluster {
             // Ignore failures: the server may already be gone.
             let _ = ctl.postman().send(NodeId::Server(m), Message::Shutdown);
         }
-        self.servers
+        let stats: Vec<ShardStats> = self
+            .servers
             .into_iter()
             .map(|h| h.join().expect("server thread panicked"))
-            .collect()
+            .collect();
+        // Drain the last recorded events into the health engine, then close
+        // its final window so `/slo` reflects the completed run.
+        if let Some((engine, tap)) = self.health {
+            tap.stop();
+            engine.finish();
+        }
+        stats
     }
 }
 

@@ -33,7 +33,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use fluentps_obs::{EventKind, HealthView, NodeHealth, RecordArgs, TraceCollector, Tracer, NO_ID};
+use fluentps_obs::{
+    EventKind, HealthEngine, HealthTap, HealthView, NodeHealth, RecordArgs, TraceCollector, Tracer,
+    NO_ID,
+};
 use fluentps_util::buf::Bytes;
 use fluentps_util::rng::StdRng;
 use fluentps_util::sync::Mutex;
@@ -94,6 +97,15 @@ pub struct RecoveryConfig {
     pub collector_addr: Option<SocketAddr>,
     /// Per-node ring capacity (events) when `collector_addr` is set.
     pub trace_ring_capacity: usize,
+    /// Streaming health engine to feed with this run's trace events. With
+    /// an in-process collector (`collector_addr` unset, a collector passed
+    /// to [`ResilientTcpCluster::launch`]) the cluster spawns a
+    /// [`HealthTap`] draining that collector into the engine and stops it
+    /// at shutdown. With `collector_addr` set, feeding is the collector
+    /// service's job — attach the same engine there (see
+    /// `fluentps_transport::CollectorService::attach_health`); the cluster
+    /// never double-feeds.
+    pub health_engine: Option<HealthEngine>,
 }
 
 impl Default for RecoveryConfig {
@@ -108,6 +120,7 @@ impl Default for RecoveryConfig {
             fault_plan: FaultPlan::passthrough(),
             collector_addr: None,
             trace_ring_capacity: 1 << 14,
+            health_engine: None,
         }
     }
 }
@@ -145,6 +158,10 @@ pub struct ResilientTcpCluster {
     /// Streamer for the supervisor's own events (deaths, restores,
     /// remaps); stopped last, after the supervisor thread exits.
     supervisor_streamer: Option<TraceStreamer>,
+    /// Tap feeding [`RecoveryConfig::health_engine`] from the in-process
+    /// collector (only when `collector_addr` is unset); drained at
+    /// shutdown, before the engine is finalized.
+    health_tap: Option<(HealthEngine, HealthTap)>,
     /// Where each node listens; shared live with every postman, so a
     /// replacement server becomes reachable the moment it rebinds.
     pub addresses: AddressBook,
@@ -247,6 +264,18 @@ impl ResilientTcpCluster {
         let control_node = TcpNode::bind(NodeId::Worker(u32::MAX), loopback, book.clone())?;
         let control = control_node.postman();
 
+        // Feed the health engine from the shared in-process collector. When
+        // streaming to a collector service instead, that service owns the
+        // feed (ClusterCollector::attach_health) — spawning a second tap
+        // here would double-count every event.
+        let health_tap = match (&rcfg.health_engine, collector, rcfg.collector_addr) {
+            (Some(engine), Some(col), None) => {
+                let tap = engine.attach_to(col, Duration::from_millis(10));
+                Some((engine.clone(), tap))
+            }
+            _ => None,
+        };
+
         let (supervisor_tracer, supervisor_streamer) =
             node_tracing(&rcfg, &tracer, NodeId::Scheduler);
         let supervisor = Supervisor {
@@ -276,6 +305,7 @@ impl ResilientTcpCluster {
                 health,
                 worker_streamers,
                 supervisor_streamer,
+                health_tap,
                 addresses: book,
             },
             workers,
@@ -310,6 +340,12 @@ impl ResilientTcpCluster {
         // The supervisor records recovery events until it exits; flush last.
         if let Some(s) = self.supervisor_streamer {
             s.stop();
+        }
+        // Drain the final events (including the supervisor's recovery
+        // records) into the health engine and freeze it.
+        if let Some((engine, tap)) = self.health_tap {
+            tap.stop();
+            engine.finish();
         }
         stats
     }
@@ -892,6 +928,7 @@ mod tests {
             fault_plan: FaultPlan::passthrough(),
             collector_addr: None,
             trace_ring_capacity: 1 << 10,
+            health_engine: None,
         }
     }
 

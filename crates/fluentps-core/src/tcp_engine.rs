@@ -12,8 +12,8 @@ use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
 use fluentps_obs::{
-    http, EventKind, IntrospectionServer, MetricsRegistry, RecordArgs, TraceCollector, Tracer,
-    NO_ID,
+    http, EventKind, HealthEngine, HealthTap, IntrospectionServer, MetricsRegistry, RecordArgs,
+    StreamConfig, TraceCollector, TraceSource, Tracer, NO_ID,
 };
 use fluentps_util::rng::StdRng;
 
@@ -42,6 +42,9 @@ pub struct TcpCluster {
     // Per-worker trace streamers when launched collected; final-flushed at
     // shutdown (after the worker threads are done recording).
     worker_streamers: Vec<TraceStreamer>,
+    // Live health engine + its collector tap when launched introspected;
+    // drained and finalized at shutdown.
+    health: Option<(HealthEngine, HealthTap)>,
     /// Where each node listens (exported so external processes could join).
     pub addresses: AddressBook,
 }
@@ -85,9 +88,14 @@ impl TcpCluster {
 
     /// [`TcpCluster::launch_with_collector`] plus a live introspection
     /// endpoint serving `registry` at `addr` (`/metrics`, `/healthz`,
-    /// `/trace`). Cluster-shape gauges are published at launch; bind
-    /// loopback (`127.0.0.1:0`) unless the endpoint is deliberately
-    /// exposed.
+    /// `/trace`, `/slo`, `/alerts`). Cluster-shape gauges are published at
+    /// launch; bind loopback (`127.0.0.1:0`) unless the endpoint is
+    /// deliberately exposed.
+    ///
+    /// A streaming [`HealthEngine`] with the default alert rules is fed
+    /// from `collector` for the lifetime of the run and finalized by
+    /// [`TcpCluster::shutdown`]; [`TcpCluster::health_engine`] exposes it
+    /// in-process.
     pub fn launch_introspected(
         cfg: EngineConfig,
         map: SliceMap,
@@ -96,10 +104,26 @@ impl TcpCluster {
         registry: &MetricsRegistry,
         addr: SocketAddr,
     ) -> Result<(TcpCluster, Vec<TcpWorker>, IntrospectionServer), TransportError> {
-        let (cluster, workers) = Self::launch_inner(cfg, map, init, Some(collector), None)?;
+        let (mut cluster, workers) = Self::launch_inner(cfg, map, init, Some(collector), None)?;
         crate::engine::publish_cluster_gauges(registry, "tcp", cfg.num_workers, cfg.num_servers);
-        let server = http::serve(addr, registry.clone(), Some(collector.clone()))?;
+        let engine = HealthEngine::with_default_rules(StreamConfig::default());
+        let tap = engine.attach_to(collector, std::time::Duration::from_millis(20));
+        let server = http::serve_observed(
+            addr,
+            registry.clone(),
+            Some(TraceSource::Local(collector.clone())),
+            None,
+            Some(engine.clone()),
+        )?;
+        cluster.health = Some((engine, tap));
         Ok((cluster, workers, server))
+    }
+
+    /// The live [`HealthEngine`] attached by
+    /// [`TcpCluster::launch_introspected`] (`None` for the other launch
+    /// paths).
+    pub fn health_engine(&self) -> Option<&HealthEngine> {
+        self.health.as_ref().map(|(engine, _)| engine)
     }
 
     fn launch_inner(
@@ -210,6 +234,7 @@ impl TcpCluster {
                 _control_node: control_node,
                 num_servers: cfg.num_servers,
                 worker_streamers,
+                health: None,
                 addresses: book,
             },
             workers,
@@ -227,10 +252,18 @@ impl TcpCluster {
         for m in 0..self.num_servers {
             let _ = self.control.send(NodeId::Server(m), Message::Shutdown);
         }
-        self.servers
+        let stats: Vec<ShardStats> = self
+            .servers
             .into_iter()
             .map(|h| h.join().expect("tcp server thread"))
-            .collect()
+            .collect();
+        // Drain the servers' final events into the health engine, then
+        // close its last window so `/slo` reflects the completed run.
+        if let Some((engine, tap)) = self.health {
+            tap.stop();
+            engine.finish();
+        }
+        stats
     }
 }
 

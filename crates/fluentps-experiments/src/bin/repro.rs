@@ -8,6 +8,7 @@
 //!   repro chaos [--seed N] [--workers N] [--servers N] [--iters N]
 //!               [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]
 //!   repro collect FILE [chaos flags] [--ring N]
+//!   repro watch [chaos flags]
 //!
 //! Quick mode (default) finishes each experiment in seconds-to-minutes;
 //! `--full` uses paper-like worker counts and iteration budgets.
@@ -20,6 +21,10 @@
 //! curve, critical path); `--ssp`/`--pssp-const` add the analytical
 //! `Pr[blocked | gap=k]` column to compare against the empirical one.
 //! `validate-json` checks a file parses under the in-tree JSON validator.
+//! `watch` runs a chaos job while tailing its streaming health engine: a
+//! refreshing summary (windowed tail latencies, progress rates, alert
+//! states) goes to stderr, and the final `/slo` text plus the
+//! deterministic alert fingerprint go to stdout when the run ends.
 
 use std::io::Write as _;
 
@@ -36,6 +41,7 @@ fn main() {
         Some("validate-json") => run_validate_json(&args[1..]),
         Some("chaos") => run_chaos_cmd(&args[1..]),
         Some("collect") => run_collect_cmd(&args[1..]),
+        Some("watch") => run_watch_cmd(&args[1..]),
         _ => run_figures(&args),
     }
 }
@@ -143,6 +149,22 @@ fn print_chaos_result(
     }
     println!("chaos-dead-at-end {}", r.dead_at_end);
     println!("chaos-fingerprint {}", r.fingerprint);
+    // Alert lines only when a health engine observed the run (so the plain
+    // chaos output CI diffs across same-seed runs stays byte-identical).
+    if let Some(alerts) = &r.alerts {
+        for t in alerts {
+            println!(
+                "chaos-alert rule={} transition={} at={} logical={}",
+                t.rule,
+                if t.firing { "firing" } else { "resolved" },
+                t.at,
+                t.logical
+            );
+        }
+    }
+    if let Some(fp) = &r.alert_fingerprint {
+        println!("chaos-alert-fingerprint {fp}");
+    }
     eprintln!(
         "[repro] chaos done in {:.2}s, accuracy {:.3}",
         r.wall_seconds, r.accuracy
@@ -185,6 +207,14 @@ fn run_collect_cmd(args: &[String]) {
         std::process::exit(1);
     });
     cfg.collector_addr = Some(service.local_addr());
+    // The streaming health engine rides the collector's merged, clock-
+    // aligned event stream — the one place every node's events converge.
+    let engine = fluentps_obs::HealthEngine::with_default_rules(fluentps_obs::StreamConfig {
+        window_secs: 0.5,
+        windows: 8,
+    });
+    service.attach_health(&engine);
+    cfg.health_engine = Some(engine.clone());
     // In collect mode the introspection endpoint serves the *merged*
     // cluster timeline (and per-node collection counters on /metrics), so
     // take the address over from the chaos run's own endpoint.
@@ -194,12 +224,13 @@ fn run_collect_cmd(args: &[String]) {
         scope.set_gauge("cluster_workers", cfg.num_workers as f64);
         scope.set_gauge("cluster_servers", cfg.num_servers as f64);
         scope.set_gauge("cluster_up", 1.0);
-        eprintln!("[repro] serving merged /trace and /metrics on http://{addr}/");
-        fluentps_obs::http::serve_source(
+        eprintln!("[repro] serving merged /trace, /slo, /alerts and /metrics on http://{addr}/");
+        fluentps_obs::http::serve_observed(
             addr,
             registry,
             Some(fluentps_obs::TraceSource::Cluster(service.cluster())),
             None,
+            Some(engine.clone()),
         )
         .expect("bind introspection endpoint")
     });
@@ -214,10 +245,15 @@ fn run_collect_cmd(args: &[String]) {
         service.local_addr()
     );
 
-    let r = fluentps_experiments::live::run_chaos(&cfg);
-
+    let mut r = fluentps_experiments::live::run_chaos(&cfg);
     // Every streamer has final-flushed and passed its read barrier by the
-    // time run_chaos returns, so the snapshot below is the whole run.
+    // time run_chaos returns, so the engine has seen the whole run: close
+    // its final window and refresh the alert record before printing.
+    engine.finish();
+    r.alerts = Some(engine.transitions());
+    r.alert_fingerprint = Some(format!("{:016x}", engine.fingerprint()));
+
+    // The snapshot below is likewise the whole run.
     for s in service.node_stats() {
         println!(
             "collect-node {} emitted={} received={} dropped={} incarnations={}",
@@ -254,6 +290,64 @@ fn run_collect_cmd(args: &[String]) {
     );
     drop(introspection);
     service.stop();
+    print_chaos_result(&cfg, &r);
+}
+
+/// `repro watch`: a chaos run with a live tail on its streaming health
+/// engine. While the run executes, a compact health summary (events,
+/// windows, progress rates, alert states) refreshes on stderr every 250ms;
+/// when it finishes, the full final `/slo` text and the stable
+/// `chaos-alert*` lines (including the deterministic alert fingerprint) go
+/// to stdout. Accepts every `repro chaos` flag; with `--metrics-addr` the
+/// same engine is also served on `/slo` and `/alerts`.
+fn run_watch_cmd(args: &[String]) {
+    let mut cfg = fluentps_experiments::live::ChaosConfig::default();
+    parse_chaos_args(args, &mut cfg, &mut None, false);
+    let engine = fluentps_obs::HealthEngine::with_default_rules(fluentps_obs::StreamConfig {
+        window_secs: 0.5,
+        windows: 8,
+    });
+    cfg.health_engine = Some(engine.clone());
+    eprintln!(
+        "[repro] watch: {}w x {}s, {} iters, seed {}, faults {}, kill {:?}",
+        cfg.num_workers, cfg.num_servers, cfg.max_iters, cfg.seed, cfg.faults, cfg.kill_server
+    );
+
+    let run_cfg = cfg.clone();
+    let run = std::thread::Builder::new()
+        .name("fluentps-watch-run".to_string())
+        .spawn(move || fluentps_experiments::live::run_chaos(&run_cfg))
+        .expect("spawn watch run");
+    while !run.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        let slo = engine.slo_text();
+        eprintln!(
+            "[watch] {}",
+            if engine.any_firing() {
+                "ALERTS FIRING"
+            } else {
+                "healthy"
+            }
+        );
+        for line in slo.lines().filter(|l| {
+            l.starts_with("slo windows_closed")
+                || l.starts_with("slo events")
+                || l.starts_with("slo drop_rate")
+                || l.starts_with("slo worker")
+                || (l.starts_with("alert ") && l.ends_with("firing"))
+        }) {
+            eprintln!("[watch]   {line}");
+        }
+    }
+    let r = run.join().expect("watch run thread");
+    // The cluster's shutdown finalized the engine; this is the run's
+    // deterministic closing state.
+    print!("{}", engine.slo_text());
+    if let Some(alerts) = r.alerts.as_deref() {
+        if !alerts.is_empty() {
+            println!("{}", report::alert_section(alerts).render());
+        }
+    }
     print_chaos_result(&cfg, &r);
 }
 
@@ -493,7 +587,7 @@ where
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]\n       repro watch [chaos flags]"
     );
     std::process::exit(2);
 }

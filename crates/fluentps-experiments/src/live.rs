@@ -21,7 +21,10 @@ use fluentps_ml::data::{synthetic, BatchSampler, SyntheticSpec};
 use fluentps_ml::models::{Mlp, Model, SoftmaxRegression};
 use fluentps_ml::optim::{Optimizer, Sgd};
 use fluentps_ml::schedule::LrSchedule;
-use fluentps_obs::{MetricsRegistry, Trace, TraceCollector};
+use fluentps_obs::{
+    AlertTransition, HealthEngine, MetricsRegistry, StreamConfig, Trace, TraceCollector,
+    TraceSource,
+};
 use fluentps_transport::fault::FaultPlan;
 
 /// Configuration of a live (threaded-engine) training run.
@@ -130,14 +133,33 @@ pub fn run_live(cfg: &LiveConfig) -> LiveResult {
         Some(col) => builder.launch_with_collector(&init, col),
         None => builder.launch(&init),
     };
+    // With an endpoint up, a health engine tails the run's collector so
+    // `/slo` and `/alerts` are live next to `/metrics`.
+    let health = match (&collector, cfg.metrics_addr) {
+        (Some(col), Some(_)) => {
+            let engine = HealthEngine::with_default_rules(StreamConfig {
+                window_secs: 0.5,
+                windows: 8,
+            });
+            let tap = engine.attach_to(col, Duration::from_millis(20));
+            Some((engine, tap))
+        }
+        _ => None,
+    };
     let introspection = cfg.metrics_addr.map(|addr| {
         let registry = MetricsRegistry::new();
         let scope = registry.scope().with("engine", "threaded");
         scope.set_gauge("cluster_workers", cfg.num_workers as f64);
         scope.set_gauge("cluster_servers", cfg.num_servers as f64);
         scope.set_gauge("cluster_up", 1.0);
-        fluentps_obs::http::serve(addr, registry, collector.clone())
-            .expect("bind introspection endpoint")
+        fluentps_obs::http::serve_observed(
+            addr,
+            registry,
+            collector.clone().map(TraceSource::Local),
+            None,
+            health.as_ref().map(|(engine, _)| engine.clone()),
+        )
+        .expect("bind introspection endpoint")
     });
 
     let start = Instant::now();
@@ -185,6 +207,10 @@ pub fn run_live(cfg: &LiveConfig) -> LiveResult {
         Some(_) => collector.as_ref().map(|c| c.snapshot()),
         None => None,
     };
+    if let Some((engine, tap)) = health {
+        tap.stop();
+        engine.finish();
+    }
     drop(introspection);
     LiveResult {
         accuracy: model.accuracy(&results[0], &test),
@@ -221,6 +247,14 @@ pub struct ChaosConfig {
     pub collector_addr: Option<std::net::SocketAddr>,
     /// Per-node trace ring capacity used when `collector_addr` is set.
     pub trace_ring_capacity: usize,
+    /// Streaming health engine observing the run. `None` with
+    /// `metrics_addr` set still creates one internally (so `/slo` and
+    /// `/alerts` always accompany `/metrics`); pass an explicit engine to
+    /// watch the same alerts in-process, e.g. from `repro watch`. With
+    /// `collector_addr` set the engine must be fed by that collector
+    /// service (`CollectorService::attach_health`) — the run itself has no
+    /// merged local timeline to tap.
+    pub health_engine: Option<HealthEngine>,
     /// Master seed: drives data, initialization, and the fault schedule.
     pub seed: u64,
 }
@@ -237,6 +271,7 @@ impl Default for ChaosConfig {
             metrics_addr: None,
             collector_addr: None,
             trace_ring_capacity: 1 << 14,
+            health_engine: None,
             seed: 0,
         }
     }
@@ -259,6 +294,13 @@ pub struct ChaosResult {
     /// with the same seed reproduce it bit-for-bit; CI diffs it across two
     /// runs.
     pub fingerprint: String,
+    /// Firing/resolved alert transitions recorded by the health engine, in
+    /// order (`None` when no engine observed the run).
+    pub alerts: Option<Vec<AlertTransition>>,
+    /// Digest of the *logical* alert sequence (the `dead_nodes` liveness
+    /// transitions): same seed + same kill schedule reproduce it
+    /// bit-for-bit. `None` when no engine observed the run.
+    pub alert_fingerprint: Option<String>,
 }
 
 /// FNV-1a, the fingerprint hash (stable, dependency-free).
@@ -339,18 +381,45 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         },
         collector_addr: cfg.collector_addr,
         trace_ring_capacity: cfg.trace_ring_capacity,
+        health_engine: None,
     };
 
+    // Health engine: the caller's, or a fresh one whenever the run serves
+    // an introspection endpoint (so `/slo` and `/alerts` always accompany
+    // `/metrics`). Fed from a run-local collector unless the nodes stream
+    // to a remote collector service — then that service owns the feed.
+    let engine = cfg.health_engine.clone().or_else(|| {
+        cfg.metrics_addr.map(|_| {
+            HealthEngine::with_default_rules(StreamConfig {
+                window_secs: 0.5,
+                windows: 8,
+            })
+        })
+    });
+    let local_collector = match (&engine, cfg.collector_addr) {
+        (Some(_), None) => Some(TraceCollector::wall(cfg.trace_ring_capacity)),
+        _ => None,
+    };
+    let mut rcfg = rcfg;
+    rcfg.health_engine = engine.clone();
+
     let (cluster, workers) =
-        ResilientTcpCluster::launch(ecfg, rcfg, map, &init, None).expect("launch chaos cluster");
+        ResilientTcpCluster::launch(ecfg, rcfg, map, &init, local_collector.as_ref())
+            .expect("launch chaos cluster");
     let introspection = cfg.metrics_addr.map(|addr| {
         let registry = MetricsRegistry::new();
         let scope = registry.scope().with("engine", "resilient-tcp");
         scope.set_gauge("cluster_workers", cfg.num_workers as f64);
         scope.set_gauge("cluster_servers", cfg.num_servers as f64);
         scope.set_gauge("cluster_up", 1.0);
-        fluentps_obs::http::serve_with_health(addr, registry, None, Some(cluster.health()))
-            .expect("bind introspection endpoint")
+        fluentps_obs::http::serve_observed(
+            addr,
+            registry,
+            local_collector.clone().map(TraceSource::Local),
+            Some(cluster.health()),
+            engine.clone(),
+        )
+        .expect("bind introspection endpoint")
     });
 
     let start = Instant::now();
@@ -427,12 +496,19 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         }
     }
 
+    // The cluster's shutdown drained the tap and finalized the engine (for
+    // run-local feeds), so the alert record is complete here.
+    let alerts = engine.as_ref().map(|e| e.transitions());
+    let alert_fingerprint = engine.as_ref().map(|e| format!("{:016x}", e.fingerprint()));
+
     ChaosResult {
         accuracy: model.accuracy(&results[0], &test),
         wall_seconds,
         stats,
         dead_at_end,
         fingerprint: format!("{h:016x}"),
+        alerts,
+        alert_fingerprint,
     }
 }
 
@@ -467,6 +543,46 @@ mod tests {
             "PSSP {} DPRs vs BSP {}",
             pssp.stats.dprs,
             bsp.stats.dprs
+        );
+    }
+
+    #[test]
+    fn same_seed_kill_runs_reproduce_the_alert_sequence() {
+        let run = || {
+            let engine = HealthEngine::with_default_rules(StreamConfig {
+                window_secs: 0.25,
+                windows: 8,
+            });
+            let cfg = ChaosConfig {
+                num_workers: 1,
+                num_servers: 2,
+                max_iters: 16,
+                kill_server: Some((0, 4)),
+                health_engine: Some(engine.clone()),
+                seed: 7,
+                ..ChaosConfig::default()
+            };
+            run_chaos(&cfg)
+        };
+        let ra = run();
+        let rb = run();
+        assert_eq!(ra.dead_at_end, 0, "replacement heals the cluster");
+        let fa = ra.alert_fingerprint.as_deref().expect("engine active");
+        let fb = rb.alert_fingerprint.as_deref().expect("engine active");
+        // The fingerprint folds only the logical (event-driven) liveness
+        // transitions, so two same-seed kill runs agree bit-for-bit even
+        // though their wall-clock windows differ.
+        assert_eq!(fa, fb, "logical alert sequence is deterministic");
+        let alerts = ra.alerts.expect("engine active");
+        let dead: Vec<_> = alerts.iter().filter(|t| t.rule == "dead_nodes").collect();
+        assert!(
+            dead.len() >= 2,
+            "kill fires and resolves the liveness alert: {alerts:?}"
+        );
+        assert!(dead[0].firing && dead[0].logical, "kill raises the alert");
+        assert!(
+            !dead.last().unwrap().firing,
+            "checkpoint replacement resolves it"
         );
     }
 

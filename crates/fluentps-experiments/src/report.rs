@@ -155,6 +155,27 @@ pub fn trace_section(trace: &Trace, stats: &ShardStats) -> Table {
     t
 }
 
+/// The health engine's alert record as a table: one row per
+/// firing/resolved transition, in order, with the trigger detail. Pair it
+/// with the chaos tables so a killed server's liveness alert (and its
+/// resolution after replacement) reads next to the training outcome.
+pub fn alert_section(alerts: &[fluentps_obs::AlertTransition]) -> Table {
+    let mut t = Table::new(
+        "alert transitions",
+        &["rule", "transition", "at", "logical", "detail"],
+    );
+    for a in alerts {
+        t.row(vec![
+            a.rule.clone(),
+            if a.firing { "firing" } else { "resolved" }.to_string(),
+            a.at.to_string(),
+            a.logical.to_string(),
+            a.detail.clone(),
+        ]);
+    }
+    t
+}
+
 /// Check that `trace` and `stats` tell the same story: every counter the
 /// shards kept matches the trace's per-kind totals, and the DPR ledger
 /// balances (`dprs == dprs_released + still-buffered`). Returns the first

@@ -34,6 +34,7 @@
 use std::collections::BTreeMap;
 
 use crate::event::{TraceEvent, KINDS};
+use crate::stream::HealthEngine;
 use crate::tracer::Trace;
 
 /// Smallest logical-clock increment, in seconds. Far below the microsecond
@@ -225,6 +226,8 @@ pub struct ClusterCollector {
     counts: [u64; KINDS],
     /// Per-node event buffer cap; oldest events are evicted beyond it.
     capacity_per_node: usize,
+    /// Live tap: every aligned event is forwarded here at ingest time.
+    health: Option<HealthEngine>,
 }
 
 impl std::fmt::Debug for ClusterCollector {
@@ -232,6 +235,7 @@ impl std::fmt::Debug for ClusterCollector {
         f.debug_struct("ClusterCollector")
             .field("nodes", &self.nodes.len())
             .field("capacity_per_node", &self.capacity_per_node)
+            .field("health", &self.health.is_some())
             .finish()
     }
 }
@@ -243,7 +247,16 @@ impl ClusterCollector {
             nodes: BTreeMap::new(),
             counts: [0; KINDS],
             capacity_per_node: capacity_per_node.max(1),
+            health: None,
         }
+    }
+
+    /// Stream every subsequently-ingested event (aligned onto the collector
+    /// clock) into `engine`, and keep its collector drop totals current.
+    /// Do not also tap the same engine off a local
+    /// [`crate::TraceCollector`] cursor — events would double-count.
+    pub fn attach_health(&mut self, engine: HealthEngine) {
+        self.health = Some(engine);
     }
 
     /// Ingest one batch from `node`. Batches from a single node must arrive
@@ -282,12 +295,23 @@ impl ClusterCollector {
             self.counts[ev.kind.index()] += 1;
             let mut aligned = *ev;
             aligned.ts = stream.hlc.observe(ev.ts + offset_secs);
+            if let Some(h) = &self.health {
+                h.observe(&aligned);
+            }
             stream.events.push(aligned);
         }
         if stream.events.len() > self.capacity_per_node {
             let excess = stream.events.len() - self.capacity_per_node;
             stream.events.drain(..excess);
             stream.evicted += excess as u64;
+        }
+        if let Some(h) = &self.health {
+            let (mut em, mut dr) = (0u64, 0u64);
+            for s in self.nodes.values() {
+                em += s.base_emitted + s.cur_emitted;
+                dr += s.base_dropped + s.cur_dropped + s.evicted;
+            }
+            h.set_drop_totals(em, dr);
         }
     }
 
@@ -455,6 +479,19 @@ mod tests {
         let bad = col.check_balance().unwrap_err();
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].node, "worker9");
+    }
+
+    #[test]
+    fn attached_health_engine_sees_aligned_events_and_drop_totals() {
+        use crate::stream::{HealthEngine, StreamConfig};
+        let engine = HealthEngine::with_default_rules(StreamConfig::all_run());
+        let mut col = ClusterCollector::new(64);
+        col.attach_health(engine.clone());
+        col.ingest("worker0", 10.0, 1, 3, 1, &[ev(1.0, 0), ev(2.0, 1)]);
+        let slo = engine.slo_text();
+        assert!(slo.contains("slo events 2\n"), "{slo}");
+        // dropped/emitted from the batch headers: 1/3.
+        assert!(slo.contains("slo drop_rate 0.333333\n"), "{slo}");
     }
 
     #[test]

@@ -106,6 +106,15 @@ impl Histogram {
         self.max
     }
 
+    /// Reset to the empty state without reallocating, so ring-of-window
+    /// wrappers (see `stream::WindowedHistogram`) can rotate slots in place.
+    pub fn clear(&mut self) {
+        self.buckets = [0; 33];
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
@@ -176,6 +185,19 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 100);
         assert_eq!(a.mean(), 103.0 / 3.0);
+    }
+
+    #[test]
+    fn clear_resets_to_empty() {
+        let mut h = Histogram::new();
+        for v in [1u64, 7, 500] {
+            h.record(v);
+        }
+        h.clear();
+        assert_eq!(h, Histogram::new());
+        h.record(3);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 3);
     }
 
     #[test]

@@ -14,15 +14,23 @@
 //!   [`TraceCollector`] is attached, per-kind event totals and the dropped
 //!   count are refreshed into the registry on every scrape, so the scrape
 //!   path carries the cost, not the training hot path.
-//! * `GET /trace?last=N&actor=ID` — the newest `N` buffered events as JSONL
-//!   (default 256), from a non-destructive snapshot. `actor=worker1`,
-//!   `actor=server0` (alias `shard0`) or a bare integer filter to one
-//!   actor's events before the tail is taken. The trace may be a single
-//!   process's [`TraceCollector`] or — via [`serve_source`] with
+//! * `GET /trace?last=N&actor=ID&kind=NAME` — the newest `N` buffered
+//!   events as JSONL (default 256), from a non-destructive snapshot.
+//!   `actor=worker1`, `actor=server0` (alias `shard0`) or a bare integer
+//!   filter to one actor's events, `kind=pull_deferred` to one event kind
+//!   (snake-case [`crate::EventKind`] names); both apply before the tail
+//!   is taken and compose freely. The trace may be a single process's
+//!   [`TraceCollector`] or — via [`serve_source`] with
 //!   [`TraceSource::Cluster`] — the live merged timeline of a whole
 //!   cluster, in which case `/metrics` also exports per-node collection
 //!   counters (events received/dropped, clock offset, HLC bumps,
 //!   incarnations).
+//! * `GET /slo` and `GET /alerts` — when a
+//!   [`HealthEngine`](crate::stream::HealthEngine) is attached
+//!   ([`serve_observed`]): the streaming health summary as greppable
+//!   `key value` text, and the alert transition history plus current rule
+//!   states as JSONL. The engine's gauges are also refreshed into
+//!   `/metrics` on every scrape.
 //!
 //! Security note: callers should bind loopback (`127.0.0.1:0`) unless the
 //! endpoint is deliberately exposed — everything the server reports is
@@ -39,9 +47,11 @@ use std::time::Duration;
 use fluentps_util::sync::Mutex;
 
 use crate::collect::{ClusterCollector, NodeStats};
+use crate::event::EventKind;
 use crate::export;
 use crate::health::HealthView;
 use crate::metrics::MetricsRegistry;
+use crate::stream::HealthEngine;
 use crate::tracer::{Trace, TraceCollector};
 
 /// Events returned by `/trace` when no `last=N` parameter is given.
@@ -117,6 +127,19 @@ pub fn serve_source(
     source: Option<TraceSource>,
     health: Option<HealthView>,
 ) -> std::io::Result<IntrospectionServer> {
+    serve_observed(addr, registry, source, health, None)
+}
+
+/// [`serve_source`] plus a streaming [`HealthEngine`]: `/slo` and
+/// `/alerts` go live, and the engine's gauges refresh into `/metrics` on
+/// every scrape.
+pub fn serve_observed(
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+    source: Option<TraceSource>,
+    health: Option<HealthView>,
+    engine: Option<HealthEngine>,
+) -> std::io::Result<IntrospectionServer> {
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -129,7 +152,13 @@ pub fn serve_source(
                     break;
                 }
                 if let Ok(stream) = conn {
-                    let _ = handle_connection(stream, &registry, source.as_ref(), health.as_ref());
+                    let _ = handle_connection(
+                        stream,
+                        &registry,
+                        source.as_ref(),
+                        health.as_ref(),
+                        engine.as_ref(),
+                    );
                 }
             }
         })?;
@@ -175,6 +204,7 @@ fn handle_connection(
     registry: &MetricsRegistry,
     source: Option<&TraceSource>,
     health: Option<&HealthView>,
+    engine: Option<&HealthEngine>,
 ) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let Some(head) = read_request_head(&mut stream)? else {
@@ -211,9 +241,20 @@ fn handle_connection(
                     refresh_collect_metrics(registry, &stats);
                 }
             }
+            if let Some(eng) = engine {
+                eng.export_metrics(registry);
+            }
             let body = registry.render_prometheus();
             respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
         }
+        "/slo" => match engine {
+            Some(eng) => respond(&mut stream, 200, "text/plain", &eng.slo_text()),
+            None => respond(&mut stream, 404, "text/plain", "no health engine\n"),
+        },
+        "/alerts" => match engine {
+            Some(eng) => respond(&mut stream, 200, "application/jsonl", &eng.alerts_jsonl()),
+            None => respond(&mut stream, 404, "text/plain", "no health engine\n"),
+        },
         "/trace" => match source {
             Some(src) => {
                 let last = query_param(query, "last")
@@ -233,9 +274,26 @@ fn handle_connection(
                     },
                     None => None,
                 };
+                let kind = match query_param(query, "kind") {
+                    Some(raw) => match EventKind::ALL.iter().copied().find(|k| k.name() == raw) {
+                        Some(k) => Some(k),
+                        None => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "bad kind: expect a snake_case event kind name\n",
+                            )
+                        }
+                    },
+                    None => None,
+                };
                 let mut trace = src.snapshot();
                 if let Some(filter) = actor {
                     trace.events.retain(|ev| filter.matches(ev));
+                }
+                if let Some(k) = kind {
+                    trace.events.retain(|ev| ev.kind == k);
                 }
                 if trace.events.len() > last {
                     trace.events.drain(..trace.events.len() - last);
@@ -511,6 +569,110 @@ mod tests {
 
         let (status, _) = get(addr, "/trace?actor=bogus");
         assert_eq!(status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn trace_route_filters_by_kind_and_composes() {
+        let collector = TraceCollector::wall(64);
+        let tracer = collector.tracer();
+        tracer.record(EventKind::PushApplied, RecordArgs::new().shard(0).worker(1));
+        tracer.record(
+            EventKind::PullRequested,
+            RecordArgs::new().shard(0).worker(1),
+        );
+        tracer.record(
+            EventKind::PullRequested,
+            RecordArgs::new().shard(0).worker(2),
+        );
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            Some(collector),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/trace?kind=pull_requested");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2);
+        assert!(body
+            .lines()
+            .all(|l| l.contains("\"kind\":\"pull_requested\"")));
+
+        // kind= composes with actor= and last=.
+        let (status, body) = get(addr, "/trace?kind=pull_requested&actor=worker1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"worker\":1"));
+
+        let (status, body) = get(addr, "/trace?kind=pull_requested&last=1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"worker\":2"), "tail keeps the newest");
+
+        let (status, _) = get(addr, "/trace?kind=no_such_kind");
+        assert_eq!(status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn slo_and_alerts_routes_serve_the_health_engine() {
+        use crate::stream::{HealthEngine, StreamConfig};
+        let engine = HealthEngine::with_default_rules(StreamConfig::all_run());
+        engine.observe(&crate::event::TraceEvent {
+            ts: 1.0,
+            dur: 0.0,
+            kind: EventKind::NodeDeclaredDead,
+            shard: 0,
+            worker: crate::event::NO_ID,
+            progress: 5,
+            v_train: 0,
+            bytes: 0,
+            seq: 0,
+        });
+        let registry = MetricsRegistry::new();
+        let server = serve_observed(
+            "127.0.0.1:0".parse().expect("addr"),
+            registry.clone(),
+            None,
+            None,
+            Some(engine),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/slo");
+        assert_eq!(status, 200);
+        assert!(body.contains("slo events 1\n"), "{body}");
+        assert!(body.contains("alert dead_nodes firing\n"), "{body}");
+
+        let (status, body) = get(addr, "/alerts");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"rule\":\"dead_nodes\""));
+        assert!(body.contains("\"transition\":\"firing\""));
+
+        // The scrape refreshes the engine's gauges into /metrics.
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            body.contains("alert_active{rule=\"dead_nodes\"} 1"),
+            "{body}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn slo_and_alerts_without_engine_are_404() {
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+        assert_eq!(get(addr, "/slo").0, 404);
+        assert_eq!(get(addr, "/alerts").0, 404);
         server.stop();
     }
 

@@ -31,9 +31,16 @@
 //!   straggler scoreboard, per-shard sync health (DPR residence, late-push
 //!   drop rate, `V_train` cadence), staleness/block-rate per gap, and
 //!   critical-path extraction; plus a parser for exported JSONL traces.
+//! * [`stream`] — the live counterpart of [`analyze`]: an incremental
+//!   [`StreamAnalyzer`] with tumbling/sliding windows of tail latency,
+//!   staleness and progress rates, and the shareable [`HealthEngine`]
+//!   every layer feeds and reads.
+//! * [`alert`] — declarative threshold rules over closed windows plus a
+//!   logical liveness rule, producing typed firing/resolved transitions
+//!   with a deterministic fingerprint.
 //! * [`http`] — a hand-rolled HTTP/1.1 introspection endpoint on
 //!   `std::net::TcpListener` serving `/metrics` (Prometheus text),
-//!   `/healthz` and `/trace?last=N` from a live run.
+//!   `/healthz`, `/trace?last=N`, `/slo` and `/alerts` from a live run.
 //! * [`hist`] — the power-of-two-bucket [`Histogram`] (moved here from
 //!   `fluentps-core` so both the metrics registry and `ShardStats` share
 //!   one implementation).
@@ -44,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod analyze;
 pub mod clock;
 pub mod collect;
@@ -55,8 +63,10 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod ring;
+pub mod stream;
 pub mod tracer;
 
+pub use alert::{AlertEngine, AlertMetric, AlertRule, AlertTransition};
 pub use analyze::{analyze, Analysis};
 pub use clock::{ClockSource, VirtualClock};
 pub use collect::{ClusterCollector, Hlc, NodeStats, OffsetEstimator};
@@ -65,4 +75,7 @@ pub use health::{HealthView, NodeHealth};
 pub use hist::Histogram;
 pub use http::{IntrospectionServer, TraceSource};
 pub use metrics::{MetricsRegistry, MetricsScope};
+pub use stream::{
+    HealthEngine, HealthTap, StreamAnalyzer, StreamConfig, WindowStats, WindowedHistogram,
+};
 pub use tracer::{CursorBatch, RecordArgs, Trace, TraceCollector, TraceCursor, Tracer};

@@ -193,11 +193,21 @@ fn prometheus_labels(raw: &str) -> String {
     let quoted: Vec<String> = raw
         .split(',')
         .map(|pair| match pair.split_once('=') {
-            Some((k, v)) => format!("{k}=\"{v}\""),
+            Some((k, v)) => format!("{k}=\"{}\"", escape_label_value(v)),
             None => pair.to_string(),
         })
         .collect();
     format!("{{{}}}", quoted.join(","))
+}
+
+/// Escape a label value per the Prometheus text exposition format:
+/// backslash, double quote, and line feed must appear as `\\`, `\"` and
+/// `\n` inside the quoted value. Backslashes go first so the escapes
+/// themselves are not re-escaped.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// A label set bound to a registry: `scope.with("shard", "0").inc("dprs", 1)`
@@ -319,6 +329,32 @@ mod tests {
         assert_eq!(text.matches("# TYPE pulls ").count(), 1);
         // Stable output.
         assert_eq!(text, r.render_prometheus());
+    }
+
+    #[test]
+    fn prometheus_rendering_escapes_label_values() {
+        let r = MetricsRegistry::new();
+        r.inc("errors{msg=back\\slash}", 1);
+        r.inc("errors{msg=say \"hi\"}", 2);
+        r.inc("errors{msg=two\nlines}", 3);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("errors{msg=\"back\\\\slash\"} 1\n"),
+            "backslash must render as \\\\: {text}"
+        );
+        assert!(
+            text.contains("errors{msg=\"say \\\"hi\\\"\"} 2\n"),
+            "quotes must render as \\\": {text}"
+        );
+        assert!(
+            text.contains("errors{msg=\"two\\nlines\"} 3\n"),
+            "newline must render as literal \\n: {text}"
+        );
+        // No raw newline may survive inside a sample line.
+        for line in text.lines() {
+            assert!(!line.is_empty());
+        }
+        assert!(!text.contains("two\nlines"));
     }
 
     #[test]

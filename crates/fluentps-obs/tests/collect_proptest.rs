@@ -129,4 +129,34 @@ proptest! {
         prop_assert!((est.offset() - d).abs() <= rtt / 2.0 + 1e-9,
             "estimate {} vs true {} exceeds rtt/2 = {}", est.offset(), d, rtt / 2.0);
     }
+
+    /// A slowly drifting node clock: the true offset moves monotonically by
+    /// `rate` between ping rounds (crystal skew, not a step). The min-RTT
+    /// winner may be any round, so its snapshot of the offset is at most
+    /// the whole accumulated drift away from the end-of-run truth — the
+    /// estimate must land within `rtt/2` of *some* round's offset, hence
+    /// within `rtt/2 + total drift` of the final one.
+    #[test]
+    fn offset_estimate_error_stays_bounded_under_slow_clock_drift(
+        d in -1.0e3f64..1.0e3,
+        rate in prop_oneof![-1.0e-4f64..-1.0e-9, 1.0e-9f64..1.0e-4],
+        delays in prop::collection::vec((1.0e-6f64..0.05, 1.0e-6f64..0.05), 1..24),
+    ) {
+        let mut est = OffsetEstimator::new();
+        let mut t = 0.0;
+        let mut off = d;
+        for &(a, b) in &delays {
+            est.add_sample(t, t + a + off, t + a + b);
+            t += 1.0;
+            off += rate; // one round's worth of skew before the next ping
+        }
+        prop_assert_eq!(est.samples(), delays.len());
+        let rtt = est.rtt().expect("at least one sample");
+        let total_drift = rate.abs() * delays.len() as f64;
+        prop_assert!(
+            (est.offset() - off).abs() <= rtt / 2.0 + total_drift + 1e-9,
+            "estimate {} vs drifted true {} exceeds rtt/2 + drift = {}",
+            est.offset(), off, rtt / 2.0 + total_drift
+        );
+    }
 }

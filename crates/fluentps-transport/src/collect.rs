@@ -111,6 +111,13 @@ impl CollectorService {
         Arc::clone(&self.cluster)
     }
 
+    /// Stream every event ingested from now on into `engine` as it is
+    /// aligned onto the collector clock, keeping its drop totals current
+    /// (see `fluentps_obs::collect::ClusterCollector::attach_health`).
+    pub fn attach_health(&self, engine: &fluentps_obs::HealthEngine) {
+        self.cluster.lock().attach_health(engine.clone());
+    }
+
     /// Merge every stream ingested so far into one trace.
     pub fn snapshot(&self) -> Trace {
         self.cluster.lock().snapshot()
@@ -581,6 +588,36 @@ mod tests {
         assert_eq!(trace.events.len(), 100);
         assert_eq!(trace.count(EventKind::WireSend), 50);
         assert_eq!(trace.count(EventKind::WireRecv), 50);
+        service.stop();
+    }
+
+    #[test]
+    fn attached_health_engine_observes_streamed_events() {
+        use fluentps_obs::{HealthEngine, StreamConfig};
+        let mut service = CollectorService::bind(loopback(), 1 << 14).unwrap();
+        let engine = HealthEngine::with_default_rules(StreamConfig::all_run());
+        service.attach_health(&engine);
+        let col = TraceCollector::wall(256);
+        let tracer = col.tracer();
+        let streamer = TraceStreamer::start(
+            NodeId::Worker(0),
+            &col,
+            service.local_addr(),
+            StreamerConfig {
+                poll_every: Duration::from_millis(5),
+                ..StreamerConfig::default()
+            },
+        );
+        for i in 0..40u64 {
+            tracer.record(
+                EventKind::PullRequested,
+                RecordArgs::new().shard(0).worker(0).progress(i).v_train(i),
+            );
+        }
+        streamer.stop();
+        let slo = engine.slo_text();
+        assert!(slo.contains("slo events 40\n"), "{slo}");
+        assert!(slo.contains("slo drop_rate 0.000000\n"), "{slo}");
         service.stop();
     }
 

@@ -7,6 +7,7 @@
 # Runs the `obs` bench target of crates/bench (tracer record cost when
 # disabled vs enabled, metrics registry ops, Chrome-trace export, the
 # trace-analytics engine in events/second over a mixed-kind trace, the
+# streaming analyzer's per-event windowed ingest in events/second, the
 # zero-copy wire path in frames and pull round trips per second, the
 # threaded engine with tracing off vs on, and the TCP engine with cluster
 # trace streaming off vs on) and writes OUTPUT (default BENCH_obs.json): a

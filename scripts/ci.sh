@@ -64,6 +64,46 @@ done
 ./target/release/repro analyze "$smokedir/merged.jsonl" >"$smokedir/collect_report.txt"
 test "$(sed -n '/== straggler scoreboard ==/,/^$/p' "$smokedir/collect_report.txt" | wc -l)" -gt 3
 
+# Live health smoke: run a kill-and-recover chaos job with an introspection
+# endpoint and scrape its streaming health engine over HTTP *mid-run*: /slo
+# must serve windowed SLO text, and /alerts must show the injected kill
+# raising the dead_nodes liveness alert and resolving it after the
+# checkpoint replacement. The chaos-alert stdout lines are the
+# deterministic backstop for the same sequence.
+http_get() {
+  exec 3<>"/dev/tcp/127.0.0.1/$1" || return 1
+  printf 'GET %s HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' "$2" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+health_port=$((21000 + RANDOM % 20000))
+./target/release/repro chaos --seed 13 --workers 2 --servers 2 --iters 120 --kill 0@8 \
+  --metrics-addr "127.0.0.1:$health_port" >"$smokedir/chaos_health.txt" 2>/dev/null &
+health_pid=$!
+alerts_ok=""
+slo_ok=""
+for _ in $(seq 1 300); do
+  body="$(http_get "$health_port" /alerts 2>/dev/null || true)"
+  case "$body" in
+    *'"rule":"dead_nodes","transition":"firing"'*'"rule":"dead_nodes","transition":"resolved"'*)
+      alerts_ok=1 ;;
+  esac
+  slo="$(http_get "$health_port" /slo 2>/dev/null || true)"
+  case "$slo" in
+    *'slo events '*) slo_ok=1 ;;
+  esac
+  [ -n "$alerts_ok" ] && [ -n "$slo_ok" ] && break
+  kill -0 "$health_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$health_pid"
+grep -q '^chaos-dead-at-end 0$' "$smokedir/chaos_health.txt"
+grep -q '^chaos-alert rule=dead_nodes transition=firing' "$smokedir/chaos_health.txt"
+grep -q '^chaos-alert rule=dead_nodes transition=resolved' "$smokedir/chaos_health.txt"
+grep -q '^chaos-alert-fingerprint ' "$smokedir/chaos_health.txt"
+[ -n "$slo_ok" ] || { echo "ci: /slo never answered mid-run" >&2; exit 1; }
+[ -n "$alerts_ok" ] || { echo "ci: /alerts never showed the kill firing then resolving" >&2; exit 1; }
+
 # Perf gate: re-run the benchmarks and compare each mean against the
 # committed BENCH_obs.json. Hard-fails past the per-bench tolerance bands
 # (wide enough for CI-machine noise; see scripts/bench.sh for the bands —

@@ -130,6 +130,45 @@ fn threaded_engine_serves_metrics_and_healthz_while_training() {
     // A second scrape after the run reflects the finished trace.
     let (_, text) = http_get(addr, "/metrics");
     assert!(text.contains("trace_events_recorded"));
+
+    // `/trace?kind=` keeps only one event kind, and composes with the
+    // `actor=` and `last=` filters (kind first, then actor, then the tail).
+    let (status, body) = http_get(addr, "/trace?kind=pull_requested");
+    assert!(status.contains("200"), "kind filter status: {status}");
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(
+        lines.len(),
+        (num_workers as u64 * iters) as usize,
+        "every pull and nothing else:\n{body}"
+    );
+    for line in &lines {
+        assert!(
+            line.contains("\"kind\":\"pull_requested\""),
+            "filtered line: {line}"
+        );
+        fluentps::obs::json::validate(line).expect("filtered line is valid JSON");
+    }
+    let (status, body) = http_get(addr, "/trace?kind=pull_requested&actor=worker1&last=4");
+    assert!(status.contains("200"), "composed filter status: {status}");
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 4, "tail caps the composed filter:\n{body}");
+    for line in &lines {
+        assert!(line.contains("\"kind\":\"pull_requested\""), "line: {line}");
+        assert!(line.contains("\"worker\":1"), "line: {line}");
+    }
+    let (status, body) = http_get(addr, "/trace?kind=no_such_kind");
+    assert!(status.contains("400"), "unknown kind: {status}\n{body}");
+
+    // The introspected launch wires a streaming health engine: `/slo`
+    // serves windowed SLO text and `/alerts` the transition log.
+    let (status, slo) = http_get(addr, "/slo");
+    assert!(status.contains("200"), "slo status: {status}");
+    assert!(slo.contains("slo events "), "slo body:\n{slo}");
+    assert!(slo.contains("alert dead_nodes ok"), "slo body:\n{slo}");
+    let (status, alerts) = http_get(addr, "/alerts");
+    assert!(status.contains("200"), "alerts status: {status}");
+    assert!(alerts.contains("\"state\""), "alerts body:\n{alerts}");
+
     drop(server);
     let stats = cluster.shutdown();
     assert_eq!(stats.len(), 1);
