@@ -13,8 +13,8 @@ use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
 use fluentps_obs::{
-    http, EventKind, HealthEngine, HealthTap, IntrospectionServer, MetricsRegistry, RecordArgs,
-    StreamConfig, TraceCollector, TraceSource, Tracer, NO_ID,
+    http, EventKind, HealthEngine, HealthTap, IntrospectionServer, MetricsRegistry, ProfCollector,
+    Profiler, RecordArgs, StreamConfig, TraceCollector, TraceSource, Tracer, NO_ID,
 };
 use fluentps_util::rng::StdRng;
 
@@ -69,6 +69,9 @@ pub struct Cluster {
     // when launched introspected; the tap drains and the engine is
     // finalized at shutdown.
     health: Option<(HealthEngine, HealthTap)>,
+    // Span-profile collector, when launched introspected: server loops and
+    // worker clients profile into it, and `/profile` serves its snapshots.
+    prof: Option<ProfCollector>,
 }
 
 /// The worker client type served by the in-process engine.
@@ -96,7 +99,7 @@ impl Cluster {
         collector: &TraceCollector,
     ) -> (Cluster, Vec<InprocWorker>) {
         let models = vec![cfg.model; cfg.num_servers as usize];
-        Self::launch_inner(cfg, models, map, init, Some(collector))
+        Self::launch_inner(cfg, models, map, init, Some(collector), None)
     }
 
     /// [`Cluster::launch_with_collector`] plus a live introspection
@@ -120,19 +123,32 @@ impl Cluster {
         registry: &MetricsRegistry,
         addr: SocketAddr,
     ) -> std::io::Result<(Cluster, Vec<InprocWorker>, IntrospectionServer)> {
-        let (mut cluster, workers) = Self::launch_with_collector(cfg, map, init, collector);
+        let models = vec![cfg.model; cfg.num_servers as usize];
+        let prof = ProfCollector::wall();
+        let (mut cluster, workers) =
+            Self::launch_inner(cfg, models, map, init, Some(collector), Some(&prof));
         publish_cluster_gauges(registry, "threaded", cfg.num_workers, cfg.num_servers);
         let engine = HealthEngine::with_default_rules(StreamConfig::default());
         let tap = engine.attach_to(collector, std::time::Duration::from_millis(20));
-        let server = http::serve_observed(
+        let server = http::serve_profiled(
             addr,
             registry.clone(),
             Some(TraceSource::Local(collector.clone())),
             None,
             Some(engine.clone()),
+            Some(prof.clone()),
         )?;
         cluster.health = Some((engine, tap));
+        cluster.prof = Some(prof);
         Ok((cluster, workers, server))
+    }
+
+    /// The span-profile collector attached by
+    /// [`Cluster::launch_introspected`] (`None` for the other launch paths).
+    /// Snapshot it any time — including mid-run — for folded-stack or
+    /// speedscope exports of where server and worker threads spend time.
+    pub fn prof_collector(&self) -> Option<&ProfCollector> {
+        self.prof.as_ref()
     }
 
     /// The live [`HealthEngine`] attached by [`Cluster::launch_introspected`]
@@ -150,7 +166,7 @@ impl Cluster {
         map: SliceMap,
         init: &HashMap<u64, Vec<f32>>,
     ) -> (Cluster, Vec<InprocWorker>) {
-        Self::launch_inner(cfg, models, map, init, None)
+        Self::launch_inner(cfg, models, map, init, None, None)
     }
 
     /// [`Cluster::launch_heterogeneous`] with a [`TraceCollector`] attached,
@@ -162,7 +178,7 @@ impl Cluster {
         init: &HashMap<u64, Vec<f32>>,
         collector: &TraceCollector,
     ) -> (Cluster, Vec<InprocWorker>) {
-        Self::launch_inner(cfg, models, map, init, Some(collector))
+        Self::launch_inner(cfg, models, map, init, Some(collector), None)
     }
 
     fn launch_inner(
@@ -171,6 +187,7 @@ impl Cluster {
         map: SliceMap,
         init: &HashMap<u64, Vec<f32>>,
         collector: Option<&TraceCollector>,
+        prof: Option<&ProfCollector>,
     ) -> (Cluster, Vec<InprocWorker>) {
         assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
         assert_eq!(models.len(), cfg.num_servers as usize);
@@ -204,9 +221,10 @@ impl Cluster {
             // shares the same ring.
             shard.set_tracer(tracer.clone());
             let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
+            let profiler = prof.map(|p| p.profiler()).unwrap_or_default();
             let handle = std::thread::Builder::new()
                 .name(format!("fluentps-server-{m}"))
-                .spawn(move || server_loop(shard, endpoint, rng, tracer))
+                .spawn(move || server_loop(shard, endpoint, rng, tracer, profiler))
                 .expect("spawn server thread");
             servers.push(handle);
         }
@@ -221,6 +239,9 @@ impl Cluster {
                 if let Some(c) = collector {
                     w.set_tracer(c.tracer());
                 }
+                if let Some(p) = prof {
+                    w.set_profiler(p.profiler());
+                }
                 w
             })
             .collect();
@@ -231,6 +252,7 @@ impl Cluster {
                 servers,
                 num_servers: cfg.num_servers,
                 health: None,
+                prof: None,
             },
             workers,
         )
@@ -279,6 +301,7 @@ fn server_loop(
     endpoint: Endpoint,
     mut rng: StdRng,
     tracer: Tracer,
+    profiler: Profiler,
 ) -> ShardStats {
     let postman = endpoint.postman();
     let server_id = shard.config().server_id;
@@ -314,24 +337,31 @@ fn server_loop(
                 progress,
                 kv,
             } => {
-                let released = shard.on_push(worker, progress, &kv);
-                send(
-                    worker,
-                    Message::PushAck {
-                        server: server_id,
-                        progress,
-                    },
-                );
-                for r in released {
+                let released = {
+                    let _span = profiler.enter("server/apply_push");
+                    let released = shard.on_push(worker, progress, &kv);
                     send(
-                        r.worker,
-                        Message::PullResponse {
+                        worker,
+                        Message::PushAck {
                             server: server_id,
-                            progress: r.progress,
-                            kv: r.kv,
-                            version: r.version,
+                            progress,
                         },
                     );
+                    released
+                };
+                if !released.is_empty() {
+                    let _span = profiler.enter("server/release_dprs");
+                    for r in released {
+                        send(
+                            r.worker,
+                            Message::PullResponse {
+                                server: server_id,
+                                progress: r.progress,
+                                kv: r.kv,
+                                version: r.version,
+                            },
+                        );
+                    }
                 }
             }
             Message::SPull {
@@ -339,6 +369,7 @@ fn server_loop(
                 progress,
                 keys,
             } => {
+                let _span = profiler.enter("server/handle_pull");
                 let draw: f64 = rng.gen();
                 match shard.on_pull(worker, progress, &keys, draw, None) {
                     PullOutcome::Respond { kv, version } => {

@@ -12,8 +12,8 @@ use std::net::SocketAddr;
 use std::thread::JoinHandle;
 
 use fluentps_obs::{
-    http, EventKind, HealthEngine, HealthTap, IntrospectionServer, MetricsRegistry, RecordArgs,
-    StreamConfig, TraceCollector, TraceSource, Tracer, NO_ID,
+    http, EventKind, HealthEngine, HealthTap, IntrospectionServer, MetricsRegistry, ProfCollector,
+    Profiler, RecordArgs, StreamConfig, TraceCollector, TraceSource, Tracer, NO_ID,
 };
 use fluentps_util::rng::StdRng;
 
@@ -45,6 +45,10 @@ pub struct TcpCluster {
     // Live health engine + its collector tap when launched introspected;
     // drained and finalized at shutdown.
     health: Option<(HealthEngine, HealthTap)>,
+    // Span-profile collector when launched introspected: server loops,
+    // worker clients and the nodes' wire encode/decode paths profile into
+    // it, and `/profile` serves its snapshots.
+    prof: Option<ProfCollector>,
     /// Where each node listens (exported so external processes could join).
     pub addresses: AddressBook,
 }
@@ -104,19 +108,32 @@ impl TcpCluster {
         registry: &MetricsRegistry,
         addr: SocketAddr,
     ) -> Result<(TcpCluster, Vec<TcpWorker>, IntrospectionServer), TransportError> {
-        let (mut cluster, workers) = Self::launch_inner(cfg, map, init, Some(collector), None)?;
+        let prof = ProfCollector::wall();
+        let (mut cluster, workers) =
+            Self::launch_profiled(cfg, map, init, Some(collector), None, Some(&prof))?;
         crate::engine::publish_cluster_gauges(registry, "tcp", cfg.num_workers, cfg.num_servers);
         let engine = HealthEngine::with_default_rules(StreamConfig::default());
         let tap = engine.attach_to(collector, std::time::Duration::from_millis(20));
-        let server = http::serve_observed(
+        let server = http::serve_profiled(
             addr,
             registry.clone(),
             Some(TraceSource::Local(collector.clone())),
             None,
             Some(engine.clone()),
+            Some(prof.clone()),
         )?;
         cluster.health = Some((engine, tap));
+        cluster.prof = Some(prof);
         Ok((cluster, workers, server))
+    }
+
+    /// The span-profile collector attached by
+    /// [`TcpCluster::launch_introspected`] (`None` for the other launch
+    /// paths). Snapshot it any time — including mid-run — for folded-stack
+    /// or speedscope exports covering server loop phases, worker client
+    /// phases and frame encode/decode.
+    pub fn prof_collector(&self) -> Option<&ProfCollector> {
+        self.prof.as_ref()
     }
 
     /// The live [`HealthEngine`] attached by
@@ -133,23 +150,50 @@ impl TcpCluster {
         collector: Option<&TraceCollector>,
         stream_to: Option<(SocketAddr, usize)>,
     ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
+        Self::launch_profiled(cfg, map, init, collector, stream_to, None)
+    }
+
+    fn launch_profiled(
+        cfg: EngineConfig,
+        map: SliceMap,
+        init: &HashMap<u64, Vec<f32>>,
+        collector: Option<&TraceCollector>,
+        stream_to: Option<(SocketAddr, usize)>,
+        prof: Option<&ProfCollector>,
+    ) -> Result<(TcpCluster, Vec<TcpWorker>), TransportError> {
         // Per-node tracing when streaming to a cluster collector: each node
         // gets its own collector (distinct clock epochs make the offset
-        // handshake meaningful) plus a streamer shipping its ring.
+        // handshake meaningful) plus a streamer shipping its ring. With a
+        // profile collector attached, the streamer's drains profile too.
         let node_tracing = |node: NodeId| -> (Tracer, Option<TraceStreamer>) {
             match stream_to {
                 Some((addr, capacity)) => {
                     let col = TraceCollector::wall(capacity);
                     let tracer = col.tracer();
-                    let streamer =
-                        TraceStreamer::start(node, &col, addr, StreamerConfig::default());
+                    let streamer = TraceStreamer::start_profiled(
+                        node,
+                        &col,
+                        addr,
+                        StreamerConfig::default(),
+                        prof.map(|p| p.profiler()).unwrap_or_default(),
+                    );
                     (tracer, Some(streamer))
                 }
                 None => (collector.map(|c| c.tracer()).unwrap_or_default(), None),
             }
         };
-        assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
         let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
+        // Every socket a profiled cluster binds shares the one profile
+        // collector, so frame encode/decode shows up as `wire/*` spans.
+        let bind_node = |node: NodeId, book: AddressBook| -> Result<TcpNode, TransportError> {
+            match prof {
+                Some(p) => {
+                    TcpNode::bind_profiled(node, loopback, book, Tracer::disabled(), p.profiler())
+                }
+                None => TcpNode::bind(node, loopback, book),
+            }
+        };
+        assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
 
         // Bind every node first so the final address book is complete, then
         // hand each node the finished book (TcpNode snapshots it at bind, so
@@ -157,13 +201,13 @@ impl TcpCluster {
         let book = AddressBook::new();
         let mut server_rx = Vec::new();
         for m in 0..cfg.num_servers {
-            let node = TcpNode::bind(NodeId::Server(m), loopback, AddressBook::new())?;
+            let node = bind_node(NodeId::Server(m), AddressBook::new())?;
             book.insert(NodeId::Server(m), node.local_addr());
             server_rx.push(node);
         }
         let mut worker_nodes = Vec::new();
         for n in 0..cfg.num_workers {
-            let node = TcpNode::bind(NodeId::Worker(n), loopback, book.clone())?;
+            let node = bind_node(NodeId::Worker(n), book.clone())?;
             book.insert(NodeId::Worker(n), node.local_addr());
             worker_nodes.push(node);
         }
@@ -172,11 +216,7 @@ impl TcpCluster {
         let mut servers = Vec::with_capacity(cfg.num_servers as usize);
         for (m, rx) in server_rx.into_iter().enumerate() {
             let m = m as u32;
-            let tx = TcpNode::bind(
-                NodeId::Server(cfg.num_servers + 1 + m),
-                loopback,
-                book.clone(),
-            )?;
+            let tx = bind_node(NodeId::Server(cfg.num_servers + 1 + m), book.clone())?;
             let mut shard = ServerShard::new(ShardConfig {
                 server_id: m,
                 num_workers: cfg.num_workers,
@@ -194,10 +234,11 @@ impl TcpCluster {
             let (tracer, streamer) = node_tracing(NodeId::Server(m));
             shard.set_tracer(tracer.clone());
             let rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(m as u64 + 1));
+            let profiler = prof.map(|p| p.profiler()).unwrap_or_default();
             let handle = std::thread::Builder::new()
                 .name(format!("fluentps-tcp-server-{m}"))
                 .spawn(move || {
-                    let stats = tcp_server_loop(shard, rx, tx, rng, tracer);
+                    let stats = tcp_server_loop(shard, rx, tx, rng, tracer, profiler);
                     // Final-flush from the server's own thread so everything
                     // it recorded reaches the collector before it exits.
                     if let Some(s) = streamer {
@@ -210,7 +251,7 @@ impl TcpCluster {
         }
 
         let router = Router::new(map);
-        let control_node = TcpNode::bind(NodeId::Scheduler, loopback, book.clone())?;
+        let control_node = bind_node(NodeId::Scheduler, book.clone())?;
         let control = control_node.postman();
 
         let mut worker_streamers = Vec::new();
@@ -223,6 +264,9 @@ impl TcpCluster {
                 let (tracer, streamer) = node_tracing(NodeId::Worker(n as u32));
                 worker_streamers.extend(streamer);
                 w.set_tracer(tracer);
+                if let Some(p) = prof {
+                    w.set_profiler(p.profiler());
+                }
                 w
             })
             .collect();
@@ -235,6 +279,7 @@ impl TcpCluster {
                 num_servers: cfg.num_servers,
                 worker_streamers,
                 health: None,
+                prof: None,
                 addresses: book,
             },
             workers,
@@ -273,6 +318,7 @@ fn tcp_server_loop(
     tx: TcpNode,
     mut rng: StdRng,
     tracer: Tracer,
+    profiler: Profiler,
 ) -> ShardStats {
     let postman = tx.postman();
     let server_id = shard.config().server_id;
@@ -312,26 +358,33 @@ fn tcp_server_loop(
                 progress,
                 kv,
             } => {
-                let released = shard.on_push(worker, progress, &kv);
-                send(
-                    &mut replies,
-                    worker,
-                    Message::PushAck {
-                        server: server_id,
-                        progress,
-                    },
-                );
-                for r in released {
+                let released = {
+                    let _span = profiler.enter("server/apply_push");
+                    let released = shard.on_push(worker, progress, &kv);
                     send(
                         &mut replies,
-                        r.worker,
-                        Message::PullResponse {
+                        worker,
+                        Message::PushAck {
                             server: server_id,
-                            progress: r.progress,
-                            kv: r.kv,
-                            version: r.version,
+                            progress,
                         },
                     );
+                    released
+                };
+                if !released.is_empty() {
+                    let _span = profiler.enter("server/release_dprs");
+                    for r in released {
+                        send(
+                            &mut replies,
+                            r.worker,
+                            Message::PullResponse {
+                                server: server_id,
+                                progress: r.progress,
+                                kv: r.kv,
+                                version: r.version,
+                            },
+                        );
+                    }
                 }
             }
             Message::SPull {
@@ -339,6 +392,7 @@ fn tcp_server_loop(
                 progress,
                 keys,
             } => {
+                let _span = profiler.enter("server/handle_pull");
                 let draw: f64 = rng.gen();
                 if let PullOutcome::Respond { kv, version } =
                     shard.on_pull(worker, progress, &keys, draw, None)
@@ -373,6 +427,9 @@ fn tcp_server_loop(
             _ => {}
         }
         if !replies.is_empty() {
+            // The flush is its own phase: frame encoding inside it shows up
+            // as a nested `wire/encode` under `server/reply`.
+            let _span = profiler.enter("server/reply");
             let _ = postman.send_batch(std::mem::take(&mut replies));
         }
         if done {

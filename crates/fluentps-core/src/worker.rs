@@ -8,7 +8,7 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::Duration;
 
-use fluentps_obs::{EventKind, RecordArgs, Tracer};
+use fluentps_obs::{EventKind, Profiler, RecordArgs, Tracer};
 use fluentps_transport::{
     frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement,
 };
@@ -189,6 +189,7 @@ pub struct WorkerClient<P, M> {
     mailbox: M,
     router: Router,
     tracer: Tracer,
+    profiler: Profiler,
     retry: Option<RetryState>,
 }
 
@@ -201,6 +202,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             mailbox,
             router,
             tracer: Tracer::disabled(),
+            profiler: Profiler::disabled(),
             retry: None,
         }
     }
@@ -209,6 +211,13 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
     /// span covering each blocking wait for pull responses.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attach a span profiler: `worker/push` covers each `sPush` scatter +
+    /// send, `worker/pull_wait` each blocking pull round, and
+    /// `worker/retry` each timeout-triggered backoff + replay + re-issue.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
     }
 
     /// Enable the resilience layer. Without a policy (the default) the
@@ -245,6 +254,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         progress: u64,
         grads: &HashMap<u64, Vec<f32>>,
     ) -> Result<u32, TransportError> {
+        let _span = self.profiler.enter("worker/push");
         let shards = self.router.scatter(grads);
         if let Some(retry) = &mut self.retry {
             retry.replay.push_back((progress, shards.clone()));
@@ -345,6 +355,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         orig_keys: &[u64],
         params: &mut HashMap<u64, Vec<f32>>,
     ) -> Result<PullReport, TransportError> {
+        let _span = self.profiler.enter("worker/pull_wait");
         let groups = self.pull_groups(orig_keys);
         let mut report = PullReport {
             responses: 0,
@@ -442,6 +453,9 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                     if attempt > retry.policy.max_retries {
                         return Err(TransportError::Timeout);
                     }
+                    // The span covers backoff sleep + replay + re-issue: the
+                    // full wall-clock penalty each retry round costs.
+                    let _span = self.profiler.enter("worker/retry");
                     let backoff = retry.backoff(attempt);
                     let replay: Vec<(u64, Vec<KvPairs>)> = retry.replay.iter().cloned().collect();
                     for &m in &awaiting {

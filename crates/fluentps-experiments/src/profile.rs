@@ -1,0 +1,221 @@
+//! `repro profile`: a live TCP training run under the cooperative span
+//! profiler, reporting where the time (and the allocations) went.
+//!
+//! The run uses [`fluentps_core::tcp_engine::TcpCluster::launch_introspected`],
+//! so every layer the profiler instruments is exercised for real: server
+//! loop phases (`server/apply_push`, `server/handle_pull`, `server/reply`),
+//! worker client phases (`worker/push`, `worker/pull_wait`) nested under the
+//! training step spans this module opens (`worker/step`, `worker/compute`),
+//! and the transport's frame codec (`wire/encode`, `wire/decode`). While the
+//! run executes, the same snapshots are live on the introspection endpoint
+//! as `/profile?format=folded|speedscope`.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use fluentps_core::condition::SyncModel;
+use fluentps_core::engine::EngineConfig;
+use fluentps_core::eps::{EpsSlicer, ParamSpec, Slicer};
+use fluentps_core::stats::ShardStats;
+use fluentps_core::tcp_engine::TcpCluster;
+use fluentps_ml::data::{synthetic, BatchSampler, SyntheticSpec};
+use fluentps_ml::models::{Model, SoftmaxRegression};
+use fluentps_ml::optim::{Optimizer, Sgd};
+use fluentps_obs::{MetricsRegistry, ProfileReport, TraceCollector};
+
+/// Configuration of a profiled live TCP run.
+#[derive(Debug, Clone)]
+pub struct ProfileConfig {
+    /// Workers (threads, each with its own TCP endpoint).
+    pub num_workers: u32,
+    /// Servers.
+    pub num_servers: u32,
+    /// Iterations per worker.
+    pub max_iters: u64,
+    /// Synchronization model.
+    pub model: SyncModel,
+    /// Where the introspection endpoint (including `/profile`) listens;
+    /// `None` binds an OS-chosen loopback port.
+    pub metrics_addr: Option<SocketAddr>,
+    /// Seed for data, initialization and the servers' probability draws.
+    pub seed: u64,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        ProfileConfig {
+            num_workers: 2,
+            num_servers: 2,
+            max_iters: 200,
+            model: SyncModel::Ssp { s: 2 },
+            metrics_addr: None,
+            seed: 0,
+        }
+    }
+}
+
+/// Result of a profiled run.
+#[derive(Debug, Clone)]
+pub struct ProfileResult {
+    /// Final test accuracy on worker 0's parameters (the profiled run is
+    /// still a real training job — a profile of a broken run is noise).
+    pub accuracy: f32,
+    /// Wall-clock seconds for the training phase.
+    pub wall_seconds: f64,
+    /// Merged shard statistics.
+    pub stats: ShardStats,
+    /// The complete span profile, snapshot after shutdown.
+    pub report: ProfileReport,
+}
+
+/// Run a live TCP training job with the span profiler attached and return
+/// its aggregated profile.
+pub fn run_profile(cfg: &ProfileConfig) -> ProfileResult {
+    let dataset = SyntheticSpec {
+        dim: 16,
+        classes: 4,
+        n_train: 2000,
+        n_test: 500,
+        margin: 3.0,
+        modes: 1,
+        label_noise: 0.0,
+        seed: cfg.seed,
+    };
+    let (train, test) = synthetic(dataset);
+    let model = SoftmaxRegression {
+        dim: dataset.dim,
+        classes: dataset.classes,
+    };
+    let init = model.init_params(cfg.seed);
+    let specs: Vec<ParamSpec> = model
+        .param_shapes()
+        .iter()
+        .map(|s| ParamSpec {
+            key: s.key,
+            len: s.len,
+        })
+        .collect();
+    let map = EpsSlicer { max_chunk: 16 }.slice(&specs, cfg.num_servers);
+
+    let ecfg = EngineConfig {
+        num_workers: cfg.num_workers,
+        num_servers: cfg.num_servers,
+        model: cfg.model,
+        seed: cfg.seed,
+        ..EngineConfig::default()
+    };
+    let collector = TraceCollector::wall(1 << 14);
+    let registry = MetricsRegistry::new();
+    let addr = cfg
+        .metrics_addr
+        .unwrap_or_else(|| "127.0.0.1:0".parse().expect("loopback"));
+    let (cluster, workers, introspection) =
+        TcpCluster::launch_introspected(ecfg, map, &init, &collector, &registry, addr)
+            .expect("launch profiled TCP cluster");
+    // Keep a handle past shutdown so the snapshot includes the servers'
+    // final spans.
+    let prof = cluster
+        .prof_collector()
+        .expect("introspected launch attaches a profiler")
+        .clone();
+
+    let start = Instant::now();
+    let model_ref = &model;
+    let results: Vec<HashMap<u64, Vec<f32>>> = fluentps_util::sync::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .map(|mut client| {
+                let train = &train;
+                let init = init.clone();
+                let cfg = cfg.clone();
+                let profiler = prof.profiler();
+                scope.spawn(move || {
+                    let n = client.worker_id();
+                    let mut params = init;
+                    let mut opt = Sgd::new(0.25, 0.9, 0.0);
+                    let mut sampler = BatchSampler::new(
+                        train.partition(n, cfg.num_workers),
+                        16,
+                        cfg.seed.wrapping_add(500 + n as u64),
+                    );
+                    for i in 0..cfg.max_iters {
+                        // One step span per iteration: the client's
+                        // worker/push and worker/pull_wait nest under it, so
+                        // the folded profile reads compute vs sync directly.
+                        let _step = profiler.enter("worker/step");
+                        let deltas = {
+                            let _span = profiler.enter("worker/compute");
+                            let batch = train.batch(&sampler.next_indices());
+                            let (_, grads) = model_ref.loss_and_grad(&params, &batch);
+                            opt.deltas(&params, &grads)
+                        };
+                        client.spush(i, &deltas).expect("push");
+                        client.spull_wait(i, &mut params).expect("pull");
+                    }
+                    params
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("profiled worker thread"))
+            .collect()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut stats = ShardStats::default();
+    for s in cluster.shutdown() {
+        stats.merge(&s);
+    }
+    drop(introspection);
+    ProfileResult {
+        accuracy: model.accuracy(&results[0], &test),
+        wall_seconds,
+        stats,
+        report: prof.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiled_tcp_run_learns_and_captures_all_layers() {
+        let r = run_profile(&ProfileConfig {
+            max_iters: 60,
+            ..ProfileConfig::default()
+        });
+        assert!(r.accuracy > 0.7, "profiled run accuracy {}", r.accuracy);
+        let spans = &r.report.spans;
+        // Worker spans nest: push/pull under the step span.
+        assert!(spans.contains_key("worker/step"));
+        assert!(spans.contains_key("worker/step;worker/compute"));
+        assert!(spans.contains_key("worker/step;worker/push"));
+        assert!(spans.contains_key("worker/step;worker/pull_wait"));
+        // Server loop phases.
+        assert!(spans.contains_key("server/apply_push"));
+        assert!(spans.contains_key("server/handle_pull"));
+        // Wire codec: encode nests under the phases that send; decode runs
+        // on reader threads at the stack root.
+        assert!(spans.contains_key("wire/decode"));
+        assert!(spans.keys().any(|k| k.ends_with(";wire/encode")));
+        // Every worker iterated: step count = workers × iters.
+        assert_eq!(spans["worker/step"].count, 2 * 60);
+        // Self + children never exceeds the parent total.
+        let step = &spans["worker/step"];
+        let children: f64 = spans
+            .iter()
+            .filter(|(k, _)| k.starts_with("worker/step;") && k.matches(';').count() == 1)
+            .map(|(_, s)| s.total_secs)
+            .sum();
+        assert!(
+            step.self_secs + children <= step.total_secs + 1e-6,
+            "self {} + children {} vs total {}",
+            step.self_secs,
+            children,
+            step.total_secs
+        );
+    }
+}

@@ -176,6 +176,34 @@ pub fn alert_section(alerts: &[fluentps_obs::AlertTransition]) -> Table {
     t
 }
 
+/// The `repro profile` table: the top `n` span paths by self time, with
+/// call counts, total (inclusive) time and the allocation deltas the
+/// counting allocator attributed to each span's self window.
+pub fn profile_section(report: &fluentps_obs::ProfileReport, n: usize) -> Table {
+    let mut t = Table::new(
+        format!("profile: top {n} spans by self time"),
+        &[
+            "span path",
+            "calls",
+            "self",
+            "total",
+            "self allocs",
+            "self bytes",
+        ],
+    );
+    for (path, stat) in report.top_self(n) {
+        t.row(vec![
+            path.to_string(),
+            stat.count.to_string(),
+            format!("{:.6}s", stat.self_secs),
+            format!("{:.6}s", stat.total_secs),
+            stat.self_allocs.to_string(),
+            stat.self_alloc_bytes.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Check that `trace` and `stats` tell the same story: every counter the
 /// shards kept matches the trace's per-kind totals, and the DPR ledger
 /// balances (`dprs == dprs_released + still-buffered`). Returns the first

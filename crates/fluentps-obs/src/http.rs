@@ -29,8 +29,14 @@
 //!   [`HealthEngine`](crate::stream::HealthEngine) is attached
 //!   ([`serve_observed`]): the streaming health summary as greppable
 //!   `key value` text, and the alert transition history plus current rule
-//!   states as JSONL. The engine's gauges are also refreshed into
-//!   `/metrics` on every scrape.
+//!   states as JSONL (`application/x-ndjson`, like `/trace`). The engine's
+//!   gauges are also refreshed into `/metrics` on every scrape.
+//! * `GET /profile?format=folded|speedscope&metric=time|allocs|bytes` —
+//!   when a [`ProfCollector`](crate::prof::ProfCollector) is attached
+//!   ([`serve_profiled`]): a live snapshot of this node's span profile, as
+//!   flamegraph folded-stack text (the default; `metric` picks self time,
+//!   allocation count or allocated bytes) or as speedscope JSON carrying
+//!   all three metrics as separate profiles.
 //!
 //! Security note: callers should bind loopback (`127.0.0.1:0`) unless the
 //! endpoint is deliberately exposed — everything the server reports is
@@ -51,6 +57,7 @@ use crate::event::EventKind;
 use crate::export;
 use crate::health::HealthView;
 use crate::metrics::MetricsRegistry;
+use crate::prof::{ProfCollector, ProfMetric};
 use crate::stream::HealthEngine;
 use crate::tracer::{Trace, TraceCollector};
 
@@ -140,6 +147,22 @@ pub fn serve_observed(
     health: Option<HealthView>,
     engine: Option<HealthEngine>,
 ) -> std::io::Result<IntrospectionServer> {
+    serve_profiled(addr, registry, source, health, engine, None)
+}
+
+/// [`serve_observed`] plus a [`ProfCollector`]: `/profile` serves live
+/// folded-stack and speedscope snapshots of this node's span profile.
+pub fn serve_profiled(
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+    source: Option<TraceSource>,
+    health: Option<HealthView>,
+    engine: Option<HealthEngine>,
+    prof: Option<ProfCollector>,
+) -> std::io::Result<IntrospectionServer> {
+    // Every served registry carries process metadata (uptime epoch and
+    // build version) so scrapes can correlate runs.
+    registry.register_process_metrics();
     let listener = TcpListener::bind(addr)?;
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -158,6 +181,7 @@ pub fn serve_observed(
                         source.as_ref(),
                         health.as_ref(),
                         engine.as_ref(),
+                        prof.as_ref(),
                     );
                 }
             }
@@ -205,6 +229,7 @@ fn handle_connection(
     source: Option<&TraceSource>,
     health: Option<&HealthView>,
     engine: Option<&HealthEngine>,
+    prof: Option<&ProfCollector>,
 ) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
     let Some(head) = read_request_head(&mut stream)? else {
@@ -252,8 +277,50 @@ fn handle_connection(
             None => respond(&mut stream, 404, "text/plain", "no health engine\n"),
         },
         "/alerts" => match engine {
-            Some(eng) => respond(&mut stream, 200, "application/jsonl", &eng.alerts_jsonl()),
+            Some(eng) => respond(
+                &mut stream,
+                200,
+                "application/x-ndjson",
+                &eng.alerts_jsonl(),
+            ),
             None => respond(&mut stream, 404, "text/plain", "no health engine\n"),
+        },
+        "/profile" => match prof {
+            Some(col) => {
+                let report = col.snapshot();
+                match query_param(query, "format").unwrap_or("folded") {
+                    "folded" => {
+                        let metric = match query_param(query, "metric") {
+                            Some(raw) => match ProfMetric::parse(raw) {
+                                Some(m) => m,
+                                None => {
+                                    return respond(
+                                        &mut stream,
+                                        400,
+                                        "text/plain",
+                                        "bad metric: expect time, allocs or bytes\n",
+                                    )
+                                }
+                            },
+                            None => ProfMetric::SelfTime,
+                        };
+                        respond(&mut stream, 200, "text/plain", &report.folded(metric))
+                    }
+                    "speedscope" => respond(
+                        &mut stream,
+                        200,
+                        "application/json",
+                        &report.speedscope("fluentps profile"),
+                    ),
+                    _ => respond(
+                        &mut stream,
+                        400,
+                        "text/plain",
+                        "bad format: expect folded or speedscope\n",
+                    ),
+                }
+            }
+            None => respond(&mut stream, 404, "text/plain", "no profiler\n"),
         },
         "/trace" => match source {
             Some(src) => {
@@ -299,7 +366,7 @@ fn handle_connection(
                     trace.events.drain(..trace.events.len() - last);
                 }
                 let body = export::jsonl(&trace);
-                respond(&mut stream, 200, "application/jsonl", &body)
+                respond(&mut stream, 200, "application/x-ndjson", &body)
             }
             None => respond(&mut stream, 404, "text/plain", "no trace collector\n"),
         },
@@ -715,6 +782,69 @@ mod tests {
         assert!(body.contains("trace_collect_received{node=\"worker0\"} 1"));
         assert!(body.contains("trace_collect_dropped{node=\"worker1\"} 1"));
         assert!(body.contains("trace_collect_offset_seconds{node=\"worker1\"} 0.5"));
+        server.stop();
+    }
+
+    #[test]
+    fn profile_route_serves_folded_and_speedscope() {
+        use crate::prof::ProfCollector;
+        let col = ProfCollector::wall();
+        let prof = col.profiler();
+        {
+            let _outer = prof.enter("server/handle");
+            let _inner = prof.enter("wire/encode");
+        }
+        let server = serve_profiled(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+            None,
+            None,
+            Some(col),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/profile");
+        assert_eq!(status, 200);
+        assert!(body.contains("server/handle;wire/encode "), "{body}");
+        for line in body.lines() {
+            let (_, v) = line.rsplit_once(' ').expect("`path value` line");
+            v.parse::<u64>().expect("integer value");
+        }
+
+        let (status, folded_allocs) = get(addr, "/profile?format=folded&metric=allocs");
+        assert_eq!(status, 200);
+        assert!(folded_allocs.contains("server/handle "));
+
+        let (status, ss) = get(addr, "/profile?format=speedscope");
+        assert_eq!(status, 200);
+        crate::json::validate(&ss).expect("speedscope body is valid JSON");
+        assert!(ss.contains("\"$schema\""));
+
+        assert_eq!(get(addr, "/profile?format=bogus").0, 400);
+        assert_eq!(get(addr, "/profile?metric=bogus").0, 400);
+
+        // The profiled bind also seeded process metadata.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(metrics.contains("process_start_seconds"), "{metrics}");
+        assert!(
+            metrics.contains("fluentps_build_info{version="),
+            "{metrics}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn profile_route_without_collector_is_404() {
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+        )
+        .expect("bind");
+        let (status, _) = get(server.local_addr(), "/profile");
+        assert_eq!(status, 404);
         server.stop();
     }
 

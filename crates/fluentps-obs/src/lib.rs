@@ -24,6 +24,10 @@
 //!   causally-consistent [`Trace`] with exact per-node drop accounting.
 //! * [`metrics`] — a registry of labeled counters, gauges and
 //!   [`Histogram`]s with a plain-text renderer.
+//! * [`prof`] — the in-process cooperative profiler: RAII span guards on a
+//!   per-thread stack, aggregation by full stack path into call count +
+//!   self/total time + allocation deltas (via the counting allocator in
+//!   `fluentps-util`), with folded-stack and speedscope exports.
 //! * [`export`] — Chrome trace-event JSON (open in `chrome://tracing` or
 //!   [Perfetto](https://ui.perfetto.dev)), JSONL, and a human-readable text
 //!   summary. DPR defer→release pairs become duration spans.
@@ -62,6 +66,7 @@ pub mod hist;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod ring;
 pub mod stream;
 pub mod tracer;
@@ -75,6 +80,7 @@ pub use health::{HealthView, NodeHealth};
 pub use hist::Histogram;
 pub use http::{IntrospectionServer, TraceSource};
 pub use metrics::{MetricsRegistry, MetricsScope};
+pub use prof::{ProfCollector, ProfMetric, ProfileReport, Profiler, SpanGuard, SpanStat};
 pub use stream::{
     HealthEngine, HealthTap, StreamAnalyzer, StreamConfig, WindowStats, WindowedHistogram,
 };

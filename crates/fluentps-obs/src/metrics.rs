@@ -23,12 +23,57 @@ enum Metric {
 #[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
     metrics: Arc<Mutex<BTreeMap<String, Metric>>>,
+    /// Optional per-family help text for the Prometheus renderer, keyed by
+    /// family base name (no labels). Families without an entry get a
+    /// default derived from the name.
+    help: Arc<Mutex<BTreeMap<String, String>>>,
 }
 
 impl MetricsRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Register help text for the metric family `base` (the name without
+    /// labels), emitted as a `# HELP` line by
+    /// [`MetricsRegistry::render_prometheus`]. Families never registered
+    /// here get a default derived from the name (underscores become
+    /// spaces).
+    pub fn set_help(&self, base: &str, text: &str) {
+        self.help.lock().insert(base.to_string(), text.to_string());
+    }
+
+    /// Seed process metadata so scrapes can compute uptime and correlate
+    /// runs: `process_start_seconds` (Unix time this registry's process
+    /// registered metrics — set once, never overwritten) and
+    /// `fluentps_build_info` (a constant `1` carrying the crate version as
+    /// a label). The introspection servers call this at bind time, so
+    /// every served registry carries both.
+    pub fn register_process_metrics(&self) {
+        {
+            let mut m = self.metrics.lock();
+            m.entry("process_start_seconds".to_string())
+                .or_insert_with(|| {
+                    let now = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0);
+                    Metric::Gauge(now)
+                });
+            m.entry(format!(
+                "fluentps_build_info{{version={}}}",
+                env!("CARGO_PKG_VERSION")
+            ))
+            .or_insert(Metric::Gauge(1.0));
+        }
+        let mut help = self.help.lock();
+        help.entry("process_start_seconds".to_string())
+            .or_insert_with(|| {
+                "unix time the process registered metrics; now() minus this is uptime".to_string()
+            });
+        help.entry("fluentps_build_info".to_string())
+            .or_insert_with(|| "constant 1, labeled with the fluentps version".to_string());
     }
 
     /// A scope with no labels; add them with [`MetricsScope::with`].
@@ -118,10 +163,11 @@ impl MetricsRegistry {
     }
 
     /// Render every metric in the Prometheus text exposition format:
-    /// one `# TYPE` comment per metric family, label values quoted, and
-    /// histogram suffixes (`_count`, `_mean`, `_p50`, `_p99`, `_max`)
-    /// attached to the base name *before* the label set. Families are
-    /// grouped so every sample follows its `# TYPE` line.
+    /// one `# HELP` + `# TYPE` comment pair per metric family (help from
+    /// [`MetricsRegistry::set_help`], or derived from the name), label
+    /// values quoted, and histogram suffixes (`_count`, `_mean`, `_p50`,
+    /// `_p99`, `_max`) attached to the base name *before* the label set.
+    /// Families are grouped so every sample follows its comment lines.
     pub fn render_prometheus(&self) -> String {
         // family base name -> (type string, sample lines)
         let mut families: BTreeMap<String, (&'static str, Vec<String>)> = BTreeMap::new();
@@ -164,8 +210,14 @@ impl MetricsRegistry {
                 }
             }
         }
+        let help = self.help.lock();
         let mut out = String::new();
         for (base, (ty, lines)) in families {
+            let text = match help.get(&base) {
+                Some(t) => escape_help(t),
+                None => base.replace('_', " "),
+            };
+            out.push_str(&format!("# HELP {base} {text}\n"));
             out.push_str(&format!("# TYPE {base} {ty}\n"));
             for line in lines {
                 out.push_str(&line);
@@ -173,6 +225,13 @@ impl MetricsRegistry {
         }
         out
     }
+}
+
+/// Escape help text per the exposition format: backslash and line feed
+/// must appear as `\\` and `\n` (help text is not quoted, so these are the
+/// only escapes).
+fn escape_help(t: &str) -> String {
+    t.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 /// Split a registry key `base{l=v,...}` into the base name and the raw
@@ -327,8 +386,53 @@ mod tests {
         // Every sample follows its family's TYPE line; a family is typed
         // exactly once.
         assert_eq!(text.matches("# TYPE pulls ").count(), 1);
+        // Every family carries a HELP line immediately before its TYPE
+        // line; unregistered families get a default derived from the name.
+        assert!(text.contains("# HELP pulls pulls\n# TYPE pulls counter\n"));
+        assert!(text.contains("# HELP live_servers live servers\n"));
+        assert!(text.contains("# HELP dpr_wait_count dpr wait count\n"));
+        assert_eq!(
+            text.matches("# HELP ").count(),
+            text.matches("# TYPE ").count()
+        );
         // Stable output.
         assert_eq!(text, r.render_prometheus());
+    }
+
+    #[test]
+    fn registered_help_text_wins_and_is_escaped() {
+        let r = MetricsRegistry::new();
+        r.inc("pulls{shard=0}", 1);
+        r.set_help("pulls", "sPull requests handled\nback\\slash");
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("# HELP pulls sPull requests handled\\nback\\\\slash\n"),
+            "help escaping: {text}"
+        );
+        // Comment lines stay one-per-line: no raw newline leaks through.
+        assert!(!text.contains("handled\nback"));
+    }
+
+    #[test]
+    fn process_metrics_seed_once_and_render_with_help() {
+        let r = MetricsRegistry::new();
+        r.register_process_metrics();
+        let start = r.gauge_value("process_start_seconds").expect("seeded");
+        assert!(start > 1.0e9, "unix-epoch seconds expected: {start}");
+        // Idempotent: a second registration never rewinds the start time.
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        r.register_process_metrics();
+        assert_eq!(r.gauge_value("process_start_seconds"), Some(start));
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP process_start_seconds unix time"));
+        assert!(text.contains("# TYPE fluentps_build_info gauge\n"));
+        assert!(
+            text.contains(&format!(
+                "fluentps_build_info{{version=\"{}\"}} 1\n",
+                env!("CARGO_PKG_VERSION")
+            )),
+            "build info sample: {text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Property tests for the span profiler's aggregation: whatever nesting a
+//! program produces, the aggregated stats must conserve time (every path's
+//! total equals the sum of its recorded durations, and a parent's self time
+//! plus its children's totals reconstruct the parent's total), and two
+//! identical programs driven by the same [`VirtualClock`] schedule must
+//! export bit-identical folded stacks.
+
+use std::collections::BTreeMap;
+
+use fluentps_obs::clock::{ClockSource, VirtualClock};
+use fluentps_obs::prof::{ProfCollector, ProfMetric};
+use fluentps_util::proptest::prelude::*;
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+/// One step of a random span program.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open a span with `NAMES[i]`.
+    Push(usize),
+    /// Close the innermost open span.
+    Pop,
+    /// Advance the virtual clock by `n` microseconds.
+    Advance(u32),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..NAMES.len()).prop_map(Op::Push),
+        Just(Op::Pop),
+        (1u32..5_000).prop_map(Op::Advance),
+    ]
+}
+
+/// Run `ops` against a virtual-clock profiler, mirroring every span in a
+/// shadow model. Returns the report plus the model's expected per-path
+/// (count, total seconds).
+fn run_program(ops: &[Op]) -> (fluentps_obs::ProfileReport, BTreeMap<String, (u64, f64)>) {
+    let clock = VirtualClock::new();
+    let collector = ProfCollector::new(ClockSource::virtual_clock(clock.clone()));
+    let prof = collector.profiler();
+
+    let mut guards = Vec::new();
+    // Shadow stack of (name, start) and the expected aggregation.
+    let mut shadow: Vec<(&str, f64)> = Vec::new();
+    let mut expected: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let close_top =
+        |shadow: &mut Vec<(&str, f64)>, expected: &mut BTreeMap<String, (u64, f64)>, now: f64| {
+            let (_, start) = shadow[shadow.len() - 1];
+            let path = shadow.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(";");
+            shadow.pop();
+            let e = expected.entry(path).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += now - start;
+        };
+
+    for op in ops {
+        match *op {
+            Op::Push(i) => {
+                guards.push(prof.enter(NAMES[i]));
+                shadow.push((NAMES[i], clock.get()));
+            }
+            Op::Pop => {
+                if let Some(g) = guards.pop() {
+                    drop(g);
+                    close_top(&mut shadow, &mut expected, clock.get());
+                }
+            }
+            Op::Advance(us) => clock.set(clock.get() + us as f64 * 1e-6),
+        }
+    }
+    // Close everything still open, innermost first.
+    while let Some(g) = guards.pop() {
+        drop(g);
+        close_top(&mut shadow, &mut expected, clock.get());
+    }
+    (collector.snapshot(), expected)
+}
+
+proptest! {
+    /// The aggregation is conservation-correct: every path's call count and
+    /// total time match the shadow model exactly, self time never exceeds
+    /// the total, and a parent's self plus its direct children's totals
+    /// reconstruct the parent's total.
+    #[test]
+    fn aggregation_conserves_time(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let (report, expected) = run_program(&ops);
+
+        let paths: Vec<&String> = report.spans.keys().collect();
+        prop_assert_eq!(paths.len(), expected.len());
+        for (path, stat) in &report.spans {
+            let (count, total) = expected[path];
+            prop_assert_eq!(stat.count, count, "count for {}", path);
+            prop_assert!(
+                (stat.total_secs - total).abs() < 1e-9,
+                "total for {}: {} vs expected {}", path, stat.total_secs, total
+            );
+            prop_assert!(stat.self_secs >= 0.0);
+            prop_assert!(stat.self_secs <= stat.total_secs + 1e-9);
+
+            // Direct children (paths one level deeper) partition the
+            // parent's non-self time.
+            let children: f64 = report
+                .spans
+                .iter()
+                .filter(|(k, _)| {
+                    k.starts_with(&format!("{path};"))
+                        && k.matches(';').count() == path.matches(';').count() + 1
+                })
+                .map(|(_, s)| s.total_secs)
+                .sum();
+            prop_assert!(
+                (stat.self_secs + children - stat.total_secs).abs() < 1e-9,
+                "{}: self {} + children {} != total {}",
+                path, stat.self_secs, children, stat.total_secs
+            );
+        }
+    }
+
+    /// Same program, same virtual schedule → bit-identical folded export
+    /// for the *time* metric. Virtual time makes the timings a pure
+    /// function of the program; allocation counts are NOT covered — they
+    /// meter the real allocator, whose behavior (map growth, reused
+    /// capacity) differs between a process's first and second run of the
+    /// same program (see DESIGN.md §15).
+    #[test]
+    fn same_schedule_folds_bit_identically(ops in prop::collection::vec(arb_op(), 1..120)) {
+        let (ra, _) = run_program(&ops);
+        let (rb, _) = run_program(&ops);
+        prop_assert_eq!(ra.folded(ProfMetric::SelfTime), rb.folded(ProfMetric::SelfTime));
+        // The aggregated call counts and totals agree exactly too.
+        let strip = |r: &fluentps_obs::ProfileReport| -> Vec<(String, u64, f64, f64)> {
+            r.spans
+                .iter()
+                .map(|(k, s)| (k.clone(), s.count, s.total_secs, s.self_secs))
+                .collect()
+        };
+        prop_assert_eq!(strip(&ra), strip(&rb));
+    }
+}

@@ -30,7 +30,7 @@ use std::time::Duration;
 
 use fluentps_obs::clock::ClockSource;
 use fluentps_obs::collect::{ClusterCollector, NodeStats};
-use fluentps_obs::{Trace, TraceCollector};
+use fluentps_obs::{Profiler, Trace, TraceCollector};
 use fluentps_util::buf::BytesMut;
 use fluentps_util::sync::{Mutex, StopFlag};
 
@@ -263,12 +263,26 @@ impl TraceStreamer {
         addr: SocketAddr,
         cfg: StreamerConfig,
     ) -> TraceStreamer {
+        Self::start_profiled(node, collector, addr, cfg, Profiler::disabled())
+    }
+
+    /// [`TraceStreamer::start`] with span profiling: each ring drain (poll,
+    /// chunk, encode, coalesced write) runs under a `streamer/drain` span on
+    /// the streamer thread, so a profile shows how much of the run the
+    /// observability plumbing itself cost.
+    pub fn start_profiled(
+        node: NodeId,
+        collector: &TraceCollector,
+        addr: SocketAddr,
+        cfg: StreamerConfig,
+        profiler: Profiler,
+    ) -> TraceStreamer {
         let stop = Arc::new(StopFlag::new());
         let thread_stop = Arc::clone(&stop);
         let col = collector.clone();
         let handle = std::thread::Builder::new()
             .name(format!("trace-streamer-{node}"))
-            .spawn(move || stream_loop(node, col, addr, cfg, thread_stop))
+            .spawn(move || stream_loop(node, col, addr, cfg, thread_stop, profiler))
             .expect("spawn trace streamer thread");
         TraceStreamer {
             stop,
@@ -393,6 +407,7 @@ fn stream_loop(
     addr: SocketAddr,
     cfg: StreamerConfig,
     stop: Arc<StopFlag>,
+    profiler: Profiler,
 ) -> StreamerReport {
     let mut report = StreamerReport::default();
     let mut cursor = col.cursor();
@@ -419,6 +434,7 @@ fn stream_loop(
     // syscall, spilling early only past the byte budget.
     let mut scratch = BytesMut::new();
     let mut drain = |conn: &mut StreamerConn, report: &mut StreamerReport, batch_seq: &mut u64| {
+        let _span = profiler.enter("streamer/drain");
         let polled = cursor.poll();
         // Chunk to max_batch; always emit at least one (possibly empty)
         // frame so cumulative accounting reaches the collector even when

@@ -6,6 +6,7 @@
 
 use std::io::{Read, Write};
 
+use fluentps_obs::Profiler;
 use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::codec;
@@ -56,6 +57,19 @@ pub fn encode_frame_into(from: NodeId, msg: &Message, buf: &mut BytesMut) -> usi
     debug_assert_eq!(buf.len() - start, frame_len, "wire_len out of sync");
     debug_assert_eq!(buf.capacity(), cap_before, "frame encode reallocated");
     frame_len
+}
+
+/// [`encode_frame_into`] under a `wire/encode` profiler span. The span
+/// covers exactly the serialization work (reserve, header, codec encode,
+/// length patch); with a disabled profiler the wrapper costs two branches.
+pub fn encode_frame_into_profiled(
+    from: NodeId,
+    msg: &Message,
+    buf: &mut BytesMut,
+    prof: &Profiler,
+) -> usize {
+    let _span = prof.enter("wire/encode");
+    encode_frame_into(from, msg, buf)
 }
 
 /// Serialize `(from, msg)` into one framed buffer ready to be written to a
@@ -142,6 +156,27 @@ impl FrameReader {
         }
         self.body.resize(len as usize, 0);
         r.read_exact(&mut self.body)?;
+        decode_frame_slice(&self.body)
+    }
+
+    /// [`FrameReader::read_from`] with the *decode* step under a
+    /// `wire/decode` profiler span. The blocking socket reads stay outside
+    /// the span deliberately: time spent waiting for bytes is wire latency
+    /// (the tracer's territory), not decode cost.
+    pub fn read_from_profiled<R: Read>(
+        &mut self,
+        r: &mut R,
+        prof: &Profiler,
+    ) -> Result<(NodeId, Message), TransportError> {
+        let mut len_buf = [0u8; 4];
+        r.read_exact(&mut len_buf)?;
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_FRAME {
+            return Err(DecodeError::LengthOverflow(len as u64).into());
+        }
+        self.body.resize(len as usize, 0);
+        r.read_exact(&mut self.body)?;
+        let _span = prof.enter("wire/decode");
         decode_frame_slice(&self.body)
     }
 }
@@ -278,6 +313,39 @@ mod tests {
                 read_frame(&mut b).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn profiled_wrappers_match_plain_and_record_wire_spans() {
+        use fluentps_obs::ProfCollector;
+        let msg = Message::SPush {
+            worker: 2,
+            progress: 5,
+            kv: KvPairs::single(1, vec![0.25; 16]),
+        };
+        let col = ProfCollector::wall();
+        let prof = col.profiler();
+        let mut plain = BytesMut::new();
+        let mut profiled = BytesMut::new();
+        encode_frame_into(NodeId::Worker(2), &msg, &mut plain);
+        encode_frame_into_profiled(NodeId::Worker(2), &msg, &mut profiled, &prof);
+        assert_eq!(plain.as_ref(), profiled.as_ref());
+
+        let mut cursor = Cursor::new(profiled.as_ref().to_vec());
+        let mut reader = FrameReader::new();
+        let (from, got) = reader.read_from_profiled(&mut cursor, &prof).unwrap();
+        assert_eq!((from, got), (NodeId::Worker(2), msg));
+
+        let report = col.snapshot();
+        assert_eq!(report.spans["wire/encode"].count, 1);
+        assert_eq!(report.spans["wire/decode"].count, 1);
+
+        // Disabled profiler: same bytes, nothing recorded.
+        let disabled = Profiler::disabled();
+        let mut buf = BytesMut::new();
+        encode_frame_into_profiled(NodeId::Worker(2), &Message::Shutdown, &mut buf, &disabled);
+        let mut cursor = Cursor::new(buf.as_ref().to_vec());
+        reader.read_from_profiled(&mut cursor, &disabled).unwrap();
     }
 
     #[test]

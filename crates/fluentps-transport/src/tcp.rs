@@ -15,13 +15,13 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use fluentps_obs::{EventKind, RecordArgs, Tracer, NO_ID};
+use fluentps_obs::{EventKind, Profiler, RecordArgs, Tracer, NO_ID};
 use fluentps_util::buf::BytesMut;
 use fluentps_util::sync::Mutex;
 use fluentps_util::sync::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 
 use crate::error::TransportError;
-use crate::frame::{encode_frame_into, wire_len, FrameReader};
+use crate::frame::{encode_frame_into_profiled, wire_len, FrameReader};
 use crate::msg::{Message, NodeId};
 use crate::{Mailbox, Postman};
 
@@ -92,6 +92,7 @@ struct Shared {
     inbox_tx: Sender<Envelope>,
     closed: AtomicBool,
     tracer: Tracer,
+    profiler: Profiler,
 }
 
 /// `(shard, worker)` ids for a trace event about traffic between `local`
@@ -136,6 +137,21 @@ impl TcpNode {
         book: AddressBook,
         tracer: Tracer,
     ) -> Result<Self, TransportError> {
+        Self::bind_profiled(node, addr, book, tracer, Profiler::disabled())
+    }
+
+    /// [`TcpNode::bind_traced`] with span profiling: every frame this
+    /// node's postmen encode runs under a `wire/encode` span and every
+    /// frame decoded off an accepted stream under `wire/decode` (the
+    /// blocking socket reads stay outside the spans — waiting is wire
+    /// latency, not decode cost).
+    pub fn bind_profiled(
+        node: NodeId,
+        addr: SocketAddr,
+        book: AddressBook,
+        tracer: Tracer,
+        profiler: Profiler,
+    ) -> Result<Self, TransportError> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -147,6 +163,7 @@ impl TcpNode {
             inbox_tx,
             closed: AtomicBool::new(false),
             tracer,
+            profiler,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -218,7 +235,7 @@ fn spawn_reader(stream: TcpStream, shared: Arc<Shared>) {
             // Read frames until the peer closes or the stream corrupts.
             // The frame body buffer is reused across frames and decoded in
             // place — no per-frame allocation on the receive path.
-            while let Ok((from, msg)) = frames.read_from(&mut reader) {
+            while let Ok((from, msg)) = frames.read_from_profiled(&mut reader, &shared.profiler) {
                 if shared.tracer.is_enabled() {
                     let (shard, worker) = trace_ids(shared.node, from);
                     shared.tracer.record(
@@ -328,7 +345,8 @@ impl Postman for TcpPostman {
         let from = self.shared.node;
         let mut conns = self.shared.conns.lock();
         let conn = self.ensure_conn(&mut conns, to)?;
-        let bytes = encode_frame_into(from, &msg, &mut conn.buf) as u64;
+        let bytes =
+            encode_frame_into_profiled(from, &msg, &mut conn.buf, &self.shared.profiler) as u64;
         let result = self.write_out(&mut conns, to);
         if result.is_ok() {
             self.trace_send(to, bytes);
@@ -359,7 +377,9 @@ impl Postman for TcpPostman {
                     if conn.buf.is_empty() {
                         order.push(*to);
                     }
-                    let bytes = encode_frame_into(from, msg, &mut conn.buf) as u64;
+                    let bytes =
+                        encode_frame_into_profiled(from, msg, &mut conn.buf, &self.shared.profiler)
+                            as u64;
                     traced.push((*to, bytes));
                 }
                 Err(e) => {

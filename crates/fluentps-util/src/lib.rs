@@ -4,6 +4,9 @@
 //! capability the workspace previously pulled from external crates lives
 //! here instead, implemented on `std` alone:
 //!
+//! * [`alloc`] — a counting `#[global_allocator]` wrapper over the system
+//!   allocator with per-thread allocation/byte counters, installed
+//!   workspace-wide so the profiler can attribute heap traffic to spans.
 //! * [`rng`] — a seedable SplitMix64-seeded PCG32 PRNG (`StdRng`) with
 //!   uniform ranges, Bernoulli draws, Fisher–Yates shuffle, Box–Muller
 //!   normal and inverse-CDF exponential sampling. Replaces `rand`.
@@ -26,6 +29,7 @@
 //! produce the same coin flips on every run. All randomness in the
 //! workspace flows from experiment-config seeds through [`rng::StdRng`].
 
+pub mod alloc;
 pub mod bench;
 pub mod buf;
 pub mod proptest;

@@ -5,7 +5,8 @@
 #        scripts/bench.sh --check [TOLERANCE]
 #
 # Runs the `obs` bench target of crates/bench (tracer record cost when
-# disabled vs enabled, metrics registry ops, Chrome-trace export, the
+# disabled vs enabled, span-profiler cost when disabled vs one full span
+# record, metrics registry ops, Chrome-trace export, the
 # trace-analytics engine in events/second over a mixed-kind trace, the
 # streaming analyzer's per-event windowed ingest in events/second, the
 # zero-copy wire path in frames and pull round trips per second, the

@@ -104,6 +104,35 @@ grep -q '^chaos-alert-fingerprint ' "$smokedir/chaos_health.txt"
 [ -n "$slo_ok" ] || { echo "ci: /slo never answered mid-run" >&2; exit 1; }
 [ -n "$alerts_ok" ] || { echo "ci: /alerts never showed the kill firing then resolving" >&2; exit 1; }
 
+# Profiler smoke: run a profiled live TCP training job with an
+# introspection endpoint, scrape /profile?format=speedscope over HTTP
+# *mid-run*, validate the export with the in-tree JSON validator, and
+# require spans from every instrumented layer (server loop, worker client,
+# wire codec). The run's own stdout top-table and profile-span lines are
+# checked after it exits.
+prof_port=$((21000 + RANDOM % 20000))
+./target/release/repro profile --workers 2 --servers 2 --iters 4000 \
+  --metrics-addr "127.0.0.1:$prof_port" >"$smokedir/profile.txt" 2>/dev/null &
+prof_pid=$!
+prof_ok=""
+for _ in $(seq 1 300); do
+  http_get "$prof_port" '/profile?format=speedscope' 2>/dev/null \
+    | sed -n '/^{/,$p' >"$smokedir/profile_speedscope.json" || true
+  if grep -q '"name":"server/apply_push"' "$smokedir/profile_speedscope.json" \
+     && grep -q '"name":"worker/push"' "$smokedir/profile_speedscope.json" \
+     && grep -q '"name":"wire/decode"' "$smokedir/profile_speedscope.json"; then
+    prof_ok=1
+    break
+  fi
+  kill -0 "$prof_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$prof_pid"
+[ -n "$prof_ok" ] || { echo "ci: /profile never served all instrumented layers mid-run" >&2; exit 1; }
+./target/release/repro validate-json "$smokedir/profile_speedscope.json"
+grep -q '^profile-span path=worker/step ' "$smokedir/profile.txt"
+grep -q 'profile: top ' "$smokedir/profile.txt"
+
 # Perf gate: re-run the benchmarks and compare each mean against the
 # committed BENCH_obs.json. Hard-fails past the per-bench tolerance bands
 # (wide enough for CI-machine noise; see scripts/bench.sh for the bands —

@@ -35,6 +35,24 @@ fn http_get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
     (status, body.to_string())
 }
 
+/// Like [`http_get`] but also returns the raw header block, for tests that
+/// assert on response headers (e.g. `Content-Type`).
+fn http_get_with_headers(addr: std::net::SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to introspection endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+    )
+    .expect("write request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, head.to_string(), body.to_string())
+}
+
 #[test]
 fn threaded_engine_serves_metrics_and_healthz_while_training() {
     let num_workers = 2u32;
@@ -94,7 +112,7 @@ fn threaded_engine_serves_metrics_and_healthz_while_training() {
     for line in text.lines() {
         if line.starts_with('#') {
             assert!(
-                line.starts_with("# TYPE "),
+                line.starts_with("# TYPE ") || line.starts_with("# HELP "),
                 "unexpected comment line: {line}"
             );
             continue;
@@ -115,9 +133,24 @@ fn threaded_engine_serves_metrics_and_healthz_while_training() {
     );
     assert!(text.contains("# TYPE trace_events_recorded gauge"));
     assert!(text.contains("introspection_scrapes_total"));
+    // The introspected launch seeds process-level metrics and HELP text.
+    assert!(
+        text.contains("# HELP process_start_seconds "),
+        "missing HELP for process_start_seconds in:\n{text}"
+    );
+    assert!(text.contains("process_start_seconds "));
+    assert!(
+        text.contains("fluentps_build_info{"),
+        "missing build info gauge in:\n{text}"
+    );
 
-    let (status, tail) = http_get(addr, "/trace?last=8");
+    let (status, head, tail) = http_get_with_headers(addr, "/trace?last=8");
     assert!(status.contains("200"), "trace status: {status}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: application/x-ndjson"),
+        "trace content type in headers:\n{head}"
+    );
     let lines: Vec<&str> = tail.lines().filter(|l| !l.trim().is_empty()).collect();
     assert!(!lines.is_empty() && lines.len() <= 8, "tail: {tail}");
     for line in &lines {
@@ -165,9 +198,33 @@ fn threaded_engine_serves_metrics_and_healthz_while_training() {
     assert!(status.contains("200"), "slo status: {status}");
     assert!(slo.contains("slo events "), "slo body:\n{slo}");
     assert!(slo.contains("alert dead_nodes ok"), "slo body:\n{slo}");
-    let (status, alerts) = http_get(addr, "/alerts");
+    let (status, head, alerts) = http_get_with_headers(addr, "/alerts");
     assert!(status.contains("200"), "alerts status: {status}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: application/x-ndjson"),
+        "alerts content type in headers:\n{head}"
+    );
     assert!(alerts.contains("\"state\""), "alerts body:\n{alerts}");
+
+    // The profiled launch also serves span profiles while training runs.
+    // Poll briefly: the scrape races the first worker push.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let folded = loop {
+        let (status, folded) = http_get(addr, "/profile?format=folded");
+        assert!(status.contains("200"), "profile status: {status}");
+        if folded.lines().any(|l| l.starts_with("server/")) || Instant::now() > deadline {
+            break folded;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(
+        folded.lines().any(|l| l.starts_with("server/")),
+        "folded profile has server spans:\n{folded}"
+    );
+    let (status, scope_json) = http_get(addr, "/profile?format=speedscope");
+    assert!(status.contains("200"), "speedscope status: {status}");
+    fluentps::obs::json::validate(scope_json.trim()).expect("speedscope export is valid JSON");
 
     drop(server);
     let stats = cluster.shutdown();
