@@ -1,0 +1,851 @@
+//! Replicated control-plane log: a Raft-style consensus core for the
+//! supervisor quorum.
+//!
+//! The PR-4 supervisor owned membership, routing and checkpoint metadata as
+//! a single process — kill it and no dead server could ever be replaced or
+//! remapped. This module replicates that state machine across `R`
+//! supervisor replicas with a compact Raft subset:
+//!
+//! - **Leader election** with per-replica seeded randomized timeouts.
+//!   Replica 0 draws the shortest *initial* timeout, so the first election
+//!   is deterministic (replica 0 wins term 1); later elections stay safe
+//!   under any interleaving because a replica votes at most once per term.
+//! - **Log replication** via `AppendEntries`/`AppendAck` with the classic
+//!   consistency check at `prev_index` and next-index backoff.
+//! - **Single-leader-commit rule**: a leader only advances the commit index
+//!   over entries *of its own term* once a quorum of `match_index`es cover
+//!   them, which (with the vote-once rule and the up-to-date vote check)
+//!   guarantees committed prefixes never diverge across replicas.
+//! - **Leadership leases**: a leader that cannot hear acks from a quorum
+//!   within `leader_lease` steps down instead of acting on stale authority,
+//!   so quorum loss degrades explicitly (no leader ⇒ `/healthz` 503)
+//!   rather than split-braining.
+//!
+//! The replica is a *pure* state machine: no threads, no sockets, no wall
+//! clock. Time is an explicit `now: Duration` argument and every call
+//! returns the messages to transmit, which makes the whole protocol
+//! deterministic under a seeded scheduler and directly property-testable
+//! (see `tests/consensus_proptest.rs`). The driving loop in
+//! [`crate::recovery`] owns the actual transport.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use fluentps_transport::{Message, NodeId, WireLogEntry, NO_LEADER};
+use fluentps_util::rng::StdRng;
+
+/// Max log entries shipped in one `AppendEntries`; keeps frames small while
+/// still letting a lagging follower catch up in a few round trips.
+const MAX_ENTRIES_PER_APPEND: usize = 64;
+
+/// A command of the replicated control-plane state machine. Commands travel
+/// on the wire as opaque bytes inside [`WireLogEntry`]; the transport never
+/// learns this vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlCommand {
+    /// Leader lease renewal / commit clock. Proposed periodically by the
+    /// leader; commits of ticks both renew the lease evidence and give
+    /// chaos scenarios a deterministic logical clock to key kill triggers
+    /// on (`--kill-supervisor M@V` fires when replica M applies commit V).
+    Tick,
+    /// Liveness verdict: server `server` is declared dead. Recovery actions
+    /// (replacement or remap) only run *after* this entry commits.
+    DeclareDead {
+        /// The dead server's id.
+        server: u32,
+    },
+    /// A replacement for server `server` was spawned and seeded from its
+    /// checkpoint; the verdict is resolved.
+    Replaced {
+        /// The replaced server's id.
+        server: u32,
+    },
+    /// Server `server`'s slices were remapped onto survivors via
+    /// `EpsSlicer::remap_dead`; replicas apply the same deterministic remap
+    /// to their route-table mirror.
+    Remapped {
+        /// The remapped (permanently dead) server's id.
+        server: u32,
+    },
+}
+
+impl ControlCommand {
+    /// Encode to the opaque wire form: one tag byte plus an optional LE
+    /// server id.
+    pub fn to_bytes(self) -> Vec<u8> {
+        match self {
+            ControlCommand::Tick => vec![0],
+            ControlCommand::DeclareDead { server } => Self::tagged(1, server),
+            ControlCommand::Replaced { server } => Self::tagged(2, server),
+            ControlCommand::Remapped { server } => Self::tagged(3, server),
+        }
+    }
+
+    fn tagged(tag: u8, server: u32) -> Vec<u8> {
+        let mut v = Vec::with_capacity(5);
+        v.push(tag);
+        v.extend_from_slice(&server.to_le_bytes());
+        v
+    }
+
+    /// Decode from the opaque wire form; `None` on malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(ControlCommand::Tick),
+            [tag @ 1..=3, rest @ ..] if rest.len() == 4 => {
+                let server = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                Some(match tag {
+                    1 => ControlCommand::DeclareDead { server },
+                    2 => ControlCommand::Replaced { server },
+                    _ => ControlCommand::Remapped { server },
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// One entry of the replicated log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Term the entry was appended in by a leader.
+    pub term: u64,
+    /// 1-based log position.
+    pub index: u64,
+    /// The state-machine command.
+    pub cmd: ControlCommand,
+}
+
+/// A replica's role in the current term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Passive: applies committed entries, votes, follows the leader.
+    Follower,
+    /// Campaigning for leadership of the current term.
+    Candidate,
+    /// Owns the log for the current term; the only replica allowed to
+    /// propose commands and act on committed verdicts.
+    Leader,
+}
+
+/// Static parameters of one consensus replica.
+#[derive(Debug, Clone)]
+pub struct ConsensusConfig {
+    /// This replica's id, in `0..replicas`.
+    pub id: u32,
+    /// Total replica count (1 = solo mode: instant leadership, instant
+    /// commit — the degenerate case that keeps single-supervisor clusters
+    /// on the exact same code path).
+    pub replicas: u32,
+    /// Leader's `AppendEntries` cadence.
+    pub heartbeat_every: Duration,
+    /// A leader that cannot hear acks from a quorum within this window
+    /// steps down. Must be strictly shorter than `election_timeout`.
+    pub leader_lease: Duration,
+    /// Base election timeout; the effective timeout adds a seeded jitter in
+    /// `[0, 50%)` to break repeated split votes deterministically.
+    pub election_timeout: Duration,
+    /// Seed for the jitter RNG (salted per replica id by the caller or
+    /// internally — two replicas with the same seed still diverge).
+    pub seed: u64,
+}
+
+/// Per-peer replication bookkeeping held by a leader.
+#[derive(Debug, Clone, Copy)]
+struct PeerState {
+    /// Next log index to ship to this peer.
+    next_index: u64,
+    /// Highest index known replicated on this peer.
+    match_index: u64,
+    /// Time of the peer's last ack (lease evidence).
+    last_ack: Duration,
+}
+
+/// One supervisor replica's consensus state. Drive it with [`Replica::tick`]
+/// on a timer and [`Replica::handle`] on every inbound consensus message;
+/// both return the messages to send, addressed by [`NodeId::Supervisor`].
+#[derive(Debug)]
+pub struct Replica {
+    cfg: ConsensusConfig,
+    role: Role,
+    term: u64,
+    voted_for: Option<u32>,
+    votes: BTreeSet<u32>,
+    log: Vec<LogEntry>,
+    commit: u64,
+    leader_hint: u32,
+    next_election_at: Duration,
+    last_heartbeat_out: Duration,
+    became_leader_at: Duration,
+    peers: Vec<PeerState>,
+    rng: StdRng,
+}
+
+impl Replica {
+    /// A fresh follower. The initial election timeout is staggered by
+    /// replica id (replica 0 shortest) so the very first election has a
+    /// deterministic winner; every later timeout is a seeded random draw.
+    pub fn new(cfg: ConsensusConfig) -> Self {
+        assert!(cfg.id < cfg.replicas, "replica id out of range");
+        // Solo mode elects on the very first tick, so a single-supervisor
+        // cluster behaves exactly like the pre-quorum runtime.
+        let stagger = if cfg.replicas == 1 {
+            Duration::ZERO
+        } else {
+            cfg.election_timeout + cfg.election_timeout * cfg.id / 2
+        };
+        let peers = vec![
+            PeerState {
+                next_index: 1,
+                match_index: 0,
+                last_ack: Duration::ZERO,
+            };
+            cfg.replicas as usize
+        ];
+        let rng =
+            StdRng::seed_from_u64(cfg.seed ^ (cfg.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Replica {
+            next_election_at: stagger,
+            role: Role::Follower,
+            term: 0,
+            voted_for: None,
+            votes: BTreeSet::new(),
+            log: Vec::new(),
+            commit: 0,
+            leader_hint: NO_LEADER,
+            last_heartbeat_out: Duration::ZERO,
+            became_leader_at: Duration::ZERO,
+            peers,
+            rng,
+            cfg,
+        }
+    }
+
+    /// This replica's id.
+    pub fn id(&self) -> u32 {
+        self.cfg.id
+    }
+
+    /// Current term.
+    pub fn term(&self) -> u64 {
+        self.term
+    }
+
+    /// True when this replica believes it is the leader.
+    pub fn is_leader(&self) -> bool {
+        self.role == Role::Leader
+    }
+
+    /// Current role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+
+    /// Commit index (number of committed entries).
+    pub fn commit_index(&self) -> u64 {
+        self.commit
+    }
+
+    /// Where this replica believes the leader lives, if anywhere.
+    pub fn leader_hint(&self) -> Option<u32> {
+        if self.leader_hint == NO_LEADER {
+            None
+        } else {
+            Some(self.leader_hint)
+        }
+    }
+
+    /// Committed entries with index in `(applied, commit]` — the caller
+    /// advances its own `applied` cursor as it executes them.
+    pub fn committed_since(&self, applied: u64) -> &[LogEntry] {
+        &self.log[applied as usize..self.commit as usize]
+    }
+
+    fn quorum(&self) -> usize {
+        self.cfg.replicas as usize / 2 + 1
+    }
+
+    fn last_log_index(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    fn last_log_term(&self) -> u64 {
+        self.log.last().map_or(0, |e| e.term)
+    }
+
+    fn peer_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.cfg.replicas).filter(move |&p| p != self.cfg.id)
+    }
+
+    fn reset_election_timer(&mut self, now: Duration) {
+        let jitter = self.cfg.election_timeout * self.rng.gen_range(0..1000u32) / 2000;
+        self.next_election_at = now + self.cfg.election_timeout + jitter;
+    }
+
+    /// Periodic driver: fires elections on timeout, leader heartbeats on
+    /// cadence, and the leadership-lease check. Call at least every
+    /// `heartbeat_every / 2`.
+    pub fn tick(&mut self, now: Duration) -> Vec<(NodeId, Message)> {
+        let mut out = Vec::new();
+        match self.role {
+            Role::Leader => {
+                if self.cfg.replicas > 1
+                    && now.saturating_sub(self.became_leader_at) > self.cfg.leader_lease
+                {
+                    let alive = 1 + self
+                        .peer_ids()
+                        .filter(|&p| {
+                            now.saturating_sub(self.peers[p as usize].last_ack)
+                                <= self.cfg.leader_lease
+                        })
+                        .count();
+                    if alive < self.quorum() {
+                        // Lost the lease: stop acting on stale authority.
+                        self.role = Role::Follower;
+                        self.leader_hint = NO_LEADER;
+                        self.reset_election_timer(now);
+                        return out;
+                    }
+                }
+                if now.saturating_sub(self.last_heartbeat_out) >= self.cfg.heartbeat_every {
+                    self.last_heartbeat_out = now;
+                    for p in self.peer_ids().collect::<Vec<_>>() {
+                        out.push((NodeId::Supervisor(p), self.append_for(p)));
+                    }
+                }
+            }
+            Role::Follower | Role::Candidate => {
+                if now >= self.next_election_at {
+                    out.extend(self.start_election(now));
+                }
+            }
+        }
+        out
+    }
+
+    fn start_election(&mut self, now: Duration) -> Vec<(NodeId, Message)> {
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_for = Some(self.cfg.id);
+        self.votes = BTreeSet::from([self.cfg.id]);
+        self.leader_hint = NO_LEADER;
+        self.reset_election_timer(now);
+        if self.votes.len() >= self.quorum() {
+            return self.become_leader(now);
+        }
+        let req = Message::VoteRequest {
+            term: self.term,
+            candidate: self.cfg.id,
+            last_log_index: self.last_log_index(),
+            last_log_term: self.last_log_term(),
+        };
+        self.peer_ids()
+            .map(|p| (NodeId::Supervisor(p), req.clone()))
+            .collect()
+    }
+
+    fn become_leader(&mut self, now: Duration) -> Vec<(NodeId, Message)> {
+        self.role = Role::Leader;
+        self.leader_hint = self.cfg.id;
+        self.became_leader_at = now;
+        self.last_heartbeat_out = now;
+        let next = self.last_log_index() + 1;
+        for p in &mut self.peers {
+            p.next_index = next;
+            p.match_index = 0;
+            p.last_ack = now;
+        }
+        // Raft's accession no-op: committing an own-term entry is the only
+        // way prior-term entries may commit, so propose one immediately.
+        self.propose(ControlCommand::Tick, now);
+        self.peer_ids()
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|p| (NodeId::Supervisor(p), self.append_for(p)))
+            .collect()
+    }
+
+    /// Leader-only: append a command to the log. Returns its index, or
+    /// `None` when this replica is not the leader (callers must then route
+    /// the request to the leader instead). In solo mode the entry commits
+    /// immediately.
+    pub fn propose(&mut self, cmd: ControlCommand, _now: Duration) -> Option<u64> {
+        if self.role != Role::Leader {
+            return None;
+        }
+        let index = self.last_log_index() + 1;
+        self.log.push(LogEntry {
+            term: self.term,
+            index,
+            cmd,
+        });
+        self.advance_commit();
+        Some(index)
+    }
+
+    fn append_for(&self, peer: u32) -> Message {
+        let next = self.peers[peer as usize].next_index.max(1);
+        let prev_index = next - 1;
+        let prev_term = if prev_index == 0 {
+            0
+        } else {
+            self.log[prev_index as usize - 1].term
+        };
+        let entries = self
+            .log
+            .get(prev_index as usize..)
+            .unwrap_or(&[])
+            .iter()
+            .take(MAX_ENTRIES_PER_APPEND)
+            .map(|e| WireLogEntry {
+                term: e.term,
+                index: e.index,
+                cmd: e.cmd.to_bytes(),
+            })
+            .collect();
+        Message::AppendEntries {
+            term: self.term,
+            leader: self.cfg.id,
+            prev_index,
+            prev_term,
+            commit: self.commit,
+            entries,
+        }
+    }
+
+    fn advance_commit(&mut self) {
+        for n in (self.commit + 1)..=self.last_log_index() {
+            let replicated = 1 + self
+                .peer_ids()
+                .filter(|&p| self.peers[p as usize].match_index >= n)
+                .count();
+            // Single-leader-commit rule: only entries of the current term
+            // commit by counting; older entries commit transitively.
+            if replicated >= self.quorum() && self.log[n as usize - 1].term == self.term {
+                self.commit = n;
+            }
+        }
+    }
+
+    fn step_down(&mut self, term: u64) {
+        self.term = term;
+        self.role = Role::Follower;
+        self.voted_for = None;
+        self.votes.clear();
+        self.leader_hint = NO_LEADER;
+    }
+
+    /// Feed one inbound consensus message; non-consensus messages are
+    /// ignored. Returns the replies to send.
+    pub fn handle(&mut self, msg: &Message, now: Duration) -> Vec<(NodeId, Message)> {
+        match msg {
+            Message::VoteRequest {
+                term,
+                candidate,
+                last_log_index,
+                last_log_term,
+            } => {
+                if *term > self.term {
+                    self.step_down(*term);
+                }
+                let up_to_date = (*last_log_term, *last_log_index)
+                    >= (self.last_log_term(), self.last_log_index());
+                let granted = *term == self.term
+                    && up_to_date
+                    && (self.voted_for.is_none() || self.voted_for == Some(*candidate));
+                if granted {
+                    self.voted_for = Some(*candidate);
+                    self.reset_election_timer(now);
+                }
+                vec![(
+                    NodeId::Supervisor(*candidate),
+                    Message::VoteResponse {
+                        term: self.term,
+                        voter: self.cfg.id,
+                        granted,
+                    },
+                )]
+            }
+            Message::VoteResponse {
+                term,
+                voter,
+                granted,
+            } => {
+                if *term > self.term {
+                    self.step_down(*term);
+                } else if self.role == Role::Candidate && *term == self.term && *granted {
+                    self.votes.insert(*voter);
+                    if self.votes.len() >= self.quorum() {
+                        return self.become_leader(now);
+                    }
+                }
+                Vec::new()
+            }
+            Message::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                commit,
+                entries,
+            } => {
+                if *term < self.term {
+                    return vec![(
+                        NodeId::Supervisor(*leader),
+                        Message::AppendAck {
+                            term: self.term,
+                            follower: self.cfg.id,
+                            ok: false,
+                            match_index: self.last_log_index(),
+                        },
+                    )];
+                }
+                if *term > self.term {
+                    self.step_down(*term);
+                }
+                self.role = Role::Follower;
+                self.leader_hint = *leader;
+                self.reset_election_timer(now);
+                let prev_ok = *prev_index <= self.last_log_index()
+                    && (*prev_index == 0 || self.log[*prev_index as usize - 1].term == *prev_term);
+                if !prev_ok {
+                    let hint = self.last_log_index().min(prev_index.saturating_sub(1));
+                    return vec![(
+                        NodeId::Supervisor(*leader),
+                        Message::AppendAck {
+                            term: self.term,
+                            follower: self.cfg.id,
+                            ok: false,
+                            match_index: hint,
+                        },
+                    )];
+                }
+                let mut ok = true;
+                for e in entries {
+                    let Some(cmd) = ControlCommand::from_bytes(&e.cmd) else {
+                        ok = false;
+                        break;
+                    };
+                    if e.index <= self.last_log_index() {
+                        if self.log[e.index as usize - 1].term != e.term {
+                            // Conflict: a committed entry never conflicts, so
+                            // truncating here only discards uncommitted tail.
+                            self.log.truncate(e.index as usize - 1);
+                            self.log.push(LogEntry {
+                                term: e.term,
+                                index: e.index,
+                                cmd,
+                            });
+                        }
+                    } else {
+                        self.log.push(LogEntry {
+                            term: e.term,
+                            index: e.index,
+                            cmd,
+                        });
+                    }
+                }
+                let matched = if ok {
+                    prev_index + entries.len() as u64
+                } else {
+                    self.last_log_index()
+                };
+                self.commit = self.commit.max((*commit).min(matched));
+                vec![(
+                    NodeId::Supervisor(*leader),
+                    Message::AppendAck {
+                        term: self.term,
+                        follower: self.cfg.id,
+                        ok,
+                        match_index: matched,
+                    },
+                )]
+            }
+            Message::AppendAck {
+                term,
+                follower,
+                ok,
+                match_index,
+            } => {
+                if *term > self.term {
+                    self.step_down(*term);
+                } else if self.role == Role::Leader
+                    && *term == self.term
+                    && *follower < self.cfg.replicas
+                    && *follower != self.cfg.id
+                {
+                    let p = &mut self.peers[*follower as usize];
+                    p.last_ack = now;
+                    if *ok {
+                        p.match_index = p.match_index.max(*match_index);
+                        p.next_index = p.match_index + 1;
+                        self.advance_commit();
+                    } else {
+                        p.next_index = p.next_index.saturating_sub(1).min(match_index + 1).max(1);
+                    }
+                }
+                Vec::new()
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn cfg(id: u32, replicas: u32) -> ConsensusConfig {
+        ConsensusConfig {
+            id,
+            replicas,
+            heartbeat_every: Duration::from_millis(10),
+            leader_lease: Duration::from_millis(60),
+            election_timeout: Duration::from_millis(150),
+            seed: 42,
+        }
+    }
+
+    /// Step a cluster of replicas forward in 1 ms increments, delivering
+    /// messages instantly between alive replicas. Returns the time reached.
+    fn run(
+        replicas: &mut [Replica],
+        alive: &[bool],
+        mut now: Duration,
+        until: Duration,
+        stop: impl Fn(&[Replica]) -> bool,
+    ) -> Duration {
+        let mut queue: VecDeque<(u32, Message)> = VecDeque::new();
+        while now < until {
+            now += Duration::from_millis(1);
+            for (i, r) in replicas.iter_mut().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                for (to, msg) in r.tick(now) {
+                    if let NodeId::Supervisor(k) = to {
+                        queue.push_back((k, msg));
+                    }
+                }
+            }
+            while let Some((to, msg)) = queue.pop_front() {
+                if !alive[to as usize] {
+                    continue;
+                }
+                for (next_to, reply) in replicas[to as usize].handle(&msg, now) {
+                    if let NodeId::Supervisor(k) = next_to {
+                        if alive[k as usize] {
+                            queue.push_back((k, reply));
+                        }
+                    }
+                }
+            }
+            if stop(replicas) {
+                break;
+            }
+        }
+        now
+    }
+
+    #[test]
+    fn control_command_codec_roundtrips_and_rejects_garbage() {
+        for cmd in [
+            ControlCommand::Tick,
+            ControlCommand::DeclareDead { server: 7 },
+            ControlCommand::Replaced { server: 0 },
+            ControlCommand::Remapped { server: u32::MAX },
+        ] {
+            assert_eq!(ControlCommand::from_bytes(&cmd.to_bytes()), Some(cmd));
+        }
+        assert_eq!(ControlCommand::from_bytes(&[]), None);
+        assert_eq!(ControlCommand::from_bytes(&[9]), None);
+        assert_eq!(ControlCommand::from_bytes(&[1, 0]), None);
+        assert_eq!(ControlCommand::from_bytes(&[0, 0]), None);
+    }
+
+    #[test]
+    fn solo_replica_is_instant_leader_with_instant_commit() {
+        let mut r = Replica::new(cfg(0, 1));
+        assert!(!r.is_leader());
+        let out = r.tick(Duration::from_millis(200));
+        assert!(out.is_empty(), "solo election sends nothing");
+        assert!(r.is_leader());
+        assert_eq!(r.term(), 1);
+        // Accession tick already committed.
+        assert_eq!(r.commit_index(), 1);
+        let idx = r
+            .propose(
+                ControlCommand::DeclareDead { server: 3 },
+                Duration::from_millis(201),
+            )
+            .unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(r.commit_index(), 2);
+        assert_eq!(
+            r.committed_since(1),
+            &[LogEntry {
+                term: 1,
+                index: 2,
+                cmd: ControlCommand::DeclareDead { server: 3 }
+            }]
+        );
+    }
+
+    #[test]
+    fn replica_zero_wins_the_first_election_deterministically() {
+        let mut rs: Vec<Replica> = (0..3).map(|i| Replica::new(cfg(i, 3))).collect();
+        let now = run(
+            &mut rs,
+            &[true; 3],
+            Duration::ZERO,
+            Duration::from_secs(2),
+            |rs| rs.iter().any(|r| r.is_leader()),
+        );
+        assert!(rs[0].is_leader());
+        assert_eq!(rs[0].term(), 1);
+        assert!(!rs[1].is_leader() && !rs[2].is_leader());
+        // Followers learn the leader via AppendEntries.
+        run(
+            &mut rs,
+            &[true; 3],
+            now,
+            now + Duration::from_secs(1),
+            |rs| rs.iter().all(|r| r.leader_hint() == Some(0)),
+        );
+        assert_eq!(rs[1].leader_hint(), Some(0));
+        assert_eq!(rs[2].leader_hint(), Some(0));
+    }
+
+    #[test]
+    fn leader_replicates_commands_to_a_quorum_before_commit() {
+        let mut rs: Vec<Replica> = (0..3).map(|i| Replica::new(cfg(i, 3))).collect();
+        let now = run(
+            &mut rs,
+            &[true; 3],
+            Duration::ZERO,
+            Duration::from_secs(2),
+            |rs| rs.iter().any(|r| r.is_leader()),
+        );
+        let idx = rs[0]
+            .propose(ControlCommand::DeclareDead { server: 1 }, now)
+            .unwrap();
+        assert!(
+            rs[0].commit_index() < idx,
+            "entry must not commit before replication"
+        );
+        run(
+            &mut rs,
+            &[true; 3],
+            now,
+            now + Duration::from_secs(1),
+            |rs| rs.iter().all(|r| r.commit_index() >= idx),
+        );
+        for r in &rs {
+            assert!(r.commit_index() >= idx);
+            assert_eq!(
+                r.committed_since(idx - 1).first().map(|e| e.cmd),
+                Some(ControlCommand::DeclareDead { server: 1 })
+            );
+        }
+    }
+
+    #[test]
+    fn followers_elect_a_new_leader_when_the_leader_dies() {
+        let mut rs: Vec<Replica> = (0..3).map(|i| Replica::new(cfg(i, 3))).collect();
+        let now = run(
+            &mut rs,
+            &[true; 3],
+            Duration::ZERO,
+            Duration::from_secs(2),
+            |rs| rs[0].is_leader(),
+        );
+        // Kill the leader; a follower must take over in a higher term.
+        run(
+            &mut rs,
+            &[false, true, true],
+            now,
+            now + Duration::from_secs(5),
+            |rs| rs[1].is_leader() || rs[2].is_leader(),
+        );
+        let new_leader = if rs[1].is_leader() { 1 } else { 2 };
+        assert!(rs[new_leader as usize].is_leader());
+        assert!(rs[new_leader as usize].term() > 1);
+    }
+
+    #[test]
+    fn quorum_loss_makes_the_survivor_step_down_and_stay_leaderless() {
+        let mut rs: Vec<Replica> = (0..3).map(|i| Replica::new(cfg(i, 3))).collect();
+        let now = run(
+            &mut rs,
+            &[true; 3],
+            Duration::ZERO,
+            Duration::from_secs(2),
+            |rs| rs[0].is_leader(),
+        );
+        // Kill two of three: the survivor can campaign forever but never win.
+        let end = run(
+            &mut rs,
+            &[false, false, true],
+            now,
+            now + Duration::from_secs(3),
+            |_| false,
+        );
+        assert!(end >= now + Duration::from_secs(3));
+        assert!(!rs[2].is_leader());
+        assert_eq!(rs[2].leader_hint(), None);
+    }
+
+    #[test]
+    fn at_most_one_vote_per_term() {
+        let mut r = Replica::new(cfg(2, 3));
+        let now = Duration::from_millis(1);
+        let req = |candidate: u32| Message::VoteRequest {
+            term: 5,
+            candidate,
+            last_log_index: 0,
+            last_log_term: 0,
+        };
+        let first = r.handle(&req(0), now);
+        let second = r.handle(&req(1), now);
+        assert!(matches!(
+            first[0].1,
+            Message::VoteResponse { granted: true, .. }
+        ));
+        assert!(matches!(
+            second[0].1,
+            Message::VoteResponse { granted: false, .. }
+        ));
+        // Re-request from the same candidate is idempotent.
+        let again = r.handle(&req(0), now);
+        assert!(matches!(
+            again[0].1,
+            Message::VoteResponse { granted: true, .. }
+        ));
+    }
+
+    #[test]
+    fn stale_candidate_with_short_log_is_rejected() {
+        let mut r = Replica::new(cfg(1, 3));
+        // Give the voter a longer, newer log than the candidate claims.
+        r.term = 3;
+        r.log.push(LogEntry {
+            term: 3,
+            index: 1,
+            cmd: ControlCommand::Tick,
+        });
+        let out = r.handle(
+            &Message::VoteRequest {
+                term: 4,
+                candidate: 0,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+            Duration::from_millis(1),
+        );
+        assert!(matches!(
+            out[0].1,
+            Message::VoteResponse { granted: false, .. }
+        ));
+    }
+}

@@ -71,6 +71,7 @@
 pub mod api;
 pub mod checkpoint;
 pub mod condition;
+pub mod consensus;
 pub mod dpr;
 pub mod engine;
 pub mod eps;

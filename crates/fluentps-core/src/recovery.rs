@@ -22,6 +22,17 @@
 //! * The **worker retry layer** ([`crate::worker::RetryPolicy`]): bounded
 //!   timeouts, seeded backoff, push replay and pull re-issue.
 //!
+//! Since the control plane was replicated, "the supervisor" is really a
+//! **quorum of supervisor replicas** driving the consensus log in
+//! [`crate::consensus`]: every liveness verdict, replacement and remap
+//! commits through the replicated log *before* any `Install`/`RouteUpdate`
+//! goes out, servers heartbeat the replica they believe leads and get a
+//! `LeaderRedirect` when they are wrong, and killing the leader
+//! (`kill_supervisors`) is just another chaos scenario — a follower wins
+//! the next election and finishes any half-done recovery. With
+//! `num_supervisors == 1` the consensus layer degenerates to an instant
+//! solo leader and the runtime behaves exactly like the pre-quorum design.
+//!
 //! All messaging runs through a [`FaultInjector`], so chaos schedules
 //! (drops, delays, duplicates, severed nodes) apply to a live TCP cluster
 //! and — because fault rules are content-matched, not timing-matched —
@@ -34,8 +45,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fluentps_obs::{
-    EventKind, HealthEngine, HealthTap, HealthView, NodeHealth, RecordArgs, TraceCollector, Tracer,
-    NO_ID,
+    ConsensusHealth, EventKind, HealthEngine, HealthTap, HealthView, MetricsRegistry, NodeHealth,
+    RecordArgs, TraceCollector, Tracer, NO_ID,
 };
 use fluentps_util::buf::Bytes;
 use fluentps_util::rng::StdRng;
@@ -45,10 +56,11 @@ use fluentps_transport::collect::{StreamerConfig, TraceStreamer};
 use fluentps_transport::fault::{FaultInjector, FaultPlan, FaultyMailbox, FaultyPostman};
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
 use fluentps_transport::{
-    frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement,
+    frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement, NO_LEADER,
 };
 
 use crate::checkpoint::ShardCheckpoint;
+use crate::consensus::{ConsensusConfig, ControlCommand, LogEntry, Replica};
 use crate::engine::EngineConfig;
 use crate::eps::{EpsSlicer, SliceMap};
 use crate::scheduler::LivenessMonitor;
@@ -63,6 +75,102 @@ pub type ResilientWorker = WorkerClient<FaultyPostman<TcpPostman>, FaultyMailbox
 /// Latest checkpoint per server id, shared between server loops (writers)
 /// and the supervisor (reader at recovery time).
 type CheckpointStore = Arc<Mutex<HashMap<u32, Bytes>>>;
+
+/// Server thread handles plus the shutdown latch, shared across supervisor
+/// replicas: whichever live replica first receives `Shutdown` drains the
+/// servers; a replacement spawned by the current leader lands here too.
+#[derive(Debug, Default)]
+struct SharedServers {
+    handles: Vec<(u32, JoinHandle<ShardStats>)>,
+    drained: bool,
+}
+
+type SharedState = Arc<Mutex<SharedServers>>;
+
+/// Per-replica consensus standing, shared for introspection: every live
+/// replica writes its own slot; `/healthz` and the consensus gauges render
+/// the merged view (a fresh leader slot wins; no live leader slot at all
+/// means quorum loss). A replica that crashes — simulated or real exit —
+/// marks its slot `exited`, mirroring what a process death looks like to a
+/// same-process introspection endpoint.
+#[derive(Debug, Clone, Default)]
+struct ConsensusBoard {
+    slots: Arc<Mutex<Vec<BoardSlot>>>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BoardSlot {
+    term: u64,
+    is_leader: bool,
+    commit: u64,
+    exited: bool,
+}
+
+impl ConsensusBoard {
+    fn new(replicas: u32) -> Self {
+        ConsensusBoard {
+            slots: Arc::new(Mutex::new(vec![BoardSlot::default(); replicas as usize])),
+        }
+    }
+
+    fn update(&self, id: u32, term: u64, is_leader: bool, commit: u64) {
+        let mut slots = self.slots.lock();
+        slots[id as usize] = BoardSlot {
+            term,
+            is_leader,
+            commit,
+            exited: false,
+        };
+    }
+
+    fn mark_exited(&self, id: u32) {
+        self.slots.lock()[id as usize].exited = true;
+    }
+
+    /// `(max term, leader replica id if any, max commit)` across live slots.
+    fn view(&self) -> (u64, Option<u32>, u64) {
+        let slots = self.slots.lock();
+        let mut term = 0;
+        let mut commit = 0;
+        let mut leader: Option<(u64, u32)> = None;
+        for (k, s) in slots.iter().enumerate() {
+            if s.exited {
+                continue;
+            }
+            term = term.max(s.term);
+            commit = commit.max(s.commit);
+            if s.is_leader && leader.is_none_or(|(t, _)| s.term > t) {
+                leader = Some((s.term, k as u32));
+            }
+        }
+        (term, leader.map(|(_, k)| k), commit)
+    }
+}
+
+/// Derive `/healthz`'s consensus line and the Prometheus consensus gauges
+/// from the board. Every live replica publishes the same merged view, so
+/// writes race benignly.
+fn publish_consensus(
+    board: &ConsensusBoard,
+    health: &HealthView,
+    metrics: Option<&MetricsRegistry>,
+    replicas: u32,
+) {
+    let (term, leader, commit) = board.view();
+    health.set_consensus(Some(ConsensusHealth {
+        term,
+        leader: leader.map(|k| format!("supervisor{k}")),
+        replicas,
+    }));
+    if let Some(reg) = metrics {
+        reg.set_gauge("consensus_term", term as f64);
+        reg.set_gauge(
+            "consensus_is_leader",
+            if leader.is_some() { 1.0 } else { 0.0 },
+        );
+        reg.set_gauge("consensus_commits_total", commit as f64);
+    }
+}
 
 /// Fault-tolerance knobs of the resilient runtime.
 #[derive(Debug, Clone)]
@@ -97,6 +205,26 @@ pub struct RecoveryConfig {
     pub collector_addr: Option<SocketAddr>,
     /// Per-node ring capacity (events) when `collector_addr` is set.
     pub trace_ring_capacity: usize,
+    /// Number of supervisor replicas forming the control-plane quorum.
+    /// 1 (the default) is solo mode — instant leadership, instant commit,
+    /// the exact pre-quorum behavior on the same code path. 3+ survives
+    /// leader death by election.
+    pub num_supervisors: u32,
+    /// Deterministic supervisor crashes: replica `k` exits (without drain
+    /// or farewell) as soon as it has applied commit index `v`. Repeatable:
+    /// killing the leader exercises failover; killing a quorum (2 of 3)
+    /// exercises explicit leaderless degradation.
+    pub kill_supervisors: Vec<(u32, u64)>,
+    /// Base election timeout of the consensus layer (effective timeouts add
+    /// seeded jitter). Must be strictly longer than `leader_lease`.
+    pub election_timeout: Duration,
+    /// Leadership lease: a leader that cannot hear acks from a quorum
+    /// within this window steps down instead of acting on stale authority.
+    pub leader_lease: Duration,
+    /// When set, supervisor replicas publish the `consensus_term`,
+    /// `consensus_is_leader` and `consensus_commits_total` gauges (with
+    /// HELP lines) into this registry.
+    pub metrics: Option<MetricsRegistry>,
     /// Streaming health engine to feed with this run's trace events. With
     /// an in-process collector (`collector_addr` unset, a collector passed
     /// to [`ResilientTcpCluster::launch`]) the cluster spawns a
@@ -120,8 +248,43 @@ impl Default for RecoveryConfig {
             fault_plan: FaultPlan::passthrough(),
             collector_addr: None,
             trace_ring_capacity: 1 << 14,
+            num_supervisors: 1,
+            kill_supervisors: Vec::new(),
+            election_timeout: Duration::from_millis(300),
+            leader_lease: Duration::from_millis(150),
+            metrics: None,
             health_engine: None,
         }
+    }
+}
+
+impl RecoveryConfig {
+    /// Check the timing invariants a non-flapping configuration must hold:
+    /// a liveness timeout no longer than the heartbeat interval would
+    /// declare healthy servers dead between two heartbeats, and an election
+    /// timeout not strictly longer than the leader lease would let a
+    /// follower depose a leader that is still inside its lease.
+    /// [`ResilientTcpCluster::launch`] rejects invalid configurations up
+    /// front by panicking with the returned message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.liveness_timeout <= self.heartbeat_every {
+            return Err(format!(
+                "liveness_timeout ({:?}) must be strictly longer than heartbeat_every ({:?}): \
+                 anything shorter declares servers dead between two heartbeats",
+                self.liveness_timeout, self.heartbeat_every
+            ));
+        }
+        if self.election_timeout <= self.leader_lease {
+            return Err(format!(
+                "election_timeout ({:?}) must be strictly longer than leader_lease ({:?}): \
+                 anything shorter lets followers depose a leader still inside its lease",
+                self.election_timeout, self.leader_lease
+            ));
+        }
+        if self.num_supervisors == 0 {
+            return Err("num_supervisors must be at least 1".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -146,7 +309,7 @@ fn node_tracing(
 
 /// Handle to a running fault-tolerant TCP cluster.
 pub struct ResilientTcpCluster {
-    supervisor: JoinHandle<Vec<ShardStats>>,
+    supervisors: Vec<JoinHandle<Vec<ShardStats>>>,
     control: TcpPostman,
     _control_node: TcpNode,
     injector: FaultInjector,
@@ -155,9 +318,17 @@ pub struct ResilientTcpCluster {
     /// final flush) at shutdown, after the caller's worker threads are
     /// done recording.
     worker_streamers: Vec<TraceStreamer>,
-    /// Streamer for the supervisor's own events (deaths, restores,
-    /// remaps); stopped last, after the supervisor thread exits.
-    supervisor_streamer: Option<TraceStreamer>,
+    /// Streamers for the supervisor replicas' own events (deaths,
+    /// restores, remaps, elections); stopped after the replica threads are
+    /// joined but *before* any join result is unwrapped, so a panicking
+    /// replica cannot leak its streamer thread.
+    supervisor_streamers: Vec<TraceStreamer>,
+    /// Server thread handles, shared with the supervisor replicas so any
+    /// live replica (or [`ResilientTcpCluster::shutdown`] itself, when
+    /// every replica crashed) can drain them exactly once.
+    shared: SharedState,
+    num_servers: u32,
+    num_supervisors: u32,
     /// Tap feeding [`RecoveryConfig::health_engine`] from the in-process
     /// collector (only when `collector_addr` is unset); drained at
     /// shutdown, before the engine is finalized.
@@ -177,6 +348,9 @@ impl ResilientTcpCluster {
         collector: Option<&TraceCollector>,
     ) -> Result<(ResilientTcpCluster, Vec<ResilientWorker>), TransportError> {
         assert_eq!(map.num_servers(), cfg.num_servers, "map/server mismatch");
+        if let Err(e) = rcfg.validate() {
+            panic!("invalid RecoveryConfig: {e}");
+        }
         let loopback: SocketAddr = "127.0.0.1:0".parse().expect("loopback");
         let tracer = collector.map(|c| c.tracer()).unwrap_or_default();
         let injector = FaultInjector::new(rcfg.fault_plan.clone());
@@ -184,10 +358,14 @@ impl ResilientTcpCluster {
         let health = HealthView::new();
 
         let book = AddressBook::new();
-        // The supervisor's endpoint first, so server heartbeats always have
-        // an address to dial.
-        let supervisor_node = TcpNode::bind(NodeId::Scheduler, loopback, book.clone())?;
-        book.insert(NodeId::Scheduler, supervisor_node.local_addr());
+        // The supervisor replicas' endpoints first, so server heartbeats
+        // always have an address to dial.
+        let mut supervisor_nodes = Vec::new();
+        for k in 0..rcfg.num_supervisors {
+            let node = TcpNode::bind(NodeId::Supervisor(k), loopback, book.clone())?;
+            book.insert(NodeId::Supervisor(k), node.local_addr());
+            supervisor_nodes.push(node);
+        }
 
         let mut server_rx = Vec::new();
         for m in 0..cfg.num_servers {
@@ -276,35 +454,91 @@ impl ResilientTcpCluster {
             _ => None,
         };
 
-        let (supervisor_tracer, supervisor_streamer) =
-            node_tracing(&rcfg, &tracer, NodeId::Scheduler);
-        let supervisor = Supervisor {
-            cfg,
-            rcfg,
-            book: book.clone(),
-            map,
-            injector: injector.clone(),
-            tracer: supervisor_tracer,
-            store,
+        // Consensus gauges: HELP text once at launch, values published by
+        // every live replica from the shared board.
+        if let Some(reg) = &rcfg.metrics {
+            reg.set_help(
+                "consensus_term",
+                "Highest consensus term observed across live supervisor replicas.",
+            );
+            reg.set_help(
+                "consensus_is_leader",
+                "1 when a live supervisor replica holds control-plane leadership, 0 when leaderless.",
+            );
+            reg.set_help(
+                "consensus_commits_total",
+                "Highest committed control-plane log index across live supervisor replicas.",
+            );
+        }
+        let board = ConsensusBoard::new(rcfg.num_supervisors);
+        // Published before any election: /healthz honestly reports the
+        // control plane as not-yet-established until the first leader wins.
+        publish_consensus(&board, &health, rcfg.metrics.as_ref(), rcfg.num_supervisors);
+
+        let shared: SharedState = Arc::new(Mutex::new(SharedServers {
             handles,
-            loopback,
-            generation: 0,
-            health: health.clone(),
-        };
-        let supervisor = std::thread::Builder::new()
-            .name("fluentps-supervisor".to_string())
-            .spawn(move || supervisor.run(supervisor_node))
-            .expect("spawn supervisor");
+            drained: false,
+        }));
+        let mut supervisors = Vec::with_capacity(rcfg.num_supervisors as usize);
+        let mut supervisor_streamers = Vec::new();
+        for (k, node) in supervisor_nodes.into_iter().enumerate() {
+            let k = k as u32;
+            // Replica 0 keeps the historical `scheduler` trace identity so
+            // merged timelines stay comparable across cluster flavors;
+            // extra replicas stream under their own supervisor id.
+            let trace_id = if k == 0 {
+                NodeId::Scheduler
+            } else {
+                NodeId::Supervisor(k)
+            };
+            let (sup_tracer, sup_streamer) = node_tracing(&rcfg, &tracer, trace_id);
+            supervisor_streamers.extend(sup_streamer);
+            let replica = SupervisorReplica {
+                id: k,
+                cfg: cfg.clone(),
+                rcfg: rcfg.clone(),
+                book: book.clone(),
+                map: map.clone(),
+                injector: injector.clone(),
+                tracer: sup_tracer,
+                store: Arc::clone(&store),
+                shared: Arc::clone(&shared),
+                loopback,
+                generation: 0,
+                health: health.clone(),
+                board: board.clone(),
+                consensus: Replica::new(ConsensusConfig {
+                    id: k,
+                    replicas: rcfg.num_supervisors,
+                    heartbeat_every: rcfg.heartbeat_every,
+                    leader_lease: rcfg.leader_lease,
+                    election_timeout: rcfg.election_timeout,
+                    seed: cfg.seed ^ 0x5EED_C0DE,
+                }),
+                applied: 0,
+                pending_dead: BTreeSet::new(),
+                dead_for_good: BTreeSet::new(),
+                was_leader: false,
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("fluentps-supervisor-{k}"))
+                .spawn(move || replica.run(node))
+                .expect("spawn supervisor replica");
+            supervisors.push(handle);
+        }
 
         Ok((
             ResilientTcpCluster {
-                supervisor,
+                supervisors,
                 control,
                 _control_node: control_node,
                 injector,
                 health,
                 worker_streamers,
-                supervisor_streamer,
+                supervisor_streamers,
+                shared,
+                num_servers: cfg.num_servers,
+                num_supervisors: rcfg.num_supervisors,
                 health_tap,
                 addresses: book,
             },
@@ -325,8 +559,9 @@ impl ResilientTcpCluster {
         self.health.clone()
     }
 
-    /// Stop the supervisor and every server; returns per-server statistics
-    /// (a replaced server's incarnations are merged under its id).
+    /// Stop the supervisor replicas and every server; returns per-server
+    /// statistics (a replaced server's incarnations are merged under its
+    /// id).
     ///
     /// Call after the worker threads have finished: the workers' trace
     /// streamers final-flush here, so events recorded later would be lost.
@@ -335,19 +570,54 @@ impl ResilientTcpCluster {
         for s in self.worker_streamers {
             s.stop();
         }
-        let _ = self.control.send(NodeId::Scheduler, Message::Shutdown);
-        let stats = self.supervisor.join().expect("supervisor thread");
-        // The supervisor records recovery events until it exits; flush last.
-        if let Some(s) = self.supervisor_streamer {
+        for k in 0..self.num_supervisors {
+            let _ = self.control.send(NodeId::Supervisor(k), Message::Shutdown);
+        }
+        // Collect every replica's join *result* before unwrapping any of
+        // them: the supervisor streamers must be latch-stopped even when a
+        // replica thread panicked, or the panic would propagate here first
+        // and leak the streamer threads.
+        let joined: Vec<std::thread::Result<Vec<ShardStats>>> =
+            self.supervisors.into_iter().map(|h| h.join()).collect();
+        for s in self.supervisor_streamers {
             s.stop();
         }
-        // Drain the final events (including the supervisor's recovery
+        let mut merged = vec![ShardStats::default(); self.num_servers as usize];
+        // Fallback drain: when every replica crashed (quorum-loss chaos
+        // kills all of them) nobody drained the server threads — do it
+        // here so they exit and their statistics are not lost.
+        let leftovers = {
+            let mut shared = self.shared.lock();
+            if shared.drained {
+                Vec::new()
+            } else {
+                shared.drained = true;
+                std::mem::take(&mut shared.handles)
+            }
+        };
+        if !leftovers.is_empty() {
+            for m in 0..self.num_servers {
+                let _ = self.control.send(NodeId::Server(m), Message::Shutdown);
+            }
+            for (m, handle) in leftovers {
+                if let Ok(stats) = handle.join() {
+                    merged[m as usize].merge(&stats);
+                }
+            }
+        }
+        // Drain the final events (including the replicas' recovery
         // records) into the health engine and freeze it.
         if let Some((engine, tap)) = self.health_tap {
             tap.stop();
             engine.finish();
         }
-        stats
+        for res in joined {
+            let stats = res.expect("supervisor replica thread");
+            for (m, s) in stats.iter().enumerate() {
+                merged[m].merge(s);
+            }
+        }
+        merged
     }
 }
 
@@ -450,6 +720,11 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
     _tx_keepalive: TcpNode,
 ) -> ShardStats {
     let server_id = s.shard.config().server_id;
+    let supervisors = s.rcfg.num_supervisors.max(1);
+    // The supervisor replica this server believes currently leads. Wrong
+    // guesses are cheap: a live follower answers with a `LeaderRedirect`,
+    // and a crashed replica fails the send, rotating to the next one.
+    let mut leader: u32 = 0;
     let mut hb_seq = 0u64;
     let mut last_hb = Instant::now() - s.rcfg.heartbeat_every;
     let mut checkpoint_due = true; // capture once at startup
@@ -459,13 +734,13 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
         // Heartbeat on schedule, even under load.
         if last_hb.elapsed() >= s.rcfg.heartbeat_every {
             hb_seq += 1;
-            let _ = postman.send(
-                NodeId::Scheduler,
-                Message::Heartbeat {
-                    node: NodeId::Server(server_id),
-                    seq: hb_seq,
-                },
-            );
+            let hb = Message::Heartbeat {
+                node: NodeId::Server(server_id),
+                seq: hb_seq,
+            };
+            if postman.send(NodeId::Supervisor(leader), hb).is_err() {
+                leader = (leader + 1) % supervisors;
+            }
             last_hb = Instant::now();
         }
         // Deterministic crash at a logical time. Checked before the
@@ -613,6 +888,14 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
                 }
                 checkpoint_due = true;
             }
+            Message::LeaderRedirect { leader: l, .. } => {
+                // A follower replica told us who leads. `NO_LEADER` means
+                // an election is in progress — keep the current target
+                // rather than thrash between candidates.
+                if l != NO_LEADER && l < supervisors {
+                    leader = l;
+                }
+            }
             Message::Shutdown => {
                 for r in s.shard.drain_shutdown() {
                     let resp = Message::PullResponse {
@@ -648,22 +931,57 @@ fn send_traced<P: Postman>(
     let _ = postman.send(NodeId::Worker(worker), msg);
 }
 
-/// The supervisor: observes heartbeats, declares deaths, recovers.
-struct Supervisor {
+/// Ship a batch of consensus messages; unreachable replicas (crashed ones)
+/// simply fail the send and are skipped — the protocol tolerates loss.
+fn send_consensus(postman: &TcpPostman, out: Vec<(NodeId, Message)>) {
+    for (to, msg) in out {
+        let _ = postman.send(to, msg);
+    }
+}
+
+/// One supervisor replica: drives its consensus [`Replica`], observes
+/// server heartbeats while leading, and applies committed control commands
+/// to the recovery state machine.
+///
+/// Every recovery decision — death verdict, replacement, remap — flows
+/// through the replicated log: the leader *proposes* (`DeclareDead`, then
+/// `Replaced` or `Remapped`), and the effect (spawning the replacement,
+/// sending `Install`/`RouteUpdate`) runs only when the entry *commits*.
+/// A leader deposed mid-decision therefore cannot leave effects its
+/// successor does not know about, and an un-replicated verdict simply
+/// vanishes with the old term. Followers mirror the committed route table
+/// by replaying `Remapped` entries through the same deterministic
+/// [`EpsSlicer::remap_dead`], so whichever replica wins the next election
+/// resumes from identical control-plane state.
+struct SupervisorReplica {
+    id: u32,
     cfg: EngineConfig,
     rcfg: RecoveryConfig,
     book: AddressBook,
+    /// This replica's mirror of the route table; mutated only when a
+    /// committed `Remapped` entry is applied, so all replicas hold
+    /// identical maps at equal applied indices.
     map: SliceMap,
     injector: FaultInjector,
     tracer: Tracer,
     store: CheckpointStore,
-    handles: Vec<(u32, JoinHandle<ShardStats>)>,
+    shared: SharedState,
     loopback: SocketAddr,
     generation: u64,
     health: HealthView,
+    board: ConsensusBoard,
+    consensus: Replica,
+    /// Log index up to which this replica has applied committed entries.
+    applied: u64,
+    /// Committed `DeclareDead` verdicts not yet resolved by a committed
+    /// `Replaced`/`Remapped` entry.
+    pending_dead: BTreeSet<u32>,
+    /// Servers whose death resolved to degraded mode — permanently dead.
+    dead_for_good: BTreeSet<u32>,
+    was_leader: bool,
 }
 
-impl Supervisor {
+impl SupervisorReplica {
     fn run(mut self, node: TcpNode) -> Vec<ShardStats> {
         let start = Instant::now();
         let timeout_ms = self.rcfg.liveness_timeout.as_millis() as u64;
@@ -671,65 +989,244 @@ impl Supervisor {
         for m in 0..self.cfg.num_servers {
             liveness.observe(NodeId::Server(m), 0);
         }
-        let mut dead_for_good: BTreeSet<u32> = BTreeSet::new();
+        let postman = node.postman();
         let tick = self.rcfg.heartbeat_every;
+        let mut last_noop = Instant::now();
 
         loop {
-            match node.recv_timeout(tick) {
-                Ok(Some((_, Message::Heartbeat { node: n, .. }))) => {
-                    if !matches!(n, NodeId::Server(m) if dead_for_good.contains(&m)) {
-                        liveness.observe(n, start.elapsed().as_millis() as u64);
-                    }
+            let now = start.elapsed();
+            let now_ms = now.as_millis() as u64;
+            // Drive the consensus state machine: elections, leader
+            // heartbeats, lease checks.
+            let out = self.consensus.tick(now);
+            send_consensus(&postman, out);
+            if self.consensus.is_leader() && !self.was_leader {
+                self.on_accession(&mut liveness, now_ms);
+            }
+            self.was_leader = self.consensus.is_leader();
+
+            if self.consensus.is_leader() {
+                // A periodic no-op keeps the applied index advancing like a
+                // clock, which is what gives `kill_supervisors` thresholds
+                // ("die after applying index v") a deterministic meaning
+                // even in runs where no server ever fails.
+                if last_noop.elapsed() >= tick {
+                    self.consensus.propose(ControlCommand::Tick, now);
+                    last_noop = Instant::now();
                 }
-                Ok(Some((_, Message::Shutdown))) => break,
-                Ok(Some(_)) | Ok(None) => {}
+                // Death verdicts are proposals, not actions: the effect
+                // waits for the quorum commit.
+                for dead in liveness.dead_nodes(now_ms) {
+                    let NodeId::Server(m) = dead else { continue };
+                    liveness.remove(dead);
+                    if self.pending_dead.contains(&m) || self.dead_for_good.contains(&m) {
+                        continue;
+                    }
+                    self.tracer.record(
+                        EventKind::NodeDeclaredDead,
+                        RecordArgs::new().shard(m).v_train(now_ms),
+                    );
+                    self.consensus
+                        .propose(ControlCommand::DeclareDead { server: m }, now);
+                }
+            }
+            self.apply_committed(now, &postman, &mut liveness);
+
+            // Deterministic replica crash: exit without drain or farewell
+            // once the configured applied index is reached.
+            if let Some(&(_, v)) = self
+                .rcfg
+                .kill_supervisors
+                .iter()
+                .find(|&&(k, _)| k == self.id)
+            {
+                if self.applied >= v {
+                    self.board.mark_exited(self.id);
+                    publish_consensus(
+                        &self.board,
+                        &self.health,
+                        self.rcfg.metrics.as_ref(),
+                        self.rcfg.num_supervisors,
+                    );
+                    return Vec::new();
+                }
+            }
+
+            self.board.update(
+                self.id,
+                self.consensus.term(),
+                self.consensus.is_leader(),
+                self.consensus.commit_index(),
+            );
+            publish_consensus(
+                &self.board,
+                &self.health,
+                self.rcfg.metrics.as_ref(),
+                self.rcfg.num_supervisors,
+            );
+            if self.consensus.is_leader() {
+                self.publish_node_health(&liveness, now_ms);
+            }
+
+            match node.recv_timeout(tick) {
+                Ok(Some((_, msg))) => match msg {
+                    Message::Heartbeat { node: n, .. } => {
+                        if self.consensus.is_leader() {
+                            let ignore = matches!(n, NodeId::Server(m)
+                                if self.pending_dead.contains(&m)
+                                    || self.dead_for_good.contains(&m));
+                            if !ignore {
+                                liveness.observe(n, start.elapsed().as_millis() as u64);
+                            }
+                        } else if let NodeId::Server(m) = n {
+                            // Redirect the server to whoever we believe
+                            // leads; `NO_LEADER` while an election runs.
+                            let _ = postman.send(
+                                NodeId::Server(m),
+                                Message::LeaderRedirect {
+                                    term: self.consensus.term(),
+                                    leader: self.consensus.leader_hint().unwrap_or(NO_LEADER),
+                                },
+                            );
+                        }
+                    }
+                    Message::VoteRequest { .. }
+                    | Message::VoteResponse { .. }
+                    | Message::AppendEntries { .. }
+                    | Message::AppendAck { .. } => {
+                        let out = self.consensus.handle(&msg, start.elapsed());
+                        send_consensus(&postman, out);
+                    }
+                    Message::Shutdown => break,
+                    _ => {}
+                },
+                Ok(None) => {}
                 Err(_) => break,
             }
-            let now = start.elapsed().as_millis() as u64;
-            for dead in liveness.dead_nodes(now) {
-                let NodeId::Server(m) = dead else { continue };
-                liveness.remove(dead);
-                self.tracer.record(
-                    EventKind::NodeDeclaredDead,
-                    RecordArgs::new().shard(m).v_train(now),
-                );
-                let replaced = self.rcfg.spawn_replacement && self.try_replace(m);
-                if replaced {
-                    // Give the replacement a fresh grace period.
-                    liveness.observe(NodeId::Server(m), now);
-                } else {
-                    self.degrade(m, &node.postman());
-                    dead_for_good.insert(m);
-                }
-            }
-            self.publish_health(&liveness, now, &dead_for_good);
         }
-
-        // Orderly shutdown of every live incarnation; merge statistics per
-        // server id (a replaced server has two incarnations).
-        for m in 0..self.cfg.num_servers {
-            let _ = node.postman().send(NodeId::Server(m), Message::Shutdown);
-        }
-        let mut merged: Vec<ShardStats> =
-            vec![ShardStats::default(); self.cfg.num_servers as usize];
-        for (m, handle) in self.handles.drain(..) {
-            if let Ok(stats) = handle.join() {
-                merged[m as usize].merge(&stats);
-            }
-        }
-        merged
+        self.drain_servers(&postman)
     }
 
-    fn publish_health(&self, liveness: &LivenessMonitor, now: u64, dead: &BTreeSet<u32>) {
+    /// This replica just won an election. A follower's liveness view is
+    /// cold — it was not the one observing heartbeats — so give every
+    /// server that is not conclusively dead a fresh grace period, and put
+    /// committed-but-unresolved death verdicts back under observation too:
+    /// if the previous leader already spawned a replacement it will
+    /// heartbeat within the grace period, otherwise the server is
+    /// re-declared and resolved by *this* leader. Recovery is thereby
+    /// at-least-once across leaders without ever double-spawning.
+    fn on_accession(&mut self, liveness: &mut LivenessMonitor, now_ms: u64) {
+        for m in 0..self.cfg.num_servers {
+            if !self.dead_for_good.contains(&m) {
+                liveness.observe(NodeId::Server(m), now_ms);
+                self.pending_dead.remove(&m);
+            }
+        }
+        let term = self.consensus.term();
+        self.tracer.record(
+            EventKind::LeaderElected,
+            RecordArgs::new().shard(self.id).v_train(term),
+        );
+        if term > 1 && self.rcfg.num_supervisors > 1 {
+            self.tracer.record(
+                EventKind::SupervisorFailover,
+                RecordArgs::new().shard(self.id).v_train(term),
+            );
+        }
+    }
+
+    /// Apply every newly committed log entry to the recovery state
+    /// machine. Followers track verdicts and mirror the route table; only
+    /// the current leader performs effects (spawning, installing,
+    /// re-routing) — the single-leader-commit rule makes that safe.
+    fn apply_committed(
+        &mut self,
+        now: Duration,
+        postman: &TcpPostman,
+        liveness: &mut LivenessMonitor,
+    ) {
+        // Copied out: resolving a verdict proposes follow-up entries,
+        // which appends to the log being iterated.
+        let entries: Vec<LogEntry> = self.consensus.committed_since(self.applied).to_vec();
+        for e in entries {
+            self.applied = e.index;
+            let server = match e.cmd {
+                ControlCommand::Tick => continue,
+                ControlCommand::DeclareDead { server: m } => {
+                    if !self.pending_dead.contains(&m) && !self.dead_for_good.contains(&m) {
+                        self.pending_dead.insert(m);
+                        if self.consensus.is_leader() {
+                            self.resolve_dead(m, now);
+                        }
+                    }
+                    m
+                }
+                ControlCommand::Replaced { server: m } => {
+                    self.pending_dead.remove(&m);
+                    if self.consensus.is_leader() {
+                        if self.try_replace(m) {
+                            // Fresh grace period for the replacement.
+                            liveness.observe(NodeId::Server(m), now.as_millis() as u64);
+                        } else {
+                            // Checkpoint vanished or the bind failed —
+                            // correct course through the log.
+                            self.pending_dead.insert(m);
+                            self.consensus
+                                .propose(ControlCommand::Remapped { server: m }, now);
+                        }
+                    }
+                    m
+                }
+                ControlCommand::Remapped { server: m } => {
+                    self.pending_dead.remove(&m);
+                    if self.dead_for_good.insert(m) {
+                        let (remapped, moved) = EpsSlicer::default().remap_dead(&self.map, m);
+                        if self.consensus.is_leader() {
+                            self.degrade_effect(m, &remapped, moved, postman);
+                        }
+                        // Every replica mirrors the committed route table,
+                        // so a successor leader remaps from identical
+                        // state.
+                        self.map = remapped;
+                    }
+                    m
+                }
+            };
+            self.tracer.record(
+                EventKind::ConsensusCommit,
+                RecordArgs::new().shard(server).v_train(e.index),
+            );
+        }
+    }
+
+    /// Decide how a committed death verdict resolves and put the decision
+    /// in the log; the effect runs when the resolution entry commits.
+    fn resolve_dead(&mut self, m: u32, now: Duration) {
+        let replaceable = self.rcfg.spawn_replacement
+            && self
+                .store
+                .lock()
+                .get(&m)
+                .is_some_and(|b| ShardCheckpoint::from_bytes(b.clone()).is_ok());
+        let cmd = if replaceable {
+            ControlCommand::Replaced { server: m }
+        } else {
+            ControlCommand::Remapped { server: m }
+        };
+        self.consensus.propose(cmd, now);
+    }
+
+    fn publish_node_health(&self, liveness: &LivenessMonitor, now: u64) {
         let mut nodes = Vec::with_capacity(self.cfg.num_servers as usize);
         for m in 0..self.cfg.num_servers {
             let id = NodeId::Server(m);
-            let (age, is_dead) = if dead.contains(&m) {
-                (now, true)
-            } else {
-                let last = liveness.last_seen(id);
-                (now.saturating_sub(last.unwrap_or(0)), last.is_none())
-            };
+            let (age, is_dead) =
+                if self.dead_for_good.contains(&m) || self.pending_dead.contains(&m) {
+                    (now, true)
+                } else {
+                    let last = liveness.last_seen(id);
+                    (now.saturating_sub(last.unwrap_or(0)), last.is_none())
+                };
             nodes.push(NodeHealth {
                 name: format!("server{m}"),
                 last_seen_age_ms: age,
@@ -737,6 +1234,31 @@ impl Supervisor {
             });
         }
         self.health.update(nodes);
+    }
+
+    /// Orderly server drain, performed exactly once across all replicas:
+    /// whichever replica first reaches shutdown takes the shared handles;
+    /// later replicas (and the cluster's own fallback) find `drained` set.
+    fn drain_servers(&mut self, postman: &TcpPostman) -> Vec<ShardStats> {
+        let handles = {
+            let mut shared = self.shared.lock();
+            if shared.drained {
+                return Vec::new();
+            }
+            shared.drained = true;
+            std::mem::take(&mut shared.handles)
+        };
+        for m in 0..self.cfg.num_servers {
+            let _ = postman.send(NodeId::Server(m), Message::Shutdown);
+        }
+        let mut merged: Vec<ShardStats> =
+            vec![ShardStats::default(); self.cfg.num_servers as usize];
+        for (m, handle) in handles {
+            if let Ok(stats) = handle.join() {
+                merged[m as usize].merge(&stats);
+            }
+        }
+        merged
     }
 
     /// Spawn a replacement for dead server `m` from its latest checkpoint.
@@ -825,20 +1347,21 @@ impl Supervisor {
             &self.injector,
             rep_streamer,
         );
-        self.handles.push((m, handle));
+        self.shared.lock().handles.push((m, handle));
         true
     }
 
-    /// Degraded mode: survivors adopt the dead server's keys. Orphaned
+    /// Degraded-mode effect, run by the leader when a `Remapped` entry
+    /// commits: survivors adopt the dead server's keys. Orphaned
     /// parameters are installed from the latest checkpoint (when one
     /// exists; otherwise survivors re-initialize them at zero), then every
-    /// worker gets the new routing.
-    fn degrade(&mut self, m: u32, postman: &TcpPostman) {
+    /// worker gets the new routing. The route-table mutation itself
+    /// happens in [`SupervisorReplica::apply_committed`] on every replica.
+    fn degrade_effect(&mut self, m: u32, remapped: &SliceMap, moved: usize, postman: &TcpPostman) {
         let survivors: Vec<u32> = (0..self.cfg.num_servers).filter(|&s| s != m).collect();
         if survivors.is_empty() {
             return; // nothing to degrade onto
         }
-        let (remapped, moved) = EpsSlicer::default().remap_dead(&self.map, m);
         self.tracer.record(
             EventKind::ShardRemapped,
             RecordArgs::new().shard(m).bytes(moved as u64),
@@ -900,7 +1423,6 @@ impl Supervisor {
                 },
             );
         }
-        self.map = remapped;
     }
 }
 
@@ -928,7 +1450,9 @@ mod tests {
             fault_plan: FaultPlan::passthrough(),
             collector_addr: None,
             trace_ring_capacity: 1 << 10,
-            health_engine: None,
+            election_timeout: Duration::from_millis(120),
+            leader_lease: Duration::from_millis(60),
+            ..RecoveryConfig::default()
         }
     }
 
@@ -1052,6 +1576,116 @@ mod tests {
         assert!(trace.counts[EventKind::CheckpointCaptured.index()] >= 1);
         assert!(trace.counts[EventKind::PushApplied.index()] >= 5);
         service.stop();
+    }
+
+    #[test]
+    fn validate_rejects_flapping_timing_configs() {
+        assert!(RecoveryConfig::default().validate().is_ok());
+        assert!(fast_recovery(None, true).validate().is_ok());
+
+        let mut r = RecoveryConfig::default();
+        r.liveness_timeout = r.heartbeat_every; // equal is already too tight
+        assert!(r.validate().unwrap_err().contains("liveness_timeout"));
+
+        let mut r = RecoveryConfig::default();
+        r.election_timeout = r.leader_lease;
+        assert!(r.validate().unwrap_err().contains("election_timeout"));
+
+        let mut r = RecoveryConfig::default();
+        r.num_supervisors = 0;
+        assert!(r.validate().unwrap_err().contains("num_supervisors"));
+    }
+
+    /// Poll the shared health view until `pred` holds or the deadline
+    /// passes (supervisor replicas publish asynchronously).
+    fn await_consensus(health: &HealthView, what: &str, pred: impl Fn(&ConsensusHealth) -> bool) {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        loop {
+            if health.consensus().as_ref().is_some_and(&pred) {
+                return;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "timed out waiting for consensus state: {what} (last: {:?})",
+                health.consensus()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn leader_kill_fails_over_and_training_completes() {
+        let (cfg, map, init) = two_server_setup();
+        let mut rcfg = fast_recovery(None, true);
+        rcfg.num_supervisors = 3;
+        // Replica 0 deterministically wins term 1, then dies after
+        // applying a handful of entries; a follower must win term 2+.
+        rcfg.kill_supervisors = vec![(0, 6)];
+        let (cluster, mut workers) =
+            ResilientTcpCluster::launch(cfg, rcfg, map, &init, None).expect("launch");
+        let health = cluster.health();
+        await_consensus(&health, "initial leader", |c| {
+            c.leader.as_deref() == Some("supervisor0")
+        });
+
+        let mut w = workers.remove(0);
+        let grads: HashMap<u64, Vec<f32>> =
+            [(0u64, vec![1.0f32; 4]), (1u64, vec![1.0f32; 4])].into();
+        let mut params = HashMap::new();
+        for i in 0..8u64 {
+            w.spush(i, &grads).expect("push");
+            w.spull_wait(i, &mut params)
+                .expect("pull survives the supervisor failover");
+        }
+        // Training is untouched by the control-plane failover: BSP, no
+        // faults, so every value is exactly the iteration count.
+        assert_eq!(params[&0], vec![8.0; 4]);
+        assert_eq!(params[&1], vec![8.0; 4]);
+
+        // A follower won a later term; the dead replica 0 cannot lead.
+        await_consensus(&health, "post-failover leader", |c| {
+            c.term >= 2 && c.leader.as_deref().is_some_and(|l| l != "supervisor0")
+        });
+        let stats = cluster.shutdown();
+        assert!(stats.iter().map(|s| s.pushes).sum::<u64>() >= 16);
+        assert_eq!(health.dead_count(), 0, "no server ever died");
+    }
+
+    #[test]
+    fn quorum_loss_degrades_explicitly_and_training_still_completes() {
+        let (cfg, map, init) = two_server_setup();
+        let mut rcfg = fast_recovery(None, true);
+        rcfg.num_supervisors = 3;
+        // Two of three replicas die: whoever remains can never assemble a
+        // quorum again, so the control plane must report leaderless —
+        // explicitly degraded — rather than hang or split-brain.
+        rcfg.kill_supervisors = vec![(0, 4), (1, 8)];
+        let (cluster, mut workers) =
+            ResilientTcpCluster::launch(cfg, rcfg, map, &init, None).expect("launch");
+        let health = cluster.health();
+
+        let mut w = workers.remove(0);
+        let grads: HashMap<u64, Vec<f32>> =
+            [(0u64, vec![1.0f32; 4]), (1u64, vec![1.0f32; 4])].into();
+        let mut params = HashMap::new();
+        for i in 0..6u64 {
+            w.spush(i, &grads).expect("push");
+            w.spull_wait(i, &mut params)
+                .expect("training needs no control plane while servers live");
+        }
+        assert_eq!(params[&0], vec![6.0; 4]);
+
+        await_consensus(&health, "leaderless after quorum loss", |c| {
+            c.term >= 2 && c.leader.is_none()
+        });
+        let (ready, body) = health.render();
+        assert!(!ready, "quorum loss must degrade /healthz");
+        assert!(body.starts_with("degraded\n"), "body: {body}");
+        assert!(body.contains("leader none"), "body: {body}");
+
+        // The fallback drain in shutdown() still collects every server.
+        let stats = cluster.shutdown();
+        assert!(stats.iter().map(|s| s.pushes).sum::<u64>() >= 12);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!   repro analyze FILE [--md] [--ssp S | --pssp-const S C]
 //!   repro validate-json FILE
 //!   repro chaos [--seed N] [--workers N] [--servers N] [--iters N]
-//!               [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]
+//!               [--staleness S] [--faults N] [--kill M@V]
+//!               [--supervisors N] [--kill-supervisor K@V]... [--metrics-addr ADDR]
 //!   repro collect FILE [chaos flags] [--ring N]
 //!   repro watch [chaos flags]
 //!   repro profile [--workers N] [--servers N] [--iters N] [--seed N]
@@ -109,6 +110,26 @@ fn parse_chaos_args(
                     parse_arg(Some(&v.to_string()), "--kill M@V"),
                 ));
             }
+            "--supervisors" => {
+                i += 1;
+                cfg.num_supervisors = parse_arg(args.get(i), "--supervisors N");
+            }
+            "--kill-supervisor" => {
+                i += 1;
+                let raw = args.get(i).cloned().unwrap_or_else(|| {
+                    eprintln!("[repro] missing value for --kill-supervisor K@V");
+                    std::process::exit(2);
+                });
+                let (k, v) = raw.split_once('@').unwrap_or_else(|| {
+                    eprintln!("[repro] bad --kill-supervisor {raw:?}: expected K@V (e.g. 0@8)");
+                    std::process::exit(2);
+                });
+                // Repeatable: each occurrence schedules one replica crash.
+                cfg.kill_supervisors.push((
+                    parse_arg(Some(&k.to_string()), "--kill-supervisor K@V"),
+                    parse_arg(Some(&v.to_string()), "--kill-supervisor K@V"),
+                ));
+            }
             "--metrics-addr" => {
                 i += 1;
                 let raw = args.get(i).cloned().unwrap_or_else(|| usage());
@@ -137,8 +158,15 @@ fn run_chaos_cmd(args: &[String]) {
     let mut cfg = fluentps_experiments::live::ChaosConfig::default();
     parse_chaos_args(args, &mut cfg, &mut None, false);
     eprintln!(
-        "[repro] chaos: {}w x {}s, {} iters, seed {}, faults {}, kill {:?}",
-        cfg.num_workers, cfg.num_servers, cfg.max_iters, cfg.seed, cfg.faults, cfg.kill_server
+        "[repro] chaos: {}w x {}s x {}sup, {} iters, seed {}, faults {}, kill {:?}, kill-sup {:?}",
+        cfg.num_workers,
+        cfg.num_servers,
+        cfg.num_supervisors,
+        cfg.max_iters,
+        cfg.seed,
+        cfg.faults,
+        cfg.kill_server,
+        cfg.kill_supervisors
     );
     // A worker that exhausts its retries panics its thread; run_chaos
     // propagates the panic, which exits this process non-zero.
@@ -685,7 +713,7 @@ where
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]\n       repro watch [chaos flags]\n       repro profile [--workers N] [--servers N] [--iters N] [--seed N] [--metrics-addr ADDR] [--out FILE] [--top N]"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--supervisors N] [--kill-supervisor K@V]... [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]\n       repro watch [chaos flags]\n       repro profile [--workers N] [--servers N] [--iters N] [--seed N] [--metrics-addr ADDR] [--out FILE] [--top N]"
     );
     std::process::exit(2);
 }

@@ -235,6 +235,13 @@ pub struct ChaosConfig {
     /// Kill server `m` once its shard's `V_train` reaches the threshold;
     /// the supervisor replaces it from the latest checkpoint.
     pub kill_server: Option<(u32, u64)>,
+    /// Supervisor replicas forming the control-plane quorum. 1 (default)
+    /// is the solo fast path; 3+ survives supervisor death by election.
+    pub num_supervisors: u32,
+    /// Kill supervisor replica `k` once it has applied consensus index
+    /// `v`. Killing the leader exercises failover; killing a quorum
+    /// exercises explicit leaderless degradation on `/healthz`.
+    pub kill_supervisors: Vec<(u32, u64)>,
     /// Number of seeded chaos fault rules (drops, reorder-delays,
     /// duplicates) applied to the data path. 0 = none.
     pub faults: usize,
@@ -267,6 +274,8 @@ impl Default for ChaosConfig {
             max_iters: 30,
             staleness: 2,
             kill_server: None,
+            num_supervisors: 1,
+            kill_supervisors: Vec::new(),
             faults: 0,
             metrics_addr: None,
             collector_addr: None,
@@ -381,6 +390,11 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         },
         collector_addr: cfg.collector_addr,
         trace_ring_capacity: cfg.trace_ring_capacity,
+        num_supervisors: cfg.num_supervisors,
+        kill_supervisors: cfg.kill_supervisors.clone(),
+        election_timeout: Duration::from_millis(200),
+        leader_lease: Duration::from_millis(100),
+        metrics: None,
         health_engine: None,
     };
 
@@ -402,12 +416,18 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
     };
     let mut rcfg = rcfg;
     rcfg.health_engine = engine.clone();
+    // The registry exists before launch so the supervisor replicas can
+    // publish the consensus gauges into it from the first election on.
+    let consensus_registry = cfg.metrics_addr.map(|_| MetricsRegistry::new());
+    rcfg.metrics = consensus_registry.clone();
 
     let (cluster, workers) =
         ResilientTcpCluster::launch(ecfg, rcfg, map, &init, local_collector.as_ref())
             .expect("launch chaos cluster");
     let introspection = cfg.metrics_addr.map(|addr| {
-        let registry = MetricsRegistry::new();
+        let registry = consensus_registry
+            .clone()
+            .expect("registry with metrics_addr");
         let scope = registry.scope().with("engine", "resilient-tcp");
         scope.set_gauge("cluster_workers", cfg.num_workers as f64);
         scope.set_gauge("cluster_servers", cfg.num_servers as f64);

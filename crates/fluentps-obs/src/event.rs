@@ -46,10 +46,20 @@ pub enum EventKind {
     /// The liveness monitor declared a node dead (`shard`/`worker` identify
     /// it; `v_train` carries the logical detection time).
     NodeDeclaredDead,
+    /// A supervisor replica won a leader election (`shard` is the replica
+    /// id, `v_train` the new term).
+    LeaderElected,
+    /// A control-plane command committed through the replicated log
+    /// (`progress` is the log index, `v_train` the term; only non-tick
+    /// commands are recorded to keep traces readable).
+    ConsensusCommit,
+    /// Leadership moved to a different replica after the previous leader
+    /// died or stepped down (`shard` is the new leader, `v_train` the term).
+    SupervisorFailover,
 }
 
 /// Number of distinct event kinds (array-index bound for per-kind counts).
-pub const KINDS: usize = 15;
+pub const KINDS: usize = 18;
 
 impl EventKind {
     /// Every kind, in stable index order.
@@ -69,6 +79,9 @@ impl EventKind {
         EventKind::CheckpointRestored,
         EventKind::ShardRemapped,
         EventKind::NodeDeclaredDead,
+        EventKind::LeaderElected,
+        EventKind::ConsensusCommit,
+        EventKind::SupervisorFailover,
     ];
 
     /// Stable dense index in `[0, KINDS)`.
@@ -89,6 +102,9 @@ impl EventKind {
             EventKind::CheckpointRestored => 12,
             EventKind::ShardRemapped => 13,
             EventKind::NodeDeclaredDead => 14,
+            EventKind::LeaderElected => 15,
+            EventKind::ConsensusCommit => 16,
+            EventKind::SupervisorFailover => 17,
         }
     }
 
@@ -110,6 +126,9 @@ impl EventKind {
             EventKind::CheckpointRestored => "checkpoint_restored",
             EventKind::ShardRemapped => "shard_remapped",
             EventKind::NodeDeclaredDead => "node_declared_dead",
+            EventKind::LeaderElected => "leader_elected",
+            EventKind::ConsensusCommit => "consensus_commit",
+            EventKind::SupervisorFailover => "supervisor_failover",
         }
     }
 }

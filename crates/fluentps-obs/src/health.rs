@@ -21,9 +21,26 @@ pub struct NodeHealth {
     pub dead: bool,
 }
 
+/// Consensus standing of the replicated control plane as last reported by
+/// its supervisor replicas. `leader: None` means no replica currently holds
+/// (or can win) leadership — quorum loss — which degrades readiness: a
+/// cluster whose control plane cannot act on failures is not healthy even
+/// while the data plane still trains.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConsensusHealth {
+    /// Highest term observed across live replicas.
+    pub term: u64,
+    /// Display name of the current leader replica (e.g. `supervisor1`),
+    /// or `None` when leaderless.
+    pub leader: Option<String>,
+    /// Total supervisor replicas configured.
+    pub replicas: u32,
+}
+
 #[derive(Debug, Default)]
 struct HealthState {
     nodes: Vec<NodeHealth>,
+    consensus: Option<ConsensusHealth>,
 }
 
 /// Shared, cloneable readiness view. All clones observe the same state.
@@ -49,13 +66,28 @@ impl HealthView {
         self.inner.lock().nodes.iter().filter(|n| n.dead).count()
     }
 
+    /// Publish the control plane's consensus standing (supervisor replicas
+    /// call this independently of the node snapshot so a leaderless replica
+    /// can degrade readiness without clobbering the leader's node list).
+    pub fn set_consensus(&self, consensus: Option<ConsensusHealth>) {
+        self.inner.lock().consensus = consensus;
+    }
+
+    /// The last published consensus standing, if any.
+    pub fn consensus(&self) -> Option<ConsensusHealth> {
+        self.inner.lock().consensus.clone()
+    }
+
     /// Render the readiness body served at `/healthz`: the first line is
-    /// `ready` or `degraded`, followed by the dead-node count and one line
-    /// per node with its last-heartbeat age. Returns `(ready, body)`.
+    /// `ready` or `degraded`, followed by the dead-node count, one line per
+    /// node with its last-heartbeat age, and — when a replicated control
+    /// plane reports in — a `consensus` line with the current term and
+    /// leader. Returns `(ready, body)`.
     pub fn render(&self) -> (bool, String) {
         let state = self.inner.lock();
         let dead = state.nodes.iter().filter(|n| n.dead).count();
-        let ready = dead == 0;
+        let leaderless = state.consensus.as_ref().is_some_and(|c| c.leader.is_none());
+        let ready = dead == 0 && !leaderless;
         let mut body = String::new();
         body.push_str(if ready { "ready\n" } else { "degraded\n" });
         body.push_str(&format!("dead_nodes {dead}\n"));
@@ -65,6 +97,14 @@ impl HealthView {
                 n.name,
                 n.last_seen_age_ms,
                 if n.dead { "dead" } else { "alive" }
+            ));
+        }
+        if let Some(c) = &state.consensus {
+            body.push_str(&format!(
+                "consensus term {} leader {} replicas {}\n",
+                c.term,
+                c.leader.as_deref().unwrap_or("none"),
+                c.replicas
             ));
         }
         (ready, body)
@@ -106,6 +146,35 @@ mod tests {
         assert!(body.contains("dead_nodes 1"));
         assert!(body.contains("node server0 age_ms 12 alive"));
         assert!(body.contains("node server1 age_ms 5000 dead"));
+    }
+
+    #[test]
+    fn leaderless_consensus_degrades_even_with_all_nodes_alive() {
+        let v = HealthView::new();
+        v.update(vec![NodeHealth {
+            name: "server0".into(),
+            last_seen_age_ms: 3,
+            dead: false,
+        }]);
+        v.set_consensus(Some(ConsensusHealth {
+            term: 4,
+            leader: None,
+            replicas: 3,
+        }));
+        let (ready, body) = v.render();
+        assert!(!ready, "quorum loss must degrade readiness");
+        assert!(body.starts_with("degraded\n"));
+        assert!(body.contains("dead_nodes 0"));
+        assert!(body.contains("consensus term 4 leader none replicas 3"));
+
+        v.set_consensus(Some(ConsensusHealth {
+            term: 5,
+            leader: Some("supervisor1".into()),
+            replicas: 3,
+        }));
+        let (ready, body) = v.render();
+        assert!(ready, "a live leader restores readiness");
+        assert!(body.contains("consensus term 5 leader supervisor1 replicas 3"));
     }
 
     #[test]

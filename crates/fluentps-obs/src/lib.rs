@@ -76,7 +76,7 @@ pub use analyze::{analyze, Analysis};
 pub use clock::{ClockSource, VirtualClock};
 pub use collect::{ClusterCollector, Hlc, NodeStats, OffsetEstimator};
 pub use event::{EventKind, TraceEvent, KINDS, NO_ID};
-pub use health::{HealthView, NodeHealth};
+pub use health::{ConsensusHealth, HealthView, NodeHealth};
 pub use hist::Histogram;
 pub use http::{IntrospectionServer, TraceSource};
 pub use metrics::{MetricsRegistry, MetricsScope};

@@ -11,7 +11,7 @@ use fluentps_obs::{EventKind, TraceEvent};
 use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::DecodeError;
-use crate::msg::{KvPairs, Message, NodeId, WirePlacement};
+use crate::msg::{KvPairs, Message, NodeId, WireLogEntry, WirePlacement};
 
 /// Version byte prepended to every encoded message.
 pub const WIRE_VERSION: u8 = 1;
@@ -36,6 +36,11 @@ mod tag {
     pub const TRACE_BATCH: u8 = 12;
     pub const CLOCK_PING: u8 = 13;
     pub const CLOCK_PONG: u8 = 14;
+    pub const VOTE_REQUEST: u8 = 15;
+    pub const VOTE_RESPONSE: u8 = 16;
+    pub const APPEND_ENTRIES: u8 = 17;
+    pub const APPEND_ACK: u8 = 18;
+    pub const LEADER_REDIRECT: u8 = 19;
 }
 
 mod node_tag {
@@ -43,6 +48,7 @@ mod node_tag {
     pub const SERVER: u8 = 1;
     pub const WORKER: u8 = 2;
     pub const COLLECTOR: u8 = 3;
+    pub const SUPERVISOR: u8 = 4;
 }
 
 /// Encoded size of one [`TraceEvent`]: two f64 bit patterns, the kind index
@@ -183,6 +189,67 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             buf.put_u64_le(t_send.to_bits());
             buf.put_u64_le(t_collector.to_bits());
         }
+        Message::VoteRequest {
+            term,
+            candidate,
+            last_log_index,
+            last_log_term,
+        } => {
+            buf.put_u8(tag::VOTE_REQUEST);
+            buf.put_u64_le(*term);
+            buf.put_u32_le(*candidate);
+            buf.put_u64_le(*last_log_index);
+            buf.put_u64_le(*last_log_term);
+        }
+        Message::VoteResponse {
+            term,
+            voter,
+            granted,
+        } => {
+            buf.put_u8(tag::VOTE_RESPONSE);
+            buf.put_u64_le(*term);
+            buf.put_u32_le(*voter);
+            buf.put_u8(u8::from(*granted));
+        }
+        Message::AppendEntries {
+            term,
+            leader,
+            prev_index,
+            prev_term,
+            commit,
+            entries,
+        } => {
+            buf.put_u8(tag::APPEND_ENTRIES);
+            buf.put_u64_le(*term);
+            buf.put_u32_le(*leader);
+            buf.put_u64_le(*prev_index);
+            buf.put_u64_le(*prev_term);
+            buf.put_u64_le(*commit);
+            buf.put_u32_le(entries.len() as u32);
+            for e in entries {
+                buf.put_u64_le(e.term);
+                buf.put_u64_le(e.index);
+                buf.put_u32_le(e.cmd.len() as u32);
+                buf.extend_from_slice(&e.cmd);
+            }
+        }
+        Message::AppendAck {
+            term,
+            follower,
+            ok,
+            match_index,
+        } => {
+            buf.put_u8(tag::APPEND_ACK);
+            buf.put_u64_le(*term);
+            buf.put_u32_le(*follower);
+            buf.put_u8(u8::from(*ok));
+            buf.put_u64_le(*match_index);
+        }
+        Message::LeaderRedirect { term, leader } => {
+            buf.put_u8(tag::LEADER_REDIRECT);
+            buf.put_u64_le(*term);
+            buf.put_u32_le(*leader);
+        }
     }
 }
 
@@ -210,8 +277,28 @@ pub fn encoded_len(msg: &Message) -> usize {
             }
             Message::ClockPing { .. } => 5 + 8 + 8,
             Message::ClockPong { .. } => 8 + 8 + 8,
+            Message::VoteRequest { .. } => 8 + 4 + 8 + 8,
+            Message::VoteResponse { .. } => 8 + 4 + 1,
+            Message::AppendEntries { entries, .. } => {
+                8 + 4
+                    + 8
+                    + 8
+                    + 8
+                    + 4
+                    + entries
+                        .iter()
+                        .map(|e| LOG_ENTRY_HEADER_LEN + e.cmd.len())
+                        .sum::<usize>()
+            }
+            Message::AppendAck { .. } => 8 + 4 + 1 + 8,
+            Message::LeaderRedirect { .. } => 8 + 4,
         }
 }
+
+/// Fixed-size prefix of one encoded [`WireLogEntry`]: term, index and the
+/// command byte count. Doubles as the per-element lower bound fed to
+/// [`check_len`] when decoding an `AppendEntries` entry vector.
+const LOG_ENTRY_HEADER_LEN: usize = 8 + 8 + 4;
 
 fn kv_encoded_len(kv: &KvPairs) -> usize {
     (4 + 8 * kv.keys.len()) + (4 + 4 * kv.lens.len()) + (4 + 4 * kv.vals.len())
@@ -391,6 +478,58 @@ pub fn decode_from<B: Buf>(buf: &mut B) -> Result<Message, DecodeError> {
             }
             Message::RouteUpdate { placements }
         }
+        tag::VOTE_REQUEST => Message::VoteRequest {
+            term: get_u64(buf)?,
+            candidate: get_u32(buf)?,
+            last_log_index: get_u64(buf)?,
+            last_log_term: get_u64(buf)?,
+        },
+        tag::VOTE_RESPONSE => Message::VoteResponse {
+            term: get_u64(buf)?,
+            voter: get_u32(buf)?,
+            granted: get_u8(buf)? != 0,
+        },
+        tag::APPEND_ENTRIES => {
+            let term = get_u64(buf)?;
+            let leader = get_u32(buf)?;
+            let prev_index = get_u64(buf)?;
+            let prev_term = get_u64(buf)?;
+            let commit = get_u64(buf)?;
+            let count = get_u32(buf)? as u64;
+            // Entries are variable-sized; check_len against the fixed
+            // per-entry header bounds the count before allocating.
+            let n = check_len(buf, count, LOG_ENTRY_HEADER_LEN)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let e_term = get_u64(buf)?;
+                let e_index = get_u64(buf)?;
+                let cmd_len = get_u32(buf)? as u64;
+                let cmd_n = check_len(buf, cmd_len, 1)?;
+                entries.push(WireLogEntry {
+                    term: e_term,
+                    index: e_index,
+                    cmd: get_bytes(buf, cmd_n),
+                });
+            }
+            Message::AppendEntries {
+                term,
+                leader,
+                prev_index,
+                prev_term,
+                commit,
+                entries,
+            }
+        }
+        tag::APPEND_ACK => Message::AppendAck {
+            term: get_u64(buf)?,
+            follower: get_u32(buf)?,
+            ok: get_u8(buf)? != 0,
+            match_index: get_u64(buf)?,
+        },
+        tag::LEADER_REDIRECT => Message::LeaderRedirect {
+            term: get_u64(buf)?,
+            leader: get_u32(buf)?,
+        },
         other => return Err(DecodeError::UnknownTag(other)),
     };
     Ok(msg)
@@ -414,6 +553,10 @@ fn put_node(buf: &mut BytesMut, node: NodeId) {
             buf.put_u8(node_tag::COLLECTOR);
             buf.put_u32_le(0);
         }
+        NodeId::Supervisor(k) => {
+            buf.put_u8(node_tag::SUPERVISOR);
+            buf.put_u32_le(k);
+        }
     }
 }
 
@@ -425,8 +568,22 @@ fn get_node<B: Buf>(buf: &mut B) -> Result<NodeId, DecodeError> {
         node_tag::SERVER => Ok(NodeId::Server(idx)),
         node_tag::WORKER => Ok(NodeId::Worker(idx)),
         node_tag::COLLECTOR => Ok(NodeId::Collector),
+        node_tag::SUPERVISOR => Ok(NodeId::Supervisor(idx)),
         other => Err(DecodeError::UnknownTag(other)),
     }
+}
+
+/// Read `n` raw bytes from the cursor; the caller has already bounds-checked
+/// `n` against `remaining()` via [`check_len`].
+fn get_bytes<B: Buf>(buf: &mut B, n: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(n);
+    while v.len() < n {
+        let chunk = buf.chunk();
+        let take = (n - v.len()).min(chunk.len());
+        v.extend_from_slice(&chunk[..take]);
+        buf.advance(take);
+    }
+    v
 }
 
 fn put_event(buf: &mut BytesMut, e: &TraceEvent) {
@@ -683,6 +840,63 @@ mod tests {
             t_send: 0.125,
             t_collector: 0.375,
         });
+        roundtrip(Message::Register {
+            node: NodeId::Supervisor(2),
+        });
+        roundtrip(Message::VoteRequest {
+            term: 3,
+            candidate: 1,
+            last_log_index: 17,
+            last_log_term: 2,
+        });
+        roundtrip(Message::VoteResponse {
+            term: 3,
+            voter: 2,
+            granted: true,
+        });
+        roundtrip(Message::VoteResponse {
+            term: 4,
+            voter: 0,
+            granted: false,
+        });
+        roundtrip(Message::AppendEntries {
+            term: 5,
+            leader: 1,
+            prev_index: 9,
+            prev_term: 4,
+            commit: 8,
+            entries: vec![
+                WireLogEntry {
+                    term: 5,
+                    index: 10,
+                    cmd: vec![],
+                },
+                WireLogEntry {
+                    term: 5,
+                    index: 11,
+                    cmd: vec![1, 0, 0, 0, 2],
+                },
+            ],
+        });
+        roundtrip(Message::AppendEntries {
+            term: 1,
+            leader: 0,
+            prev_index: 0,
+            prev_term: 0,
+            commit: 0,
+            entries: vec![],
+        });
+        roundtrip(Message::AppendAck {
+            term: 5,
+            follower: 2,
+            ok: false,
+            match_index: 9,
+        });
+        roundtrip(Message::LeaderRedirect { term: 6, leader: 1 });
+        roundtrip(Message::LeaderRedirect {
+            term: 6,
+            leader: crate::msg::NO_LEADER,
+        });
     }
 
     #[test]
@@ -793,6 +1007,43 @@ mod tests {
                 t_send: 0.5,
                 t_collector: 0.75,
             },
+            Message::VoteRequest {
+                term: 2,
+                candidate: 0,
+                last_log_index: 4,
+                last_log_term: 1,
+            },
+            Message::VoteResponse {
+                term: 2,
+                voter: 1,
+                granted: true,
+            },
+            Message::AppendEntries {
+                term: 2,
+                leader: 0,
+                prev_index: 4,
+                prev_term: 1,
+                commit: 3,
+                entries: vec![
+                    WireLogEntry {
+                        term: 2,
+                        index: 5,
+                        cmd: vec![0],
+                    },
+                    WireLogEntry {
+                        term: 2,
+                        index: 6,
+                        cmd: vec![1, 7, 0, 0, 0],
+                    },
+                ],
+            },
+            Message::AppendAck {
+                term: 2,
+                follower: 1,
+                ok: true,
+                match_index: 6,
+            },
+            Message::LeaderRedirect { term: 2, leader: 0 },
         ];
         for msg in msgs {
             assert_eq!(

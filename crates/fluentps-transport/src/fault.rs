@@ -437,6 +437,43 @@ mod tests {
     }
 
     #[test]
+    fn consensus_messages_classify_as_control() {
+        // Chaos plans only target Push/Pull/Response, so the control plane's
+        // own consensus traffic must land in the Control class — otherwise a
+        // chaos rule could sever the very mechanism that recovers from it.
+        for msg in [
+            Message::VoteRequest {
+                term: 1,
+                candidate: 0,
+                last_log_index: 0,
+                last_log_term: 0,
+            },
+            Message::VoteResponse {
+                term: 1,
+                voter: 1,
+                granted: true,
+            },
+            Message::AppendEntries {
+                term: 1,
+                leader: 0,
+                prev_index: 0,
+                prev_term: 0,
+                commit: 0,
+                entries: vec![],
+            },
+            Message::AppendAck {
+                term: 1,
+                follower: 1,
+                ok: true,
+                match_index: 0,
+            },
+            Message::LeaderRedirect { term: 1, leader: 0 },
+        ] {
+            assert_eq!(classify(&msg), MsgClass::Control, "{msg:?}");
+        }
+    }
+
+    #[test]
     fn passthrough_delivers_everything() {
         let fabric = Fabric::new();
         let server = fabric.register(NodeId::Server(0));

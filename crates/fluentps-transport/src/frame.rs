@@ -23,6 +23,7 @@ fn node_to_pair(node: NodeId) -> (u8, u32) {
         NodeId::Server(m) => (1, m),
         NodeId::Worker(n) => (2, n),
         NodeId::Collector => (3, 0),
+        NodeId::Supervisor(k) => (4, k),
     }
 }
 
@@ -32,6 +33,7 @@ fn node_from_pair(kind: u8, idx: u32) -> Result<NodeId, DecodeError> {
         1 => Ok(NodeId::Server(idx)),
         2 => Ok(NodeId::Worker(idx)),
         3 => Ok(NodeId::Collector),
+        4 => Ok(NodeId::Supervisor(idx)),
         other => Err(DecodeError::UnknownTag(other)),
     }
 }

@@ -26,6 +26,10 @@ pub enum NodeId {
     Worker(u32),
     /// The central trace collector (at most one per cluster).
     Collector,
+    /// The `k`-th supervisor replica of the replicated control plane
+    /// (`k` in `0..R`). Replicas elect a leader among themselves; the
+    /// leader exercises the scheduler duties (liveness, recovery).
+    Supervisor(u32),
 }
 
 impl NodeId {
@@ -47,8 +51,26 @@ impl fmt::Display for NodeId {
             NodeId::Server(m) => write!(f, "server{m}"),
             NodeId::Worker(n) => write!(f, "worker{n}"),
             NodeId::Collector => write!(f, "collector"),
+            NodeId::Supervisor(k) => write!(f, "supervisor{k}"),
         }
     }
+}
+
+/// Sentinel replica id meaning "no known leader" in [`Message::LeaderRedirect`].
+pub const NO_LEADER: u32 = u32::MAX;
+
+/// One replicated-log entry carried on the wire by
+/// [`Message::AppendEntries`]. The command is opaque to the transport: the
+/// control plane in `fluentps-core` defines its own command vocabulary and
+/// byte codec, keeping the wire layer ignorant of control-plane semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireLogEntry {
+    /// Term in which the entry was appended by a leader.
+    pub term: u64,
+    /// 1-based position of the entry in the replicated log.
+    pub index: u64,
+    /// Opaque encoded control-plane command.
+    pub cmd: Vec<u8>,
 }
 
 /// A batch of key-value pairs, PS-Lite style: parallel arrays of keys, a
@@ -273,6 +295,65 @@ pub enum Message {
         /// Collector-local timestamp when the ping was processed.
         t_collector: f64,
     },
+    /// Consensus: a candidate supervisor replica solicits a vote for a term
+    /// (Raft-style leader election among control-plane replicas).
+    VoteRequest {
+        /// Term the candidate is campaigning for.
+        term: u64,
+        /// Replica id of the candidate.
+        candidate: u32,
+        /// Index of the candidate's last log entry (0 = empty log).
+        last_log_index: u64,
+        /// Term of the candidate's last log entry (0 = empty log).
+        last_log_term: u64,
+    },
+    /// Consensus: a replica's answer to a [`Message::VoteRequest`].
+    VoteResponse {
+        /// The voter's current term (lets a stale candidate catch up).
+        term: u64,
+        /// Replica id of the voter.
+        voter: u32,
+        /// Whether the vote was granted for `term`.
+        granted: bool,
+    },
+    /// Consensus: leader replicates log entries (or an empty heartbeat) to a
+    /// follower and advertises its commit index.
+    AppendEntries {
+        /// The leader's current term.
+        term: u64,
+        /// Replica id of the leader.
+        leader: u32,
+        /// Index of the entry immediately preceding `entries` (0 = start).
+        prev_index: u64,
+        /// Term of the entry at `prev_index` (0 if `prev_index == 0`).
+        prev_term: u64,
+        /// The leader's commit index.
+        commit: u64,
+        /// Entries to append after `prev_index` (may be empty).
+        entries: Vec<WireLogEntry>,
+    },
+    /// Consensus: follower's answer to an [`Message::AppendEntries`].
+    AppendAck {
+        /// The follower's current term.
+        term: u64,
+        /// Replica id of the follower.
+        follower: u32,
+        /// Whether the consistency check at `prev_index` passed and the
+        /// entries were appended.
+        ok: bool,
+        /// Highest log index the follower now matches the leader up to
+        /// (on failure: a hint for the leader's next-index backoff).
+        match_index: u64,
+    },
+    /// Control plane: a non-leader supervisor replica tells a node that
+    /// heartbeated it where the current leader is believed to live
+    /// ([`NO_LEADER`] when the replica knows of none).
+    LeaderRedirect {
+        /// The redirecting replica's current term.
+        term: u64,
+        /// Believed leader replica id, or [`NO_LEADER`].
+        leader: u32,
+    },
 }
 
 impl Message {
@@ -294,6 +375,13 @@ impl Message {
             Message::TraceBatch { events, .. } => 41 + events.len() * 57,
             Message::ClockPing { .. } => 21,
             Message::ClockPong { .. } => 24,
+            Message::VoteRequest { .. } => 28,
+            Message::VoteResponse { .. } => 13,
+            Message::AppendEntries { entries, .. } => {
+                36 + entries.iter().map(|e| 20 + e.cmd.len()).sum::<usize>()
+            }
+            Message::AppendAck { .. } => 21,
+            Message::LeaderRedirect { .. } => 12,
         }
     }
 }
@@ -347,6 +435,9 @@ mod tests {
         assert!(!NodeId::Collector.is_worker());
         assert_eq!(NodeId::Worker(2).to_string(), "worker2");
         assert_eq!(NodeId::Collector.to_string(), "collector");
+        assert!(!NodeId::Supervisor(1).is_server());
+        assert!(!NodeId::Supervisor(1).is_worker());
+        assert_eq!(NodeId::Supervisor(1).to_string(), "supervisor1");
     }
 
     #[test]

@@ -104,6 +104,59 @@ grep -q '^chaos-alert-fingerprint ' "$smokedir/chaos_health.txt"
 [ -n "$slo_ok" ] || { echo "ci: /slo never answered mid-run" >&2; exit 1; }
 [ -n "$alerts_ok" ] || { echo "ci: /alerts never showed the kill firing then resolving" >&2; exit 1; }
 
+# Supervisor-failover smoke: run a 3-replica control plane and kill the
+# leader mid-run. A follower must win the election (scraped from /healthz:
+# term advances past 1 and a different replica leads) and training must
+# still finish bit-deterministically — the stats/fingerprint lines of a
+# same-seed re-run must match exactly. Which follower wins may vary with
+# thread timing, so the /healthz check accepts either; the training
+# fingerprint must not.
+failover_port=$((21000 + RANDOM % 20000))
+./target/release/repro chaos --seed 23 --workers 1 --servers 2 --iters 20000 \
+  --supervisors 3 --kill-supervisor 0@6 --metrics-addr "127.0.0.1:$failover_port" \
+  >"$smokedir/failover_a.txt" 2>/dev/null &
+failover_pid=$!
+failover_ok=""
+for _ in $(seq 1 300); do
+  hz="$(http_get "$failover_port" /healthz 2>/dev/null || true)"
+  case "$hz" in
+    *'consensus term '[2-9]*' leader supervisor'[12]*) failover_ok=1; break ;;
+  esac
+  kill -0 "$failover_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$failover_pid"
+[ -n "$failover_ok" ] || { echo "ci: /healthz never showed a follower taking over leadership" >&2; exit 1; }
+./target/release/repro chaos --seed 23 --workers 1 --servers 2 --iters 20000 \
+  --supervisors 3 --kill-supervisor 0@6 \
+  >"$smokedir/failover_b.txt" 2>/dev/null
+grep -E '^chaos-(stats|dead-at-end|fingerprint)' "$smokedir/failover_a.txt" >"$smokedir/failover_a_core.txt"
+grep -E '^chaos-(stats|dead-at-end|fingerprint)' "$smokedir/failover_b.txt" >"$smokedir/failover_b_core.txt"
+diff "$smokedir/failover_a_core.txt" "$smokedir/failover_b_core.txt"
+grep -q '^chaos-dead-at-end 0$' "$smokedir/failover_a.txt"
+
+# Quorum-loss smoke: kill 2 of the 3 supervisor replicas. The control
+# plane must degrade *explicitly* — /healthz flips to 503 with a leaderless
+# consensus line — rather than hang or split-brain, and the data plane
+# (training) must still run to completion with no server dead.
+quorum_port=$((21000 + RANDOM % 20000))
+./target/release/repro chaos --seed 29 --workers 2 --servers 2 --iters 20000 \
+  --supervisors 3 --kill-supervisor 0@4 --kill-supervisor 1@10 \
+  --metrics-addr "127.0.0.1:$quorum_port" >"$smokedir/quorum.txt" 2>/dev/null &
+quorum_pid=$!
+quorum_ok=""
+for _ in $(seq 1 300); do
+  hz="$(http_get "$quorum_port" /healthz 2>/dev/null || true)"
+  case "$hz" in
+    *'503'*'consensus term '[1-9]*' leader none'*) quorum_ok=1; break ;;
+  esac
+  kill -0 "$quorum_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$quorum_pid"
+[ -n "$quorum_ok" ] || { echo "ci: /healthz never reported explicit leaderless degradation" >&2; exit 1; }
+grep -q '^chaos-dead-at-end 0$' "$smokedir/quorum.txt"
+
 # Profiler smoke: run a profiled live TCP training job with an
 # introspection endpoint, scrape /profile?format=speedscope over HTTP
 # *mid-run*, validate the export with the in-tree JSON validator, and

@@ -328,3 +328,94 @@ fn resilient_engine_healthz_reflects_the_liveness_monitor() {
         "survivor carried the tail of training"
     );
 }
+
+#[test]
+fn resilient_engine_exports_consensus_gauges_and_healthz_consensus_line() {
+    // A replicated control plane publishes its standing two ways: the
+    // `consensus_*` gauges in the Prometheus exposition (with HELP text)
+    // and a `consensus term … leader …` line in the `/healthz` body.
+    let params = vec![ParamSpec { key: 0, len: 8 }];
+    let map = EpsSlicer { max_chunk: 8 }.slice(&params, 2);
+    let mut init = HashMap::new();
+    init.insert(0u64, vec![0.0f32; 8]);
+    let cfg = EngineConfig {
+        num_workers: 1,
+        num_servers: 2,
+        ..EngineConfig::default()
+    };
+    let registry = MetricsRegistry::new();
+    let rcfg = RecoveryConfig {
+        heartbeat_every: Duration::from_millis(10),
+        liveness_timeout: Duration::from_millis(200),
+        num_supervisors: 3,
+        election_timeout: Duration::from_millis(120),
+        leader_lease: Duration::from_millis(60),
+        metrics: Some(registry.clone()),
+        ..RecoveryConfig::default()
+    };
+    let (cluster, mut workers) =
+        ResilientTcpCluster::launch(cfg, rcfg, map, &init, None).expect("launch");
+    let server = fluentps::obs::http::serve_with_health(
+        "127.0.0.1:0".parse().unwrap(),
+        registry,
+        None,
+        Some(cluster.health()),
+    )
+    .expect("bind introspection endpoint");
+    let addr = server.local_addr();
+
+    // Train a little so the leader has commits to account for.
+    let mut w = workers.remove(0);
+    let grads: HashMap<u64, Vec<f32>> = [(0u64, vec![1.0f32; 8])].into();
+    let mut out = HashMap::new();
+    for i in 0..4u64 {
+        w.spush(i, &grads).expect("push");
+        w.spull_wait(i, &mut out).expect("pull");
+    }
+
+    // The quorum elects a leader and publishes it into both surfaces.
+    let (status, body) = poll_healthz(addr, Duration::from_secs(10), |s, b| {
+        s.contains("200") && b.contains("leader supervisor")
+    });
+    assert!(status.contains("200"), "healthz: {status}\n{body}");
+    assert!(
+        body.contains("consensus term") && body.contains("replicas 3"),
+        "healthz consensus line: {body}"
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let text = loop {
+        let (status, text) = http_get(addr, "/metrics");
+        assert!(status.contains("200"), "metrics status: {status}");
+        if text.contains("consensus_is_leader 1") || Instant::now() > deadline {
+            break text;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    for gauge in [
+        "consensus_term",
+        "consensus_is_leader",
+        "consensus_commits_total",
+    ] {
+        assert!(
+            text.contains(&format!("# HELP {gauge} ")),
+            "missing HELP for {gauge} in:\n{text}"
+        );
+    }
+    assert!(
+        text.contains("consensus_is_leader 1"),
+        "quorum never elected in:\n{text}"
+    );
+    let term = text
+        .lines()
+        .find_map(|l| l.strip_prefix("consensus_term "))
+        .expect("consensus_term sample")
+        .parse::<f64>()
+        .expect("term is a float");
+    assert!(term >= 1.0, "term {term} before any election");
+
+    server.stop();
+    let stats = cluster.shutdown();
+    let pushes: u64 = stats.iter().map(|s| s.pushes).sum();
+    assert!(pushes >= 4, "training pushed through the quorum run");
+}
