@@ -97,6 +97,7 @@ fn dpr_buffer(c: &mut Criterion) {
                         progress: (w % 10) as u64,
                         keys: vec![0],
                         deferred_at: 0,
+                        ctx: None,
                     },
                 );
             }

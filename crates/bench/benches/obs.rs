@@ -321,6 +321,31 @@ fn wire_throughput(c: &mut Criterion) {
             buf.len()
         })
     });
+
+    // The causal-context envelope's wire cost: the same gradient push
+    // encoded and decoded bare vs. wrapped in a `Traced` frame. The pair
+    // bounds what end-to-end request tracing adds to the hot path — the
+    // envelope is 14 bytes plus one codec tag against a ~300-byte frame.
+    let traced = push
+        .clone()
+        .with_ctx(fluentps_transport::CausalCtx::new((2u64 << 40) | 7).retry(1));
+    for (name, msg) in [("ctx_overhead_off", &push), ("ctx_overhead_on", &traced)] {
+        g.bench_function(name, |b| {
+            let mut buf = BytesMut::new();
+            let mut reader = FrameReader::new();
+            b.iter(|| {
+                buf.clear();
+                for _ in 0..FRAMES {
+                    encode_frame_into(NodeId::Worker(1), msg, &mut buf);
+                }
+                let mut cursor = std::io::Cursor::new(buf.as_ref());
+                for _ in 0..FRAMES {
+                    reader.read_from(&mut cursor).unwrap();
+                }
+                buf.len()
+            })
+        });
+    }
     g.finish();
 }
 
@@ -386,6 +411,7 @@ fn stream_window(c: &mut Criterion) {
         v_train: i.saturating_sub(1),
         bytes: 64,
         seq: 0,
+        ..Default::default()
     };
     for i in 0..ITERS {
         let shard = (i % 4) as u32;

@@ -18,6 +18,8 @@
 
 use std::collections::BTreeMap;
 
+use fluentps_transport::CausalCtx;
+
 use crate::condition::{SyncPolicy, SyncState};
 
 /// Execution policy for delayed pull requests.
@@ -44,6 +46,10 @@ pub struct DeferredPull {
     /// `V_train` at deferral time (diagnostics: how long the DPR waited in
     /// iterations is `release_v_train − deferred_at`).
     pub deferred_at: u64,
+    /// Causal context of the originating `sPull`, carried through the buffer
+    /// so the eventual release (and its `DprReleased` event) joins the same
+    /// request waterfall as the deferral.
+    pub ctx: Option<CausalCtx>,
 }
 
 /// The lazy pull buffer: DPRs indexed by the progress value their release is
@@ -172,6 +178,7 @@ mod tests {
             progress,
             keys: vec![0],
             deferred_at: 0,
+            ctx: None,
         }
     }
 

@@ -19,11 +19,11 @@ use fluentps_obs::{
 use fluentps_util::rng::StdRng;
 
 use fluentps_transport::inproc::{Endpoint, Fabric, InprocPostman};
-use fluentps_transport::{frame, Mailbox, Message, NodeId, Postman};
+use fluentps_transport::{frame, CausalCtx, Mailbox, Message, NodeId, Postman};
 
 use crate::dpr::DprPolicy;
 use crate::eps::SliceMap;
-use crate::server::{GradScale, PullOutcome, ServerShard, ShardConfig};
+use crate::server::{stamp_ctx, GradScale, PullOutcome, ServerShard, ShardConfig};
 use crate::stats::ShardStats;
 use crate::worker::{Router, WorkerClient};
 use crate::SyncModel;
@@ -306,18 +306,29 @@ fn server_loop(
     let postman = endpoint.postman();
     let server_id = shard.config().server_id;
     // All outgoing messages funnel through here so WireSend events carry the
-    // exact framed size the TCP transport would put on the wire.
-    let send = |worker: u32, msg: Message| {
+    // exact framed size the TCP transport would put on the wire. Replies to
+    // context-carrying requests are wrapped back in the request's envelope,
+    // so the worker-side `WireRecv` closes the request's wire edge.
+    let send = |worker: u32, msg: Message, ctx: Option<CausalCtx>| {
+        let msg = match ctx {
+            Some(c) => msg.with_ctx(c),
+            None => msg,
+        };
         tracer.record(
             EventKind::WireSend,
-            RecordArgs::new()
-                .shard(server_id)
-                .worker(worker)
-                .bytes(frame::wire_len(&msg) as u64),
+            stamp_ctx(
+                RecordArgs::new()
+                    .shard(server_id)
+                    .worker(worker)
+                    .bytes(frame::wire_len(&msg) as u64),
+                ctx,
+            ),
         );
         let _ = postman.send(NodeId::Worker(worker), msg);
     };
     while let Ok((_, msg)) = endpoint.recv() {
+        let wire_bytes = frame::wire_len(&msg) as u64;
+        let (ctx, msg) = msg.split_ctx();
         if tracer.is_enabled() {
             let worker = match &msg {
                 Message::SPush { worker, .. } | Message::SPull { worker, .. } => *worker,
@@ -325,10 +336,13 @@ fn server_loop(
             };
             tracer.record(
                 EventKind::WireRecv,
-                RecordArgs::new()
-                    .shard(server_id)
-                    .worker(worker)
-                    .bytes(frame::wire_len(&msg) as u64),
+                stamp_ctx(
+                    RecordArgs::new()
+                        .shard(server_id)
+                        .worker(worker)
+                        .bytes(wire_bytes),
+                    ctx,
+                ),
             );
         }
         match msg {
@@ -339,13 +353,14 @@ fn server_loop(
             } => {
                 let released = {
                     let _span = profiler.enter("server/apply_push");
-                    let released = shard.on_push(worker, progress, &kv);
+                    let released = shard.on_push_ctx(worker, progress, &kv, ctx);
                     send(
                         worker,
                         Message::PushAck {
                             server: server_id,
                             progress,
                         },
+                        ctx,
                     );
                     released
                 };
@@ -360,6 +375,7 @@ fn server_loop(
                                 kv: r.kv,
                                 version: r.version,
                             },
+                            r.ctx,
                         );
                     }
                 }
@@ -371,7 +387,7 @@ fn server_loop(
             } => {
                 let _span = profiler.enter("server/handle_pull");
                 let draw: f64 = rng.gen();
-                match shard.on_pull(worker, progress, &keys, draw, None) {
+                match shard.on_pull_ctx(worker, progress, &keys, draw, None, ctx) {
                     PullOutcome::Respond { kv, version } => {
                         send(
                             worker,
@@ -381,6 +397,7 @@ fn server_loop(
                                 kv,
                                 version,
                             },
+                            ctx,
                         );
                     }
                     PullOutcome::Deferred => {}
@@ -396,6 +413,7 @@ fn server_loop(
                             kv: r.kv,
                             version: r.version,
                         },
+                        r.ctx,
                     );
                 }
                 break;

@@ -40,6 +40,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,7 +57,8 @@ use fluentps_transport::collect::{StreamerConfig, TraceStreamer};
 use fluentps_transport::fault::{FaultInjector, FaultPlan, FaultyMailbox, FaultyPostman};
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
 use fluentps_transport::{
-    frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement, NO_LEADER,
+    frame, CausalCtx, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement,
+    NO_LEADER,
 };
 
 use crate::checkpoint::ShardCheckpoint;
@@ -64,7 +66,7 @@ use crate::consensus::{ConsensusConfig, ControlCommand, LogEntry, Replica};
 use crate::engine::EngineConfig;
 use crate::eps::{EpsSlicer, SliceMap};
 use crate::scheduler::LivenessMonitor;
-use crate::server::{PullOutcome, ServerShard, ShardConfig};
+use crate::server::{stamp_ctx, PullOutcome, ServerShard, ShardConfig};
 use crate::stats::ShardStats;
 use crate::worker::{RetryPolicy, Router, WorkerClient};
 
@@ -79,10 +81,18 @@ type CheckpointStore = Arc<Mutex<HashMap<u32, Bytes>>>;
 /// Server thread handles plus the shutdown latch, shared across supervisor
 /// replicas: whichever live replica first receives `Shutdown` drains the
 /// servers; a replacement spawned by the current leader lands here too.
+///
+/// `stop` is the out-of-band counterpart of the `Shutdown` *message*: the
+/// drain path sends `Shutdown` with best effort and then joins the server
+/// threads unconditionally, so a lost frame (chaos drop, racing socket
+/// teardown) would hang the join forever. Every server loop already wakes
+/// on a heartbeat-interval timeout and checks this flag, guaranteeing exit
+/// even when the message never arrives.
 #[derive(Debug, Default)]
 struct SharedServers {
     handles: Vec<(u32, JoinHandle<ShardStats>)>,
     drained: bool,
+    stop: Arc<AtomicBool>,
 }
 
 type SharedState = Arc<Mutex<SharedServers>>;
@@ -380,6 +390,7 @@ impl ResilientTcpCluster {
             worker_nodes.push(node);
         }
 
+        let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::with_capacity(cfg.num_servers as usize);
         for (m, rx) in server_rx.into_iter().enumerate() {
             let m = m as u32;
@@ -407,6 +418,7 @@ impl ResilientTcpCluster {
                     tracer: server_tracer,
                     rcfg: rcfg.clone(),
                     store: Arc::clone(&store),
+                    stop: Arc::clone(&stop),
                 },
                 rx,
                 TcpNode::bind(
@@ -478,6 +490,7 @@ impl ResilientTcpCluster {
         let shared: SharedState = Arc::new(Mutex::new(SharedServers {
             handles,
             drained: false,
+            stop,
         }));
         let mut supervisors = Vec::with_capacity(rcfg.num_supervisors as usize);
         let mut supervisor_streamers = Vec::new();
@@ -519,6 +532,7 @@ impl ResilientTcpCluster {
                 pending_dead: BTreeSet::new(),
                 dead_for_good: BTreeSet::new(),
                 was_leader: false,
+                next_request: 0,
             };
             let handle = std::thread::Builder::new()
                 .name(format!("fluentps-supervisor-{k}"))
@@ -592,6 +606,7 @@ impl ResilientTcpCluster {
                 Vec::new()
             } else {
                 shared.drained = true;
+                shared.stop.store(true, Ordering::Relaxed);
                 std::mem::take(&mut shared.handles)
             }
         };
@@ -685,6 +700,9 @@ struct ServerLoop {
     tracer: Tracer,
     rcfg: RecoveryConfig,
     store: CheckpointStore,
+    /// Out-of-band shutdown latch (see [`SharedServers`]): checked every
+    /// loop wake-up so a lost `Shutdown` frame cannot strand the thread.
+    stop: Arc<AtomicBool>,
 }
 
 fn spawn_server_loop(
@@ -731,6 +749,13 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
     let mut last_cp_v = None::<u64>;
 
     loop {
+        // Out-of-band shutdown: the drain path sets this flag before it
+        // sends `Shutdown` and joins, so even a lost frame lets the loop
+        // exit at the next heartbeat-interval wake-up.
+        if s.stop.load(Ordering::Relaxed) {
+            drain_pending_replies(&mut s, &postman, server_id);
+            break;
+        }
         // Heartbeat on schedule, even under load.
         if last_hb.elapsed() >= s.rcfg.heartbeat_every {
             hb_seq += 1;
@@ -773,6 +798,8 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
             Ok(None) => continue,
             Err(_) => break,
         };
+        let wire_bytes = frame::wire_len(&msg) as u64;
+        let (ctx, msg) = msg.split_ctx();
         if s.tracer.is_enabled() {
             let worker = match &msg {
                 Message::SPush { worker, .. } | Message::SPull { worker, .. } => *worker,
@@ -780,12 +807,21 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
             };
             s.tracer.record(
                 EventKind::WireRecv,
-                RecordArgs::new()
-                    .shard(server_id)
-                    .worker(worker)
-                    .bytes(frame::wire_len(&msg) as u64),
+                stamp_ctx(
+                    RecordArgs::new()
+                        .shard(server_id)
+                        .worker(worker)
+                        .bytes(wire_bytes),
+                    ctx,
+                ),
             );
         }
+        // Wrap replies back in the request's envelope (when it carried one)
+        // so every hop of the request's round trip shares a waterfall.
+        let wrap = |msg: Message, ctx: Option<CausalCtx>| match ctx {
+            Some(c) => msg.with_ctx(c),
+            None => msg,
+        };
         match msg {
             Message::SPush {
                 worker,
@@ -793,10 +829,13 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
                 kv,
             } => {
                 let w = worker as usize;
-                let ack = Message::PushAck {
-                    server: server_id,
-                    progress,
-                };
+                let ack = wrap(
+                    Message::PushAck {
+                        server: server_id,
+                        progress,
+                    },
+                    ctx,
+                );
                 if s.seen[w].is_applied(progress) {
                     // Replay of an already-applied push: re-ack only, the
                     // shard (and its statistics) never sees it.
@@ -804,17 +843,20 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
                     continue;
                 }
                 let before = s.shard.v_train();
-                let released = s.shard.on_push(worker, progress, &kv);
+                let released = s.shard.on_push_ctx(worker, progress, &kv, ctx);
                 s.seen[w].apply(progress);
                 send_traced(&postman, &s.tracer, server_id, worker, ack);
                 for r in released {
                     let rkeys = r.kv.keys.clone();
-                    let resp = Message::PullResponse {
-                        server: server_id,
-                        progress: r.progress,
-                        kv: r.kv,
-                        version: r.version,
-                    };
+                    let resp = wrap(
+                        Message::PullResponse {
+                            server: server_id,
+                            progress: r.progress,
+                            kv: r.kv,
+                            version: r.version,
+                        },
+                        r.ctx,
+                    );
                     s.last_reply[r.worker as usize] = Some((r.progress, rkeys, resp.clone()));
                     s.pending_pull[r.worker as usize] = None;
                     send_traced(&postman, &s.tracer, server_id, r.worker, resp);
@@ -861,14 +903,20 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
                     continue;
                 }
                 let draw: f64 = s.rng.gen();
-                match s.shard.on_pull(worker, progress, &keys, draw, None) {
+                match s
+                    .shard
+                    .on_pull_ctx(worker, progress, &keys, draw, None, ctx)
+                {
                     PullOutcome::Respond { kv, version } => {
-                        let resp = Message::PullResponse {
-                            server: server_id,
-                            progress,
-                            kv,
-                            version,
-                        };
+                        let resp = wrap(
+                            Message::PullResponse {
+                                server: server_id,
+                                progress,
+                                kv,
+                                version,
+                            },
+                            ctx,
+                        );
                         s.last_reply[w] = Some((progress, keys, resp.clone()));
                         send_traced(&postman, &s.tracer, server_id, worker, resp);
                     }
@@ -897,21 +945,32 @@ fn resilient_server_loop<M: Mailbox, P: Postman>(
                 }
             }
             Message::Shutdown => {
-                for r in s.shard.drain_shutdown() {
-                    let resp = Message::PullResponse {
-                        server: server_id,
-                        progress: r.progress,
-                        kv: r.kv,
-                        version: r.version,
-                    };
-                    send_traced(&postman, &s.tracer, server_id, r.worker, resp);
-                }
+                drain_pending_replies(&mut s, &postman, server_id);
                 break;
             }
             _ => {}
         }
     }
     s.shard.stats().clone()
+}
+
+/// Flush every reply parked in the DPR buffer back to its worker, wrapped
+/// in the request's causal envelope when it carried one. Shared by the
+/// `Shutdown` message arm and the out-of-band stop-flag exit.
+fn drain_pending_replies<P: Postman>(s: &mut ServerLoop, postman: &P, server_id: u32) {
+    for r in s.shard.drain_shutdown() {
+        let resp = Message::PullResponse {
+            server: server_id,
+            progress: r.progress,
+            kv: r.kv,
+            version: r.version,
+        };
+        let resp = match r.ctx {
+            Some(c) => resp.with_ctx(c),
+            None => resp,
+        };
+        send_traced(postman, &s.tracer, server_id, r.worker, resp);
+    }
 }
 
 fn send_traced<P: Postman>(
@@ -923,10 +982,13 @@ fn send_traced<P: Postman>(
 ) {
     tracer.record(
         EventKind::WireSend,
-        RecordArgs::new()
-            .shard(server_id)
-            .worker(worker)
-            .bytes(frame::wire_len(&msg) as u64),
+        stamp_ctx(
+            RecordArgs::new()
+                .shard(server_id)
+                .worker(worker)
+                .bytes(frame::wire_len(&msg) as u64),
+            msg.ctx(),
+        ),
     );
     let _ = postman.send(NodeId::Worker(worker), msg);
 }
@@ -979,6 +1041,9 @@ struct SupervisorReplica {
     /// Servers whose death resolved to degraded mode — permanently dead.
     dead_for_good: BTreeSet<u32>,
     was_leader: bool,
+    /// Counter for this replica's causal request ids; see
+    /// [`SupervisorReplica::next_request_id`].
+    next_request: u64,
 }
 
 impl SupervisorReplica {
@@ -1246,6 +1311,10 @@ impl SupervisorReplica {
                 return Vec::new();
             }
             shared.drained = true;
+            // Latch first: `Shutdown` below is best-effort, and the join
+            // after it is unconditional — the flag guarantees the loops
+            // exit even when a frame is lost.
+            shared.stop.store(true, Ordering::Relaxed);
             std::mem::take(&mut shared.handles)
         };
         for m in 0..self.cfg.num_servers {
@@ -1309,12 +1378,17 @@ impl SupervisorReplica {
                 ahead: BTreeSet::new(),
             })
             .collect();
+        // A replacement is a control-plane action like a remap: give it a
+        // supervisor request id so the restoration shows up as a retained
+        // (recovery-touched) waterfall even though it sends no messages.
+        let restore_id = self.next_request_id();
         self.tracer.record(
             EventKind::CheckpointRestored,
             RecordArgs::new()
                 .shard(m)
                 .v_train(cp.v_train)
-                .bytes(bytes.len() as u64),
+                .bytes(bytes.len() as u64)
+                .request_id(restore_id),
         );
         self.generation += 1;
         let rng = StdRng::seed_from_u64(
@@ -1341,6 +1415,7 @@ impl SupervisorReplica {
                 tracer: rep_tracer,
                 rcfg,
                 store: Arc::clone(&self.store),
+                stop: Arc::clone(&self.shared.lock().stop),
             },
             rx,
             tx,
@@ -1362,9 +1437,17 @@ impl SupervisorReplica {
         if survivors.is_empty() {
             return; // nothing to degrade onto
         }
+        // One causal context covers the whole remap fan-out, so the
+        // `Install`s and `RouteUpdate`s of a single recovery action — and
+        // every `ShardRemapped`-adjacent event — share a waterfall. The tail
+        // sampler always retains recovery-touched requests.
+        let ctx = CausalCtx::new(self.next_request_id());
         self.tracer.record(
             EventKind::ShardRemapped,
-            RecordArgs::new().shard(m).bytes(moved as u64),
+            RecordArgs::new()
+                .shard(m)
+                .bytes(moved as u64)
+                .request_id(ctx.request_id),
         );
 
         // Recover the orphaned parameter values from the dead server's
@@ -1400,7 +1483,7 @@ impl SupervisorReplica {
                 kv.vals.extend_from_slice(&vals);
             }
             if !kv.is_empty() {
-                send(NodeId::Server(s), Message::Install { kv });
+                send(NodeId::Server(s), Message::Install { kv }.with_ctx(ctx));
             }
         }
 
@@ -1420,9 +1503,19 @@ impl SupervisorReplica {
                 NodeId::Worker(n),
                 Message::RouteUpdate {
                     placements: wire.clone(),
-                },
+                }
+                .with_ctx(ctx),
             );
         }
+    }
+
+    /// Allocate a causal request id in the supervisor space: the top bit
+    /// distinguishes control-plane requests from worker traffic, then the
+    /// replica id above a 40-bit per-replica counter — deterministic and
+    /// collision-free against [`WorkerClient`]'s id scheme.
+    fn next_request_id(&mut self) -> u64 {
+        self.next_request += 1;
+        (1u64 << 63) | ((self.id as u64 + 1) << 40) | self.next_request
     }
 }
 

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use fluentps_obs::{EventKind, RecordArgs, Tracer};
-use fluentps_transport::{codec, KvPairs};
+use fluentps_transport::{codec, CausalCtx, KvPairs};
 
 use crate::condition::{SyncModel, SyncPolicy, SyncState};
 use crate::dpr::{DeferredPull, DprBuffer, DprPolicy};
@@ -85,6 +85,18 @@ pub struct ReleasedPull {
     pub version: u64,
     /// Iterations the DPR spent buffered.
     pub waited_iterations: u64,
+    /// Causal context of the originating pull, so the engine can wrap the
+    /// lazily-sent `PullResponse` in the same request's envelope.
+    pub ctx: Option<CausalCtx>,
+}
+
+/// Stamp `args` with a causal context when one is present (the context-free
+/// paths record exactly the events they always did).
+pub(crate) fn stamp_ctx(args: RecordArgs, ctx: Option<CausalCtx>) -> RecordArgs {
+    match ctx {
+        Some(c) => args.ctx(c.request_id, c.attempt as u32, c.parent_span),
+        None => args,
+    }
 }
 
 /// One parameter shard plus its synchronization state machine.
@@ -216,6 +228,21 @@ impl ServerShard {
         draw: f64,
         significance: Option<f64>,
     ) -> PullOutcome {
+        self.on_pull_ctx(worker, progress, keys, draw, significance, None)
+    }
+
+    /// [`ServerShard::on_pull`] with the request's causal context: the
+    /// `PullRequested`/`PullDeferred` events it records — and, if deferred,
+    /// the eventual `DprReleased` — all join the request's waterfall.
+    pub fn on_pull_ctx(
+        &mut self,
+        worker: u32,
+        progress: u64,
+        keys: &[u64],
+        draw: f64,
+        significance: Option<f64>,
+        ctx: Option<CausalCtx>,
+    ) -> PullOutcome {
         self.progress.observe(worker, progress);
         self.stats.pulls_total += 1;
         // Codec-measured request size: exactly what encode(SPull) produces.
@@ -223,12 +250,15 @@ impl ServerShard {
         self.stats.bytes_in += req_bytes;
         self.tracer.record(
             EventKind::PullRequested,
-            RecordArgs::new()
-                .shard(self.cfg.server_id)
-                .worker(worker)
-                .progress(progress)
-                .v_train(self.v_train)
-                .bytes(req_bytes),
+            stamp_ctx(
+                RecordArgs::new()
+                    .shard(self.cfg.server_id)
+                    .worker(worker)
+                    .progress(progress)
+                    .v_train(self.v_train)
+                    .bytes(req_bytes),
+                ctx,
+            ),
         );
         let significance = significance.or(self.last_significance[worker as usize]);
         let st = self.sync_state();
@@ -252,11 +282,14 @@ impl ServerShard {
             self.stats.dprs += 1;
             self.tracer.record(
                 EventKind::PullDeferred,
-                RecordArgs::new()
-                    .shard(self.cfg.server_id)
-                    .worker(worker)
-                    .progress(progress)
-                    .v_train(self.v_train),
+                stamp_ctx(
+                    RecordArgs::new()
+                        .shard(self.cfg.server_id)
+                        .worker(worker)
+                        .progress(progress)
+                        .v_train(self.v_train),
+                    ctx,
+                ),
             );
             self.buffer.defer(
                 self.cfg.policy,
@@ -265,6 +298,7 @@ impl ServerShard {
                     progress,
                     keys: keys.to_vec(),
                     deferred_at: self.v_train,
+                    ctx,
                 },
             );
             self.stats.dpr_buffer_peak = self.buffer.peak_pending() as u64;
@@ -276,6 +310,19 @@ impl ServerShard {
     /// gradients, updates `Count`, and — whenever the push condition fires —
     /// advances `V_train` and releases every DPR the [`DprPolicy`] admits.
     pub fn on_push(&mut self, worker: u32, progress: u64, kv: &KvPairs) -> Vec<ReleasedPull> {
+        self.on_push_ctx(worker, progress, kv, None)
+    }
+
+    /// [`ServerShard::on_push`] with the push's causal context: the
+    /// `PushApplied`/`LatePushDropped` event joins the pushing request's
+    /// waterfall. Released DPRs keep their *own* original pull contexts.
+    pub fn on_push_ctx(
+        &mut self,
+        worker: u32,
+        progress: u64,
+        kv: &KvPairs,
+        ctx: Option<CausalCtx>,
+    ) -> Vec<ReleasedPull> {
         debug_assert!(kv.is_consistent(), "inconsistent KvPairs in push");
         self.progress.observe(worker, progress);
         self.stats.pushes += 1;
@@ -287,24 +334,30 @@ impl ServerShard {
             self.stats.late_pushes_dropped += 1;
             self.tracer.record(
                 EventKind::LatePushDropped,
-                RecordArgs::new()
-                    .shard(self.cfg.server_id)
-                    .worker(worker)
-                    .progress(progress)
-                    .v_train(self.v_train)
-                    .bytes(push_bytes),
+                stamp_ctx(
+                    RecordArgs::new()
+                        .shard(self.cfg.server_id)
+                        .worker(worker)
+                        .progress(progress)
+                        .v_train(self.v_train)
+                        .bytes(push_bytes),
+                    ctx,
+                ),
             );
         } else {
             self.last_significance[worker as usize] = Some(self.push_significance(kv));
             self.apply_gradients(kv);
             self.tracer.record(
                 EventKind::PushApplied,
-                RecordArgs::new()
-                    .shard(self.cfg.server_id)
-                    .worker(worker)
-                    .progress(progress)
-                    .v_train(self.v_train)
-                    .bytes(push_bytes),
+                stamp_ctx(
+                    RecordArgs::new()
+                        .shard(self.cfg.server_id)
+                        .worker(worker)
+                        .progress(progress)
+                        .v_train(self.v_train)
+                        .bytes(push_bytes),
+                    ctx,
+                ),
             );
         }
         self.progress.record_push(progress);
@@ -356,12 +409,15 @@ impl ServerShard {
         self.stats.dpr_wait_hist.record(waited);
         self.tracer.record(
             EventKind::DprReleased,
-            RecordArgs::new()
-                .shard(self.cfg.server_id)
-                .worker(dpr.worker)
-                .progress(dpr.progress)
-                .v_train(self.v_train)
-                .bytes(resp_bytes),
+            stamp_ctx(
+                RecordArgs::new()
+                    .shard(self.cfg.server_id)
+                    .worker(dpr.worker)
+                    .progress(dpr.progress)
+                    .v_train(self.v_train)
+                    .bytes(resp_bytes),
+                dpr.ctx,
+            ),
         );
         ReleasedPull {
             worker: dpr.worker,
@@ -369,6 +425,7 @@ impl ServerShard {
             kv,
             version: self.v_train,
             waited_iterations: waited,
+            ctx: dpr.ctx,
         }
     }
 

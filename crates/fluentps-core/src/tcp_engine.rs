@@ -19,11 +19,11 @@ use fluentps_util::rng::StdRng;
 
 use fluentps_transport::collect::{StreamerConfig, TraceStreamer};
 use fluentps_transport::tcp::{AddressBook, TcpNode, TcpPostman};
-use fluentps_transport::{frame, Mailbox, Message, NodeId, Postman, TransportError};
+use fluentps_transport::{frame, CausalCtx, Mailbox, Message, NodeId, Postman, TransportError};
 
 use crate::engine::EngineConfig;
 use crate::eps::SliceMap;
-use crate::server::{PullOutcome, ServerShard, ShardConfig};
+use crate::server::{stamp_ctx, PullOutcome, ServerShard, ShardConfig};
 use crate::stats::ShardStats;
 use crate::worker::{Router, WorkerClient};
 
@@ -327,17 +327,29 @@ fn tcp_server_loop(
     // transport as one batch, so the TCP postman coalesces all frames for a
     // worker into a single write instead of one syscall per reply.
     let mut replies: Vec<(NodeId, Message)> = Vec::new();
-    let send = |replies: &mut Vec<(NodeId, Message)>, worker: u32, msg: Message| {
+    let send = |replies: &mut Vec<(NodeId, Message)>,
+                worker: u32,
+                msg: Message,
+                ctx: Option<CausalCtx>| {
+        let msg = match ctx {
+            Some(c) => msg.with_ctx(c),
+            None => msg,
+        };
         tracer.record(
             EventKind::WireSend,
-            RecordArgs::new()
-                .shard(server_id)
-                .worker(worker)
-                .bytes(frame::wire_len(&msg) as u64),
+            stamp_ctx(
+                RecordArgs::new()
+                    .shard(server_id)
+                    .worker(worker)
+                    .bytes(frame::wire_len(&msg) as u64),
+                ctx,
+            ),
         );
         replies.push((NodeId::Worker(worker), msg));
     };
     while let Ok((_, msg)) = rx.recv() {
+        let wire_bytes = frame::wire_len(&msg) as u64;
+        let (ctx, msg) = msg.split_ctx();
         if tracer.is_enabled() {
             let worker = match &msg {
                 Message::SPush { worker, .. } | Message::SPull { worker, .. } => *worker,
@@ -345,10 +357,13 @@ fn tcp_server_loop(
             };
             tracer.record(
                 EventKind::WireRecv,
-                RecordArgs::new()
-                    .shard(server_id)
-                    .worker(worker)
-                    .bytes(frame::wire_len(&msg) as u64),
+                stamp_ctx(
+                    RecordArgs::new()
+                        .shard(server_id)
+                        .worker(worker)
+                        .bytes(wire_bytes),
+                    ctx,
+                ),
             );
         }
         let mut done = false;
@@ -360,7 +375,7 @@ fn tcp_server_loop(
             } => {
                 let released = {
                     let _span = profiler.enter("server/apply_push");
-                    let released = shard.on_push(worker, progress, &kv);
+                    let released = shard.on_push_ctx(worker, progress, &kv, ctx);
                     send(
                         &mut replies,
                         worker,
@@ -368,6 +383,7 @@ fn tcp_server_loop(
                             server: server_id,
                             progress,
                         },
+                        ctx,
                     );
                     released
                 };
@@ -383,6 +399,7 @@ fn tcp_server_loop(
                                 kv: r.kv,
                                 version: r.version,
                             },
+                            r.ctx,
                         );
                     }
                 }
@@ -395,7 +412,7 @@ fn tcp_server_loop(
                 let _span = profiler.enter("server/handle_pull");
                 let draw: f64 = rng.gen();
                 if let PullOutcome::Respond { kv, version } =
-                    shard.on_pull(worker, progress, &keys, draw, None)
+                    shard.on_pull_ctx(worker, progress, &keys, draw, None, ctx)
                 {
                     send(
                         &mut replies,
@@ -406,6 +423,7 @@ fn tcp_server_loop(
                             kv,
                             version,
                         },
+                        ctx,
                     );
                 }
             }
@@ -420,6 +438,7 @@ fn tcp_server_loop(
                             kv: r.kv,
                             version: r.version,
                         },
+                        r.ctx,
                     );
                 }
                 done = true;

@@ -8,9 +8,9 @@
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::time::Duration;
 
-use fluentps_obs::{EventKind, Profiler, RecordArgs, Tracer};
+use fluentps_obs::{EventKind, Profiler, RecordArgs, Tracer, NO_ID};
 use fluentps_transport::{
-    frame, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement,
+    frame, CausalCtx, KvPairs, Mailbox, Message, NodeId, Postman, TransportError, WirePlacement,
 };
 use fluentps_util::rng::StdRng;
 
@@ -191,6 +191,8 @@ pub struct WorkerClient<P, M> {
     tracer: Tracer,
     profiler: Profiler,
     retry: Option<RetryState>,
+    /// Per-worker causal request counter; see [`WorkerClient::next_request_id`].
+    next_request: u64,
 }
 
 impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
@@ -204,6 +206,27 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             tracer: Tracer::disabled(),
             profiler: Profiler::disabled(),
             retry: None,
+            next_request: 0,
+        }
+    }
+
+    /// Allocate the next causal request id: the worker id plus one (so `0`
+    /// stays the "no context" sentinel) packed above a 40-bit per-worker
+    /// counter. Ids are unique across workers and — the counter advances
+    /// once per logical `sPush`/`sPull` round — identical across same-seed
+    /// runs, which is what makes retained waterfall sets reproducible.
+    fn next_request_id(&mut self) -> u64 {
+        self.next_request += 1;
+        ((self.worker_id as u64 + 1) << 40) | self.next_request
+    }
+
+    /// Wrap `msg` in a [`Message::Traced`] envelope when tracing is on; an
+    /// untraced client sends the exact pre-context wire bytes.
+    fn wrap(&self, msg: Message, ctx: CausalCtx) -> Message {
+        if self.tracer.is_enabled() {
+            msg.with_ctx(ctx)
+        } else {
+            msg
         }
     }
 
@@ -255,6 +278,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         grads: &HashMap<u64, Vec<f32>>,
     ) -> Result<u32, TransportError> {
         let _span = self.profiler.enter("worker/push");
+        let ctx = CausalCtx::new(self.next_request_id());
         let shards = self.router.scatter(grads);
         if let Some(retry) = &mut self.retry {
             retry.replay.push_back((progress, shards.clone()));
@@ -273,19 +297,15 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                 if kv.is_empty() {
                     continue;
                 }
-                let msg = Message::SPush {
-                    worker: self.worker_id,
-                    progress,
-                    kv,
-                };
-                self.tracer.record(
-                    EventKind::WireSend,
-                    RecordArgs::new()
-                        .shard(m as u32)
-                        .worker(self.worker_id)
-                        .progress(progress)
-                        .bytes(frame::wire_len(&msg) as u64),
+                let msg = self.wrap(
+                    Message::SPush {
+                        worker: self.worker_id,
+                        progress,
+                        kv,
+                    },
+                    ctx,
                 );
+                self.trace_send(m as u32, progress, &msg);
                 batch.push((NodeId::Server(m as u32), msg));
             }
             sent = batch.len() as u32;
@@ -298,19 +318,15 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             if kv.is_empty() {
                 continue;
             }
-            let msg = Message::SPush {
-                worker: self.worker_id,
-                progress,
-                kv,
-            };
-            self.tracer.record(
-                EventKind::WireSend,
-                RecordArgs::new()
-                    .shard(m as u32)
-                    .worker(self.worker_id)
-                    .progress(progress)
-                    .bytes(frame::wire_len(&msg) as u64),
+            let msg = self.wrap(
+                Message::SPush {
+                    worker: self.worker_id,
+                    progress,
+                    kv,
+                },
+                ctx,
             );
+            self.trace_send(m as u32, progress, &msg);
             match self.postman.send(NodeId::Server(m as u32), msg) {
                 Ok(()) => sent += 1,
                 Err(_) => {
@@ -319,7 +335,8 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                         RecordArgs::new()
                             .shard(m as u32)
                             .worker(self.worker_id)
-                            .progress(progress),
+                            .progress(progress)
+                            .request_id(ctx.request_id),
                     );
                 }
             }
@@ -356,6 +373,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         params: &mut HashMap<u64, Vec<f32>>,
     ) -> Result<PullReport, TransportError> {
         let _span = self.profiler.enter("worker/pull_wait");
+        let ctx = CausalCtx::new(self.next_request_id());
         let groups = self.pull_groups(orig_keys);
         let mut report = PullReport {
             responses: 0,
@@ -370,11 +388,14 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             // the TCP postman writes one coalesced frame run per server.
             let mut batch = Vec::with_capacity(groups.len());
             for (m, keys) in &groups {
-                let msg = Message::SPull {
-                    worker: self.worker_id,
-                    progress,
-                    keys: keys.clone(),
-                };
+                let msg = self.wrap(
+                    Message::SPull {
+                        worker: self.worker_id,
+                        progress,
+                        keys: keys.clone(),
+                    },
+                    ctx,
+                );
                 self.trace_send(*m, progress, &msg);
                 batch.push((NodeId::Server(*m), msg));
             }
@@ -382,7 +403,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
             let expected = groups.len() as u32;
             while report.responses < expected {
                 let (_, msg) = self.mailbox.recv()?;
-                match msg {
+                match self.trace_recv(msg) {
                     Message::PullResponse { kv, version, .. } => {
                         self.router.gather_into(params, &kv);
                         report.responses += 1;
@@ -395,7 +416,7 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                 }
             }
             if expected > 0 {
-                self.trace_wait(wait_start, progress, report.max_version);
+                self.trace_wait(wait_start, progress, report.max_version, ctx, 0);
             }
             return Ok(report);
         }
@@ -406,13 +427,13 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         let mut groups = groups;
         let mut awaiting: BTreeSet<u32> = groups.iter().map(|(m, _)| *m).collect();
         for (m, keys) in &groups {
-            self.try_send_pull(*m, progress, keys.clone());
+            self.try_send_pull(*m, progress, keys.clone(), ctx);
         }
         let mut attempt = 0u32;
         while !awaiting.is_empty() {
             let timeout = self.retry.as_ref().expect("retry on").policy.timeout;
             match self.mailbox.recv_timeout(timeout)? {
-                Some((_, msg)) => match msg {
+                Some((_, msg)) => match self.trace_recv(msg) {
                     Message::PullResponse {
                         server,
                         progress: echo,
@@ -433,6 +454,12 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                         // routing; servers that already answered re-serve
                         // from their reply cache and gathering is
                         // idempotent, so the restart cannot double-apply.
+                        // The attempt counter is NOT reset: the retry
+                        // budget — and the timer the waterfall exposes —
+                        // covers the whole logical pull, so a pull racing
+                        // repeated RouteUpdates still gives up after
+                        // `max_retries` timeouts total instead of earning a
+                        // fresh budget per reroute.
                         self.apply_route_update(&placements);
                         groups = self.pull_groups(orig_keys);
                         awaiting = groups.iter().map(|(m, _)| *m).collect();
@@ -440,9 +467,13 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                         report.max_version = 0;
                         report.min_version = u64::MAX;
                         for (m, keys) in &groups {
-                            self.try_send_pull(*m, progress, keys.clone());
+                            self.try_send_pull(
+                                *m,
+                                progress,
+                                keys.clone(),
+                                ctx.retry(attempt as u16),
+                            );
                         }
-                        attempt = 0;
                     }
                     Message::Shutdown => return Err(TransportError::Disconnected),
                     _ => {}
@@ -465,7 +496,9 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                                 .shard(m)
                                 .worker(self.worker_id)
                                 .progress(progress)
-                                .bytes(backoff.as_millis() as u64),
+                                .bytes(backoff.as_millis() as u64)
+                                .request_id(ctx.request_id)
+                                .attempt(attempt),
                         );
                     }
                     std::thread::sleep(backoff);
@@ -473,32 +506,35 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
                     // unresponsive server (a replacement rebuilt from a
                     // checkpoint needs them to advance `V_train`; servers
                     // that already applied them dedup by watermark), then
-                    // re-send the pull.
+                    // re-send the pull. Replayed pushes travel under the
+                    // pull's context at the current attempt, so the
+                    // waterfall shows the replay traffic each retry cost.
+                    let retry_ctx = ctx.retry(attempt as u16);
                     for &m in &awaiting {
                         for (p, shards) in &replay {
                             if let Some(kv) = shards.get(m as usize) {
                                 if !kv.is_empty() {
-                                    self.try_send(
-                                        m,
-                                        *p,
+                                    let msg = self.wrap(
                                         Message::SPush {
                                             worker: self.worker_id,
                                             progress: *p,
                                             kv: kv.clone(),
                                         },
+                                        retry_ctx,
                                     );
+                                    self.try_send(m, *p, msg);
                                 }
                             }
                         }
                         if let Some((_, keys)) = groups.iter().find(|(s, _)| *s == m) {
-                            self.try_send_pull(m, progress, keys.clone());
+                            self.try_send_pull(m, progress, keys.clone(), retry_ctx);
                         }
                     }
                 }
             }
         }
         if report.responses > 0 {
-            self.trace_wait(wait_start, progress, report.max_version);
+            self.trace_wait(wait_start, progress, report.max_version, ctx, attempt);
         }
         Ok(report)
     }
@@ -543,24 +579,61 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
     }
 
     fn trace_send(&self, m: u32, progress: u64, msg: &Message) {
-        self.tracer.record(
-            EventKind::WireSend,
-            RecordArgs::new()
-                .shard(m)
-                .worker(self.worker_id)
-                .progress(progress)
-                .bytes(frame::wire_len(msg) as u64),
-        );
+        let mut args = RecordArgs::new()
+            .shard(m)
+            .worker(self.worker_id)
+            .progress(progress)
+            .bytes(frame::wire_len(msg) as u64);
+        if let Some(c) = msg.ctx() {
+            args = args.ctx(c.request_id, c.attempt as u32, c.parent_span);
+        }
+        self.tracer.record(EventKind::WireSend, args);
     }
 
-    fn trace_wait(&self, wait_start: f64, progress: u64, max_version: u64) {
+    /// Record a worker-side `WireRecv` for a context-carrying reply and peel
+    /// its envelope. Context-free messages pass through untouched, so this
+    /// adds no events to an untraced or pre-context run.
+    fn trace_recv(&self, msg: Message) -> Message {
+        let bytes = frame::wire_len(&msg) as u64;
+        let (ctx, inner) = msg.split_ctx();
+        if let Some(c) = ctx {
+            let (shard, progress) = match &inner {
+                Message::PullResponse {
+                    server, progress, ..
+                }
+                | Message::PushAck { server, progress } => (*server, *progress),
+                _ => (NO_ID, 0),
+            };
+            self.tracer.record(
+                EventKind::WireRecv,
+                RecordArgs::new()
+                    .shard(shard)
+                    .worker(self.worker_id)
+                    .progress(progress)
+                    .bytes(bytes)
+                    .ctx(c.request_id, c.attempt as u32, c.parent_span),
+            );
+        }
+        inner
+    }
+
+    fn trace_wait(
+        &self,
+        wait_start: f64,
+        progress: u64,
+        max_version: u64,
+        ctx: CausalCtx,
+        attempt: u32,
+    ) {
         self.tracer.record_span(
             EventKind::BarrierWait,
             wait_start,
             RecordArgs::new()
                 .worker(self.worker_id)
                 .progress(progress)
-                .v_train(max_version),
+                .v_train(max_version)
+                .request_id(ctx.request_id)
+                .attempt(attempt),
         );
     }
 
@@ -580,16 +653,16 @@ impl<P: Postman, M: Mailbox> WorkerClient<P, M> {
         }
     }
 
-    fn try_send_pull(&self, m: u32, progress: u64, keys: Vec<u64>) {
-        self.try_send(
-            m,
-            progress,
+    fn try_send_pull(&self, m: u32, progress: u64, keys: Vec<u64>, ctx: CausalCtx) {
+        let msg = self.wrap(
             Message::SPull {
                 worker: self.worker_id,
                 progress,
                 keys,
             },
+            ctx,
         );
+        self.try_send(m, progress, msg);
     }
 }
 
@@ -896,5 +969,83 @@ mod tests {
         postman.send(NodeId::Server(0), Message::Shutdown).unwrap();
         server0.join().unwrap();
         announcer.join().unwrap();
+    }
+
+    #[test]
+    fn route_update_does_not_reset_the_retry_budget() {
+        use fluentps_obs::TraceCollector;
+
+        let fabric = Fabric::new();
+        let worker_ep = fabric.register(NodeId::Worker(0));
+        let _s0 = fabric.register(NodeId::Server(0)); // alive but never answers
+        let _s1 = fabric.register(NodeId::Server(1)); // dead: remapped away
+        let ctl = fabric.register(NodeId::Scheduler);
+        let params: Vec<ParamSpec> = (0..4).map(|k| ParamSpec { key: k, len: 1 }).collect();
+        let map = EpsSlicer { max_chunk: 16 }.slice(&params, 2);
+        let r = Router::new(map.clone());
+
+        let (remapped, _moved) = EpsSlicer { max_chunk: 16 }.remap_dead(&map, 1);
+        let wire: Vec<WirePlacement> = remapped
+            .placements()
+            .iter()
+            .map(|p| WirePlacement {
+                orig_key: p.orig_key,
+                new_key: p.new_key,
+                server: p.server,
+                offset: p.offset as u32,
+                len: p.len as u32,
+            })
+            .collect();
+
+        let collector = TraceCollector::wall(1 << 10);
+        let postman = worker_ep.postman();
+        let mut client = WorkerClient::new(0, postman, worker_ep, r);
+        client.set_tracer(collector.tracer());
+        client.set_retry_policy(RetryPolicy {
+            timeout: Duration::from_millis(20),
+            max_retries: 3,
+            ..fast_policy(3)
+        });
+
+        // Fire the RouteUpdate only once the first retry is observably
+        // scheduled, so at least one attempt pre-dates the reroute.
+        let ctl_postman = ctl.postman();
+        let watch = collector.clone();
+        let announcer = std::thread::spawn(move || {
+            while watch.snapshot().count(EventKind::RetryScheduled) == 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            ctl_postman
+                .send(NodeId::Worker(0), Message::RouteUpdate { placements: wire })
+                .unwrap();
+        });
+
+        let mut out = HashMap::new();
+        let err = client.spull_wait(0, &mut out).unwrap_err();
+        assert!(matches!(err, TransportError::Timeout), "got {err:?}");
+        announcer.join().unwrap();
+
+        // The budget is cumulative across the reroute: the attempt ordinals
+        // stamped on shard 0's RetryScheduled events increase strictly and
+        // end at exactly `max_retries`. Before the fix the reroute reset
+        // the counter, re-emitting attempt 1 and granting the round a whole
+        // fresh budget (unbounded total wait under repeated reroutes).
+        let trace = collector.snapshot();
+        let attempts: Vec<u32> = trace
+            .events
+            .iter()
+            .filter(|ev| ev.kind == EventKind::RetryScheduled && ev.shard == 0)
+            .map(|ev| ev.attempt)
+            .collect();
+        assert!(!attempts.is_empty());
+        assert!(
+            attempts.windows(2).all(|w| w[0] < w[1]),
+            "attempt counter reset across RouteUpdate: {attempts:?}"
+        );
+        assert_eq!(
+            *attempts.last().unwrap(),
+            3,
+            "full budget spent: {attempts:?}"
+        );
     }
 }

@@ -10,6 +10,7 @@
 //!               [--supervisors N] [--kill-supervisor K@V]... [--metrics-addr ADDR]
 //!   repro collect FILE [chaos flags] [--ring N]
 //!   repro watch [chaos flags]
+//!   repro waterfall [chaos flags] [--top N]
 //!   repro profile [--workers N] [--servers N] [--iters N] [--seed N]
 //!                 [--metrics-addr ADDR] [--out FILE] [--top N]
 //!
@@ -28,6 +29,15 @@
 //! refreshing summary (windowed tail latencies, progress rates, alert
 //! states) goes to stderr, and the final `/slo` text plus the
 //! deterministic alert fingerprint go to stdout when the run ends.
+//! `waterfall` runs a chaos job with its local trace kept and assembles
+//! exact per-request causal waterfalls from the propagated request ids:
+//! stable `waterfall-request` / `waterfall-balance` / `waterfall-gapless`
+//! lines go to stdout for CI (logical shape only — same-seed single-worker
+//! runs without `--kill` diff bit-identical; see DESIGN.md §17), followed
+//! by the `--top N` slowest requests as aligned text waterfalls and a
+//! per-stage transition latency table. Exits non-zero when the collector
+//! balance (`retained + sampled_out == observed`) or any retained
+//! waterfall's gapless check fails.
 //! `profile` runs a live TCP training job under the cooperative span
 //! profiler and prints the top-N spans by self time (calls, self/total
 //! time, attributed allocations); `--out FILE` additionally writes the
@@ -51,6 +61,7 @@ fn main() {
         Some("chaos") => run_chaos_cmd(&args[1..]),
         Some("collect") => run_collect_cmd(&args[1..]),
         Some("watch") => run_watch_cmd(&args[1..]),
+        Some("waterfall") => run_waterfall_cmd(&args[1..]),
         Some("profile") => run_profile_cmd(&args[1..]),
         _ => run_figures(&args),
     }
@@ -388,6 +399,106 @@ fn run_watch_cmd(args: &[String]) {
     print_chaos_result(&cfg, &r);
 }
 
+/// `repro waterfall`: a chaos run with its local trace kept, assembled
+/// into exact per-request causal waterfalls (`fluentps_obs::waterfall`).
+/// Prints deterministic `waterfall-` lines for CI, the top-N slowest
+/// requests as aligned text waterfalls, and the per-stage p50/p99 table;
+/// exits non-zero on a balance or gapless violation.
+fn run_waterfall_cmd(args: &[String]) {
+    use fluentps_obs::waterfall::{self, SamplerConfig};
+
+    let mut top = 5usize;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--top" {
+            i += 1;
+            top = parse_arg(args.get(i), "--top N");
+        } else {
+            rest.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let mut cfg = fluentps_experiments::live::ChaosConfig::default();
+    parse_chaos_args(&rest, &mut cfg, &mut None, false);
+    cfg.keep_trace = true;
+    eprintln!(
+        "[repro] waterfall: {}w x {}s, {} iters, seed {}, faults {}, kill {:?}, top {}",
+        cfg.num_workers, cfg.num_servers, cfg.max_iters, cfg.seed, cfg.faults, cfg.kill_server, top
+    );
+
+    let r = fluentps_experiments::live::run_chaos(&cfg);
+    let trace = r
+        .trace
+        .as_ref()
+        .expect("keep_trace retains the local trace");
+    let set = waterfall::assemble(trace);
+    // Retain everything: the repro surface is for offline inspection, and
+    // an all-retained set is a pure function of the seed (the tail sampler
+    // proper is exercised by the live `/waterfall?top=` endpoint).
+    let sampled = waterfall::tail_sample(&set, SamplerConfig::default());
+
+    for w in &sampled.retained {
+        println!("{}", w.stable_line());
+    }
+    println!(
+        "waterfall-balance observed={} retained={} sampled_out={} unstamped={} dropped={}",
+        sampled.observed,
+        sampled.retained.len(),
+        sampled.sampled_out,
+        set.unstamped_events,
+        trace.dropped
+    );
+    let balance_ok = match sampled.balance() {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("[repro] {e}");
+            false
+        }
+    };
+    let mut gapless_ok = true;
+    for w in &sampled.retained {
+        if let Err(e) = w.check_gapless() {
+            eprintln!("[repro] gapless violation: {e}");
+            gapless_ok = false;
+        }
+    }
+    println!(
+        "waterfall-gapless {}",
+        if gapless_ok { "ok" } else { "FAILED" }
+    );
+
+    // Wall-clock output below this point: aligned waterfalls for the
+    // slowest requests, then the per-stage transition latency table.
+    let slowest = set.slowest(top);
+    print!("{}", waterfall::render_text(&slowest));
+    println!(
+        "{:<42} {:>7} {:>9} {:>9} {:>9}",
+        "stage transition", "count", "p50_us", "p99_us", "max_us"
+    );
+    for (name, h) in waterfall::stage_table(&sampled.retained) {
+        println!(
+            "{name:<42} {:>7} {:>9} {:>9} {:>9}",
+            h.count(),
+            h.quantile_upper(0.5),
+            h.quantile_upper(0.99),
+            h.max()
+        );
+    }
+    // The exemplar-bearing histograms the live `/waterfall` endpoint
+    // refreshes into `/metrics`, rendered once for the log.
+    let registry = fluentps_obs::MetricsRegistry::new();
+    waterfall::export_metrics(&registry, &sampled.retained);
+    for line in registry.render_text().lines() {
+        eprintln!("[repro] {line}");
+    }
+
+    print_chaos_result(&cfg, &r);
+    if !(balance_ok && gapless_ok) {
+        std::process::exit(1);
+    }
+}
+
 /// `repro profile`: a live TCP training run under the span profiler.
 /// Prints the top-N self-time table plus stable `profile-span` lines for
 /// CI, and optionally writes the full profile to a file.
@@ -713,7 +824,7 @@ where
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--supervisors N] [--kill-supervisor K@V]... [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]\n       repro watch [chaos flags]\n       repro profile [--workers N] [--servers N] [--iters N] [--seed N] [--metrics-addr ADDR] [--out FILE] [--top N]"
+        "usage: repro <fig1|fig3|fig6|fig7|fig8|fig9|fig10|fig11|table4|ablation-eps|ablation-sched|ablation-filter|ablation-stragglers|all> [--full] [--csv DIR] [--trace FILE] [--metrics-addr ADDR]\n       repro analyze FILE [--md] [--ssp S | --pssp-const S C]\n       repro validate-json FILE\n       repro chaos [--seed N] [--workers N] [--servers N] [--iters N] [--staleness S] [--faults N] [--kill M@V] [--supervisors N] [--kill-supervisor K@V]... [--metrics-addr ADDR]\n       repro collect FILE [chaos flags] [--ring N]\n       repro watch [chaos flags]\n       repro waterfall [chaos flags] [--top N]\n       repro profile [--workers N] [--servers N] [--iters N] [--seed N] [--metrics-addr ADDR] [--out FILE] [--top N]"
     );
     std::process::exit(2);
 }

@@ -264,6 +264,12 @@ pub struct ChaosConfig {
     pub health_engine: Option<HealthEngine>,
     /// Master seed: drives data, initialization, and the fault schedule.
     pub seed: u64,
+    /// Keep the run's local trace and return it in
+    /// [`ChaosResult::trace`], so callers (e.g. `repro waterfall`) can
+    /// assemble per-request causal waterfalls offline. Forces a local
+    /// [`TraceCollector`] even without a health engine; ignored when
+    /// `collector_addr` streams events off-node instead.
+    pub keep_trace: bool,
 }
 
 impl Default for ChaosConfig {
@@ -282,6 +288,7 @@ impl Default for ChaosConfig {
             trace_ring_capacity: 1 << 14,
             health_engine: None,
             seed: 0,
+            keep_trace: false,
         }
     }
 }
@@ -310,6 +317,11 @@ pub struct ChaosResult {
     /// transitions): same seed + same kill schedule reproduce it
     /// bit-for-bit. `None` when no engine observed the run.
     pub alert_fingerprint: Option<String>,
+    /// The run's local trace snapshot, taken after shutdown so it is
+    /// complete ([`ChaosConfig::keep_trace`]; `None` otherwise). All
+    /// events share one process clock, so waterfall assembly over it
+    /// needs no cross-node offset correction.
+    pub trace: Option<fluentps_obs::Trace>,
 }
 
 /// FNV-1a, the fingerprint hash (stable, dependency-free).
@@ -410,9 +422,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
             })
         })
     });
-    let local_collector = match (&engine, cfg.collector_addr) {
-        (Some(_), None) => Some(TraceCollector::wall(cfg.trace_ring_capacity)),
-        _ => None,
+    let local_collector = if cfg.collector_addr.is_none() && (engine.is_some() || cfg.keep_trace) {
+        Some(TraceCollector::wall(cfg.trace_ring_capacity))
+    } else {
+        None
     };
     let mut rcfg = rcfg;
     rcfg.health_engine = engine.clone();
@@ -521,6 +534,14 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
     let alerts = engine.as_ref().map(|e| e.transitions());
     let alert_fingerprint = engine.as_ref().map(|e| format!("{:016x}", e.fingerprint()));
 
+    // Snapshot only after shutdown, so every node's last events (replays,
+    // recovery fan-outs, final acks) are in the rings.
+    let trace = if cfg.keep_trace {
+        local_collector.as_ref().map(|c| c.snapshot())
+    } else {
+        None
+    };
+
     ChaosResult {
         accuracy: model.accuracy(&results[0], &test),
         wall_seconds,
@@ -529,6 +550,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosResult {
         fingerprint: format!("{h:016x}"),
         alerts,
         alert_fingerprint,
+        trace,
     }
 }
 

@@ -434,15 +434,11 @@ mod tests {
 
     fn recovery_event(kind: EventKind, progress: u64) -> TraceEvent {
         TraceEvent {
-            ts: 0.0,
-            dur: 0.0,
             kind,
             shard: 0,
             worker: NO_ID,
             progress,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         }
     }
 

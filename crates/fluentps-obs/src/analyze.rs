@@ -196,6 +196,43 @@ pub struct Analysis {
     /// Critical path through the longest pull→defer→release→push chain,
     /// in causal order (earliest cause first, the longest DPR wait last).
     pub critical_path: Vec<PathStep>,
+    /// Ground-truth audit of the FIFO wire matcher against exact causal
+    /// request ids, when the trace carries them (`None` on traces recorded
+    /// before context propagation, or with tracing contexts disabled).
+    pub wire_check: Option<WireCheck>,
+}
+
+/// Cross-check of the heuristic FIFO `WireSend`→`WireRecv` matcher against
+/// the exact causal ids the transport stamps on wire events.
+///
+/// The per-worker wire-time attribution in [`WorkerBreakdown`] predates
+/// causal context: it pairs each receive with the *oldest* unmatched send
+/// on the same `(shard, worker)` queue. With request ids on both ends the
+/// pairing can be audited exactly: on a chaos-free run FIFO order *is*
+/// transit order and every pair must agree; under reorder chaos the
+/// mismatch rate quantifies how much wire time the heuristic misattributes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireCheck {
+    /// Receive events FIFO-paired with a send where both carried an id.
+    pub checked: u64,
+    /// Pairs where the FIFO match and the exact `(request_id, attempt)`
+    /// disagree — the heuristic attributed one request's transit to another.
+    pub mismatches: u64,
+    /// Receives with no unmatched send on their queue (the send was lost
+    /// to ring overwrite, or the frame was a fault-injected duplicate).
+    pub unmatched_recvs: u64,
+}
+
+impl WireCheck {
+    /// Fraction of audited pairs the FIFO heuristic got wrong (0 when
+    /// nothing was audited).
+    pub fn mismatch_rate(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.mismatches as f64 / self.checked as f64
+        }
+    }
 }
 
 impl Analysis {
@@ -262,7 +299,53 @@ pub fn analyze(trace: &Trace) -> Analysis {
     analysis.gaps = gap_stats(trace, &deferred_keys);
     analysis.spread = progress_spread(trace);
     analysis.critical_path = critical_path(trace);
+    analysis.wire_check = wire_check(trace);
     analysis
+}
+
+/// Audit the FIFO wire matcher against exact causal ids: replay the exact
+/// matching [`worker_breakdowns`] performs (same event scope, same
+/// per-`(shard, worker)` FIFO queues) while carrying each send's
+/// `(request_id, attempt)` through the queue, and compare it with the id
+/// stamped on the receive that popped it. Returns `None` when no wire
+/// event carries a request id (context propagation off or absent).
+fn wire_check(trace: &Trace) -> Option<WireCheck> {
+    let mut stamped_wire = false;
+    let mut check = WireCheck::default();
+    let mut in_flight: HashMap<(u32, u32), std::collections::VecDeque<(u64, u32)>> = HashMap::new();
+    for ev in &trace.events {
+        if ev.worker == NO_ID {
+            continue;
+        }
+        match ev.kind {
+            EventKind::WireSend => {
+                stamped_wire |= ev.request_id != 0;
+                in_flight
+                    .entry((ev.shard, ev.worker))
+                    .or_default()
+                    .push_back((ev.request_id, ev.attempt));
+            }
+            EventKind::WireRecv => {
+                stamped_wire |= ev.request_id != 0;
+                match in_flight
+                    .get_mut(&(ev.shard, ev.worker))
+                    .and_then(|q| q.pop_front())
+                {
+                    Some((rid, attempt)) => {
+                        if rid != 0 && ev.request_id != 0 {
+                            check.checked += 1;
+                            if (rid, attempt) != (ev.request_id, ev.attempt) {
+                                check.mismatches += 1;
+                            }
+                        }
+                    }
+                    None => check.unmatched_recvs += 1,
+                }
+            }
+            _ => {}
+        }
+    }
+    stamped_wire.then_some(check)
 }
 
 /// Every `(shard, worker, progress)` that was deferred.
@@ -609,15 +692,9 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
         .and_then(|s| s.strip_suffix('}'))
         .ok_or("expected a JSON object")?;
     let mut ev = TraceEvent {
-        ts: 0.0,
-        dur: 0.0,
-        kind: EventKind::PullRequested,
         shard: NO_ID,
         worker: NO_ID,
-        progress: 0,
-        v_train: 0,
-        bytes: 0,
-        seq: 0,
+        ..Default::default()
     };
     let mut saw_kind = false;
     for field in inner.split(',') {
@@ -642,6 +719,9 @@ fn parse_event(line: &str) -> Result<TraceEvent, String> {
             "v_train" => ev.v_train = parse_u64(value)?,
             "bytes" => ev.bytes = parse_u64(value)?,
             "seq" => ev.seq = parse_u64(value)?,
+            "request_id" => ev.request_id = parse_u64(value)?,
+            "attempt" => ev.attempt = parse_u64(value)? as u32,
+            "parent_span" => ev.parent_span = parse_id(value)?,
             other => return Err(format!("unknown field {other:?}")),
         }
     }
@@ -828,5 +908,64 @@ mod tests {
         assert_eq!(a.recorded[EventKind::WireSend.index()], 50);
         assert_eq!(a.analyzed[EventKind::WireSend.index()], 4);
         assert_eq!(a.dropped, 46);
+    }
+
+    /// A stamped wire pair on one `(shard, worker)` queue.
+    fn wire_pair(t: &crate::tracer::Tracer, clock: &VirtualClock, base: f64, rid: u64) {
+        clock.set(base);
+        t.record(
+            EventKind::WireSend,
+            at(0, 0, 0, 0).bytes(58).request_id(rid),
+        );
+        clock.set(base + 0.01);
+        t.record(
+            EventKind::WireRecv,
+            at(0, 0, 0, 0).bytes(58).request_id(rid),
+        );
+    }
+
+    #[test]
+    fn wire_check_is_absent_without_causal_context() {
+        assert_eq!(analyze(&sample()).wire_check, None);
+    }
+
+    #[test]
+    fn wire_check_confirms_fifo_on_ordered_streams() {
+        let clock = VirtualClock::new();
+        let col = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 256);
+        let t = col.tracer();
+        for i in 0..5u64 {
+            wire_pair(&t, &clock, 1.0 + i as f64, 100 + i);
+        }
+        let check = analyze(&col.snapshot()).wire_check.expect("ids present");
+        assert_eq!(check.checked, 5);
+        assert_eq!(check.mismatches, 0);
+        assert_eq!(check.unmatched_recvs, 0);
+        assert_eq!(check.mismatch_rate(), 0.0);
+    }
+
+    #[test]
+    fn wire_check_counts_reorder_mismatches_without_panicking() {
+        let clock = VirtualClock::new();
+        let col = TraceCollector::new(ClockSource::virtual_clock(Arc::clone(&clock)), 256);
+        let t = col.tracer();
+        // Two sends, replies arrive swapped: FIFO pairs each recv with the
+        // wrong send, so both audited pairs mismatch.
+        clock.set(1.0);
+        t.record(EventKind::WireSend, at(0, 0, 0, 0).bytes(58).request_id(7));
+        clock.set(1.1);
+        t.record(EventKind::WireSend, at(0, 0, 1, 0).bytes(58).request_id(8));
+        clock.set(1.2);
+        t.record(EventKind::WireRecv, at(0, 0, 1, 0).bytes(58).request_id(8));
+        clock.set(1.3);
+        t.record(EventKind::WireRecv, at(0, 0, 0, 0).bytes(58).request_id(7));
+        // A duplicate delivery pops an empty queue.
+        clock.set(1.4);
+        t.record(EventKind::WireRecv, at(0, 0, 0, 0).bytes(58).request_id(7));
+        let check = analyze(&col.snapshot()).wire_check.expect("ids present");
+        assert_eq!(check.checked, 2);
+        assert_eq!(check.mismatches, 2);
+        assert_eq!(check.unmatched_recvs, 1);
+        assert!((check.mismatch_rate() - 1.0).abs() < 1e-9);
     }
 }

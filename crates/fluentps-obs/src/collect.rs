@@ -400,14 +400,12 @@ mod tests {
     fn ev(ts: f64, seq: u64) -> TraceEvent {
         TraceEvent {
             ts,
-            dur: 0.0,
             kind: EventKind::PushApplied,
             shard: 0,
             worker: 0,
             progress: seq,
-            v_train: 0,
-            bytes: 0,
             seq,
+            ..Default::default()
         }
     }
 

@@ -157,6 +157,37 @@ pub struct TraceEvent {
     pub bytes: u64,
     /// Global record order, for stable sorting of equal timestamps.
     pub seq: u64,
+    /// Causal request id propagated on the wire, or 0 when the event was
+    /// recorded outside any request context.
+    pub request_id: u64,
+    /// Retry ordinal of the request this event belongs to (0 = first
+    /// attempt; meaningless when `request_id` is 0).
+    pub attempt: u32,
+    /// Span id within the request that caused this event, or [`NO_ID`].
+    pub parent_span: u32,
+}
+
+impl Default for TraceEvent {
+    /// A zeroed instant with no ids: both actor ids and `parent_span` are
+    /// [`NO_ID`], `request_id` is the no-context sentinel 0, and the kind is
+    /// the first in index order. Lets construction sites set only the fields
+    /// an event kind actually carries.
+    fn default() -> Self {
+        TraceEvent {
+            ts: 0.0,
+            dur: 0.0,
+            kind: EventKind::PullRequested,
+            shard: NO_ID,
+            worker: NO_ID,
+            progress: 0,
+            v_train: 0,
+            bytes: 0,
+            seq: 0,
+            request_id: 0,
+            attempt: 0,
+            parent_span: NO_ID,
+        }
+    }
 }
 
 #[cfg(test)]

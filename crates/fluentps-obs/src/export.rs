@@ -118,7 +118,8 @@ pub fn jsonl(trace: &Trace) -> String {
     for ev in &trace.events {
         out.push_str(&format!(
             "{{\"ts\":{},\"dur\":{},\"kind\":\"{}\",\"shard\":{},\"worker\":{},\
-             \"progress\":{},\"v_train\":{},\"bytes\":{},\"seq\":{}}}\n",
+             \"progress\":{},\"v_train\":{},\"bytes\":{},\"seq\":{},\
+             \"request_id\":{},\"attempt\":{},\"parent_span\":{}}}\n",
             json::number(ev.ts),
             json::number(ev.dur),
             ev.kind.name(),
@@ -127,7 +128,10 @@ pub fn jsonl(trace: &Trace) -> String {
             ev.progress,
             ev.v_train,
             ev.bytes,
-            ev.seq
+            ev.seq,
+            ev.request_id,
+            ev.attempt,
+            id_or_neg1(ev.parent_span)
         ));
     }
     out

@@ -14,17 +14,27 @@
 //!   [`TraceCollector`] is attached, per-kind event totals and the dropped
 //!   count are refreshed into the registry on every scrape, so the scrape
 //!   path carries the cost, not the training hot path.
-//! * `GET /trace?last=N&actor=ID&kind=NAME` — the newest `N` buffered
-//!   events as JSONL (default 256), from a non-destructive snapshot.
-//!   `actor=worker1`, `actor=server0` (alias `shard0`) or a bare integer
-//!   filter to one actor's events, `kind=pull_deferred` to one event kind
-//!   (snake-case [`crate::EventKind`] names); both apply before the tail
+//! * `GET /trace?last=N&actor=ID&kind=NAME&request=ID` — the newest `N`
+//!   buffered events as JSONL (default 256), from a non-destructive
+//!   snapshot. `actor=worker1`, `actor=server0` (alias `shard0`) or a bare
+//!   integer filter to one actor's events, `kind=pull_deferred` to one
+//!   event kind (snake-case [`crate::EventKind`] names), `request=ID` to
+//!   events stamped with one causal request id; all apply before the tail
 //!   is taken and compose freely. The trace may be a single process's
 //!   [`TraceCollector`] or — via [`serve_source`] with
 //!   [`TraceSource::Cluster`] — the live merged timeline of a whole
 //!   cluster, in which case `/metrics` also exports per-node collection
 //!   counters (events received/dropped, clock offset, HLC bumps,
 //!   incarnations).
+//! * `GET /waterfall?request=ID|slowest=N&top=P` — per-request causal
+//!   waterfalls ([`crate::waterfall`]) assembled from the trace snapshot,
+//!   as NDJSON: one balance header line
+//!   (`retained + sampled_out == observed`), then one object per waterfall.
+//!   `request=ID` returns exactly that request, `slowest=N` the N slowest
+//!   retained (default 10); `top=P` (fraction, default 1) applies
+//!   tail-based sampling before selection. Each scrape also refreshes the
+//!   `waterfall_wire_us`/`waterfall_barrier_us` exemplar histograms into
+//!   `/metrics`.
 //! * `GET /slo` and `GET /alerts` — when a
 //!   [`HealthEngine`](crate::stream::HealthEngine) is attached
 //!   ([`serve_observed`]): the streaming health summary as greppable
@@ -60,9 +70,14 @@ use crate::metrics::MetricsRegistry;
 use crate::prof::{ProfCollector, ProfMetric};
 use crate::stream::HealthEngine;
 use crate::tracer::{Trace, TraceCollector};
+use crate::waterfall;
 
 /// Events returned by `/trace` when no `last=N` parameter is given.
 const DEFAULT_TAIL: usize = 256;
+
+/// Waterfalls returned by `/waterfall` when neither `request=` nor
+/// `slowest=` is given.
+const DEFAULT_SLOWEST: usize = 10;
 
 /// Longest request head we will read before answering 400.
 const MAX_REQUEST_BYTES: usize = 8192;
@@ -355,6 +370,20 @@ fn handle_connection(
                     },
                     None => None,
                 };
+                let request = match query_param(query, "request") {
+                    Some(raw) => match raw.parse::<u64>() {
+                        Ok(id) => Some(id),
+                        Err(_) => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "bad request id: expect a decimal u64\n",
+                            )
+                        }
+                    },
+                    None => None,
+                };
                 let mut trace = src.snapshot();
                 if let Some(filter) = actor {
                     trace.events.retain(|ev| filter.matches(ev));
@@ -362,10 +391,97 @@ fn handle_connection(
                 if let Some(k) = kind {
                     trace.events.retain(|ev| ev.kind == k);
                 }
+                if let Some(id) = request {
+                    trace.events.retain(|ev| ev.request_id == id);
+                }
                 if trace.events.len() > last {
                     trace.events.drain(..trace.events.len() - last);
                 }
                 let body = export::jsonl(&trace);
+                respond(&mut stream, 200, "application/x-ndjson", &body)
+            }
+            None => respond(&mut stream, 404, "text/plain", "no trace collector\n"),
+        },
+        "/waterfall" => match source {
+            Some(src) => {
+                let top = match query_param(query, "top") {
+                    Some(raw) => match raw.parse::<f64>() {
+                        Ok(f) if (0.0..=1.0).contains(&f) => f,
+                        _ => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "bad top: expect a fraction in [0, 1]\n",
+                            )
+                        }
+                    },
+                    None => 1.0,
+                };
+                let request = match query_param(query, "request") {
+                    Some(raw) => match raw.parse::<u64>() {
+                        Ok(id) => Some(id),
+                        Err(_) => {
+                            return respond(
+                                &mut stream,
+                                400,
+                                "text/plain",
+                                "bad request id: expect a decimal u64\n",
+                            )
+                        }
+                    },
+                    None => None,
+                };
+                let slowest = query_param(query, "slowest")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(DEFAULT_SLOWEST);
+                let set = waterfall::assemble(&src.snapshot());
+                let sampled = waterfall::tail_sample(
+                    &set,
+                    waterfall::SamplerConfig {
+                        top_fraction: top,
+                        ..waterfall::SamplerConfig::default()
+                    },
+                );
+                // Scrapes pay the exemplar refresh, not the hot path.
+                waterfall::export_metrics(registry, &sampled.retained);
+                let selected: Vec<&crate::waterfall::Waterfall> = match request {
+                    Some(id) => match sampled.retained.iter().find(|w| w.request_id == id) {
+                        Some(w) => vec![w],
+                        None => {
+                            return respond(
+                                &mut stream,
+                                404,
+                                "text/plain",
+                                "request not retained\n",
+                            )
+                        }
+                    },
+                    None => {
+                        let mut refs: Vec<&crate::waterfall::Waterfall> =
+                            sampled.retained.iter().collect();
+                        refs.sort_by(|a, b| {
+                            b.total_secs()
+                                .total_cmp(&a.total_secs())
+                                .then(a.request_id.cmp(&b.request_id))
+                        });
+                        refs.truncate(slowest);
+                        refs
+                    }
+                };
+                let mut body = format!(
+                    "{{\"observed\":{},\"retained\":{},\"sampled_out\":{},\
+                     \"unstamped_events\":{},\"balanced\":{}}}\n",
+                    sampled.observed,
+                    sampled.retained.len(),
+                    sampled.sampled_out,
+                    set.unstamped_events,
+                    sampled.balance().is_ok()
+                );
+                for w in selected {
+                    body.push_str(&w.json());
+                    body.push('\n');
+                }
                 respond(&mut stream, 200, "application/x-ndjson", &body)
             }
             None => respond(&mut stream, 404, "text/plain", "no trace collector\n"),
@@ -683,20 +799,133 @@ mod tests {
         server.stop();
     }
 
+    /// A collector with two stamped wire round-trips (requests 5 and 6,
+    /// worker 0 and 1) plus one unstamped event.
+    fn stamped_collector() -> TraceCollector {
+        let collector = TraceCollector::wall(64);
+        let tracer = collector.tracer();
+        for (rid, worker) in [(5u64, 0u32), (6, 1)] {
+            tracer.record(
+                EventKind::WireSend,
+                RecordArgs::new()
+                    .shard(0)
+                    .worker(worker)
+                    .bytes(58)
+                    .request_id(rid),
+            );
+            tracer.record(
+                EventKind::WireRecv,
+                RecordArgs::new()
+                    .shard(0)
+                    .worker(worker)
+                    .bytes(58)
+                    .request_id(rid),
+            );
+        }
+        tracer.record(EventKind::VTrainAdvanced, RecordArgs::new().shard(0));
+        collector
+    }
+
+    #[test]
+    fn trace_route_filters_by_request_and_composes() {
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            Some(stamped_collector()),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/trace?request=5");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().all(|l| l.contains("\"request_id\":5")));
+
+        // request= composes with kind=, actor= and last=.
+        let (status, body) = get(addr, "/trace?request=5&kind=wire_send");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"kind\":\"wire_send\""));
+        let (status, body) = get(addr, "/trace?request=6&actor=worker1&last=1");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 1);
+        assert!(body.contains("\"kind\":\"wire_recv\""), "tail keeps newest");
+        let (status, body) = get(addr, "/trace?request=6&actor=worker0");
+        assert_eq!(
+            (status, body.lines().count()),
+            (200, 0),
+            "empty intersection"
+        );
+
+        let (status, _) = get(addr, "/trace?request=notanumber");
+        assert_eq!(status, 400);
+        server.stop();
+    }
+
+    #[test]
+    fn waterfall_route_serves_ndjson_with_balance_header() {
+        let registry = MetricsRegistry::new();
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            registry.clone(),
+            Some(stamped_collector()),
+        )
+        .expect("bind");
+        let addr = server.local_addr();
+
+        let (status, body) = get(addr, "/waterfall?slowest=3");
+        assert_eq!(status, 200);
+        let lines: Vec<&str> = body.lines().collect();
+        assert_eq!(lines.len(), 3, "balance header + two waterfalls");
+        for line in &lines {
+            crate::json::validate(line).expect("every line is valid JSON");
+        }
+        assert!(lines[0].contains("\"observed\":2"));
+        assert!(lines[0].contains("\"balanced\":true"));
+        assert!(lines[0].contains("\"unstamped_events\":1"));
+        assert!(lines[1].contains("\"stages\":["));
+
+        // request= narrows to one waterfall; unknown ids are 404.
+        let (status, body) = get(addr, "/waterfall?request=5");
+        assert_eq!(status, 200);
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.lines().nth(1).unwrap().contains("\"request_id\":5"));
+        assert_eq!(get(addr, "/waterfall?request=999").0, 404);
+        assert_eq!(get(addr, "/waterfall?request=bogus").0, 400);
+        assert_eq!(get(addr, "/waterfall?top=1.5").0, 400);
+
+        // The scrape refreshed exemplar-bearing histograms into /metrics.
+        let (_, metrics) = get(addr, "/metrics");
+        assert!(
+            metrics.contains("waterfall_wire_us_max") && metrics.contains("request_id="),
+            "{metrics}"
+        );
+        server.stop();
+    }
+
+    #[test]
+    fn waterfall_route_without_collector_is_404() {
+        let server = serve(
+            "127.0.0.1:0".parse().expect("addr"),
+            MetricsRegistry::new(),
+            None,
+        )
+        .expect("bind");
+        assert_eq!(get(server.local_addr(), "/waterfall").0, 404);
+        server.stop();
+    }
+
     #[test]
     fn slo_and_alerts_routes_serve_the_health_engine() {
         use crate::stream::{HealthEngine, StreamConfig};
         let engine = HealthEngine::with_default_rules(StreamConfig::all_run());
         engine.observe(&crate::event::TraceEvent {
             ts: 1.0,
-            dur: 0.0,
             kind: EventKind::NodeDeclaredDead,
             shard: 0,
             worker: crate::event::NO_ID,
             progress: 5,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         });
         let registry = MetricsRegistry::new();
         let server = serve_observed(
@@ -748,14 +977,10 @@ mod tests {
         let mut cluster = ClusterCollector::new(1024);
         let ev = |ts: f64, worker: u32| crate::event::TraceEvent {
             ts,
-            dur: 0.0,
             kind: EventKind::PushApplied,
             shard: 0,
             worker,
-            progress: 0,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         };
         cluster.ingest("worker0", 0.0, 1, 1, 0, &[ev(1.0, 0)]);
         cluster.ingest("worker1", 0.5, 1, 2, 1, &[ev(2.0, 1)]);

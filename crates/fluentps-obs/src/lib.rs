@@ -45,6 +45,11 @@
 //! * [`http`] — a hand-rolled HTTP/1.1 introspection endpoint on
 //!   `std::net::TcpListener` serving `/metrics` (Prometheus text),
 //!   `/healthz`, `/trace?last=N`, `/slo` and `/alerts` from a live run.
+//! * [`waterfall`] — exact per-request waterfalls assembled from the causal
+//!   context (`fluentps-transport`'s `CausalCtx`) every stamped event
+//!   carries: duplicate-safe, order-insensitive assembly, tail-based
+//!   sampling with exact drop accounting, deterministic `waterfall-` lines,
+//!   and exemplar-bearing latency histograms (DESIGN.md §17).
 //! * [`hist`] — the power-of-two-bucket [`Histogram`] (moved here from
 //!   `fluentps-core` so both the metrics registry and `ShardStats` share
 //!   one implementation).
@@ -70,9 +75,10 @@ pub mod prof;
 pub mod ring;
 pub mod stream;
 pub mod tracer;
+pub mod waterfall;
 
 pub use alert::{AlertEngine, AlertMetric, AlertRule, AlertTransition};
-pub use analyze::{analyze, Analysis};
+pub use analyze::{analyze, Analysis, WireCheck};
 pub use clock::{ClockSource, VirtualClock};
 pub use collect::{ClusterCollector, Hlc, NodeStats, OffsetEstimator};
 pub use event::{EventKind, TraceEvent, KINDS, NO_ID};
@@ -85,3 +91,6 @@ pub use stream::{
     HealthEngine, HealthTap, StreamAnalyzer, StreamConfig, WindowStats, WindowedHistogram,
 };
 pub use tracer::{CursorBatch, RecordArgs, Trace, TraceCollector, TraceCursor, Tracer};
+pub use waterfall::{
+    assemble, tail_sample, Sampled, SamplerConfig, Stage, Waterfall, WaterfallSet,
+};

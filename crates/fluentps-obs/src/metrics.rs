@@ -27,6 +27,12 @@ pub struct MetricsRegistry {
     /// family base name (no labels). Families without an entry get a
     /// default derived from the name.
     help: Arc<Mutex<BTreeMap<String, String>>>,
+    /// OpenMetrics-style exemplars, keyed by histogram name: the
+    /// `(value, request_id)` of the largest observation recorded through
+    /// [`MetricsRegistry::observe_exemplar`]. Rendered on the `_max`
+    /// sample line so a scrape can link a latency bucket back to the
+    /// retained request waterfall that produced it.
+    exemplars: Arc<Mutex<BTreeMap<String, (u64, u64)>>>,
 }
 
 impl MetricsRegistry {
@@ -116,6 +122,27 @@ impl MetricsRegistry {
         }
     }
 
+    /// Record `value` into the histogram `name` and attach `request_id` as
+    /// the exemplar if this is the largest observation so far — the
+    /// Prometheus renderer emits it on the `_max` sample line as
+    /// `` # {request_id="..."} value``, linking the bucket to a retained
+    /// request waterfall (see [`crate::waterfall::export_metrics`]).
+    pub fn observe_exemplar(&self, name: &str, value: u64, request_id: u64) {
+        self.observe(name, value);
+        let mut ex = self.exemplars.lock();
+        let entry = ex.entry(name.to_string()).or_insert((value, request_id));
+        if value >= entry.0 {
+            *entry = (value, request_id);
+        }
+    }
+
+    /// The exemplar `(value, request_id)` attached to the histogram
+    /// `name`, if any observation went through
+    /// [`MetricsRegistry::observe_exemplar`].
+    pub fn exemplar(&self, name: &str) -> Option<(u64, u64)> {
+        self.exemplars.lock().get(name).copied()
+    }
+
     /// Current value of the counter `name` (0 if absent or not a counter).
     pub fn counter_value(&self, name: &str) -> u64 {
         match self.metrics.lock().get(name) {
@@ -182,6 +209,7 @@ impl MetricsRegistry {
             fam.1.push(format!("{base}{labels} {value}\n"));
         };
         let m = self.metrics.lock();
+        let exemplars = self.exemplars.lock();
         for (name, metric) in m.iter() {
             let (base, labels) = split_labels(name);
             let labels = prometheus_labels(&labels);
@@ -191,12 +219,20 @@ impl MetricsRegistry {
                 }
                 Metric::Gauge(g) => sample(&mut families, base, &labels, "gauge", format!("{g}")),
                 Metric::Hist(h) => {
+                    // The exemplar rides the `_max` sample in OpenMetrics
+                    // style: `value # {request_id="..."} exemplar_value`.
+                    let max_sample = match exemplars.get(name) {
+                        Some((v, rid)) => {
+                            format!("{} # {{request_id=\"{rid}\"}} {v}", h.max())
+                        }
+                        None => format!("{}", h.max()),
+                    };
                     let parts: [(&str, String); 5] = [
                         ("_count", format!("{}", h.count())),
                         ("_mean", format!("{:.3}", h.mean())),
                         ("_p50", format!("{}", h.quantile_upper(0.5))),
                         ("_p99", format!("{}", h.quantile_upper(0.99))),
-                        ("_max", format!("{}", h.max())),
+                        ("_max", max_sample),
                     ];
                     for (suffix, value) in parts {
                         sample(
@@ -459,6 +495,26 @@ mod tests {
             assert!(!line.is_empty());
         }
         assert!(!text.contains("two\nlines"));
+    }
+
+    #[test]
+    fn exemplars_ride_the_max_sample_line() {
+        let r = MetricsRegistry::new();
+        r.observe_exemplar("wire_us", 10, 101);
+        r.observe_exemplar("wire_us", 50, 202);
+        r.observe_exemplar("wire_us", 20, 303);
+        // The exemplar tracks the largest observation, not the latest.
+        assert_eq!(r.exemplar("wire_us"), Some((50, 202)));
+        assert_eq!(r.histogram("wire_us").unwrap().count(), 3);
+        let text = r.render_prometheus();
+        assert!(
+            text.contains("wire_us_max 50 # {request_id=\"202\"} 50\n"),
+            "exemplar on _max: {text}"
+        );
+        // Plain observations never grow an exemplar.
+        r.observe("plain_us", 7);
+        assert_eq!(r.exemplar("plain_us"), None);
+        assert!(r.render_prometheus().contains("plain_us_max 7\n"));
     }
 
     #[test]

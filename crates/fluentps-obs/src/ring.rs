@@ -97,14 +97,10 @@ mod tests {
     fn ev(ts: f64, kind: EventKind) -> TraceEvent {
         TraceEvent {
             ts,
-            dur: 0.0,
             kind,
             shard: 0,
             worker: NO_ID,
-            progress: 0,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         }
     }
 

@@ -1046,14 +1046,11 @@ mod tests {
         });
         let ev = |ts: f64, kind, gap: u64| TraceEvent {
             ts,
-            dur: 0.0,
             kind,
             shard: 0,
             worker: 0,
             progress: gap,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         };
         assert!(s.advance_to(0.1).is_empty());
         s.ingest(&ev(0.1, EventKind::PullRequested, 2));
@@ -1117,14 +1114,11 @@ mod tests {
         });
         let ev = |ts: f64, worker: u32, progress: u64| TraceEvent {
             ts,
-            dur: 0.0,
             kind: EventKind::PushApplied,
             shard: 0,
             worker,
             progress,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         };
         s.advance_to(0.0);
         s.ingest(&ev(0.0, 0, 0));
@@ -1144,14 +1138,11 @@ mod tests {
         let engine = HealthEngine::with_default_rules(StreamConfig::default());
         let dead = TraceEvent {
             ts: 0.5,
-            dur: 0.0,
             kind: EventKind::NodeDeclaredDead,
             shard: 0,
             worker: NO_ID,
             progress: 3,
-            v_train: 0,
-            bytes: 0,
-            seq: 0,
+            ..Default::default()
         };
         let restored = TraceEvent {
             kind: EventKind::CheckpointRestored,

@@ -42,6 +42,12 @@ pub struct RecordArgs {
     pub v_train: u64,
     /// Payload bytes, for wire events.
     pub bytes: u64,
+    /// Causal request id from the wire context, or 0 for "no context".
+    pub request_id: u64,
+    /// Retry ordinal of the request (0 = first attempt).
+    pub attempt: u32,
+    /// Span id within the request that caused the event, or [`NO_ID`].
+    pub parent_span: u32,
 }
 
 impl Default for RecordArgs {
@@ -52,6 +58,9 @@ impl Default for RecordArgs {
             progress: 0,
             v_train: 0,
             bytes: 0,
+            request_id: 0,
+            attempt: 0,
+            parent_span: NO_ID,
         }
     }
 }
@@ -89,6 +98,33 @@ impl RecordArgs {
     /// Set the payload byte count.
     pub fn bytes(mut self, bytes: u64) -> Self {
         self.bytes = bytes;
+        self
+    }
+
+    /// Set the causal request id.
+    pub fn request_id(mut self, request_id: u64) -> Self {
+        self.request_id = request_id;
+        self
+    }
+
+    /// Set the retry ordinal.
+    pub fn attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
+    }
+
+    /// Set the causing span id.
+    pub fn parent_span(mut self, parent_span: u32) -> Self {
+        self.parent_span = parent_span;
+        self
+    }
+
+    /// Set the full causal context (`(request_id, attempt, parent_span)`)
+    /// in one call, for call sites that carry it as a tuple.
+    pub fn ctx(mut self, request_id: u64, attempt: u32, parent_span: u32) -> Self {
+        self.request_id = request_id;
+        self.attempt = attempt;
+        self.parent_span = parent_span;
         self
     }
 }
@@ -322,6 +358,9 @@ impl Tracer {
                 v_train: args.v_train,
                 bytes: args.bytes,
                 seq: 0,
+                request_id: args.request_id,
+                attempt: args.attempt,
+                parent_span: args.parent_span,
             });
         }
     }
@@ -341,6 +380,9 @@ impl Tracer {
                 v_train: args.v_train,
                 bytes: args.bytes,
                 seq: 0,
+                request_id: args.request_id,
+                attempt: args.attempt,
+                parent_span: args.parent_span,
             });
         }
     }

@@ -16,14 +16,11 @@ fn arb_stream() -> impl Strategy<Value = Vec<TraceEvent>> {
             .enumerate()
             .map(|(i, (ts, kind))| TraceEvent {
                 ts,
-                dur: 0.0,
                 kind: EventKind::ALL[kind],
                 shard: 0,
                 worker: 0,
-                progress: 0,
-                v_train: 0,
-                bytes: 0,
                 seq: i as u64,
+                ..Default::default()
             })
             .collect()
     })

@@ -11,7 +11,7 @@ use fluentps_obs::{EventKind, TraceEvent};
 use fluentps_util::buf::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::DecodeError;
-use crate::msg::{KvPairs, Message, NodeId, WireLogEntry, WirePlacement};
+use crate::msg::{CausalCtx, KvPairs, Message, NodeId, WireLogEntry, WirePlacement};
 
 /// Version byte prepended to every encoded message.
 pub const WIRE_VERSION: u8 = 1;
@@ -41,6 +41,7 @@ mod tag {
     pub const APPEND_ENTRIES: u8 = 17;
     pub const APPEND_ACK: u8 = 18;
     pub const LEADER_REDIRECT: u8 = 19;
+    pub const TRACED: u8 = 20;
 }
 
 mod node_tag {
@@ -52,8 +53,9 @@ mod node_tag {
 }
 
 /// Encoded size of one [`TraceEvent`]: two f64 bit patterns, the kind index
-/// byte, two u32 actor ids and four u64 logical fields.
-const EVENT_WIRE_LEN: usize = 8 + 8 + 1 + 4 + 4 + 8 + 8 + 8 + 8;
+/// byte, two u32 actor ids, four u64 logical fields, and the causal context
+/// (`request_id` u64, `attempt` u32, `parent_span` u32).
+const EVENT_WIRE_LEN: usize = 8 + 8 + 1 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4;
 
 /// Encode a message into a fresh byte buffer, sized exactly via
 /// [`encoded_len`] so encoding never reallocates mid-write (the old
@@ -250,6 +252,16 @@ pub fn encode_into(msg: &Message, buf: &mut BytesMut) {
             buf.put_u64_le(*term);
             buf.put_u32_le(*leader);
         }
+        Message::Traced { ctx, inner } => {
+            buf.put_u8(tag::TRACED);
+            buf.put_u64_le(ctx.request_id);
+            buf.put_u16_le(ctx.attempt);
+            buf.put_u32_le(ctx.parent_span);
+            // The inner message is a complete encoded message (its own
+            // version byte included), so a receiver peels the envelope and
+            // re-enters the ordinary decode path.
+            encode_into(inner, buf);
+        }
     }
 }
 
@@ -292,6 +304,9 @@ pub fn encoded_len(msg: &Message) -> usize {
             }
             Message::AppendAck { .. } => 8 + 4 + 1 + 8,
             Message::LeaderRedirect { .. } => 8 + 4,
+            // ctx (request_id + attempt + parent_span) followed by the
+            // complete inner encoding, inner header included.
+            Message::Traced { inner, .. } => 8 + 2 + 4 + encoded_len(inner),
         }
 }
 
@@ -530,6 +545,23 @@ pub fn decode_from<B: Buf>(buf: &mut B) -> Result<Message, DecodeError> {
             term: get_u64(buf)?,
             leader: get_u32(buf)?,
         },
+        tag::TRACED => {
+            let ctx = CausalCtx {
+                request_id: get_u64(buf)?,
+                attempt: get_u16(buf)?,
+                parent_span: get_u32(buf)?,
+            };
+            let inner = decode_from(buf)?;
+            // One context per wire message: a nested envelope means a
+            // corrupt or malicious frame, not a legitimate sender.
+            if matches!(inner, Message::Traced { .. }) {
+                return Err(DecodeError::UnknownTag(tag::TRACED));
+            }
+            Message::Traced {
+                ctx,
+                inner: Box::new(inner),
+            }
+        }
         other => return Err(DecodeError::UnknownTag(other)),
     };
     Ok(msg)
@@ -596,6 +628,9 @@ fn put_event(buf: &mut BytesMut, e: &TraceEvent) {
     buf.put_u64_le(e.v_train);
     buf.put_u64_le(e.bytes);
     buf.put_u64_le(e.seq);
+    buf.put_u64_le(e.request_id);
+    buf.put_u32_le(e.attempt);
+    buf.put_u32_le(e.parent_span);
 }
 
 fn get_event<B: Buf>(buf: &mut B) -> Result<TraceEvent, DecodeError> {
@@ -616,6 +651,9 @@ fn get_event<B: Buf>(buf: &mut B) -> Result<TraceEvent, DecodeError> {
         v_train: buf.get_u64_le(),
         bytes: buf.get_u64_le(),
         seq: buf.get_u64_le(),
+        request_id: buf.get_u64_le(),
+        attempt: buf.get_u32_le(),
+        parent_span: buf.get_u32_le(),
     })
 }
 
@@ -699,6 +737,16 @@ fn get_u8<B: Buf>(buf: &mut B) -> Result<u8, DecodeError> {
         });
     }
     Ok(buf.get_u8())
+}
+
+fn get_u16<B: Buf>(buf: &mut B) -> Result<u16, DecodeError> {
+    if buf.remaining() < 2 {
+        return Err(DecodeError::Truncated {
+            needed: 2,
+            available: buf.remaining(),
+        });
+    }
+    Ok(buf.get_u16_le())
 }
 
 fn get_u32<B: Buf>(buf: &mut B) -> Result<u32, DecodeError> {
@@ -808,6 +856,9 @@ mod tests {
                     v_train: 6,
                     bytes: 0,
                     seq: 38,
+                    request_id: (2u64 << 40) | 17,
+                    attempt: 1,
+                    parent_span: 3,
                 },
                 TraceEvent {
                     ts: 1.75,
@@ -819,6 +870,7 @@ mod tests {
                     v_train: 9,
                     bytes: 0,
                     seq: 39,
+                    ..Default::default()
                 },
             ],
         });
@@ -897,6 +949,67 @@ mod tests {
             term: 6,
             leader: crate::msg::NO_LEADER,
         });
+        roundtrip(
+            Message::SPush {
+                worker: 3,
+                progress: 42,
+                kv: KvPairs::single(1, vec![0.5; 4]),
+            }
+            .with_ctx(CausalCtx::new((4u64 << 40) | 7).retry(1).span(2)),
+        );
+        roundtrip(Message::Shutdown.with_ctx(CausalCtx::new(u64::MAX)));
+    }
+
+    #[test]
+    fn nested_traced_envelope_is_rejected() {
+        // Hand-build Traced(Traced(Shutdown)) — with_ctx refuses to nest, so
+        // splice the bytes directly: outer header + ctx, then a full inner
+        // Traced encoding.
+        let inner = encode(&Message::Shutdown.with_ctx(CausalCtx::new(1)));
+        let mut buf = BytesMut::new();
+        buf.put_u8(WIRE_VERSION);
+        buf.put_u8(20); // TRACED
+        buf.put_u64_le(2); // request_id
+        buf.put_u16_le(0); // attempt
+        buf.put_u32_le(u32::MAX); // parent_span
+        buf.extend_from_slice(inner.as_ref());
+        let err = decode(buf.freeze()).unwrap_err();
+        assert_eq!(err, DecodeError::UnknownTag(20));
+    }
+
+    #[test]
+    fn traced_encoded_len_is_exact_and_event_len_matches_constant() {
+        let msg = Message::PullResponse {
+            server: 1,
+            progress: 9,
+            version: 13,
+            kv: KvPairs::single(4, vec![3.25; 7]),
+        };
+        let wrapped = msg.clone().with_ctx(CausalCtx::new(5).retry(3));
+        assert_eq!(encoded_len(&wrapped), encode(&wrapped).len());
+        assert_eq!(
+            encoded_len(&wrapped),
+            2 + CausalCtx::WIRE_LEN + encoded_len(&msg)
+        );
+        // One encoded TraceEvent occupies exactly EVENT_WIRE_LEN bytes.
+        let empty = Message::TraceBatch {
+            node: NodeId::Collector,
+            offset_secs: 0.0,
+            batch_seq: 0,
+            emitted: 0,
+            dropped: 0,
+            events: vec![],
+        };
+        let one = Message::TraceBatch {
+            node: NodeId::Collector,
+            offset_secs: 0.0,
+            batch_seq: 0,
+            emitted: 1,
+            dropped: 0,
+            events: vec![TraceEvent::default()],
+        };
+        assert_eq!(encoded_len(&one) - encoded_len(&empty), EVENT_WIRE_LEN);
+        assert_eq!(EVENT_WIRE_LEN, 73);
     }
 
     #[test]
@@ -908,15 +1021,9 @@ mod tests {
             emitted: 1,
             dropped: 0,
             events: vec![TraceEvent {
-                ts: 0.0,
-                dur: 0.0,
-                kind: EventKind::PullRequested,
                 shard: 0,
                 worker: 0,
-                progress: 0,
-                v_train: 0,
-                bytes: 0,
-                seq: 0,
+                ..Default::default()
             }],
         };
         // The kind byte sits after version+tag (2), node (5), four u64
@@ -995,6 +1102,9 @@ mod tests {
                     v_train: 3,
                     bytes: 64,
                     seq: 9,
+                    request_id: 7,
+                    attempt: 2,
+                    parent_span: 1,
                 }],
             },
             Message::ClockPing {

@@ -44,24 +44,30 @@ pub enum MsgClass {
     Control,
 }
 
-/// Classify a message for rule matching.
+/// Classify a message for rule matching. A [`Message::Traced`] envelope is
+/// transparent: the inner message's class is what rules target, so a chaos
+/// plan written against bare traffic fires identically once causal tracing
+/// is enabled.
 pub fn classify(msg: &Message) -> MsgClass {
     match msg {
         Message::SPush { .. } => MsgClass::Push,
         Message::SPull { .. } => MsgClass::Pull,
         Message::PullResponse { .. } => MsgClass::Response,
         Message::PushAck { .. } => MsgClass::Ack,
+        Message::Traced { inner, .. } => classify(inner),
         _ => MsgClass::Control,
     }
 }
 
-/// The logical time a data message carries, if any.
+/// The logical time a data message carries, if any. Like [`classify`],
+/// sees through [`Message::Traced`] envelopes.
 fn progress_of(msg: &Message) -> Option<u64> {
     match msg {
         Message::SPush { progress, .. }
         | Message::SPull { progress, .. }
         | Message::PushAck { progress, .. }
         | Message::PullResponse { progress, .. } => Some(*progress),
+        Message::Traced { inner, .. } => progress_of(inner),
         _ => None,
     }
 }
@@ -471,6 +477,43 @@ mod tests {
         ] {
             assert_eq!(classify(&msg), MsgClass::Control, "{msg:?}");
         }
+    }
+
+    #[test]
+    fn traced_envelopes_classify_as_their_inner_message() {
+        use crate::msg::CausalCtx;
+        let ctx = CausalCtx::new(7);
+        let traced = ping(3).with_ctx(ctx);
+        assert_eq!(classify(&traced), MsgClass::Pull);
+        // A progress-targeted rule matches the wrapped message too.
+        let pat = MsgPattern {
+            progress: Some(3),
+            class: Some(MsgClass::Pull),
+            ..MsgPattern::any()
+        };
+        assert!(pat.matches(NodeId::Worker(0), NodeId::Server(0), &traced));
+        // Duplicates of a traced message keep the identical context, which
+        // is what lets the collector fold them by (request_id, attempt).
+        let fabric = Fabric::new();
+        let server = fabric.register(NodeId::Server(0));
+        let injector = FaultInjector::new(FaultPlan {
+            rules: vec![FaultRule {
+                pattern: MsgPattern {
+                    progress: Some(3),
+                    ..MsgPattern::any()
+                },
+                action: FaultAction::Duplicate,
+                count: 1,
+            }],
+        });
+        let w = fabric.register(NodeId::Worker(0));
+        let p = injector.postman(NodeId::Worker(0), w.postman());
+        p.send(NodeId::Server(0), ping(3).with_ctx(ctx)).unwrap();
+        for _ in 0..2 {
+            let (_, msg) = server.recv().unwrap();
+            assert_eq!(msg.ctx(), Some(ctx));
+        }
+        assert_eq!(injector.stats().duplicated, 1);
     }
 
     #[test]

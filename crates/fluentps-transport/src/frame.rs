@@ -243,6 +243,12 @@ mod tests {
                 progress: 2,
                 keys: vec![0, 1, 2, 3],
             },
+            Message::SPull {
+                worker: 1,
+                progress: 2,
+                keys: vec![0, 1, 2, 3],
+            }
+            .with_ctx(crate::msg::CausalCtx::new(9).retry(1)),
             Message::Shutdown,
         ];
         for msg in msgs {

@@ -41,7 +41,9 @@ pub use collect::{CollectorService, StreamerConfig, StreamerReport, TraceStreame
 pub use error::TransportError;
 pub use fault::{FaultInjector, FaultPlan};
 pub use inproc::{Endpoint, Fabric};
-pub use msg::{KvPairs, Message, NodeId, WireLogEntry, WirePlacement, NO_LEADER};
+pub use msg::{
+    CausalCtx, KvPairs, Message, NodeId, WireLogEntry, WirePlacement, NO_LEADER, NO_SPAN,
+};
 
 /// Receiving half of a transport endpoint.
 pub trait Mailbox: Send {

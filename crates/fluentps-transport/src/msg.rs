@@ -59,6 +59,55 @@ impl fmt::Display for NodeId {
 /// Sentinel replica id meaning "no known leader" in [`Message::LeaderRedirect`].
 pub const NO_LEADER: u32 = u32::MAX;
 
+/// Compact causal context propagated on the wire by [`Message::Traced`].
+///
+/// `request_id` is seeded-unique per origin (workers pack their id into the
+/// high bits, see `fluentps-core`), `attempt` counts retries of the same
+/// logical request, and `parent_span` names the span within the request that
+/// caused this message. Together they let the collector assemble exact
+/// per-request waterfalls with no clock heuristics: every stamped trace
+/// event joins its request by `(request_id, attempt)`, and FaultInjector
+/// duplicates fold instead of corrupting the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CausalCtx {
+    /// Origin-unique request identifier; `0` is reserved as "no context".
+    pub request_id: u64,
+    /// Retry ordinal of the request (0 = first attempt).
+    pub attempt: u16,
+    /// Span id within the request that produced this message, or
+    /// `u32::MAX` when the sender tracks no spans.
+    pub parent_span: u32,
+}
+
+/// Sentinel `parent_span` meaning "no span tracked".
+pub const NO_SPAN: u32 = u32::MAX;
+
+impl CausalCtx {
+    /// A context for `request_id` on its first attempt, no span.
+    pub fn new(request_id: u64) -> Self {
+        CausalCtx {
+            request_id,
+            attempt: 0,
+            parent_span: NO_SPAN,
+        }
+    }
+
+    /// Same request, retry ordinal `attempt`.
+    pub fn retry(mut self, attempt: u16) -> Self {
+        self.attempt = attempt;
+        self
+    }
+
+    /// Same request, caused by span `span`.
+    pub fn span(mut self, span: u32) -> Self {
+        self.parent_span = span;
+        self
+    }
+
+    /// Encoded size on the wire: `request_id` + `attempt` + `parent_span`.
+    pub const WIRE_LEN: usize = 8 + 2 + 4;
+}
+
 /// One replicated-log entry carried on the wire by
 /// [`Message::AppendEntries`]. The command is opaque to the transport: the
 /// control plane in `fluentps-core` defines its own command vocabulary and
@@ -354,6 +403,17 @@ pub enum Message {
         /// Believed leader replica id, or [`NO_LEADER`].
         leader: u32,
     },
+    /// An inner message annotated with a [`CausalCtx`]. The envelope is
+    /// transparent to routing: receivers peel it with
+    /// [`Message::split_ctx`], stamp their trace events with the context,
+    /// and handle the inner message as if it had arrived bare. Nesting is
+    /// rejected at decode time — one context per wire message.
+    Traced {
+        /// The causal context of the request this message belongs to.
+        ctx: CausalCtx,
+        /// The annotated message (never itself `Traced`).
+        inner: Box<Message>,
+    },
 }
 
 impl Message {
@@ -372,7 +432,7 @@ impl Message {
             Message::Shutdown => 1,
             Message::Install { kv } => 4 + kv.payload_bytes(),
             Message::RouteUpdate { placements } => 4 + placements.len() * 28,
-            Message::TraceBatch { events, .. } => 41 + events.len() * 57,
+            Message::TraceBatch { events, .. } => 41 + events.len() * 73,
             Message::ClockPing { .. } => 21,
             Message::ClockPong { .. } => 24,
             Message::VoteRequest { .. } => 28,
@@ -382,6 +442,37 @@ impl Message {
             }
             Message::AppendAck { .. } => 21,
             Message::LeaderRedirect { .. } => 12,
+            Message::Traced { inner, .. } => CausalCtx::WIRE_LEN + inner.payload_bytes(),
+        }
+    }
+
+    /// Wrap `self` in a [`Message::Traced`] envelope carrying `ctx`.
+    /// Wrapping an already-`Traced` message replaces its context instead of
+    /// nesting (the codec rejects nested envelopes).
+    pub fn with_ctx(self, ctx: CausalCtx) -> Message {
+        match self {
+            Message::Traced { inner, .. } => Message::Traced { ctx, inner },
+            other => Message::Traced {
+                ctx,
+                inner: Box::new(other),
+            },
+        }
+    }
+
+    /// Peel a [`Message::Traced`] envelope: returns the context (if any)
+    /// and the bare inner message.
+    pub fn split_ctx(self) -> (Option<CausalCtx>, Message) {
+        match self {
+            Message::Traced { ctx, inner } => (Some(ctx), *inner),
+            other => (None, other),
+        }
+    }
+
+    /// The causal context of this message, without consuming it.
+    pub fn ctx(&self) -> Option<CausalCtx> {
+        match self {
+            Message::Traced { ctx, .. } => Some(*ctx),
+            _ => None,
         }
     }
 }
@@ -438,6 +529,32 @@ mod tests {
         assert!(!NodeId::Supervisor(1).is_server());
         assert!(!NodeId::Supervisor(1).is_worker());
         assert_eq!(NodeId::Supervisor(1).to_string(), "supervisor1");
+    }
+
+    #[test]
+    fn traced_envelope_wraps_peels_and_accounts() {
+        let bare = Message::PushAck {
+            server: 1,
+            progress: 4,
+        };
+        let ctx = CausalCtx::new(99).retry(2).span(7);
+        let wrapped = bare.clone().with_ctx(ctx);
+        assert_eq!(wrapped.ctx(), Some(ctx));
+        assert_eq!(
+            wrapped.payload_bytes(),
+            CausalCtx::WIRE_LEN + bare.payload_bytes()
+        );
+        // Re-wrapping replaces the context rather than nesting.
+        let ctx2 = CausalCtx::new(100);
+        let rewrapped = wrapped.with_ctx(ctx2);
+        let (got, inner) = rewrapped.split_ctx();
+        assert_eq!(got, Some(ctx2));
+        assert_eq!(inner, bare);
+        // A bare message splits to no context.
+        let (none, same) = bare.clone().split_ctx();
+        assert_eq!(none, None);
+        assert_eq!(same, bare);
+        assert_eq!(bare.ctx(), None);
     }
 
     #[test]

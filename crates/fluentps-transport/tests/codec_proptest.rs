@@ -3,7 +3,7 @@
 
 use fluentps_obs::{EventKind, TraceEvent, KINDS};
 use fluentps_transport::codec::{corrupt_at, decode, encode};
-use fluentps_transport::msg::{KvPairs, Message, NodeId};
+use fluentps_transport::msg::{CausalCtx, KvPairs, Message, NodeId};
 use fluentps_util::buf::Bytes;
 use fluentps_util::proptest::prelude::*;
 
@@ -48,8 +48,24 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
                 v_train: v,
                 bytes: b,
                 seq: s,
+                // Derive the causal fields from the other draws so they
+                // exercise the full range without widening the tuple past
+                // proptest's arity limit.
+                request_id: s.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                attempt: shard ^ worker,
+                parent_span: worker.wrapping_add(1),
             },
         )
+}
+
+fn arb_ctx() -> impl Strategy<Value = CausalCtx> {
+    (any::<u64>(), any::<u16>(), any::<u32>()).prop_map(|(request_id, attempt, parent_span)| {
+        CausalCtx {
+            request_id,
+            attempt,
+            parent_span,
+        }
+    })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -118,6 +134,21 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 t_send,
                 t_collector,
             }
+        }),
+        // Traced envelopes around the request/response vocabulary the
+        // causal context actually travels on.
+        (arb_ctx(), any::<u32>(), any::<u64>(), arb_kv()).prop_map(
+            |(ctx, worker, progress, kv)| {
+                Message::SPush {
+                    worker,
+                    progress,
+                    kv,
+                }
+                .with_ctx(ctx)
+            }
+        ),
+        (arb_ctx(), any::<u32>(), any::<u64>()).prop_map(|(ctx, server, progress)| {
+            Message::PushAck { server, progress }.with_ctx(ctx)
         }),
     ]
 }

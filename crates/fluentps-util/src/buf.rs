@@ -27,6 +27,13 @@ pub trait Buf {
         v
     }
 
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self.chunk()[..2].try_into().unwrap());
+        self.advance(2);
+        v
+    }
+
     /// Read a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
@@ -68,6 +75,11 @@ pub trait BufMut {
     /// Append one byte.
     fn put_u8(&mut self, v: u8) {
         self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
     }
 
     /// Append a little-endian `u32`.

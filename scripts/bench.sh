@@ -16,7 +16,9 @@
 # The `engine/threaded_tracing_off` vs `engine/threaded_tracing_on` pair is
 # the end-to-end tracing overhead; `collect/tcp_streaming_off` vs
 # `collect/tcp_streaming_on` is the cost of shipping every node's trace
-# ring to a collector service during a live TCP run.
+# ring to a collector service during a live TCP run; `wire/ctx_overhead_off`
+# vs `wire/ctx_overhead_on` is the causal-context envelope's cost on the
+# frame codec hot path (request tracing on vs off).
 #
 # --check: run the benchmarks into a scratch file and compare each mean
 # against the committed BENCH_obs.json baseline. This is a hard gate: a

@@ -186,6 +186,55 @@ wait "$prof_pid"
 grep -q '^profile-span path=worker/step ' "$smokedir/profile.txt"
 grep -q 'profile: top ' "$smokedir/profile.txt"
 
+# Waterfall smoke: end-to-end causal request tracing. (a) Determinism: two
+# same-seed no-kill chaos runs must print bit-identical `waterfall-` lines —
+# assembly is a pure function of the logical message set (ids + fold keys),
+# never of wall-clock timings. The repro command itself exits 1 if the
+# retained/sampled_out/observed balance or the per-request gapless audit
+# fails, so running it is the assertion. (b) Recovery: a kill run must
+# retain a control-plane waterfall (supervisor request ids carry bit 63 —
+# the checkpoint restore shows up as a traced request) and still pass both
+# audits. (c) Live: a mid-run /waterfall?slowest=3 scrape must serve NDJSON
+# whose balance header balances and whose every line passes the in-tree
+# JSON validator.
+./target/release/repro waterfall --seed 42 --workers 1 --servers 2 --iters 20 --faults 8 \
+  >"$smokedir/wf_a.txt" 2>/dev/null
+./target/release/repro waterfall --seed 42 --workers 1 --servers 2 --iters 20 --faults 8 \
+  >"$smokedir/wf_b.txt" 2>/dev/null
+grep '^waterfall-' "$smokedir/wf_a.txt" >"$smokedir/wf_a_core.txt"
+grep '^waterfall-' "$smokedir/wf_b.txt" >"$smokedir/wf_b_core.txt"
+diff "$smokedir/wf_a_core.txt" "$smokedir/wf_b_core.txt"
+grep -Eq '^waterfall-balance observed=[1-9][0-9]* retained=' "$smokedir/wf_a.txt"
+grep -q '^waterfall-gapless ok$' "$smokedir/wf_a.txt"
+
+./target/release/repro waterfall --seed 13 --workers 2 --servers 2 --iters 25 --kill 0@8 \
+  >"$smokedir/wf_kill.txt" 2>/dev/null
+grep -q '^waterfall-request id=92233' "$smokedir/wf_kill.txt" # control-plane bit set
+grep -q '^waterfall-gapless ok$' "$smokedir/wf_kill.txt"
+
+wf_port=$((21000 + RANDOM % 20000))
+./target/release/repro chaos --seed 13 --workers 2 --servers 2 --iters 4000 --kill 0@8 \
+  --metrics-addr "127.0.0.1:$wf_port" >"$smokedir/chaos_wf.txt" 2>/dev/null &
+wf_pid=$!
+wf_ok=""
+for _ in $(seq 1 300); do
+  http_get "$wf_port" '/waterfall?slowest=3' 2>/dev/null \
+    | sed -n '/^{/,$p' >"$smokedir/wf_scrape.ndjson" || true
+  if grep -q '"balanced":true' "$smokedir/wf_scrape.ndjson" \
+    && grep -q '"request_id":' "$smokedir/wf_scrape.ndjson"; then
+    wf_ok=1
+    break
+  fi
+  kill -0 "$wf_pid" 2>/dev/null || break
+  sleep 0.1
+done
+wait "$wf_pid"
+[ -n "$wf_ok" ] || { echo "ci: /waterfall never served a balanced NDJSON body mid-run" >&2; exit 1; }
+while IFS= read -r line; do
+  printf '%s\n' "$line" >"$smokedir/wf_line.json"
+  ./target/release/repro validate-json "$smokedir/wf_line.json"
+done <"$smokedir/wf_scrape.ndjson"
+
 # Perf gate: re-run the benchmarks and compare each mean against the
 # committed BENCH_obs.json. Hard-fails past the per-bench tolerance bands
 # (wide enough for CI-machine noise; see scripts/bench.sh for the bands —

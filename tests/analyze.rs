@@ -144,3 +144,38 @@ fn pssp_empirical_block_rate_matches_analytical() {
         a.gaps
     );
 }
+
+/// Ground-truth mode for the wire matcher: run a real TCP cluster under
+/// reorder/duplicate chaos with causal ids on the wire, then replay the
+/// analyzer's FIFO pairing heuristic against the exact `(request_id,
+/// attempt)` ids. The cross-check *reports* a mismatch rate instead of
+/// panicking — reordering legitimately breaks FIFO pairing — and its
+/// counters must stay internally consistent.
+#[test]
+fn wire_check_reports_fifo_mismatch_rate_under_reorder_chaos() {
+    use fluentps::experiments::live::{run_chaos, ChaosConfig};
+    let r = run_chaos(&ChaosConfig {
+        num_workers: 1,
+        num_servers: 2,
+        max_iters: 20,
+        faults: 8, // seeded drops, reorder-delays and duplicates
+        seed: 42,
+        keep_trace: true,
+        ..ChaosConfig::default()
+    });
+    let trace = r.trace.expect("keep_trace returns the collector snapshot");
+    let a = analyze(&trace);
+    let check = a
+        .wire_check
+        .expect("causal ids were stamped on the wire, so the audit runs");
+    assert!(check.checked > 0, "no wire pairs audited: {check:?}");
+    assert!(
+        check.mismatches <= check.checked,
+        "mismatches exceed audited pairs: {check:?}"
+    );
+    let rate = check.mismatch_rate();
+    assert!(
+        (0.0..=1.0).contains(&rate),
+        "mismatch rate out of range: {rate}"
+    );
+}

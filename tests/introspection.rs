@@ -192,6 +192,79 @@ fn threaded_engine_serves_metrics_and_healthz_while_training() {
     let (status, body) = http_get(addr, "/trace?kind=no_such_kind");
     assert!(status.contains("400"), "unknown kind: {status}\n{body}");
 
+    // `/trace?request=` narrows to one causal request id and composes with
+    // the other filters. The exporter always emits a `request_id` key, so a
+    // served line tells us which id to ask for (0 = unstamped events).
+    let (status, body) = http_get(addr, "/trace?kind=pull_requested&last=1");
+    assert!(status.contains("200"), "seed line status: {status}");
+    let seed_line = body
+        .lines()
+        .find(|l| !l.trim().is_empty())
+        .expect("a pull event was served");
+    let rid = seed_line
+        .split("\"request_id\":")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or_else(|| panic!("line carries a request_id: {seed_line}"));
+    let (status, body) = http_get(
+        addr,
+        &format!("/trace?request={rid}&kind=pull_requested&last=4"),
+    );
+    assert!(status.contains("200"), "request filter status: {status}");
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(
+        !lines.is_empty() && lines.len() <= 4,
+        "request filter tail:\n{body}"
+    );
+    for line in &lines {
+        assert!(
+            line.contains(&format!("\"request_id\":{rid},")),
+            "line kept the wrong request: {line}"
+        );
+        assert!(line.contains("\"kind\":\"pull_requested\""), "line: {line}");
+        fluentps::obs::json::validate(line).expect("request-filtered line is valid JSON");
+    }
+    let (status, body) = http_get(addr, "/trace?request=notanumber");
+    assert!(status.contains("400"), "bad request id: {status}\n{body}");
+
+    // `/waterfall` assembles causal waterfalls from the same collector and
+    // serves NDJSON: a balance line first, then one object per waterfall.
+    let (status, head, body) = http_get_with_headers(addr, "/waterfall?slowest=3");
+    assert!(status.contains("200"), "waterfall status: {status}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: application/x-ndjson"),
+        "waterfall content type in headers:\n{head}"
+    );
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    let balance = lines.first().expect("waterfall body has a balance line");
+    for key in [
+        "\"observed\":",
+        "\"retained\":",
+        "\"sampled_out\":",
+        "\"balanced\":",
+    ] {
+        assert!(
+            balance.contains(key),
+            "balance line misses {key}: {balance}"
+        );
+    }
+    assert!(
+        balance.contains("\"balanced\":true"),
+        "retained + sampled_out == observed: {balance}"
+    );
+    assert!(lines.len() <= 1 + 3, "slowest=3 caps the body:\n{body}");
+    for line in &lines {
+        fluentps::obs::json::validate(line).expect("waterfall line is valid JSON");
+    }
+    let (status, body) = http_get(addr, "/waterfall?top=1.5");
+    assert!(status.contains("400"), "bad top fraction: {status}\n{body}");
+    // 123456789 is below any worker's id range ((worker+1) << 40 | counter),
+    // so it is never retained regardless of whether this engine stamps ids.
+    let (status, body) = http_get(addr, "/waterfall?request=123456789");
+    assert!(status.contains("404"), "unknown request: {status}\n{body}");
+
     // The introspected launch wires a streaming health engine: `/slo`
     // serves windowed SLO text and `/alerts` the transition log.
     let (status, slo) = http_get(addr, "/slo");

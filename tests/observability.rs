@@ -173,6 +173,7 @@ fn fixture_cluster_chrome_trace() -> String {
         v_train: 0,
         bytes: 64,
         seq,
+        ..Default::default()
     };
     let mut cluster = ClusterCollector::new(64);
     // worker0 runs 2.0s behind the collector clock, worker1 0.5s ahead,
